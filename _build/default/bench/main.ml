@@ -1,0 +1,551 @@
+(* Benchmark harness: regenerates every evaluation artefact of the paper
+   (see DESIGN.md section 4 for the experiment index).
+
+     E1  fig3_fir_cdfg        paper Fig. 3  (FIR after unroll + simplify)
+     E2  fig4_scheduling      paper Fig. 4  (level insertion on 5 ALUs)
+     E3  fig5_allocation      paper Fig. 5  (heuristic allocation, window)
+     E4  tile_resource_usage  paper Fig. 1  (hardware limits respected)
+     E5  phase_complexity     Section VI    (linear-time phases, Bechamel)
+     E6  speedup               Section VII  ("maximum parallelism")
+     E7  locality_ablation     Section VII  ("locality of reference")
+     E8  unroll_sweep          Section V    (unrolling as the enabler)
+     E9  loop_mapping          Section VII   (future work: loops mapped by
+                                              configuration reuse)
+     E10 branch_cost           Section VII   (future work: branches via
+                                              if-conversion; speculation cost)
+     E11 interleaving          Section II    (memory-port bottleneck fix:
+                                              two-way array interleaving)
+     E12 priority_ablation     Section VI-B  (ready-priority choice in the
+                                              level scheduler)
+
+   Absolute numbers are ours (the substrate is a simulator, not the
+   CHAMELEON testbed); the shapes are what EXPERIMENTS.md compares. *)
+
+module Arch = Fpfa_arch.Arch
+module Flow = Fpfa_core.Flow
+module Metrics = Mapping.Metrics
+module Kernels = Fpfa_kernels.Kernels
+
+let section title =
+  Printf.printf "\n==================== %s ====================\n" title
+
+let map_kernel ?(variant = Baseline.paper) (k : Kernels.t) =
+  Baseline.map_source variant k.Kernels.source
+
+(* ------------------------------------------------------------------ *)
+(* E1 - Fig. 3: the FIR CDFG before and after full simplification.     *)
+(* ------------------------------------------------------------------ *)
+
+let fig3_fir_cdfg () =
+  section "E1 fig3_fir_cdfg (paper Fig. 3)";
+  let result = map_kernel Kernels.fir_paper in
+  let b = result.Flow.simplify_report.Transform.Simplify.before in
+  let a = result.Flow.simplify_report.Transform.Simplify.after in
+  let row label (s : Cdfg.Graph.stats) =
+    [
+      label;
+      string_of_int s.Cdfg.Graph.total;
+      string_of_int s.Cdfg.Graph.fetches;
+      string_of_int s.Cdfg.Graph.stores;
+      string_of_int s.Cdfg.Graph.multiplies;
+      string_of_int s.Cdfg.Graph.adds;
+      string_of_int s.Cdfg.Graph.muxes;
+      string_of_int s.Cdfg.Graph.critical_path;
+    ]
+  in
+  Fpfa_util.Tablefmt.print
+    ~header:[ "graph"; "nodes"; "FE"; "ST"; "mul"; "add"; "mux"; "cp" ]
+    [ row "generated" b; row "simplified" a ];
+  Printf.printf
+    "paper shape: all loop control folds away; one FE per a[i]/c[i], one\n\
+     multiply per tap, a balanced adder tree, and exactly the stores of\n\
+     sum and i remain.\n";
+  assert (a.Cdfg.Graph.fetches = 10);
+  assert (a.Cdfg.Graph.stores = 2);
+  assert (a.Cdfg.Graph.multiplies = 5);
+  assert (a.Cdfg.Graph.adds = 4);
+  assert (a.Cdfg.Graph.muxes = 0);
+  Printf.printf "shape asserts: PASS\n"
+
+(* ------------------------------------------------------------------ *)
+(* E2 - Fig. 4: scheduling the paper's 11-cluster example.             *)
+(* ------------------------------------------------------------------ *)
+
+let fig4_scheduling () =
+  section "E2 fig4_scheduling (paper Fig. 4)";
+  let clustering = Fpfa_kernels.Paper_examples.fig4_clustering () in
+  let before = Mapping.Sched.run ~alu_count:100 clustering in
+  let after = Mapping.Sched.run ~alu_count:5 clustering in
+  Printf.printf "(a) before scheduling (unbounded ALUs):\n";
+  Format.printf "%a@." Mapping.Sched.pp before;
+  Printf.printf "(b) after scheduling on 5 ALUs:\n";
+  Format.printf "%a@." Mapping.Sched.pp after;
+  Printf.printf "levels: %d -> %d (one level inserted, Clu6 displaced)\n"
+    (Mapping.Sched.level_count before)
+    (Mapping.Sched.level_count after);
+  assert (Mapping.Sched.level_count before = 4);
+  assert (Mapping.Sched.level_count after = 5);
+  assert (after.Mapping.Sched.level_of.(6) = 1);
+  Printf.printf "Fig. 4 asserts: PASS\n"
+
+(* ------------------------------------------------------------------ *)
+(* E3 - Fig. 5: the heuristic allocation and its move window.          *)
+(* ------------------------------------------------------------------ *)
+
+let fig5_allocation () =
+  section "E3 fig5_allocation (paper Fig. 5)";
+  let result = map_kernel Kernels.fir_paper in
+  let job = result.Flow.job in
+  Format.printf "%a@." Mapping.Job.pp job;
+  (* Distribution of "steps before" actually used by the moves. *)
+  let exec_of_cluster = Hashtbl.create 16 in
+  Array.iteri
+    (fun cycle (c : Mapping.Job.cycle) ->
+      List.iter
+        (fun (w : Mapping.Job.alu_work) ->
+          Hashtbl.replace exec_of_cluster w.Mapping.Job.wcluster cycle)
+        c.Mapping.Job.alu)
+    job.Mapping.Job.cycles;
+  let hist = Hashtbl.create 8 in
+  Array.iteri
+    (fun cycle (c : Mapping.Job.cycle) ->
+      List.iter
+        (fun (m : Mapping.Job.move) ->
+          let exec = Hashtbl.find exec_of_cluster m.Mapping.Job.for_cluster in
+          let steps = exec - cycle in
+          Hashtbl.replace hist steps
+            (1 + match Hashtbl.find_opt hist steps with Some n -> n | None -> 0))
+        c.Mapping.Job.moves)
+    job.Mapping.Job.cycles;
+  let rows =
+    Hashtbl.fold (fun steps count acc -> (steps, count) :: acc) hist []
+    |> List.sort compare
+    |> List.map (fun (steps, count) ->
+           [ string_of_int steps; string_of_int count ])
+  in
+  Printf.printf "moves by distance before the execute cycle (paper: 4,3,2,1):\n";
+  Fpfa_util.Tablefmt.print ~header:[ "steps before"; "moves" ] rows;
+  Printf.printf "inserted (non-execute) cycles: %d of %d\n"
+    result.Flow.metrics.Metrics.inserted_cycles
+    result.Flow.metrics.Metrics.cycles
+
+(* ------------------------------------------------------------------ *)
+(* E4 - Fig. 1/Section II: hardware limits hold on the whole corpus.   *)
+(* ------------------------------------------------------------------ *)
+
+let tile_resource_usage () =
+  section "E4 tile_resource_usage (paper Fig. 1 constraints)";
+  let tile = Arch.paper_tile in
+  let rows =
+    List.map
+      (fun (k : Kernels.t) ->
+        let result = map_kernel k in
+        let _, trace =
+          Fpfa_sim.Sim.run ~memory_init:k.Kernels.inputs result.Flow.job
+        in
+        let m = result.Flow.metrics in
+        [
+          k.Kernels.name;
+          string_of_int trace.Fpfa_sim.Sim.cycles_run;
+          Printf.sprintf "%d/%d" trace.Fpfa_sim.Sim.max_bus_per_cycle
+            tile.Arch.buses;
+          string_of_int m.Metrics.mem_reads;
+          string_of_int m.Metrics.mem_writes;
+          (if Fpfa_sim.Sim.conforms ~memory_init:k.Kernels.inputs result.Flow.job
+           then "PASS"
+           else "FAIL");
+        ])
+      Kernels.all
+  in
+  Fpfa_util.Tablefmt.print
+    ~header:[ "kernel"; "cycles"; "bus max/cap"; "reads"; "writes"; "conform" ]
+    rows;
+  Printf.printf
+    "the simulator re-checks every port/lane/bank limit dynamically; a\n\
+     violation would abort the run.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E5 - Section VI: the phases are linear in the number of clusters.   *)
+(* ------------------------------------------------------------------ *)
+
+let phase_complexity () =
+  section "E5 phase_complexity (Section VI linearity, Bechamel)";
+  let sizes = [ 100; 300; 1000; 3000 ] in
+  (* timing experiment: enlarge the memories so capacity artefacts (scratch
+     space for thousands of intermediate values) do not interfere *)
+  let tile = { Arch.paper_tile with Arch.memory_size = 16384 } in
+  let prepared =
+    List.map
+      (fun ops ->
+        let g = Fpfa_kernels.Random_graph.generate ~seed:11 ~ops () in
+        let clustering = Mapping.Cluster.run g in
+        let sched = Mapping.Sched.run ~alu_count:5 clustering in
+        (ops, g, clustering, sched))
+      sizes
+  in
+  let open Bechamel in
+  let bench name f =
+    let test = Test.make ~name (Staged.stage f) in
+    let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.25) ~kde:None () in
+    let instance = Toolkit.Instance.monotonic_clock in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false
+        ~predictors:[| Measure.run |]
+    in
+    let raw = Benchmark.all cfg [ instance ] test in
+    let analyzed = Analyze.all ols instance raw in
+    Hashtbl.fold
+      (fun _ est acc ->
+        match Analyze.OLS.estimates est with Some [ v ] -> v | _ -> acc)
+      analyzed 0.0
+  in
+  let rows =
+    List.concat_map
+      (fun (ops, g, clustering, sched) ->
+        let clusters = Array.length clustering.Mapping.Cluster.clusters in
+        let measure phase f =
+          let nanos = bench (Printf.sprintf "%s/%d" phase ops) f in
+          [
+            Printf.sprintf "%s/%d" phase ops;
+            string_of_int clusters;
+            Printf.sprintf "%.0f" (nanos /. 1000.0);
+            Printf.sprintf "%.3f" (nanos /. 1000.0 /. float_of_int clusters);
+          ]
+        in
+        [
+          measure "cluster" (fun () -> ignore (Mapping.Cluster.run g));
+          measure "schedule" (fun () ->
+              ignore (Mapping.Sched.run ~alu_count:5 clustering));
+          measure "allocate" (fun () -> ignore (Mapping.Alloc.run ~tile sched));
+        ])
+      prepared
+  in
+  Fpfa_util.Tablefmt.print
+    ~header:[ "phase/ops"; "clusters"; "us/run"; "us/cluster" ]
+    rows;
+  Printf.printf
+    "linearity shows as a roughly constant us/cluster column per phase.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E6 - Section VII: speed-up over the sequential and unit baselines.  *)
+(* ------------------------------------------------------------------ *)
+
+let speedup () =
+  section "E6 speedup_vs_sequential (Section VII 'maximum parallelism')";
+  let rows =
+    List.map
+      (fun (k : Kernels.t) ->
+        let cycles variant =
+          (map_kernel ~variant k).Flow.metrics.Metrics.cycles
+        in
+        let paper = cycles Baseline.paper in
+        let seq = cycles Baseline.sequential in
+        let unit = cycles Baseline.unit_ops in
+        let sarkar = cycles Baseline.sarkar in
+        [
+          k.Kernels.name;
+          string_of_int seq;
+          string_of_int unit;
+          string_of_int sarkar;
+          string_of_int paper;
+          Printf.sprintf "%.2fx" (float_of_int seq /. float_of_int paper);
+        ])
+      Kernels.all
+  in
+  Fpfa_util.Tablefmt.print
+    ~header:[ "kernel"; "seq(1 ALU)"; "unit-ops"; "sarkar"; "paper"; "speedup" ]
+    rows;
+  Printf.printf
+    "expected shape: the 5-PP flow beats 1 ALU on wide kernels and ties on\n\
+     serial chains (poly); data-path clustering beats unit-op clusters.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E7 - Section VII: locality of reference vs. energy.                 *)
+(* ------------------------------------------------------------------ *)
+
+let locality_ablation () =
+  section "E7 locality_ablation (Section VII 'low power by locality')";
+  let rows =
+    List.map
+      (fun (k : Kernels.t) ->
+        let m variant = (map_kernel ~variant k).Flow.metrics in
+        let local = m Baseline.paper in
+        let scattered = m Baseline.no_locality in
+        let fwd = m Baseline.with_forwarding in
+        [
+          k.Kernels.name;
+          Printf.sprintf "%.2f" local.Metrics.locality;
+          Printf.sprintf "%.2f" scattered.Metrics.locality;
+          Printf.sprintf "%.0f" local.Metrics.energy;
+          Printf.sprintf "%.0f" scattered.Metrics.energy;
+          Printf.sprintf "%.0f" fwd.Metrics.energy;
+        ])
+      Kernels.all
+  in
+  Fpfa_util.Tablefmt.print
+    ~header:
+      [ "kernel"; "loc(on)"; "loc(off)"; "E(on)"; "E(off)"; "E(fwd ext)" ]
+    rows;
+  Printf.printf
+    "expected shape: locality ON gives a higher local-transfer ratio and\n\
+     lower energy; the register-forwarding extension lowers it further.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E8 - Section V: loop unrolling as the parallelism enabler.          *)
+(* ------------------------------------------------------------------ *)
+
+let unroll_sweep () =
+  section "E8 unroll_sweep (Section V, FIR tap count)";
+  let rows =
+    List.map
+      (fun taps ->
+        let k = Kernels.fir ~taps in
+        let r = map_kernel k in
+        let m = r.Flow.metrics in
+        let a = r.Flow.simplify_report.Transform.Simplify.after in
+        [
+          string_of_int taps;
+          string_of_int a.Cdfg.Graph.total;
+          string_of_int m.Metrics.levels;
+          string_of_int m.Metrics.cycles;
+          Printf.sprintf "%.2f" m.Metrics.alu_utilisation;
+        ])
+      [ 1; 2; 4; 8; 16; 32 ]
+  in
+  Fpfa_util.Tablefmt.print
+    ~header:[ "taps"; "nodes"; "levels"; "cycles"; "util" ]
+    rows;
+  Printf.printf
+    "expected shape: cycles grow sub-linearly in taps until memory ports\n\
+     saturate (the tile reads a[] and c[] through single-ported memories).\n"
+
+(* ------------------------------------------------------------------ *)
+(* E9 - Section VII future work: loops by configuration reuse.          *)
+(* ------------------------------------------------------------------ *)
+
+let loop_mapping () =
+  section "E9 loop_mapping (Section VII future work)";
+  let cases =
+    [
+      ("vscale-16", "void main() { for (i = 0; i < 16; i++) { out[i] = 3 * x[i] + 1; } }");
+      ("saxpy-16", "void main() { for (i = 0; i < 16; i++) { out[i] = 7 * x[i] + y[i]; } }");
+      ("fir-16", "void main() { sum = 0; for (i = 0; i < 16; i++) { sum = sum + a[i] * c[i]; } }");
+      ("affine-12", "void main() { for (i = 0; i < 12; i++) { out[i] = x[i] * 2 + i; } }");
+      ("strided-8", "void main() { for (i = 0; i < 8; i++) { out[i] = x[2 * i]; } }");
+      ("square-12", "void main() { for (i = 0; i < 12; i++) { out[i] = i * i; } }");
+      ( "3-loop-dsp",
+        "void main() { peak = 0; for (i = 0; i < 8; i++) { peak = max(peak, \
+         abs(x[i])); } for (i = 0; i < 8; i++) { scaled[i] = (x[i] << 4) / \
+         max(peak, 1); } for (i = 0; i < 6; i++) { out[i] = (scaled[i] + \
+         scaled[i + 1] + scaled[i + 2]) / 3; } }" );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, source) ->
+        match Fpfa_core.Loop_flow.map_source source with
+        | Fpfa_core.Loop_flow.Looped staged -> (
+          match Fpfa_core.Loop_flow.compare_costs source with
+          | Some c ->
+            let trips =
+              Fpfa_util.Listx.sum
+                (List.map
+                   (fun (l : Fpfa_core.Loop_flow.loop_segment) ->
+                     l.Fpfa_core.Loop_flow.trips)
+                   (Fpfa_core.Loop_flow.loops staged))
+            in
+            [
+              name;
+              "looped";
+              string_of_int trips;
+              Printf.sprintf "%d / %d" c.Fpfa_core.Loop_flow.looped_config_words
+                c.Fpfa_core.Loop_flow.unrolled_config_words;
+              Printf.sprintf "%d / %d" c.Fpfa_core.Loop_flow.looped_cycles
+                c.Fpfa_core.Loop_flow.unrolled_cycles;
+              Printf.sprintf "%.1fx"
+                (float_of_int c.Fpfa_core.Loop_flow.unrolled_config_words
+                /. float_of_int c.Fpfa_core.Loop_flow.looped_config_words);
+            ]
+          | None -> [ name; "looped"; "-"; "-"; "-"; "-" ])
+        | Fpfa_core.Loop_flow.Unrolled (_, reason) ->
+          let reason =
+            if String.length reason > 34 then String.sub reason 0 34 else reason
+          in
+          [ name; "fallback: " ^ reason; "-"; "-"; "-"; "-" ])
+      cases
+  in
+  Fpfa_util.Tablefmt.print
+    ~header:
+      [ "kernel"; "outcome"; "trips"; "config (loop/unroll)";
+        "cycles (loop/unroll)"; "config win" ]
+    rows;
+  Printf.printf
+    "expected shape: linear loops map to a single reusable body\n\
+     configuration (configuration size ~O(1) in the trip count, cycle\n\
+     count honestly higher without cross-iteration overlap); non-linear\n\
+     counter uses fall back.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E10 - Section VII future work: branches via if-conversion.           *)
+(* ------------------------------------------------------------------ *)
+
+let branch_cost () =
+  section "E10 branch_cost (if-conversion vs branch-free)";
+  let row (k : Kernels.t) =
+    let r = map_kernel k in
+    let m = r.Flow.metrics in
+    let a = r.Flow.simplify_report.Transform.Simplify.after in
+    [
+      k.Kernels.name;
+      string_of_int a.Cdfg.Graph.muxes;
+      string_of_int m.Metrics.alu_ops;
+      string_of_int m.Metrics.cycles;
+      string_of_int m.Metrics.mem_writes;
+    ]
+  in
+  Fpfa_util.Tablefmt.print
+    ~header:[ "kernel"; "muxes"; "ops"; "cycles"; "writes" ]
+    [ row (Kernels.clip ~n:6); row (Kernels.clip_minmax ~n:6) ];
+  (* predication-depth sweep: nested if/else ladders *)
+  let ladder depth =
+    let rec body k =
+      if k = 0 then Printf.sprintf "out[i] = v + %d;" depth
+      else
+        Printf.sprintf
+          "if (v > %d) { %s } else { out[i] = v - %d; }"
+          (10 * k) (body (k - 1)) k
+    in
+    Printf.sprintf "void main() { for (i = 0; i < 6; i++) { v = x[i]; %s } }"
+      (body depth)
+  in
+  let rows =
+    List.map
+      (fun depth ->
+        let r = Flow.map_source (ladder depth) in
+        let m = r.Flow.metrics in
+        let a = r.Flow.simplify_report.Transform.Simplify.after in
+        [
+          string_of_int depth;
+          string_of_int a.Cdfg.Graph.muxes;
+          string_of_int m.Metrics.alu_ops;
+          string_of_int m.Metrics.cycles;
+        ])
+      [ 1; 2; 3; 4 ]
+  in
+  Printf.printf "\nnested if/else ladder (6 elements):\n";
+  Fpfa_util.Tablefmt.print ~header:[ "depth"; "muxes"; "ops"; "cycles" ] rows;
+  Printf.printf
+    "if-conversion executes both sides and selects: op count and cycles\n\
+     grow with nesting depth (every guarded store also rereads and muxes\n\
+     its old value). Branch-free formulations are strictly cheaper when\n\
+     they exist (clip vs clipmm).\n"
+
+(* ------------------------------------------------------------------ *)
+(* E11 - memory interleaving: fixing the port bottleneck of E6.         *)
+(* ------------------------------------------------------------------ *)
+
+let interleaving () =
+  section "E11 interleaving (the E6 streaming-bottleneck fix)";
+  let rows =
+    List.map
+      (fun (k : Kernels.t) ->
+        let m variant = (map_kernel ~variant k).Flow.metrics in
+        let paper = m Baseline.paper in
+        let inter = m Baseline.interleaved in
+        let seq = m Baseline.sequential in
+        [
+          k.Kernels.name;
+          string_of_int seq.Metrics.cycles;
+          string_of_int paper.Metrics.cycles;
+          string_of_int inter.Metrics.cycles;
+          Printf.sprintf "%.2fx"
+            (float_of_int paper.Metrics.cycles
+            /. float_of_int inter.Metrics.cycles);
+          Printf.sprintf "%.2fx"
+            (float_of_int seq.Metrics.cycles
+            /. float_of_int inter.Metrics.cycles);
+        ])
+      Kernels.all
+  in
+  Fpfa_util.Tablefmt.print
+    ~header:
+      [ "kernel"; "seq"; "paper"; "interleaved"; "vs paper"; "vs seq" ]
+    rows;
+  Printf.printf
+    "two-way interleaving doubles the read bandwidth of hot arrays; the\n\
+     streaming kernels that lost to 1 ALU in E6 now win, at the price of\n\
+     a mild regression where arrays were already port-balanced.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E12 - scheduling-priority ablation (the paper plays the critical      *)
+(* path first; how much does the choice matter?)                         *)
+(* ------------------------------------------------------------------ *)
+
+let priority_ablation () =
+  section "E12 priority_ablation (critical-first vs alternatives)";
+  let strategies =
+    [
+      ("mobility", Mapping.Sched.Mobility);
+      ("alap", Mapping.Sched.Alap_first);
+      ("fifo", Mapping.Sched.Cid_order);
+    ]
+  in
+  let rows =
+    List.map
+      (fun seed ->
+        (* wide graphs (many independent inputs) so level capacity binds
+           and the ready-priority actually has choices to make *)
+        let g =
+          Fpfa_kernels.Random_graph.generate ~seed ~ops:150 ~input_words:100
+            ~mul_ratio:0.15 ()
+        in
+        let clustering = Mapping.Cluster.run g in
+        let cells =
+          List.map
+            (fun (_, p) ->
+              let s = Mapping.Sched.run ~alu_count:5 ~priority:p clustering in
+              Mapping.Sched.validate s ~alu_count:5;
+              string_of_int (Mapping.Sched.level_count s))
+            strategies
+        in
+        let s = Mapping.Sched.run ~alu_count:5 clustering in
+        (Printf.sprintf "random-%d" seed
+         :: string_of_int (Mapping.Sched.critical_path_levels s)
+         :: cells))
+      [ 1; 7; 23; 42; 99; 123 ]
+  in
+  Fpfa_util.Tablefmt.print
+    ~header:[ "graph"; "cp bound"; "mobility"; "alap"; "fifo" ]
+    rows;
+  Printf.printf
+    "level counts per ready-priority. The gap to the critical-path bound\n\
+     comes from store-version chains, not ALU capacity; when capacity does\n\
+     bind (wide graphs) the paper's critical-first choice matches or beats\n\
+     the alternatives, and the differences stay small - the heuristic's\n\
+     cheapness is justified.\n"
+
+let () =
+  let only =
+    match Array.to_list Sys.argv with
+    | [ _ ] -> None
+    | _ :: names -> Some names
+    | [] -> None
+  in
+  let run name f =
+    match only with
+    | Some names when not (List.mem name names) -> ()
+    | Some _ | None -> f ()
+  in
+  run "fig3" fig3_fir_cdfg;
+  run "fig4" fig4_scheduling;
+  run "fig5" fig5_allocation;
+  run "resources" tile_resource_usage;
+  run "complexity" phase_complexity;
+  run "speedup" speedup;
+  run "locality" locality_ablation;
+  run "unroll" unroll_sweep;
+  run "loops" loop_mapping;
+  run "branches" branch_cost;
+  run "interleave" interleaving;
+  run "priority" priority_ablation;
+  Printf.printf "\nall experiments done.\n"

@@ -1,0 +1,389 @@
+(* fpfa_map — command-line front end of the FPFA mapping flow.
+
+   Subcommands:
+     compile  map a C file (or a named built-in kernel) and print the
+              per-stage report, optionally the full per-cycle job
+     dot      emit the minimised CDFG as Graphviz
+     kernels  list the built-in kernel corpus
+     suite    map every built-in kernel under a flow variant and print the
+              metrics table *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_source input =
+  if Sys.file_exists input then read_file input
+  else
+    match Fpfa_kernels.Kernels.find input with
+    | k -> k.Fpfa_kernels.Kernels.source
+    | exception Not_found ->
+      Printf.eprintf "error: %s is neither a file nor a built-in kernel\n"
+        input;
+      exit 2
+
+let variant_of_name name =
+  match
+    List.find_opt
+      (fun (v : Baseline.variant) ->
+        String.equal v.Baseline.vname name)
+      Baseline.all
+  with
+  | Some v -> v
+  | None ->
+    Printf.eprintf "error: unknown variant %s (try: %s)\n" name
+      (String.concat ", "
+         (List.map
+            (fun (v : Baseline.variant) -> v.Baseline.vname)
+            Baseline.all));
+    exit 2
+
+let inputs_for input =
+  match Fpfa_kernels.Kernels.find input with
+  | k -> k.Fpfa_kernels.Kernels.inputs
+  | exception Not_found -> []
+
+open Cmdliner
+
+let input_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"INPUT" ~doc:"C source file or built-in kernel name.")
+
+let variant_arg =
+  Arg.(
+    value & opt string "paper"
+    & info [ "variant" ] ~docv:"VARIANT"
+        ~doc:"Flow variant: paper, sequential, unit-ops, sarkar, no-locality, \
+              forwarding.")
+
+let func_arg =
+  Arg.(
+    value & opt string "main"
+    & info [ "func" ] ~docv:"FUNC" ~doc:"Function to map.")
+
+let show_job_arg =
+  Arg.(value & flag & info [ "job" ] ~doc:"Print the full per-cycle job.")
+
+let show_schedule_arg =
+  Arg.(value & flag & info [ "schedule" ] ~doc:"Print the level schedule.")
+
+let show_gantt_arg =
+  Arg.(value & flag & info [ "gantt" ] ~doc:"Print the per-PP timeline.")
+
+let check_width_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "check-width" ] ~docv:"BITS"
+        ~doc:
+          "Run value-range analysis and report values that may exceed a \
+           signed BITS-bit datapath (the FPFA is 16-bit).")
+
+let compile input variant func show_job show_schedule show_gantt check_width =
+  let source = load_source input in
+  let v = variant_of_name variant in
+  match Baseline.map_source v ~func source with
+  | result ->
+    Format.printf "%a@." Fpfa_core.Flow.pp_summary result;
+    Format.printf "simplification:@.%a@." Transform.Simplify.pp_report
+      result.Fpfa_core.Flow.simplify_report;
+    if show_schedule then
+      Format.printf "schedule:@.%a@." Mapping.Sched.pp
+        result.Fpfa_core.Flow.schedule;
+    if show_job then
+      Format.printf "%a@." Mapping.Job.pp result.Fpfa_core.Flow.job;
+    if show_gantt then
+      Format.printf "%a@." Mapping.Job.pp_gantt result.Fpfa_core.Flow.job;
+    (match check_width with
+    | Some width ->
+      let report =
+        Transform.Range.analyze ~width result.Fpfa_core.Flow.graph
+      in
+      Format.printf "%a@."
+        (Transform.Range.pp_report result.Fpfa_core.Flow.graph)
+        report
+    | None -> ());
+    let memory_init = inputs_for input in
+    let ok = Fpfa_core.Flow.verify ~memory_init result in
+    Format.printf "verification (interp = eval = simulator): %s@."
+      (if ok then "PASS" else "FAIL");
+    if not ok then exit 1
+  | exception Fpfa_core.Flow.Flow_error msg ->
+    Printf.eprintf "flow error: %s\n" msg;
+    exit 1
+
+let compile_cmd =
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Map a C program onto one FPFA tile.")
+    Term.(
+      const compile $ input_arg $ variant_arg $ func_arg $ show_job_arg
+      $ show_schedule_arg $ show_gantt_arg $ check_width_arg)
+
+let dot input func out show_clusters =
+  let source = load_source input in
+  match Fpfa_core.Flow.map_source ~func source with
+  | result -> (
+    let text =
+      if show_clusters then
+        Mapping.Cluster.to_dot result.Fpfa_core.Flow.clustering
+      else Cdfg.Dot.to_string result.Fpfa_core.Flow.graph
+    in
+    match out with
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc text)
+    | None -> print_string text)
+  | exception Fpfa_core.Flow.Flow_error msg ->
+    Printf.eprintf "flow error: %s\n" msg;
+    exit 1
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write DOT to FILE.")
+
+let clusters_arg =
+  Arg.(
+    value & flag
+    & info [ "clusters" ]
+        ~doc:"Emit the cluster dependence DAG instead of the CDFG.")
+
+let dot_cmd =
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:"Emit the minimised CDFG (or, with --clusters, the cluster DAG) \
+             as Graphviz.")
+    Term.(const dot $ input_arg $ func_arg $ out_arg $ clusters_arg)
+
+let kernels () =
+  List.iter
+    (fun (k : Fpfa_kernels.Kernels.t) ->
+      Printf.printf "%-14s %s\n" k.Fpfa_kernels.Kernels.name
+        k.Fpfa_kernels.Kernels.description)
+    Fpfa_kernels.Kernels.all
+
+let kernels_cmd =
+  Cmd.v
+    (Cmd.info "kernels" ~doc:"List the built-in kernel corpus.")
+    Term.(const kernels $ const ())
+
+let suite variant =
+  let v = variant_of_name variant in
+  let rows =
+    List.map
+      (fun (k : Fpfa_kernels.Kernels.t) ->
+        let result =
+          Baseline.map_source v k.Fpfa_kernels.Kernels.source
+        in
+        Mapping.Metrics.row ~name:k.Fpfa_kernels.Kernels.name
+          result.Fpfa_core.Flow.metrics)
+      Fpfa_kernels.Kernels.all
+  in
+  Fpfa_util.Tablefmt.print ~header:Mapping.Metrics.header rows
+
+let suite_cmd =
+  Cmd.v
+    (Cmd.info "suite" ~doc:"Map the whole kernel corpus; print metrics.")
+    Term.(const suite $ variant_arg)
+
+let encode input func out =
+  let source = load_source input in
+  match Fpfa_core.Flow.map_source ~func source with
+  | result ->
+    let job = result.Fpfa_core.Flow.job in
+    Mapping.Encode.to_file job out;
+    Format.printf "%a -> %s@." Mapping.Encode.pp_summary job out
+  | exception Fpfa_core.Flow.Flow_error msg ->
+    Printf.eprintf "flow error: %s\n" msg;
+    exit 1
+
+let out_required_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Configuration image path.")
+
+let encode_cmd =
+  Cmd.v
+    (Cmd.info "encode" ~doc:"Map a program and write the tile configuration image.")
+    Term.(const encode $ input_arg $ func_arg $ out_required_arg)
+
+let run_config path show_trace =
+  match Mapping.Encode.of_file path with
+  | job ->
+    Format.printf "%a@." Mapping.Encode.pp_summary job;
+    let trace_out = if show_trace then Some Format.std_formatter else None in
+    let memory, trace = Fpfa_sim.Sim.run ?trace_out job in
+    List.iter
+      (fun (region, contents) ->
+        Format.printf "%s = [%s]@." region
+          (String.concat "; "
+             (Array.to_list (Array.map string_of_int contents))))
+      memory;
+    Format.printf "ran %d cycles (%d moves, %d writes)@."
+      trace.Fpfa_sim.Sim.cycles_run trace.Fpfa_sim.Sim.moves_executed
+      trace.Fpfa_sim.Sim.writes_executed
+  | exception Mapping.Encode.Corrupt msg ->
+    Printf.eprintf "corrupt configuration: %s\n" msg;
+    exit 1
+
+let config_path_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"CONFIG" ~doc:"Configuration image produced by encode.")
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ] ~doc:"Print every move/ALU/write-back event.")
+
+let run_config_cmd =
+  Cmd.v
+    (Cmd.info "run-config"
+       ~doc:"Load a configuration image and execute it on the simulated tile \
+             (zero-initialised inputs).")
+    Term.(const run_config $ config_path_arg $ trace_arg)
+
+let pipeline input stages reuse =
+  let source = load_source input in
+  let funcs = String.split_on_char ',' stages in
+  match
+    if reuse then begin
+      let p = Fpfa_core.Pipeline.map_reuse source ~funcs in
+      Format.printf "%a@." Fpfa_core.Pipeline.pp_reuse p;
+      Fpfa_core.Pipeline.verify_reuse source ~funcs
+    end
+    else begin
+      let p = Fpfa_core.Pipeline.map source ~funcs in
+      Format.printf "%a@." Fpfa_core.Pipeline.pp p;
+      Fpfa_core.Pipeline.verify source ~funcs
+    end
+  with
+  | ok ->
+    Format.printf "verification: %s@." (if ok then "PASS" else "FAIL");
+    if not ok then exit 1
+  | exception Fpfa_core.Pipeline.Pipeline_error msg ->
+    Printf.eprintf "pipeline error: %s\n" msg;
+    exit 1
+  | exception Fpfa_core.Loop_flow.Loop_error msg ->
+    Printf.eprintf "pipeline error: %s\n" msg;
+    exit 1
+
+let stages_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "stages" ] ~docv:"F1,F2,..."
+        ~doc:"Comma-separated function names, one tile configuration each.")
+
+let reuse_arg =
+  Arg.(
+    value & flag
+    & info [ "reuse" ]
+        ~doc:"Map each stage with loop-configuration reuse (one body \
+              configuration per counted loop).")
+
+let pipeline_cmd =
+  Cmd.v
+    (Cmd.info "pipeline"
+       ~doc:"Map a multi-kernel application as successive configurations.")
+    Term.(const pipeline $ input_arg $ stages_arg $ reuse_arg)
+
+let loop input func =
+  let source = load_source input in
+  match Fpfa_core.Loop_flow.map_source ~func source with
+  | outcome ->
+    Format.printf "%a@." Fpfa_core.Loop_flow.pp_outcome outcome;
+    (match Fpfa_core.Loop_flow.compare_costs ~func source with
+    | Some c ->
+      Format.printf
+        "configuration: %d words looped vs %d unrolled (%.1fx smaller)@."
+        c.Fpfa_core.Loop_flow.looped_config_words
+        c.Fpfa_core.Loop_flow.unrolled_config_words
+        (float_of_int c.Fpfa_core.Loop_flow.unrolled_config_words
+        /. float_of_int c.Fpfa_core.Loop_flow.looped_config_words);
+      Format.printf "cycles: %d looped vs %d unrolled@."
+        c.Fpfa_core.Loop_flow.looped_cycles
+        c.Fpfa_core.Loop_flow.unrolled_cycles
+    | None -> ());
+    let memory_init = inputs_for input in
+    let ok = Fpfa_core.Loop_flow.verify ~memory_init source ~func outcome in
+    Format.printf "verification: %s@." (if ok then "PASS" else "FAIL");
+    if not ok then exit 1
+  | exception Fpfa_core.Loop_flow.Loop_error msg ->
+    Printf.eprintf "loop flow error: %s\n" msg;
+    exit 1
+
+let loop_cmd =
+  Cmd.v
+    (Cmd.info "loop"
+       ~doc:"Map a counted loop by configuration reuse (one body \
+             configuration + iteration strides) instead of full unrolling.")
+    Term.(const loop $ input_arg $ func_arg)
+
+let simplify input func =
+  let source = load_source input in
+  match Cdfg.Builder.build_program ~func source with
+  | g ->
+    let describe label =
+      let s = Cdfg.Graph.stats g in
+      [
+        label;
+        string_of_int s.Cdfg.Graph.total;
+        string_of_int s.Cdfg.Graph.fetches;
+        string_of_int s.Cdfg.Graph.stores;
+        string_of_int (s.Cdfg.Graph.multiplies + s.Cdfg.Graph.adds
+                       + s.Cdfg.Graph.other_alu);
+        string_of_int s.Cdfg.Graph.muxes;
+        string_of_int s.Cdfg.Graph.critical_path;
+      ]
+    in
+    let rows = ref [ describe "generated" ] in
+    let rec rounds n =
+      if n > 20 then ()
+      else
+        let changed =
+          List.fold_left
+            (fun changed (pass : Transform.Pass.t) ->
+              let fired = pass.Transform.Pass.run g in
+              if fired then
+                rows := describe (Printf.sprintf "round %d: %s" n pass.Transform.Pass.name) :: !rows;
+              fired || changed)
+            false Transform.Simplify.default_passes
+        in
+        if changed then rounds (n + 1)
+    in
+    rounds 1;
+    Fpfa_util.Tablefmt.print
+      ~header:[ "after"; "nodes"; "FE"; "ST"; "alu"; "mux"; "cp" ]
+      (List.rev !rows)
+  | exception e ->
+    Printf.eprintf "error: %s\n" (Printexc.to_string e);
+    exit 1
+
+let simplify_cmd =
+  Cmd.v
+    (Cmd.info "simplify"
+       ~doc:"Show the graph minimisation pass by pass (paper Fig. 3).")
+    Term.(const simplify $ input_arg $ func_arg)
+
+let () =
+  let info =
+    Cmd.info "fpfa_map" ~version:"1.0.0"
+      ~doc:"Map C programs onto an FPFA processor tile (DATE'03 flow)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            compile_cmd; dot_cmd; kernels_cmd; suite_cmd; encode_cmd;
+            run_config_cmd; pipeline_cmd; loop_cmd; simplify_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/audio_pipeline.ml: Array Format Fpfa_core List Mapping Printf String

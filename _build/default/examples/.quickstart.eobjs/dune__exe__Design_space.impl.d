@@ -1,0 +1,1 @@
+examples/design_space.ml: Format Fpfa_arch Fpfa_core Fpfa_kernels Fpfa_util List Mapping Printf

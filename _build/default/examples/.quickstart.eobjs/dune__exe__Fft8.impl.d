@@ -1,0 +1,1 @@
+examples/fft8.ml: Array Format Fpfa_core Fpfa_util List Mapping String

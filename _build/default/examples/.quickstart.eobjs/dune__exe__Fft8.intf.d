@@ -1,0 +1,1 @@
+examples/fft8.mli:

@@ -1,0 +1,1 @@
+examples/fir_filter.ml: Cdfg Format Fpfa_core Fpfa_kernels Mapping Transform

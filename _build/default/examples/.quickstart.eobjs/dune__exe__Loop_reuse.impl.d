@@ -1,0 +1,1 @@
+examples/loop_reuse.ml: Array Format Fpfa_core List Mapping String

@@ -1,0 +1,1 @@
+examples/matrix_kernel.ml: Array Baseline Format Fpfa_core Fpfa_kernels Fpfa_util List Mapping

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Fpfa_core Fpfa_sim List Mapping String

@@ -1,0 +1,69 @@
+(* Design-space exploration with the architecture model: how do cycle
+   count and energy respond to the tile's ALU count, crossbar width and
+   move window? The paper fixes these at 5 / 10 / 4; the library lets a
+   user sweep them.
+
+   Run with: dune exec examples/design_space.exe *)
+
+module Arch = Fpfa_arch.Arch
+
+let kernel = Fpfa_kernels.Kernels.fir ~taps:16
+
+let map_with tile =
+  let config = { Fpfa_core.Flow.default_config with Fpfa_core.Flow.tile } in
+  let result =
+    Fpfa_core.Flow.map_source ~config kernel.Fpfa_kernels.Kernels.source
+  in
+  assert
+    (Fpfa_core.Flow.verify ~memory_init:kernel.Fpfa_kernels.Kernels.inputs
+       result);
+  result.Fpfa_core.Flow.metrics
+
+let () =
+  Format.printf "kernel: %s@.@." kernel.Fpfa_kernels.Kernels.description;
+
+  Format.printf "--- ALU count sweep (paper tile has 5) ---@.";
+  let rows =
+    List.map
+      (fun alus ->
+        let m = map_with (Arch.with_alu_count alus Arch.paper_tile) in
+        [
+          string_of_int alus;
+          string_of_int m.Mapping.Metrics.cycles;
+          string_of_int m.Mapping.Metrics.levels;
+          Printf.sprintf "%.2f" m.Mapping.Metrics.alu_utilisation;
+          Printf.sprintf "%.0f" m.Mapping.Metrics.energy;
+        ])
+      [ 1; 2; 3; 4; 5; 8 ]
+  in
+  Fpfa_util.Tablefmt.print
+    ~header:[ "ALUs"; "cycles"; "levels"; "util"; "energy" ]
+    rows;
+
+  Format.printf "@.--- crossbar width sweep (paper tile has 10 lanes) ---@.";
+  let rows =
+    List.map
+      (fun buses ->
+        let m = map_with (Arch.with_buses buses Arch.paper_tile) in
+        [
+          string_of_int buses;
+          string_of_int m.Mapping.Metrics.cycles;
+          string_of_int m.Mapping.Metrics.moves;
+        ])
+      [ 2; 4; 6; 10; 16 ]
+  in
+  Fpfa_util.Tablefmt.print ~header:[ "lanes"; "cycles"; "moves" ] rows;
+
+  Format.printf "@.--- move window sweep (paper Fig. 5 uses 4) ---@.";
+  let rows =
+    List.map
+      (fun window ->
+        let m = map_with (Arch.with_move_window window Arch.paper_tile) in
+        [
+          string_of_int window;
+          string_of_int m.Mapping.Metrics.cycles;
+          string_of_int m.Mapping.Metrics.inserted_cycles;
+        ])
+      [ 1; 2; 3; 4; 6 ]
+  in
+  Fpfa_util.Tablefmt.print ~header:[ "window"; "cycles"; "stalls" ] rows

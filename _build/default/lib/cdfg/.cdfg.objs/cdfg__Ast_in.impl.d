@@ -1,0 +1,1 @@
+lib/cdfg/ast_in.ml: Cfront

@@ -1,0 +1,1 @@
+lib/cdfg/builder.ml: Ast_in Cfront Format Graph Hashtbl List Op String

@@ -1,0 +1,1 @@
+lib/cdfg/dot.ml: Array Buffer Fun Graph List Op Printf

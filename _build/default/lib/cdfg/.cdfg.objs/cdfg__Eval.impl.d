@@ -1,0 +1,1 @@
+lib/cdfg/eval.ml: Array Cfront Format Graph Hashtbl Int List Map Op Set String

@@ -1,0 +1,1 @@
+lib/cdfg/eval.mli: Cfront Format Graph

@@ -1,0 +1,1 @@
+lib/cdfg/graph.ml: Array Format Fpfa_util Hashtbl Int List Map Op Set String

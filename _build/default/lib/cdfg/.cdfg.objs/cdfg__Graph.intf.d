@@ -1,0 +1,1 @@
+lib/cdfg/graph.mli: Format Hashtbl Map Op Set

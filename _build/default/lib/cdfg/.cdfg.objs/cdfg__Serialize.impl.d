@@ -1,0 +1,1 @@
+lib/cdfg/serialize.ml: Array Fpfa_util Fun Graph Hashtbl List Op Printf

@@ -1,0 +1,1 @@
+lib/cdfg/serialize.mli: Graph

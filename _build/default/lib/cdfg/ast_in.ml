@@ -1,0 +1,3 @@
+type func_with_env = { func : Cfront.Ast.func; env : Cfront.Sema.env }
+
+let of_func func = { func; env = Cfront.Sema.check_func func }

@@ -1,0 +1,7 @@
+(** Input package for the CDFG builder: a function together with its symbol
+    table. *)
+
+type func_with_env = { func : Cfront.Ast.func; env : Cfront.Sema.env }
+
+val of_func : Cfront.Ast.func -> func_with_env
+(** Runs semantic analysis to obtain the environment. *)

@@ -1,0 +1,32 @@
+(** Translation of the C subset into a CDFG (paper Section III-V).
+
+    Every scalar and array becomes a statespace region; reads become [Fe]
+    nodes and writes become [St] nodes threaded on the region's token.
+    [if]/[else] is if-converted: assignments under a condition [p] store
+    [Mux (p, new, old)], so the graph stays a DAG. Loops must have been
+    fully unrolled beforehand ({!Cfront.Unroll}); a residual loop is
+    rejected.
+
+    The resulting graph is deliberately naive — one [Fe] per read, one [St]
+    per write, constants shared — exactly the "generated CDFG" of paper
+    Section V. The {!Transform} passes then minimise it. *)
+
+exception Unsupported of string
+(** Residual loop, predicated/early [return], or other construct outside the
+    mappable subset. *)
+
+val build : ?delete_locals:bool -> Ast_in.func_with_env -> Graph.t
+(** Builds the CDFG of one (loop-free) function. When [delete_locals] is
+    true, declared (non-implicit) regions are [Del]eted from the statespace
+    before the final [Ss_out] (paper Fig. 2's DEL primitive); default
+    false so that final local values remain observable.
+
+    The graph is validated before being returned. *)
+
+val build_func : ?delete_locals:bool -> Cfront.Ast.func -> Graph.t
+(** [build] after running {!Cfront.Sema.check_func}. *)
+
+val build_program : ?delete_locals:bool -> ?func:string -> string -> Graph.t
+(** Convenience: parse C source, inline user-defined calls, unroll loops,
+    then build the CDFG of function [func] (default ["main"]).
+    @raise Not_found when the function does not exist. *)

@@ -1,0 +1,51 @@
+let node_label (n : Graph.node) =
+  match n.Graph.kind with
+  | Graph.Const c -> string_of_int c
+  | Graph.Binop op -> Op.binop_to_string op
+  | Graph.Unop op -> Op.unop_to_string op
+  | Graph.Mux -> "MUX"
+  | Graph.Ss_in region -> Printf.sprintf "ss_in(%s)" region
+  | Graph.Ss_out region -> Printf.sprintf "ss_out(%s)" region
+  | Graph.Fe region -> Printf.sprintf "FE %s" region
+  | Graph.St region -> Printf.sprintf "ST %s" region
+  | Graph.Del region -> Printf.sprintf "DEL %s" region
+
+let node_shape (n : Graph.node) =
+  match n.Graph.kind with
+  | Graph.Const _ -> "plaintext"
+  | Graph.Fe _ | Graph.St _ | Graph.Del _ -> "box"
+  | Graph.Ss_in _ | Graph.Ss_out _ -> "ellipse"
+  | Graph.Mux -> "trapezium"
+  | Graph.Binop _ | Graph.Unop _ -> "circle"
+
+let to_string g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n" (Graph.name g));
+  Buffer.add_string buf "  rankdir=TB;\n  node [fontsize=10];\n";
+  Graph.iter g (fun n ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=%S shape=%s];\n" n.Graph.id
+           (node_label n) (node_shape n)));
+  Graph.iter g (fun n ->
+      Array.iteri
+        (fun port producer ->
+          let token_edge = Graph.produces_token (Graph.kind g producer) in
+          let style = if token_edge then " [style=bold]" else "" in
+          Buffer.add_string buf
+            (Printf.sprintf "  n%d -> n%d [taillabel=\"\" headlabel=\"%d\"]%s;\n"
+               producer n.Graph.id port style))
+        n.Graph.inputs;
+      List.iter
+        (fun before ->
+          Buffer.add_string buf
+            (Printf.sprintf "  n%d -> n%d [style=dashed constraint=true];\n"
+               before n.Graph.id))
+        n.Graph.order_after);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_file g path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))

@@ -1,0 +1,8 @@
+(** Graphviz export of CDFGs (for inspecting graphs like paper Fig. 3). *)
+
+val to_string : Graph.t -> string
+(** DOT source: value edges solid, token edges bold, order-only edges
+    dashed. *)
+
+val to_file : Graph.t -> string -> unit
+(** Writes the DOT source to a path. *)

@@ -1,0 +1,190 @@
+module Imap = Map.Make (Int)
+module Iset = Set.Make (Int)
+
+type result = {
+  memory : (string * int array) list;
+  named : (string * int) list;
+}
+
+exception Error of string
+
+let errorf fmt = Format.kasprintf (fun msg -> raise (Error msg)) fmt
+
+(* A token value: cells written so far layered over the initial contents,
+   plus the set of deleted offsets and the store high-water mark. *)
+type store = {
+  initial : int array;
+  cells : int Imap.t;
+  deleted : Iset.t;
+  high : int;  (** max offset stored or deleted, -1 if none *)
+}
+
+type value = Int of int | Token of store
+
+let as_int = function
+  | Int n -> n
+  | Token _ -> errorf "expected a value, found a statespace token"
+
+let as_token = function
+  | Token s -> s
+  | Int _ -> errorf "expected a statespace token, found a value"
+
+let check_offset region size offset =
+  if offset < 0 then errorf "negative offset %d in region %s" offset region;
+  match size with
+  | Some size when offset >= size ->
+    errorf "offset %d out of bounds for region %s (size %d)" offset region size
+  | Some _ | None -> ()
+
+let fetch_store region store offset =
+  if Iset.mem offset store.deleted then
+    errorf "fetch of deleted tuple (%s, %d)" region offset;
+  match Imap.find_opt offset store.cells with
+  | Some v -> v
+  | None ->
+    if offset < Array.length store.initial then store.initial.(offset) else 0
+
+let run ?(memory_init = []) g =
+  let values : (Graph.id, value) Hashtbl.t = Hashtbl.create 64 in
+  let initial_of region =
+    match List.assoc_opt region memory_init with
+    | Some arr -> arr
+    | None -> [||]
+  in
+  let size_of region =
+    match Graph.region_info g region with
+    | Some info -> info.Graph.size
+    | None -> errorf "undeclared region %s" region
+  in
+  let eval_node (n : Graph.node) =
+    let input i = Hashtbl.find values n.Graph.inputs.(i) in
+    let value =
+      match n.Graph.kind with
+      | Graph.Const c -> Int c
+      | Graph.Binop op -> Int (Op.eval_binop op (as_int (input 0)) (as_int (input 1)))
+      | Graph.Unop op -> Int (Op.eval_unop op (as_int (input 0)))
+      | Graph.Mux ->
+        if as_int (input 0) <> 0 then input 1 else input 2
+      | Graph.Ss_in region ->
+        Token
+          {
+            initial = initial_of region;
+            cells = Imap.empty;
+            deleted = Iset.empty;
+            high = -1;
+          }
+      | Graph.Ss_out _ -> input 0
+      | Graph.Fe region ->
+        let store = as_token (input 0) in
+        let offset = as_int (input 1) in
+        check_offset region (size_of region) offset;
+        Int (fetch_store region store offset)
+      | Graph.St region ->
+        let store = as_token (input 0) in
+        let offset = as_int (input 1) in
+        let v = as_int (input 2) in
+        check_offset region (size_of region) offset;
+        Token
+          {
+            store with
+            cells = Imap.add offset v store.cells;
+            deleted = Iset.remove offset store.deleted;
+            high = max store.high offset;
+          }
+      | Graph.Del region ->
+        let store = as_token (input 0) in
+        let offset = as_int (input 1) in
+        check_offset region (size_of region) offset;
+        Token
+          {
+            store with
+            cells = Imap.remove offset store.cells;
+            deleted = Iset.add offset store.deleted;
+            high = max store.high offset;
+          }
+    in
+    Hashtbl.replace values n.Graph.id value
+  in
+  List.iter (fun id -> eval_node (Graph.node g id)) (Graph.topo_order g);
+  let materialize region store =
+    let size =
+      match size_of region with
+      | Some size -> size
+      | None -> max (Array.length store.initial) (store.high + 1)
+    in
+    Array.init size (fun offset ->
+        if Iset.mem offset store.deleted then 0
+        else
+          match Imap.find_opt offset store.cells with
+          | Some v -> v
+          | None ->
+            if offset < Array.length store.initial then store.initial.(offset)
+            else 0)
+  in
+  let memory =
+    List.filter_map
+      (fun (region, (_ : Graph.region_info)) ->
+        match Graph.ss_out_of g region with
+        | Some out ->
+          let store = as_token (Hashtbl.find values out) in
+          Some (region, materialize region store)
+        | None -> None)
+      (Graph.regions g)
+  in
+  let named =
+    List.map (fun (name, id) -> (name, as_int (Hashtbl.find values id)))
+      (Graph.outputs g)
+  in
+  { memory; named }
+
+let value_of ?memory_init g id =
+  let g' = Graph.copy g in
+  Graph.set_output g' "__value_of" id;
+  let result = run ?memory_init g' in
+  List.assoc "__value_of" result.named
+
+let pad_equal a b =
+  let len = max (Array.length a) (Array.length b) in
+  let get arr i = if i < Array.length arr then arr.(i) else 0 in
+  let rec loop i = i >= len || (get a i = get b i && loop (i + 1)) in
+  loop 0
+
+let equal_result r1 r2 =
+  let names l = List.map fst l in
+  names r1.memory = names r2.memory
+  && r1.named = r2.named
+  && List.for_all2
+       (fun (_, a) (_, b) -> pad_equal a b)
+       r1.memory r2.memory
+
+let conforms_to_interp ?(memory_init = []) (state : Cfront.Interp.state)
+    result =
+  let region_matches name expected =
+    match List.assoc_opt name result.memory with
+    | Some arr -> pad_equal arr expected
+    | None -> (
+      (* The graph never mentions this symbol, so the tile leaves it at its
+         initial contents. *)
+      match List.assoc_opt name memory_init with
+      | Some initial -> pad_equal initial expected
+      | None -> Array.for_all (fun v -> v = 0) expected)
+  in
+  List.for_all
+    (fun (name, v) -> region_matches name [| v |])
+    state.Cfront.Interp.scalars
+  && List.for_all
+       (fun (name, arr) -> region_matches name arr)
+       state.Cfront.Interp.arrays
+  && (match state.Cfront.Interp.return_value with
+     | None -> true
+     | Some v -> List.assoc_opt "return" result.named = Some v)
+
+let pp_result fmt { memory; named } =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (region, arr) ->
+      Format.fprintf fmt "%s = [%s]@," region
+        (String.concat "; " (Array.to_list (Array.map string_of_int arr))))
+    memory;
+  List.iter (fun (name, v) -> Format.fprintf fmt "%s = %d@," name v) named;
+  Format.fprintf fmt "@]"

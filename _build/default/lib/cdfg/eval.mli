@@ -1,0 +1,44 @@
+(** CDFG evaluator: executes a graph on concrete inputs.
+
+    This gives the CDFG its reference semantics. Statespace tokens evaluate
+    to persistent stores, so fetches that share a token see the same memory
+    snapshot regardless of evaluation order — exactly the commutativity the
+    token discipline encodes. Used to check that every transformation pass
+    and the final mapped program preserve behaviour. *)
+
+type result = {
+  memory : (string * int array) list;
+      (** final contents of every region, sorted by name *)
+  named : (string * int) list;  (** named value outputs, sorted by name *)
+}
+
+exception Error of string
+(** Fetch of a deleted tuple, negative offset, or out-of-bounds access on a
+    region of known size. *)
+
+val run : ?memory_init:(string * int array) list -> Graph.t -> result
+(** Evaluates the graph. [memory_init] seeds region contents (a scalar
+    region is a 1-element array); unseeded cells read as 0. The final size
+    of a region of unknown (implicit) size is the maximum of its seeded
+    length and the highest offset stored to plus one. *)
+
+val value_of : ?memory_init:(string * int array) list -> Graph.t -> Graph.id -> int
+(** Evaluates the graph and returns the value of one (value-producing)
+    node. *)
+
+val equal_result : result -> result -> bool
+(** Structural equality with zero-padding: regions compare equal when they
+    agree on every index of the longer array (missing cells read as 0). *)
+
+val conforms_to_interp :
+  ?memory_init:(string * int array) list ->
+  Cfront.Interp.state ->
+  result ->
+  bool
+(** Compares the evaluator result against the reference interpreter state:
+    every interpreter scalar/array must match the corresponding region
+    (zero-padded), and the return values must agree. An interpreter symbol
+    with no region in the graph (seeded but never mentioned) must still
+    hold its [memory_init] contents. *)
+
+val pp_result : Format.formatter -> result -> unit

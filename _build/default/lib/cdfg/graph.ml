@@ -1,0 +1,445 @@
+type id = int
+
+module Id_set = Set.Make (Int)
+module Id_map = Map.Make (Int)
+
+type kind =
+  | Const of int
+  | Binop of Op.binop
+  | Unop of Op.unop
+  | Mux
+  | Ss_in of string
+  | Ss_out of string
+  | Fe of string
+  | St of string
+  | Del of string
+
+type node = {
+  id : id;
+  kind : kind;
+  inputs : id array;
+  order_after : id list;
+}
+
+type region_info = { size : int option; implicit : bool }
+
+type t = {
+  fname : string;
+  nodes : (id, node) Hashtbl.t;
+  region_tbl : (string, region_info) Hashtbl.t;
+  mutable next_id : id;
+  mutable named_outputs : (string * id) list;
+}
+
+exception Invalid of string
+
+let invalidf fmt = Format.kasprintf (fun msg -> raise (Invalid msg)) fmt
+
+let create fname =
+  {
+    fname;
+    nodes = Hashtbl.create 64;
+    region_tbl = Hashtbl.create 8;
+    next_id = 0;
+    named_outputs = [];
+  }
+
+let name g = g.fname
+
+let declare_region g region info = Hashtbl.replace g.region_tbl region info
+
+let region_info g region = Hashtbl.find_opt g.region_tbl region
+
+let regions g =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) g.region_tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let arity = function
+  | Const _ | Ss_in _ -> 0
+  | Unop _ | Ss_out _ -> 1
+  | Binop _ | Fe _ -> 2
+  | Mux | St _ -> 3
+  | Del _ -> 2
+
+let mem g id = Hashtbl.mem g.nodes id
+
+let node g id =
+  match Hashtbl.find_opt g.nodes id with
+  | Some n -> n
+  | None -> invalidf "node %d does not exist" id
+
+let kind g id = (node g id).kind
+let inputs g id = Array.to_list (node g id).inputs
+let order_after g id = (node g id).order_after
+let preds g id =
+  let n = node g id in
+  Array.to_list n.inputs @ n.order_after
+
+let check_ref g id =
+  if not (Hashtbl.mem g.nodes id) then invalidf "dangling node reference %d" id
+
+let add g kind inputs =
+  if List.length inputs <> arity kind then
+    invalidf "wrong input arity for node (expected %d, got %d)" (arity kind)
+      (List.length inputs);
+  List.iter (check_ref g) inputs;
+  let id = g.next_id in
+  g.next_id <- id + 1;
+  Hashtbl.replace g.nodes id
+    { id; kind; inputs = Array.of_list inputs; order_after = [] };
+  id
+
+let add_order g id ~after =
+  check_ref g after;
+  let n = node g id in
+  if after <> id && not (List.mem after n.order_after) then
+    Hashtbl.replace g.nodes id { n with order_after = after :: n.order_after }
+
+let set_output g output_name id =
+  check_ref g id;
+  g.named_outputs <-
+    (output_name, id) :: List.remove_assoc output_name g.named_outputs
+
+let outputs g =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) g.named_outputs
+
+let set_inputs g id inputs =
+  let n = node g id in
+  if List.length inputs <> Array.length n.inputs then
+    invalidf "set_inputs: arity change on node %d" id;
+  List.iter (check_ref g) inputs;
+  Hashtbl.replace g.nodes id { n with inputs = Array.of_list inputs }
+
+let replace_uses g old ~by =
+  check_ref g by;
+  Hashtbl.iter
+    (fun id n ->
+      let changed = ref false in
+      let inputs =
+        Array.map
+          (fun input ->
+            if input = old then begin
+              changed := true;
+              by
+            end
+            else input)
+          n.inputs
+      in
+      let order_after =
+        if List.mem old n.order_after then begin
+          changed := true;
+          Fpfa_util.Listx.uniq compare
+            (List.map (fun x -> if x = old then by else x) n.order_after)
+          |> List.filter (fun x -> x <> id)
+        end
+        else n.order_after
+      in
+      if !changed then Hashtbl.replace g.nodes id { n with inputs; order_after })
+    g.nodes;
+  g.named_outputs <-
+    List.map (fun (k, v) -> (k, if v = old then by else v)) g.named_outputs
+
+let clear_order g id =
+  let n = node g id in
+  Hashtbl.replace g.nodes id { n with order_after = [] }
+
+let drop_order_references g id =
+  Hashtbl.iter
+    (fun nid n ->
+      if List.mem id n.order_after then
+        Hashtbl.replace g.nodes nid
+          { n with order_after = List.filter (fun x -> x <> id) n.order_after })
+    g.nodes
+
+let node_ids g =
+  Hashtbl.fold (fun id _ acc -> id :: acc) g.nodes [] |> List.sort compare
+
+let node_count g = Hashtbl.length g.nodes
+
+let iter g f = List.iter (fun id -> f (node g id)) (node_ids g)
+
+let fold g ~init ~f =
+  List.fold_left (fun acc id -> f acc (node g id)) init (node_ids g)
+
+let consumers g =
+  let tbl = Hashtbl.create (Hashtbl.length g.nodes) in
+  iter g (fun n ->
+      Array.iteri
+        (fun port producer ->
+          let old =
+            match Hashtbl.find_opt tbl producer with Some l -> l | None -> []
+          in
+          Hashtbl.replace tbl producer ((n.id, port) :: old))
+        n.inputs);
+  tbl
+
+let use_count g id =
+  let data_uses =
+    fold g ~init:0 ~f:(fun acc n ->
+        acc + Array.fold_left (fun c input -> if input = id then c + 1 else c) 0 n.inputs)
+  in
+  let output_uses =
+    List.length (List.filter (fun (_, v) -> v = id) g.named_outputs)
+  in
+  data_uses + output_uses
+
+let remove g id =
+  if use_count g id > 0 then invalidf "removing node %d which still has uses" id;
+  (* Drop order edges pointing at the removed node. *)
+  Hashtbl.iter
+    (fun nid n ->
+      if List.mem id n.order_after then
+        Hashtbl.replace g.nodes nid
+          { n with order_after = List.filter (fun x -> x <> id) n.order_after })
+    g.nodes;
+  Hashtbl.remove g.nodes id
+
+let find_region_node g region ~test =
+  let found =
+    fold g ~init:None ~f:(fun acc n ->
+        match acc with
+        | Some _ -> acc
+        | None -> if test n.kind region then Some n.id else None)
+  in
+  found
+
+let ss_in_of g region =
+  find_region_node g region ~test:(fun kind r ->
+      match kind with Ss_in r' -> String.equal r r' | _ -> false)
+
+let ss_out_of g region =
+  find_region_node g region ~test:(fun kind r ->
+      match kind with Ss_out r' -> String.equal r r' | _ -> false)
+
+(* Kahn's algorithm with a min-heap on ids (a sorted module Set) so the
+   resulting order is deterministic. *)
+let topo_order g =
+  let succ = Hashtbl.create (Hashtbl.length g.nodes) in
+  let indegree = Hashtbl.create (Hashtbl.length g.nodes) in
+  iter g (fun n -> Hashtbl.replace indegree n.id 0);
+  iter g (fun n ->
+      let unique_preds = Fpfa_util.Listx.uniq compare (preds g n.id) in
+      Hashtbl.replace indegree n.id (List.length unique_preds);
+      List.iter
+        (fun p ->
+          let old = match Hashtbl.find_opt succ p with Some l -> l | None -> [] in
+          Hashtbl.replace succ p (n.id :: old))
+        unique_preds);
+  let ready =
+    Hashtbl.fold
+      (fun id deg acc -> if deg = 0 then Id_set.add id acc else acc)
+      indegree Id_set.empty
+  in
+  let rec loop ready acc count =
+    match Id_set.min_elt_opt ready with
+    | None ->
+      if count <> Hashtbl.length g.nodes then
+        invalidf "graph %s has a cycle" g.fname;
+      List.rev acc
+    | Some id ->
+      let ready = Id_set.remove id ready in
+      let ready =
+        List.fold_left
+          (fun ready s ->
+            let deg = Hashtbl.find indegree s - 1 in
+            Hashtbl.replace indegree s deg;
+            if deg = 0 then Id_set.add s ready else ready)
+          ready
+          (match Hashtbl.find_opt succ id with Some l -> l | None -> [])
+      in
+      loop ready (id :: acc) (count + 1)
+  in
+  loop ready [] 0
+
+let depth g =
+  let order = topo_order g in
+  let depth_tbl = Hashtbl.create (List.length order) in
+  List.iter
+    (fun id ->
+      let d =
+        List.fold_left
+          (fun acc p -> max acc (Hashtbl.find depth_tbl p + 1))
+          0 (preds g id)
+      in
+      Hashtbl.replace depth_tbl id d)
+    order;
+  fun id ->
+    match Hashtbl.find_opt depth_tbl id with
+    | Some d -> d
+    | None -> invalidf "depth: unknown node %d" id
+
+let produces_token = function
+  | Ss_in _ | St _ | Del _ -> true
+  | Const _ | Binop _ | Unop _ | Mux | Ss_out _ | Fe _ -> false
+
+let produces_value = function
+  | Const _ | Binop _ | Unop _ | Mux | Fe _ -> true
+  | Ss_in _ | Ss_out _ | St _ | Del _ -> false
+
+let token_region g id =
+  match kind g id with
+  | Ss_in r | St r | Del r -> Some r
+  | Const _ | Binop _ | Unop _ | Mux | Ss_out _ | Fe _ -> None
+
+(* Port typing: for each node kind, which input ports expect a token of the
+   node's own region (port 0 of Fe/St/Del/Ss_out) and which expect values. *)
+let validate g =
+  iter g (fun n ->
+      if Array.length n.inputs <> arity n.kind then
+        invalidf "node %d: arity mismatch" n.id;
+      Array.iter
+        (fun input ->
+          if not (mem g input) then
+            invalidf "node %d: dangling input %d" n.id input)
+        n.inputs;
+      List.iter
+        (fun input ->
+          if not (mem g input) then
+            invalidf "node %d: dangling order edge %d" n.id input)
+        n.order_after;
+      let expect_value port =
+        let p = n.inputs.(port) in
+        if not (produces_value (kind g p)) then
+          invalidf "node %d: input port %d expects a value, got a token" n.id
+            port
+      in
+      let expect_token port region =
+        let p = n.inputs.(port) in
+        if not (produces_token (kind g p)) then
+          invalidf "node %d: input port %d expects a statespace token" n.id
+            port;
+        match token_region g p with
+        | Some r when String.equal r region -> ()
+        | Some r ->
+          invalidf "node %d: token of region %s flows into region %s" n.id r
+            region
+        | None -> assert false
+      in
+      let check_region region =
+        if region_info g region = None then
+          invalidf "node %d references undeclared region %s" n.id region
+      in
+      match n.kind with
+      | Const _ -> ()
+      | Binop _ ->
+        expect_value 0;
+        expect_value 1
+      | Unop _ -> expect_value 0
+      | Mux ->
+        expect_value 0;
+        expect_value 1;
+        expect_value 2
+      | Ss_in region -> check_region region
+      | Ss_out region ->
+        check_region region;
+        expect_token 0 region
+      | Fe region ->
+        check_region region;
+        expect_token 0 region;
+        expect_value 1
+      | St region ->
+        check_region region;
+        expect_token 0 region;
+        expect_value 1;
+        expect_value 2
+      | Del region ->
+        check_region region;
+        expect_token 0 region;
+        expect_value 1);
+  (* At most one Ss_in / Ss_out per region. *)
+  let count_kind test =
+    let tbl = Hashtbl.create 8 in
+    iter g (fun n ->
+        match test n.kind with
+        | Some region ->
+          let old =
+            match Hashtbl.find_opt tbl region with Some c -> c | None -> 0
+          in
+          Hashtbl.replace tbl region (old + 1)
+        | None -> ());
+    tbl
+  in
+  let ins = count_kind (function Ss_in r -> Some r | _ -> None) in
+  let outs = count_kind (function Ss_out r -> Some r | _ -> None) in
+  Hashtbl.iter
+    (fun region c ->
+      if c > 1 then invalidf "region %s has %d Ss_in nodes" region c)
+    ins;
+  Hashtbl.iter
+    (fun region c ->
+      if c > 1 then invalidf "region %s has %d Ss_out nodes" region c)
+    outs;
+  List.iter
+    (fun (oname, id) ->
+      if not (mem g id) then invalidf "named output %s is dangling" oname;
+      if not (produces_value (kind g id)) then
+        invalidf "named output %s is not a value" oname)
+    g.named_outputs;
+  (* Acyclicity (raises on cycles). *)
+  ignore (topo_order g)
+
+let copy g =
+  let g' = create g.fname in
+  Hashtbl.iter (fun id n -> Hashtbl.replace g'.nodes id n) g.nodes;
+  Hashtbl.iter (fun r info -> Hashtbl.replace g'.region_tbl r info) g.region_tbl;
+  g'.next_id <- g.next_id;
+  g'.named_outputs <- g.named_outputs;
+  g'
+
+type stats = {
+  total : int;
+  consts : int;
+  fetches : int;
+  stores : int;
+  deletes : int;
+  muxes : int;
+  multiplies : int;
+  adds : int;
+  other_alu : int;
+  ss_nodes : int;
+  critical_path : int;
+}
+
+let stats g =
+  let zero =
+    {
+      total = 0;
+      consts = 0;
+      fetches = 0;
+      stores = 0;
+      deletes = 0;
+      muxes = 0;
+      multiplies = 0;
+      adds = 0;
+      other_alu = 0;
+      ss_nodes = 0;
+      critical_path = 0;
+    }
+  in
+  let s =
+    fold g ~init:zero ~f:(fun s n ->
+        let s = { s with total = s.total + 1 } in
+        match n.kind with
+        | Const _ -> { s with consts = s.consts + 1 }
+        | Fe _ -> { s with fetches = s.fetches + 1 }
+        | St _ -> { s with stores = s.stores + 1 }
+        | Del _ -> { s with deletes = s.deletes + 1 }
+        | Mux -> { s with muxes = s.muxes + 1 }
+        | Ss_in _ | Ss_out _ -> { s with ss_nodes = s.ss_nodes + 1 }
+        | Binop op when Op.is_multiplier_class op ->
+          { s with multiplies = s.multiplies + 1 }
+        | Binop (Op.Add | Op.Sub) -> { s with adds = s.adds + 1 }
+        | Binop _ | Unop _ -> { s with other_alu = s.other_alu + 1 })
+  in
+  let depth_of = depth g in
+  let critical_path =
+    fold g ~init:0 ~f:(fun acc n -> max acc (depth_of n.id + 1))
+  in
+  { s with critical_path }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "total=%d consts=%d FE=%d ST=%d DEL=%d mux=%d mul=%d add/sub=%d other=%d \
+     ss=%d critical_path=%d"
+    s.total s.consts s.fetches s.stores s.deletes s.muxes s.multiplies s.adds
+    s.other_alu s.ss_nodes s.critical_path

@@ -1,0 +1,160 @@
+(** The Control Data Flow Graph.
+
+    Nodes are operations; every node produces at most one value, so a data
+    edge is simply "consumer input port [i] reads producer [id]". The C
+    memory is modelled as the {e statespace} (paper Section IV): a family of
+    named regions, each accessed through the primitive nodes [Fe] (fetch),
+    [St] (store) and [Del] (delete) of paper Fig. 2. Statespace order is
+    made explicit by threading {e tokens}: [Ss_in] produces the initial
+    token of a region, [St]/[Del] consume and produce tokens, [Fe] consumes
+    a token without producing one (fetches commute). Anti-dependences
+    (a store may not overtake earlier fetches of the same token) are kept as
+    explicit order-only edges. *)
+
+type id = int
+
+module Id_set : Set.S with type elt = id
+module Id_map : Map.S with type key = id
+
+type kind =
+  | Const of int
+  | Binop of Op.binop
+  | Unop of Op.unop
+  | Mux  (** inputs [cond; if_true; if_false]; cond <> 0 selects if_true *)
+  | Ss_in of string  (** initial statespace token of a region *)
+  | Ss_out of string  (** final statespace token of a region *)
+  | Fe of string  (** inputs [token; offset]; produces the fetched value *)
+  | St of string  (** inputs [token; offset; value]; produces a token *)
+  | Del of string  (** inputs [token; offset]; produces a token *)
+
+type node = {
+  id : id;
+  kind : kind;
+  inputs : id array;
+  order_after : id list;  (** extra nodes that must execute before this one *)
+}
+
+type region_info = { size : int option; implicit : bool }
+
+type t
+
+exception Invalid of string
+(** Raised by {!validate} and by construction-time arity checks. *)
+
+val create : string -> t
+(** [create name] is an empty graph for function [name]. *)
+
+val name : t -> string
+
+(** {2 Regions} *)
+
+val declare_region : t -> string -> region_info -> unit
+val region_info : t -> string -> region_info option
+val regions : t -> (string * region_info) list
+(** Sorted by region name. *)
+
+(** {2 Construction} *)
+
+val add : t -> kind -> id list -> id
+(** [add g kind inputs] adds a node. Checks input arity for [kind].
+    @raise Invalid on arity mismatch or dangling input id. *)
+
+val add_order : t -> id -> after:id -> unit
+(** [add_order g n ~after:m]: node [n] must execute after node [m]. *)
+
+val set_output : t -> string -> id -> unit
+(** Registers a named value output (e.g. the function result). *)
+
+val outputs : t -> (string * id) list
+(** Named value outputs, sorted by name. *)
+
+(** {2 Mutation (used by transformation passes)} *)
+
+val set_inputs : t -> id -> id list -> unit
+val replace_uses : t -> id -> by:id -> unit
+(** Rewrites every data input, order edge and named output that references
+    the first node to reference [by] instead. *)
+
+val remove : t -> id -> unit
+(** Removes a node. @raise Invalid if the node still has uses. *)
+
+val clear_order : t -> id -> unit
+(** Drops all order-only edges of a node. *)
+
+val drop_order_references : t -> id -> unit
+(** Removes the node from every other node's order-after list. Used when a
+    fetch is forwarded away: the anti-dependences that protected the read
+    vanish with it (whereas {!replace_uses} would re-point them, inventing
+    an ordering constraint on the forwarded value). *)
+
+(** {2 Access} *)
+
+val mem : t -> id -> bool
+val node : t -> id -> node
+val kind : t -> id -> kind
+val inputs : t -> id -> id list
+val order_after : t -> id -> id list
+val preds : t -> id -> id list
+(** Data inputs followed by order-only predecessors (with duplicates). *)
+
+val node_ids : t -> id list
+(** All node ids, ascending. *)
+
+val node_count : t -> int
+val iter : t -> (node -> unit) -> unit
+(** Iterates in ascending id order. *)
+
+val fold : t -> init:'a -> f:('a -> node -> 'a) -> 'a
+
+val consumers : t -> (id, (id * int) list) Hashtbl.t
+(** Snapshot reverse index: producer id -> [(consumer id, input port)].
+    Order-only edges are not included. *)
+
+val use_count : t -> id -> int
+(** Number of data uses plus named-output references (order edges do not
+    count as uses for liveness). *)
+
+val ss_in_of : t -> string -> id option
+(** The [Ss_in] node of a region, if present. *)
+
+val ss_out_of : t -> string -> id option
+
+(** {2 Structure} *)
+
+val topo_order : t -> id list
+(** Topological order over data and order edges, ties broken by ascending
+    id (deterministic). @raise Invalid on a cycle. *)
+
+val depth : t -> (id -> int)
+(** Longest-path depth of each node (sources at 0), over data + order
+    edges. *)
+
+val validate : t -> unit
+(** Full invariant check: arities, no dangling references, acyclicity,
+    token/value port typing, at most one [Ss_in]/[Ss_out] per region, every
+    region referenced by a primitive is declared.
+    @raise Invalid with a diagnostic otherwise. *)
+
+val copy : t -> t
+
+(** {2 Statistics} *)
+
+type stats = {
+  total : int;
+  consts : int;
+  fetches : int;
+  stores : int;
+  deletes : int;
+  muxes : int;
+  multiplies : int;
+  adds : int;  (** Add + Sub *)
+  other_alu : int;
+  ss_nodes : int;  (** Ss_in + Ss_out *)
+  critical_path : int;  (** longest chain length, in nodes *)
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+val produces_token : kind -> bool
+val produces_value : kind -> bool

@@ -1,0 +1,173 @@
+module B = Fpfa_util.Bytesio
+
+exception Corrupt of string
+
+let magic = "FCDF"
+let version = 1
+
+let binop_code op =
+  match
+    Fpfa_util.Listx.index_of (fun candidate -> candidate = op) Op.all_binops
+  with
+  | Some i -> i
+  | None -> assert false
+
+let binop_of_code code =
+  match List.nth_opt Op.all_binops code with
+  | Some op -> op
+  | None -> raise (Corrupt (Printf.sprintf "unknown binop code %d" code))
+
+let unop_code op =
+  match
+    Fpfa_util.Listx.index_of (fun candidate -> candidate = op) Op.all_unops
+  with
+  | Some i -> i
+  | None -> assert false
+
+let unop_of_code code =
+  match List.nth_opt Op.all_unops code with
+  | Some op -> op
+  | None -> raise (Corrupt (Printf.sprintf "unknown unop code %d" code))
+
+let write_kind w (kind : Graph.kind) =
+  match kind with
+  | Graph.Const v ->
+    B.u8 w 0;
+    B.i64 w v
+  | Graph.Binop op ->
+    B.u8 w 1;
+    B.u8 w (binop_code op)
+  | Graph.Unop op ->
+    B.u8 w 2;
+    B.u8 w (unop_code op)
+  | Graph.Mux -> B.u8 w 3
+  | Graph.Ss_in region ->
+    B.u8 w 4;
+    B.str w region
+  | Graph.Ss_out region ->
+    B.u8 w 5;
+    B.str w region
+  | Graph.Fe region ->
+    B.u8 w 6;
+    B.str w region
+  | Graph.St region ->
+    B.u8 w 7;
+    B.str w region
+  | Graph.Del region ->
+    B.u8 w 8;
+    B.str w region
+
+let read_kind r : Graph.kind =
+  match B.read_u8 r with
+  | 0 -> Graph.Const (B.read_i64 r)
+  | 1 -> Graph.Binop (binop_of_code (B.read_u8 r))
+  | 2 -> Graph.Unop (unop_of_code (B.read_u8 r))
+  | 3 -> Graph.Mux
+  | 4 -> Graph.Ss_in (B.read_str r)
+  | 5 -> Graph.Ss_out (B.read_str r)
+  | 6 -> Graph.Fe (B.read_str r)
+  | 7 -> Graph.St (B.read_str r)
+  | 8 -> Graph.Del (B.read_str r)
+  | tag -> raise (Corrupt (Printf.sprintf "unknown node kind tag %d" tag))
+
+let to_string_mapped g =
+  let w = B.writer () in
+  (* header *)
+  B.str w magic;
+  B.u8 w version;
+  B.str w (Graph.name g);
+  (* regions *)
+  B.list w (Graph.regions g) (fun w (region, (info : Graph.region_info)) ->
+      B.str w region;
+      B.option w info.Graph.size B.i32;
+      B.u8 w (if info.Graph.implicit then 1 else 0));
+  (* Nodes in topological order with ids renumbered to their position:
+     transforms can leave inputs pointing at later-created nodes, so raw
+     ids are not decode-safe, but topological positions always are. *)
+  let order = Graph.topo_order g in
+  let position = Hashtbl.create 64 in
+  List.iteri (fun i id -> Hashtbl.replace position id i) order;
+  let pos id = Hashtbl.find position id in
+  let nodes = List.map (Graph.node g) order in
+  B.list w nodes (fun w (n : Graph.node) ->
+      write_kind w n.Graph.kind;
+      B.list w (Array.to_list n.Graph.inputs) (fun w id -> B.i32 w (pos id));
+      B.list w n.Graph.order_after (fun w id -> B.i32 w (pos id)));
+  (* named outputs *)
+  B.list w (Graph.outputs g) (fun w (name, id) ->
+      B.str w name;
+      B.i32 w (pos id));
+  (B.contents w, pos)
+
+let to_string g = fst (to_string_mapped g)
+
+let of_string_mapped data =
+  try
+    let r = B.reader data in
+    if B.read_str r <> magic then raise (Corrupt "bad magic");
+    let v = B.read_u8 r in
+    if v <> version then raise (Corrupt (Printf.sprintf "unknown version %d" v));
+    let name = B.read_str r in
+    let g = Graph.create name in
+    let regions =
+      B.read_list r (fun r ->
+          let region = B.read_str r in
+          let size = B.read_option r B.read_i32 in
+          let implicit = B.read_u8 r = 1 in
+          (region, { Graph.size; implicit }))
+    in
+    List.iter (fun (region, info) -> Graph.declare_region g region info) regions;
+    (* Nodes were written in ascending id order; Graph.add assigns fresh
+       ids 0,1,2,... so a remapping table translates encoded ids. *)
+    let raw_nodes =
+      B.read_list r (fun r ->
+          let kind = read_kind r in
+          let inputs = B.read_list r B.read_i32 in
+          let order_after = B.read_list r B.read_i32 in
+          (kind, inputs, order_after))
+    in
+    let remap = Hashtbl.create 64 in
+    let translate pos =
+      match Hashtbl.find_opt remap pos with
+      | Some id -> id
+      | None ->
+        raise (Corrupt (Printf.sprintf "forward reference to node %d" pos))
+    in
+    List.iteri
+      (fun pos (kind, inputs, _) ->
+        let id = Graph.add g kind (List.map translate inputs) in
+        Hashtbl.replace remap pos id)
+      raw_nodes;
+    List.iteri
+      (fun pos (_, _, order_after) ->
+        List.iter
+          (fun before ->
+            Graph.add_order g (translate pos) ~after:(translate before))
+          order_after)
+      raw_nodes;
+    let outputs =
+      B.read_list r (fun r ->
+          let name = B.read_str r in
+          let id = B.read_i32 r in
+          (name, id))
+    in
+    List.iter (fun (name, id) -> Graph.set_output g name (translate id)) outputs;
+    if not (B.at_end r) then raise (Corrupt "trailing bytes");
+    (g, translate)
+  with
+  | B.Corrupt msg -> raise (Corrupt msg)
+  | Graph.Invalid msg -> raise (Corrupt msg)
+
+let of_string data = fst (of_string_mapped data)
+
+let to_file g path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+let of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,28 @@
+(** Binary serialisation of CDFGs.
+
+    A compact little-endian format for saving minimised graphs to disk and
+    for embedding them in tile configurations (see
+    {!Mapping.Encode}). Round-trip is exact: node ids, regions, order
+    edges and named outputs are all preserved. *)
+
+exception Corrupt of string
+
+val to_string : Graph.t -> string
+val of_string : string -> Graph.t
+(** @raise Corrupt on malformed input (bad magic, truncation, unknown
+    tags). The decoded graph passes [Graph.validate] if the encoded one
+    did. *)
+
+val to_file : Graph.t -> string -> unit
+val of_file : string -> Graph.t
+
+(** {2 Id-stable variants}
+
+    Encoding renumbers nodes topologically, so callers that embed node ids
+    next to the graph (the configuration encoder) need the mapping. *)
+
+val to_string_mapped : Graph.t -> string * (Graph.id -> int)
+(** The encoded bytes plus the id -> encoded-position mapping. *)
+
+val of_string_mapped : string -> Graph.t * (int -> Graph.id)
+(** The decoded graph plus the encoded-position -> new-id mapping. *)

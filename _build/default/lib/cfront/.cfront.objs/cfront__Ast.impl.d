@@ -1,0 +1,1 @@
+lib/cfront/ast.ml: Format Fpfa_util List String

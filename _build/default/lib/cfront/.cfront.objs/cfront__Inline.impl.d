@@ -1,0 +1,1 @@
+lib/cfront/inline.ml: Ast Format Hashtbl List Map Option Printf Set String

@@ -1,0 +1,1 @@
+lib/cfront/inline.mli: Ast

@@ -1,0 +1,1 @@
+lib/cfront/interp.ml: Array Ast Format Hashtbl List Option Sema String Unroll

@@ -1,0 +1,1 @@
+lib/cfront/interp.mli: Ast Format

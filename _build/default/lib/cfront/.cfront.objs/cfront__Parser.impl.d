@@ -1,0 +1,1 @@
+lib/cfront/parser.ml: Ast Lexer List Printf Token

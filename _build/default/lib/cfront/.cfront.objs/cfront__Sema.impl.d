@@ -1,0 +1,1 @@
+lib/cfront/sema.ml: Ast Format Fpfa_util Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/cfront/unroll.ml: Ast List Map Option String

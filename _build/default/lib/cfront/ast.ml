@@ -1,0 +1,210 @@
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Shl
+  | Shr
+  | Band
+  | Bor
+  | Bxor
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | Land
+  | Lor
+
+type unop = Neg | Bnot | Lnot
+
+type expr =
+  | Int_lit of int
+  | Var of string
+  | Index of string * expr
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Cond of expr * expr * expr
+  | Call of string * expr list
+
+type lvalue = Lvar of string | Lindex of string * expr
+
+type stmt =
+  | Decl of string * int option * expr option
+  | Assign of lvalue * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Return of expr option
+  | Expr of expr
+
+type func = {
+  name : string;
+  params : string list;
+  body : stmt list;
+  returns_value : bool;
+}
+
+type program = func list
+
+let intrinsics = [ "abs"; "min"; "max" ]
+
+let pp_binop = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | Land -> "&&"
+  | Lor -> "||"
+
+let pp_unop = function Neg -> "-" | Bnot -> "~" | Lnot -> "!"
+
+(* Negative literals are printed parenthesised so that "x - (-1)" does not
+   lex back as "x - -1" followed by a parse of "--". *)
+let rec pp_expr fmt expr =
+  match expr with
+  | Int_lit n -> if n < 0 then Format.fprintf fmt "(%d)" n else Format.fprintf fmt "%d" n
+  | Var name -> Format.pp_print_string fmt name
+  | Index (name, idx) -> Format.fprintf fmt "%s[%a]" name pp_expr idx
+  | Binop (op, a, b) ->
+    Format.fprintf fmt "(%a %s %a)" pp_expr a (pp_binop op) pp_expr b
+  | Unop (op, a) -> Format.fprintf fmt "(%s%a)" (pp_unop op) pp_expr a
+  | Cond (c, a, b) ->
+    Format.fprintf fmt "(%a ? %a : %a)" pp_expr c pp_expr a pp_expr b
+  | Call (name, args) ->
+    Format.fprintf fmt "%s(%a)" name
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         pp_expr)
+      args
+
+let pp_lvalue fmt = function
+  | Lvar name -> Format.pp_print_string fmt name
+  | Lindex (name, idx) -> Format.fprintf fmt "%s[%a]" name pp_expr idx
+
+let rec pp_stmt fmt stmt =
+  match stmt with
+  | Decl (name, None, None) -> Format.fprintf fmt "int %s;" name
+  | Decl (name, None, Some init) ->
+    Format.fprintf fmt "int %s = %a;" name pp_expr init
+  | Decl (name, Some size, _) -> Format.fprintf fmt "int %s[%d];" name size
+  | Assign (lv, e) -> Format.fprintf fmt "%a = %a;" pp_lvalue lv pp_expr e
+  | If (cond, then_body, []) ->
+    Format.fprintf fmt "@[<v 2>if (%a) {%a@]@,}" pp_expr cond pp_body then_body
+  | If (cond, then_body, else_body) ->
+    Format.fprintf fmt "@[<v 2>if (%a) {%a@]@,@[<v 2>} else {%a@]@,}" pp_expr
+      cond pp_body then_body pp_body else_body
+  | While (cond, body) ->
+    Format.fprintf fmt "@[<v 2>while (%a) {%a@]@,}" pp_expr cond pp_body body
+  | Return None -> Format.pp_print_string fmt "return;"
+  | Return (Some e) -> Format.fprintf fmt "return %a;" pp_expr e
+  | Expr e -> Format.fprintf fmt "%a;" pp_expr e
+
+and pp_body fmt body =
+  List.iter (fun stmt -> Format.fprintf fmt "@,%a" pp_stmt stmt) body
+
+let pp_func fmt { name; params; body; returns_value } =
+  let ret = if returns_value then "int" else "void" in
+  let params_text =
+    match params with
+    | [] -> ""
+    | _ -> String.concat ", " (List.map (fun p -> "int " ^ p) params)
+  in
+  Format.fprintf fmt "@[<v 2>%s %s(%s) {%a@]@,}" ret name params_text pp_body
+    body
+
+let pp_program fmt funcs =
+  Format.pp_open_vbox fmt 0;
+  List.iteri
+    (fun i f ->
+      if i > 0 then Format.pp_print_cut fmt ();
+      pp_func fmt f)
+    funcs;
+  Format.pp_close_box fmt ()
+
+let program_to_string program = Format.asprintf "%a@." pp_program program
+
+let rec equal_expr a b =
+  match (a, b) with
+  | Int_lit x, Int_lit y -> x = y
+  | Var x, Var y -> String.equal x y
+  | Index (x, i), Index (y, j) -> String.equal x y && equal_expr i j
+  | Binop (op1, a1, b1), Binop (op2, a2, b2) ->
+    op1 = op2 && equal_expr a1 a2 && equal_expr b1 b2
+  | Unop (op1, a1), Unop (op2, a2) -> op1 = op2 && equal_expr a1 a2
+  | Cond (c1, a1, b1), Cond (c2, a2, b2) ->
+    equal_expr c1 c2 && equal_expr a1 a2 && equal_expr b1 b2
+  | Call (f, args1), Call (g, args2) ->
+    String.equal f g
+    && List.length args1 = List.length args2
+    && List.for_all2 equal_expr args1 args2
+  | ( ( Int_lit _ | Var _ | Index _ | Binop _ | Unop _ | Cond _ | Call _ ),
+      ( Int_lit _ | Var _ | Index _ | Binop _ | Unop _ | Cond _ | Call _ ) ) ->
+    false
+
+let equal_lvalue a b =
+  match (a, b) with
+  | Lvar x, Lvar y -> String.equal x y
+  | Lindex (x, i), Lindex (y, j) -> String.equal x y && equal_expr i j
+  | (Lvar _ | Lindex _), (Lvar _ | Lindex _) -> false
+
+let rec equal_stmt a b =
+  match (a, b) with
+  | Decl (x, sx, ix), Decl (y, sy, iy) ->
+    String.equal x y && sx = sy
+    && (match (ix, iy) with
+       | None, None -> true
+       | Some e1, Some e2 -> equal_expr e1 e2
+       | None, Some _ | Some _, None -> false)
+  | Assign (lv1, e1), Assign (lv2, e2) -> equal_lvalue lv1 lv2 && equal_expr e1 e2
+  | If (c1, t1, e1), If (c2, t2, e2) ->
+    equal_expr c1 c2 && equal_body t1 t2 && equal_body e1 e2
+  | While (c1, b1), While (c2, b2) -> equal_expr c1 c2 && equal_body b1 b2
+  | Return None, Return None -> true
+  | Return (Some e1), Return (Some e2) -> equal_expr e1 e2
+  | Expr e1, Expr e2 -> equal_expr e1 e2
+  | ( (Decl _ | Assign _ | If _ | While _ | Return _ | Expr _),
+      (Decl _ | Assign _ | If _ | While _ | Return _ | Expr _) ) ->
+    false
+
+and equal_body b1 b2 =
+  List.length b1 = List.length b2 && List.for_all2 equal_stmt b1 b2
+
+let equal_func f g =
+  String.equal f.name g.name
+  && f.params = g.params
+  && f.returns_value = g.returns_value
+  && equal_body f.body g.body
+
+let equal_program p q =
+  List.length p = List.length q && List.for_all2 equal_func p q
+
+let rec expr_size = function
+  | Int_lit _ | Var _ -> 1
+  | Index (_, idx) -> 1 + expr_size idx
+  | Binop (_, a, b) -> 1 + expr_size a + expr_size b
+  | Unop (_, a) -> 1 + expr_size a
+  | Cond (c, a, b) -> 1 + expr_size c + expr_size a + expr_size b
+  | Call (_, args) -> 1 + Fpfa_util.Listx.sum (List.map expr_size args)
+
+let rec stmt_count body =
+  Fpfa_util.Listx.sum
+    (List.map
+       (function
+         | Decl _ | Assign _ | Return _ | Expr _ -> 1
+         | If (_, t, e) -> 1 + stmt_count t + stmt_count e
+         | While (_, b) -> 1 + stmt_count b)
+       body)

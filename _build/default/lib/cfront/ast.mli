@@ -1,0 +1,84 @@
+(** Abstract syntax of the C subset.
+
+    The subset is what the FPFA mapping flow consumes: [int] scalars and
+    one-dimensional arrays, assignments, [if]/[else], [while]/[for] loops,
+    the full C integer expression grammar and calls to a few pure intrinsics
+    ([abs], [min], [max]). *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Shl
+  | Shr
+  | Band
+  | Bor
+  | Bxor
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | Land
+  | Lor
+
+type unop = Neg | Bnot | Lnot
+
+type expr =
+  | Int_lit of int
+  | Var of string
+  | Index of string * expr  (** [a[i]] *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Cond of expr * expr * expr  (** [c ? a : b] *)
+  | Call of string * expr list  (** intrinsic call *)
+
+type lvalue = Lvar of string | Lindex of string * expr
+
+type stmt =
+  | Decl of string * int option * expr option
+      (** [Decl (x, None, init)] declares a scalar, [Decl (a, Some n, _)] an
+          array of [n] elements (arrays take no initialiser). *)
+  | Assign of lvalue * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Return of expr option
+  | Expr of expr
+
+type func = {
+  name : string;
+  params : string list;  (** scalar value parameters *)
+  body : stmt list;
+  returns_value : bool;
+}
+
+type program = func list
+
+val intrinsics : string list
+(** Names callable as pure intrinsics: ["abs"; "min"; "max"]. *)
+
+val pp_binop : binop -> string
+val pp_unop : unop -> string
+
+val pp_expr : Format.formatter -> expr -> unit
+(** Prints valid C, fully parenthesised below the top level. *)
+
+val pp_stmt : Format.formatter -> stmt -> unit
+val pp_func : Format.formatter -> func -> unit
+val pp_program : Format.formatter -> program -> unit
+
+val program_to_string : program -> string
+(** Round-trippable C text of the program. *)
+
+val equal_expr : expr -> expr -> bool
+val equal_stmt : stmt -> stmt -> bool
+val equal_program : program -> program -> bool
+
+val expr_size : expr -> int
+(** Number of AST nodes in an expression. *)
+
+val stmt_count : stmt list -> int
+(** Number of statements, counting nested bodies. *)

@@ -1,0 +1,273 @@
+exception Error of string
+
+let errorf fmt = Format.kasprintf (fun msg -> raise (Error msg)) fmt
+
+module Smap = Map.Make (String)
+module Sset = Set.Make (String)
+
+(* ---------------- call-graph analysis ---------------- *)
+
+let rec calls_in_expr acc (expr : Ast.expr) =
+  match expr with
+  | Ast.Int_lit _ | Ast.Var _ -> acc
+  | Ast.Index (_, idx) -> calls_in_expr acc idx
+  | Ast.Binop (_, a, b) -> calls_in_expr (calls_in_expr acc a) b
+  | Ast.Unop (_, a) -> calls_in_expr acc a
+  | Ast.Cond (c, a, b) ->
+    calls_in_expr (calls_in_expr (calls_in_expr acc c) a) b
+  | Ast.Call (name, args) ->
+    List.fold_left calls_in_expr (Sset.add name acc) args
+
+let rec calls_in_stmt acc (stmt : Ast.stmt) =
+  match stmt with
+  | Ast.Decl (_, _, Some init) -> calls_in_expr acc init
+  | Ast.Decl (_, _, None) -> acc
+  | Ast.Assign (Ast.Lvar _, e) -> calls_in_expr acc e
+  | Ast.Assign (Ast.Lindex (_, idx), e) ->
+    calls_in_expr (calls_in_expr acc idx) e
+  | Ast.If (c, t, f) ->
+    calls_in_expr (List.fold_left calls_in_stmt (List.fold_left calls_in_stmt acc t) f) c
+  | Ast.While (c, body) ->
+    calls_in_expr (List.fold_left calls_in_stmt acc body) c
+  | Ast.Return (Some e) | Ast.Expr e -> calls_in_expr acc e
+  | Ast.Return None -> acc
+
+let calls_of (f : Ast.func) =
+  List.fold_left calls_in_stmt Sset.empty f.Ast.body
+
+(* Functions ordered so that callees precede callers; recursion is a
+   cycle and rejected. *)
+let topological_functions (program : Ast.program) =
+  let defined =
+    List.fold_left
+      (fun m (f : Ast.func) -> Smap.add f.Ast.name f m)
+      Smap.empty program
+  in
+  let visiting = Hashtbl.create 8 in
+  let done_tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  let rec visit name =
+    if Hashtbl.mem done_tbl name then ()
+    else if Hashtbl.mem visiting name then
+      errorf "recursive call involving %s cannot be inlined" name
+    else
+      match Smap.find_opt name defined with
+      | None -> () (* intrinsic *)
+      | Some f ->
+        Hashtbl.replace visiting name ();
+        Sset.iter visit (calls_of f);
+        Hashtbl.remove visiting name;
+        Hashtbl.replace done_tbl name ();
+        order := f :: !order
+  in
+  List.iter (fun (f : Ast.func) -> visit f.Ast.name) program;
+  (defined, List.rev !order)
+
+(* ---------------- renaming of callee-local symbols ---------------- *)
+
+let rec declared_in_body acc body =
+  List.fold_left
+    (fun acc stmt ->
+      match stmt with
+      | Ast.Decl (name, _, _) -> Sset.add name acc
+      | Ast.If (_, t, f) -> declared_in_body (declared_in_body acc t) f
+      | Ast.While (_, b) -> declared_in_body acc b
+      | Ast.Assign _ | Ast.Return _ | Ast.Expr _ -> acc)
+    acc body
+
+let rename_symbol locals prefix name =
+  if Sset.mem name locals then prefix ^ name else name
+
+let rec rename_expr locals prefix (expr : Ast.expr) =
+  let rn = rename_expr locals prefix in
+  match expr with
+  | Ast.Int_lit _ -> expr
+  | Ast.Var name -> Ast.Var (rename_symbol locals prefix name)
+  | Ast.Index (name, idx) -> Ast.Index (rename_symbol locals prefix name, rn idx)
+  | Ast.Binop (op, a, b) -> Ast.Binop (op, rn a, rn b)
+  | Ast.Unop (op, a) -> Ast.Unop (op, rn a)
+  | Ast.Cond (c, a, b) -> Ast.Cond (rn c, rn a, rn b)
+  | Ast.Call (name, args) -> Ast.Call (name, List.map rn args)
+
+let rec rename_stmt locals prefix (stmt : Ast.stmt) =
+  let rn_e = rename_expr locals prefix in
+  let rn_b = List.map (rename_stmt locals prefix) in
+  match stmt with
+  | Ast.Decl (name, size, init) ->
+    Ast.Decl (rename_symbol locals prefix name, size, Option.map rn_e init)
+  | Ast.Assign (Ast.Lvar name, e) ->
+    Ast.Assign (Ast.Lvar (rename_symbol locals prefix name), rn_e e)
+  | Ast.Assign (Ast.Lindex (name, idx), e) ->
+    Ast.Assign (Ast.Lindex (rename_symbol locals prefix name, rn_e idx), rn_e e)
+  | Ast.If (c, t, f) -> Ast.If (rn_e c, rn_b t, rn_b f)
+  | Ast.While (c, b) -> Ast.While (rn_e c, rn_b b)
+  | Ast.Return e -> Ast.Return (Option.map rn_e e)
+  | Ast.Expr e -> Ast.Expr (rn_e e)
+
+(* ---------------- call expansion ---------------- *)
+
+type ctx = {
+  defined : Ast.func Smap.t;
+  inlined : (string, Ast.func) Hashtbl.t;  (* already call-free bodies *)
+  mutable counter : int;
+}
+
+(* Splits a call-free callee body into statements plus its result
+   expression. Only a single trailing return is accepted. *)
+let split_result fname body =
+  let rec check_no_return stmts =
+    List.iter
+      (fun stmt ->
+        match stmt with
+        | Ast.Return _ ->
+          errorf "%s: only a single trailing return can be inlined" fname
+        | Ast.If (_, t, f) ->
+          check_no_return t;
+          check_no_return f
+        | Ast.While (_, b) -> check_no_return b
+        | Ast.Decl _ | Ast.Assign _ | Ast.Expr _ -> ())
+      stmts
+  in
+  match List.rev body with
+  | Ast.Return value :: rev_prefix ->
+    let prefix = List.rev rev_prefix in
+    check_no_return prefix;
+    (prefix, value)
+  | body_rev ->
+    let body = List.rev body_rev in
+    check_no_return body;
+    (body, None)
+
+(* Expands one call: evaluates the (already expanded) arguments into the
+   callee's renamed parameters, splices the renamed body, and yields the
+   expression carrying the result. *)
+let expand_call ctx fname args =
+  let f =
+    match Hashtbl.find_opt ctx.inlined fname with
+    | Some f -> f
+    | None -> errorf "internal: callee %s not processed" fname
+  in
+  if List.length args <> List.length f.Ast.params then
+    errorf "%s expects %d argument(s), got %d" fname
+      (List.length f.Ast.params) (List.length args);
+  let prefix = Printf.sprintf "__%s%d_" fname ctx.counter in
+  ctx.counter <- ctx.counter + 1;
+  let locals =
+    declared_in_body
+      (List.fold_left (fun s p -> Sset.add p s) Sset.empty f.Ast.params)
+      f.Ast.body
+  in
+  let body = List.map (rename_stmt locals prefix) f.Ast.body in
+  let stmts, result = split_result fname body in
+  let param_binds =
+    List.map2
+      (fun p arg -> Ast.Assign (Ast.Lvar (rename_symbol locals prefix p), arg))
+      f.Ast.params args
+  in
+  (param_binds @ stmts, result)
+
+(* Expression walk: every user call is hoisted, in evaluation order, into
+   the returned prelude; the expression is rebuilt call-free. *)
+let rec expand_expr ctx (expr : Ast.expr) =
+  match expr with
+  | Ast.Int_lit _ | Ast.Var _ -> ([], expr)
+  | Ast.Index (name, idx) ->
+    let pre, idx = expand_expr ctx idx in
+    (pre, Ast.Index (name, idx))
+  | Ast.Binop (op, a, b) ->
+    let pre_a, a = expand_expr ctx a in
+    let pre_b, b = expand_expr ctx b in
+    (pre_a @ pre_b, Ast.Binop (op, a, b))
+  | Ast.Unop (op, a) ->
+    let pre, a = expand_expr ctx a in
+    (pre, Ast.Unop (op, a))
+  | Ast.Cond (c, a, b) ->
+    let pre_c, c = expand_expr ctx c in
+    let pre_a, a = expand_expr ctx a in
+    let pre_b, b = expand_expr ctx b in
+    (pre_c @ pre_a @ pre_b, Ast.Cond (c, a, b))
+  | Ast.Call (name, args) when Smap.mem name ctx.defined ->
+    let pre_args, args =
+      List.fold_left
+        (fun (pre, args) arg ->
+          let pre_arg, arg = expand_expr ctx arg in
+          (pre @ pre_arg, args @ [ arg ]))
+        ([], []) args
+    in
+    let body, result = expand_call ctx name args in
+    let result_var = Printf.sprintf "__%s%d_ret" name ctx.counter in
+    ctx.counter <- ctx.counter + 1;
+    (match result with
+    | Some value ->
+      ( pre_args @ body @ [ Ast.Assign (Ast.Lvar result_var, value) ],
+        Ast.Var result_var )
+    | None ->
+      errorf "void function %s used in an expression" name)
+  | Ast.Call (name, args) ->
+    (* intrinsic *)
+    let pre_args, args =
+      List.fold_left
+        (fun (pre, args) arg ->
+          let pre_arg, arg = expand_expr ctx arg in
+          (pre @ pre_arg, args @ [ arg ]))
+        ([], []) args
+    in
+    (pre_args, Ast.Call (name, args))
+
+let rec expand_stmt ctx (stmt : Ast.stmt) =
+  match stmt with
+  | Ast.Decl (name, size, Some init) ->
+    let pre, init = expand_expr ctx init in
+    pre @ [ Ast.Decl (name, size, Some init) ]
+  | Ast.Decl (_, _, None) -> [ stmt ]
+  | Ast.Assign (Ast.Lvar name, e) ->
+    let pre, e = expand_expr ctx e in
+    pre @ [ Ast.Assign (Ast.Lvar name, e) ]
+  | Ast.Assign (Ast.Lindex (name, idx), e) ->
+    let pre_i, idx = expand_expr ctx idx in
+    let pre_e, e = expand_expr ctx e in
+    pre_i @ pre_e @ [ Ast.Assign (Ast.Lindex (name, idx), e) ]
+  | Ast.If (c, t, f) ->
+    let pre, c = expand_expr ctx c in
+    pre @ [ Ast.If (c, expand_body ctx t, expand_body ctx f) ]
+  | Ast.While (c, body) ->
+    if not (Sset.is_empty (Sset.inter (calls_in_expr Sset.empty c)
+              (Sset.of_list (List.map fst (Smap.bindings ctx.defined)))))
+    then
+      errorf "a call in a loop condition cannot be inlined";
+    [ Ast.While (c, expand_body ctx body) ]
+  | Ast.Return (Some e) ->
+    let pre, e = expand_expr ctx e in
+    pre @ [ Ast.Return (Some e) ]
+  | Ast.Return None -> [ stmt ]
+  | Ast.Expr (Ast.Call (name, args)) when Smap.mem name ctx.defined ->
+    (* statement call: splice the body, discard any result *)
+    let pre_args, args =
+      List.fold_left
+        (fun (pre, args) arg ->
+          let pre_arg, arg = expand_expr ctx arg in
+          (pre @ pre_arg, args @ [ arg ]))
+        ([], []) args
+    in
+    let body, _result = expand_call ctx name args in
+    pre_args @ body
+  | Ast.Expr e ->
+    let pre, e = expand_expr ctx e in
+    pre @ [ Ast.Expr e ]
+
+and expand_body ctx body = List.concat_map (expand_stmt ctx) body
+
+let program (p : Ast.program) =
+  let defined, order = topological_functions p in
+  let ctx = { defined; inlined = Hashtbl.create 8; counter = 0 } in
+  (* Callees first: every body we splice is already call-free. *)
+  List.iter
+    (fun (f : Ast.func) ->
+      let body = expand_body ctx f.Ast.body in
+      Hashtbl.replace ctx.inlined f.Ast.name { f with Ast.body })
+    order;
+  List.map (fun (f : Ast.func) -> Hashtbl.find ctx.inlined f.Ast.name) p
+
+let entry ?(func = "main") p =
+  let p = program p in
+  List.find (fun (f : Ast.func) -> String.equal f.Ast.name func) p

@@ -1,0 +1,34 @@
+(** Function inlining.
+
+    The CDFG of the paper represents "C operators and function calls"
+    (Section III); the mapping flow itself consumes one flat function.
+    This pass closes the gap: every call to a user-defined function is
+    expanded at the call site, so multi-function programs map like
+    single-function ones.
+
+    Inlining is purely syntactic and C-faithful:
+    - parameters become assignments of the (hoisted) argument values;
+    - symbols {e declared} inside the callee (parameters and [int]/array
+      declarations) are renamed to fresh names per call site;
+    - undeclared symbols keep their names — they are the program's shared
+      globals, exactly as in the rest of the toolchain;
+    - [return e] becomes an assignment to a fresh result variable; a
+      [return] in the middle of the callee is rejected (same restriction
+      as the CDFG builder places on [main]).
+
+    Calls may appear anywhere in an expression; each statement's calls are
+    hoisted in evaluation order before the statement. Recursion (direct or
+    mutual) is rejected. *)
+
+exception Error of string
+
+val program : Ast.program -> Ast.program
+(** Expands every call to a defined function, in every function body.
+    Intrinsic calls ([abs]/[min]/[max]) are untouched. The result contains
+    the same function definitions with call-free bodies.
+    @raise Error on recursion, arity mismatch, use of a [void] function in
+    an expression, or a non-tail [return] in a callee. *)
+
+val entry : ?func:string -> Ast.program -> Ast.func
+(** [program] then extraction of the (now call-free) entry function
+    (default ["main"]). @raise Not_found if absent. *)

@@ -1,0 +1,164 @@
+exception Error of string * Token.pos
+
+type state = {
+  src : string;
+  mutable off : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek st = if st.off < String.length st.src then Some st.src.[st.off] else None
+
+let peek2 st =
+  if st.off + 1 < String.length st.src then Some st.src.[st.off + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.off <- st.off + 1
+
+let pos st : Token.pos = { line = st.line; col = st.col }
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let keyword = function
+  | "int" -> Some Token.Kw_int
+  | "void" -> Some Token.Kw_void
+  | "if" -> Some Token.Kw_if
+  | "else" -> Some Token.Kw_else
+  | "while" -> Some Token.Kw_while
+  | "for" -> Some Token.Kw_for
+  | "return" -> Some Token.Kw_return
+  | _ -> None
+
+(* Skips whitespace, //, /* */ comments and # preprocessor lines. *)
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_trivia st
+  | Some '#' ->
+    let rec to_eol () =
+      match peek st with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance st;
+        to_eol ()
+    in
+    to_eol ();
+    skip_trivia st
+  | Some '/' when peek2 st = Some '/' ->
+    let rec to_eol () =
+      match peek st with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance st;
+        to_eol ()
+    in
+    to_eol ();
+    skip_trivia st
+  | Some '/' when peek2 st = Some '*' ->
+    let start = pos st in
+    advance st;
+    advance st;
+    let rec to_close () =
+      match (peek st, peek2 st) with
+      | Some '*', Some '/' ->
+        advance st;
+        advance st
+      | Some _, _ ->
+        advance st;
+        to_close ()
+      | None, _ -> raise (Error ("unterminated comment", start))
+    in
+    to_close ();
+    skip_trivia st
+  | Some _ | None -> ()
+
+let lex_number st =
+  let start = st.off in
+  while (match peek st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.off - start) in
+  Token.Int_lit (int_of_string text)
+
+let lex_ident st =
+  let start = st.off in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.off - start) in
+  match keyword text with Some kw -> kw | None -> Token.Ident text
+
+(* Operators: longest match first. *)
+let lex_operator st p =
+  let two tok =
+    advance st;
+    advance st;
+    tok
+  in
+  let one tok =
+    advance st;
+    tok
+  in
+  match (peek st, peek2 st) with
+  | Some '<', Some '<' -> two Token.Shl
+  | Some '>', Some '>' -> two Token.Shr
+  | Some '<', Some '=' -> two Token.Le
+  | Some '>', Some '=' -> two Token.Ge
+  | Some '=', Some '=' -> two Token.Eq_eq
+  | Some '!', Some '=' -> two Token.Bang_eq
+  | Some '&', Some '&' -> two Token.Amp_amp
+  | Some '|', Some '|' -> two Token.Pipe_pipe
+  | Some '+', Some '+' -> two Token.Plus_plus
+  | Some '-', Some '-' -> two Token.Minus_minus
+  | Some '+', Some '=' -> two Token.Plus_assign
+  | Some '-', Some '=' -> two Token.Minus_assign
+  | Some '*', Some '=' -> two Token.Star_assign
+  | Some '/', Some '=' -> two Token.Slash_assign
+  | Some '%', Some '=' -> two Token.Percent_assign
+  | Some '<', _ -> one Token.Lt
+  | Some '>', _ -> one Token.Gt
+  | Some '=', _ -> one Token.Assign
+  | Some '!', _ -> one Token.Bang
+  | Some '&', _ -> one Token.Amp
+  | Some '|', _ -> one Token.Pipe
+  | Some '^', _ -> one Token.Caret
+  | Some '~', _ -> one Token.Tilde
+  | Some '+', _ -> one Token.Plus
+  | Some '-', _ -> one Token.Minus
+  | Some '*', _ -> one Token.Star
+  | Some '/', _ -> one Token.Slash
+  | Some '%', _ -> one Token.Percent
+  | Some '(', _ -> one Token.Lparen
+  | Some ')', _ -> one Token.Rparen
+  | Some '[', _ -> one Token.Lbracket
+  | Some ']', _ -> one Token.Rbracket
+  | Some '{', _ -> one Token.Lbrace
+  | Some '}', _ -> one Token.Rbrace
+  | Some '?', _ -> one Token.Question
+  | Some ':', _ -> one Token.Colon
+  | Some ',', _ -> one Token.Comma
+  | Some ';', _ -> one Token.Semi
+  | Some c, _ -> raise (Error (Printf.sprintf "unexpected character %C" c, p))
+  | None, _ -> Token.Eof
+
+let tokenize src =
+  let st = { src; off = 0; line = 1; col = 1 } in
+  let rec loop acc =
+    skip_trivia st;
+    let p = pos st in
+    match peek st with
+    | None -> List.rev ((Token.Eof, p) :: acc)
+    | Some c when is_digit c -> loop ((lex_number st, p) :: acc)
+    | Some c when is_ident_start c -> loop ((lex_ident st, p) :: acc)
+    | Some _ -> loop ((lex_operator st p, p) :: acc)
+  in
+  loop []

@@ -1,0 +1,11 @@
+(** Hand-written lexer for the C subset. *)
+
+exception Error of string * Token.pos
+(** Raised on an unrecognised character or malformed literal. *)
+
+val tokenize : string -> (Token.t * Token.pos) list
+(** [tokenize source] is the token stream of [source], terminated by
+    {!Token.Eof}. Line (`//`) and block comments as well as preprocessor
+    lines (`#...`) are skipped.
+
+    @raise Error on lexical errors. *)

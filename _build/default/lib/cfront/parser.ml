@@ -1,0 +1,336 @@
+exception Error of string * Token.pos
+
+type state = { mutable tokens : (Token.t * Token.pos) list }
+
+let peek st =
+  match st.tokens with
+  | (tok, p) :: _ -> (tok, p)
+  | [] -> (Token.Eof, { Token.line = 0; col = 0 })
+
+let advance st =
+  match st.tokens with (_ : Token.t * Token.pos) :: rest -> st.tokens <- rest | [] -> ()
+
+let fail st msg =
+  let tok, p = peek st in
+  raise (Error (Printf.sprintf "%s (found %S)" msg (Token.to_string tok), p))
+
+let expect st tok =
+  let found, _ = peek st in
+  if Token.equal found tok then advance st
+  else fail st (Printf.sprintf "expected %S" (Token.to_string tok))
+
+let expect_ident st =
+  match peek st with
+  | Token.Ident name, _ ->
+    advance st;
+    name
+  | _ -> fail st "expected identifier"
+
+(* Expression parsing: precedence climbing over the C binary operators. *)
+
+let binop_of_token = function
+  | Token.Pipe_pipe -> Some (Ast.Lor, 1)
+  | Token.Amp_amp -> Some (Ast.Land, 2)
+  | Token.Pipe -> Some (Ast.Bor, 3)
+  | Token.Caret -> Some (Ast.Bxor, 4)
+  | Token.Amp -> Some (Ast.Band, 5)
+  | Token.Eq_eq -> Some (Ast.Eq, 6)
+  | Token.Bang_eq -> Some (Ast.Ne, 6)
+  | Token.Lt -> Some (Ast.Lt, 7)
+  | Token.Le -> Some (Ast.Le, 7)
+  | Token.Gt -> Some (Ast.Gt, 7)
+  | Token.Ge -> Some (Ast.Ge, 7)
+  | Token.Shl -> Some (Ast.Shl, 8)
+  | Token.Shr -> Some (Ast.Shr, 8)
+  | Token.Plus -> Some (Ast.Add, 9)
+  | Token.Minus -> Some (Ast.Sub, 9)
+  | Token.Star -> Some (Ast.Mul, 10)
+  | Token.Slash -> Some (Ast.Div, 10)
+  | Token.Percent -> Some (Ast.Mod, 10)
+  | _ -> None
+
+let rec parse_expression st = parse_conditional st
+
+and parse_conditional st =
+  let cond = parse_binary st 1 in
+  match peek st with
+  | Token.Question, _ ->
+    advance st;
+    let if_true = parse_expression st in
+    expect st Token.Colon;
+    let if_false = parse_conditional st in
+    Ast.Cond (cond, if_true, if_false)
+  | _ -> cond
+
+and parse_binary st min_prec =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    match binop_of_token (fst (peek st)) with
+    | Some (op, prec) when prec >= min_prec ->
+      advance st;
+      let rhs = parse_binary st (prec + 1) in
+      loop (Ast.Binop (op, lhs, rhs))
+    | Some _ | None -> lhs
+  in
+  loop lhs
+
+and parse_unary st =
+  match peek st with
+  | Token.Minus, _ ->
+    advance st;
+    Ast.Unop (Ast.Neg, parse_unary st)
+  | Token.Tilde, _ ->
+    advance st;
+    Ast.Unop (Ast.Bnot, parse_unary st)
+  | Token.Bang, _ ->
+    advance st;
+    Ast.Unop (Ast.Lnot, parse_unary st)
+  | Token.Plus, _ ->
+    advance st;
+    parse_unary st
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Token.Int_lit n, _ ->
+    advance st;
+    Ast.Int_lit n
+  | Token.Lparen, _ ->
+    advance st;
+    let e = parse_expression st in
+    expect st Token.Rparen;
+    e
+  | Token.Ident name, _ -> (
+    advance st;
+    match peek st with
+    | Token.Lbracket, _ ->
+      advance st;
+      let idx = parse_expression st in
+      expect st Token.Rbracket;
+      Ast.Index (name, idx)
+    | Token.Lparen, _ ->
+      advance st;
+      let args = parse_args st in
+      expect st Token.Rparen;
+      Ast.Call (name, args)
+    | _ -> Ast.Var name)
+  | _ -> fail st "expected expression"
+
+and parse_args st =
+  match peek st with
+  | Token.Rparen, _ -> []
+  | _ ->
+    let first = parse_expression st in
+    let rec more acc =
+      match peek st with
+      | Token.Comma, _ ->
+        advance st;
+        more (parse_expression st :: acc)
+      | _ -> List.rev acc
+    in
+    more [ first ]
+
+(* Statements. [for] is desugared to [while]; compound assignments and
+   increments are desugared to plain assignments. *)
+
+let lvalue_expr = function
+  | Ast.Lvar name -> Ast.Var name
+  | Ast.Lindex (name, idx) -> Ast.Index (name, idx)
+
+let parse_lvalue st =
+  let name = expect_ident st in
+  match peek st with
+  | Token.Lbracket, _ ->
+    advance st;
+    let idx = parse_expression st in
+    expect st Token.Rbracket;
+    Ast.Lindex (name, idx)
+  | _ -> Ast.Lvar name
+
+(* A "simple statement" is an assignment-or-expression without the trailing
+   ';' — it is what appears in for-headers. *)
+let parse_simple st =
+  match peek st with
+  | Token.Ident _, _ -> (
+    let saved = st.tokens in
+    let lv = parse_lvalue st in
+    let compound op =
+      advance st;
+      let rhs = parse_expression st in
+      Ast.Assign (lv, Ast.Binop (op, lvalue_expr lv, rhs))
+    in
+    match peek st with
+    | Token.Assign, _ ->
+      advance st;
+      let rhs = parse_expression st in
+      Ast.Assign (lv, rhs)
+    | Token.Plus_assign, _ -> compound Ast.Add
+    | Token.Minus_assign, _ -> compound Ast.Sub
+    | Token.Star_assign, _ -> compound Ast.Mul
+    | Token.Slash_assign, _ -> compound Ast.Div
+    | Token.Percent_assign, _ -> compound Ast.Mod
+    | Token.Plus_plus, _ ->
+      advance st;
+      Ast.Assign (lv, Ast.Binop (Ast.Add, lvalue_expr lv, Ast.Int_lit 1))
+    | Token.Minus_minus, _ ->
+      advance st;
+      Ast.Assign (lv, Ast.Binop (Ast.Sub, lvalue_expr lv, Ast.Int_lit 1))
+    | _ ->
+      st.tokens <- saved;
+      Ast.Expr (parse_expression st))
+  | _ -> Ast.Expr (parse_expression st)
+
+let rec parse_statement st =
+  match peek st with
+  | Token.Kw_int, _ ->
+    advance st;
+    let name = expect_ident st in
+    let decl =
+      match peek st with
+      | Token.Lbracket, _ -> (
+        advance st;
+        match peek st with
+        | Token.Int_lit size, _ ->
+          advance st;
+          expect st Token.Rbracket;
+          Ast.Decl (name, Some size, None)
+        | _ -> fail st "array size must be an integer literal")
+      | Token.Assign, _ ->
+        advance st;
+        let init = parse_expression st in
+        Ast.Decl (name, None, Some init)
+      | _ -> Ast.Decl (name, None, None)
+    in
+    expect st Token.Semi;
+    [ decl ]
+  | Token.Kw_if, _ ->
+    advance st;
+    expect st Token.Lparen;
+    let cond = parse_expression st in
+    expect st Token.Rparen;
+    let then_body = parse_block_or_single st in
+    let else_body =
+      match peek st with
+      | Token.Kw_else, _ ->
+        advance st;
+        parse_block_or_single st
+      | _ -> []
+    in
+    [ Ast.If (cond, then_body, else_body) ]
+  | Token.Kw_while, _ ->
+    advance st;
+    expect st Token.Lparen;
+    let cond = parse_expression st in
+    expect st Token.Rparen;
+    let body = parse_block_or_single st in
+    [ Ast.While (cond, body) ]
+  | Token.Kw_for, _ ->
+    advance st;
+    expect st Token.Lparen;
+    let init =
+      match peek st with
+      | Token.Semi, _ -> []
+      | _ -> [ parse_simple st ]
+    in
+    expect st Token.Semi;
+    let cond =
+      match peek st with
+      | Token.Semi, _ -> Ast.Int_lit 1
+      | _ -> parse_expression st
+    in
+    expect st Token.Semi;
+    let step =
+      match peek st with
+      | Token.Rparen, _ -> []
+      | _ -> [ parse_simple st ]
+    in
+    expect st Token.Rparen;
+    let body = parse_block_or_single st in
+    init @ [ Ast.While (cond, body @ step) ]
+  | Token.Kw_return, _ ->
+    advance st;
+    let value =
+      match peek st with
+      | Token.Semi, _ -> None
+      | _ -> Some (parse_expression st)
+    in
+    expect st Token.Semi;
+    [ Ast.Return value ]
+  | Token.Semi, _ ->
+    advance st;
+    []
+  | Token.Lbrace, _ -> parse_block st
+  | _ ->
+    let stmt = parse_simple st in
+    expect st Token.Semi;
+    [ stmt ]
+
+and parse_block st =
+  expect st Token.Lbrace;
+  let rec loop acc =
+    match peek st with
+    | Token.Rbrace, _ ->
+      advance st;
+      List.rev acc
+    | Token.Eof, _ -> fail st "unterminated block"
+    | _ ->
+      let stmts = parse_statement st in
+      loop (List.rev_append stmts acc)
+  in
+  loop []
+
+and parse_block_or_single st =
+  match peek st with
+  | Token.Lbrace, _ -> parse_block st
+  | _ -> parse_statement st
+
+let parse_func st =
+  let returns_value =
+    match peek st with
+    | Token.Kw_void, _ ->
+      advance st;
+      false
+    | Token.Kw_int, _ ->
+      advance st;
+      true
+    | _ -> fail st "expected function return type (int or void)"
+  in
+  let name = expect_ident st in
+  expect st Token.Lparen;
+  let params =
+    match peek st with
+    | Token.Rparen, _ -> []
+    | _ ->
+      let param () =
+        expect st Token.Kw_int;
+        expect_ident st
+      in
+      let first = param () in
+      let rec more acc =
+        match peek st with
+        | Token.Comma, _ ->
+          advance st;
+          more (param () :: acc)
+        | _ -> List.rev acc
+      in
+      more [ first ]
+  in
+  expect st Token.Rparen;
+  let body = parse_block st in
+  { Ast.name; params; body; returns_value }
+
+let parse_program source =
+  let st = { tokens = Lexer.tokenize source } in
+  let rec loop acc =
+    match peek st with
+    | Token.Eof, _ -> List.rev acc
+    | _ -> loop (parse_func st :: acc)
+  in
+  let program = loop [] in
+  if program = [] then fail st "empty translation unit" else program
+
+let parse_expr source =
+  let st = { tokens = Lexer.tokenize source } in
+  let e = parse_expression st in
+  expect st Token.Eof;
+  e

@@ -1,0 +1,15 @@
+(** Recursive-descent parser for the C subset.
+
+    Compound assignments ([+=], [++], ...) and [for] loops are desugared
+    during parsing, so the AST only contains plain assignments and [while]
+    loops. *)
+
+exception Error of string * Token.pos
+
+val parse_program : string -> Ast.program
+(** Parses a translation unit (one or more function definitions).
+    @raise Error on syntax errors (with source position).
+    @raise Lexer.Error on lexical errors. *)
+
+val parse_expr : string -> Ast.expr
+(** Parses a single expression (used by tests). *)

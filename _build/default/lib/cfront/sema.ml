@@ -1,0 +1,117 @@
+type kind = Scalar | Array of int option
+
+type symbol = { name : string; kind : kind; implicit : bool }
+
+type env = symbol list
+
+exception Error of string
+
+let errorf fmt = Format.kasprintf (fun msg -> raise (Error msg)) fmt
+
+let intrinsic_arity = function
+  | "abs" -> Some 1
+  | "min" | "max" -> Some 2
+  | _ -> None
+
+type builder = (string, symbol) Hashtbl.t
+
+let record (tbl : builder) name kind ~implicit =
+  match Hashtbl.find_opt tbl name with
+  | None -> Hashtbl.replace tbl name { name; kind; implicit }
+  | Some existing -> (
+    match (existing.kind, kind) with
+    | Scalar, Scalar -> ()
+    | Array _, Array None -> ()
+    | Array None, Array (Some _) ->
+      (* only implicit usage produces an unsized array entry *)
+      Hashtbl.replace tbl name { name; kind; implicit }
+    | Scalar, Array _ | Array _, Scalar ->
+      errorf "symbol %s used both as scalar and as array" name
+    | Array (Some a), Array (Some b) ->
+      if a <> b then
+        errorf "array %s declared with conflicting sizes %d and %d" name a b)
+
+let rec check_expr tbl expr =
+  match expr with
+  | Ast.Int_lit _ -> ()
+  | Ast.Var name -> record tbl name Scalar ~implicit:true
+  | Ast.Index (name, idx) ->
+    record tbl name (Array None) ~implicit:true;
+    check_expr tbl idx
+  | Ast.Binop (_, a, b) ->
+    check_expr tbl a;
+    check_expr tbl b
+  | Ast.Unop (_, a) -> check_expr tbl a
+  | Ast.Cond (c, a, b) ->
+    check_expr tbl c;
+    check_expr tbl a;
+    check_expr tbl b
+  | Ast.Call (name, args) -> (
+    match intrinsic_arity name with
+    | None -> errorf "call to unknown intrinsic %s" name
+    | Some arity ->
+      if List.length args <> arity then
+        errorf "intrinsic %s expects %d argument(s), got %d" name arity
+          (List.length args);
+      List.iter (check_expr tbl) args)
+
+let rec check_stmt tbl ~returns_value stmt =
+  match stmt with
+  | Ast.Decl (name, size, init) ->
+    (match Hashtbl.find_opt tbl name with
+    | Some sym when not sym.implicit -> errorf "duplicate declaration of %s" name
+    | Some _ | None -> ());
+    (match size with
+    | Some n when n <= 0 -> errorf "array %s has non-positive size %d" name n
+    | Some _ | None -> ());
+    let kind = match size with Some n -> Array (Some n) | None -> Scalar in
+    Hashtbl.replace tbl name { name; kind; implicit = false };
+    Option.iter (check_expr tbl) init
+  | Ast.Assign (Ast.Lvar name, e) ->
+    record tbl name Scalar ~implicit:true;
+    check_expr tbl e
+  | Ast.Assign (Ast.Lindex (name, idx), e) ->
+    record tbl name (Array None) ~implicit:true;
+    check_expr tbl idx;
+    check_expr tbl e
+  | Ast.If (cond, then_body, else_body) ->
+    check_expr tbl cond;
+    List.iter (check_stmt tbl ~returns_value) then_body;
+    List.iter (check_stmt tbl ~returns_value) else_body
+  | Ast.While (cond, body) ->
+    check_expr tbl cond;
+    List.iter (check_stmt tbl ~returns_value) body
+  | Ast.Return None ->
+    if returns_value then errorf "missing return value in int function"
+  | Ast.Return (Some e) ->
+    if not returns_value then errorf "return with a value in void function";
+    check_expr tbl e
+  | Ast.Expr e -> check_expr tbl e
+
+let check_func (f : Ast.func) =
+  let tbl : builder = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      if Hashtbl.mem tbl p then errorf "duplicate parameter %s" p;
+      Hashtbl.replace tbl p { name = p; kind = Scalar; implicit = false })
+    f.params;
+  List.iter (check_stmt tbl ~returns_value:f.returns_value) f.body;
+  Hashtbl.fold (fun _ sym acc -> sym :: acc) tbl []
+  |> List.sort (fun a b -> String.compare a.name b.name)
+
+let check_program program =
+  let names = List.map (fun (f : Ast.func) -> f.name) program in
+  let dup =
+    Fpfa_util.Listx.uniq String.compare names |> List.length
+    <> List.length names
+  in
+  if dup then errorf "duplicate function names in translation unit";
+  List.map (fun (f : Ast.func) -> (f.name, check_func f)) program
+
+let find env name = List.find_opt (fun s -> String.equal s.name name) env
+
+let arrays env =
+  List.filter (fun s -> match s.kind with Array _ -> true | Scalar -> false) env
+
+let scalars env =
+  List.filter (fun s -> match s.kind with Scalar -> true | Array _ -> false) env

@@ -1,0 +1,39 @@
+(** Semantic analysis of the C subset.
+
+    Builds the symbol table the CDFG builder needs and rejects programs the
+    flow cannot map. Variables used without a declaration are accepted as
+    implicit symbols (the paper's FIR example uses [sum], [i], [a] and [c]
+    undeclared): a name first used with subscript syntax becomes an implicit
+    array (its contents are program inputs), otherwise an implicit scalar. *)
+
+type kind =
+  | Scalar
+  | Array of int option
+      (** Declared arrays carry their size; implicit arrays have none. *)
+
+type symbol = {
+  name : string;
+  kind : kind;
+  implicit : bool;  (** true when never declared (paper-style inputs) *)
+}
+
+type env = symbol list
+(** Symbols sorted by name. *)
+
+exception Error of string
+
+val check_func : Ast.func -> env
+(** Analyses one function.
+    @raise Error on inconsistent usage (scalar indexed, array read bare,
+    duplicate declaration, unknown intrinsic, wrong intrinsic arity,
+    non-positive array size, return value mismatch). *)
+
+val check_program : Ast.program -> (string * env) list
+(** [check_func] for each function; functions must have distinct names. *)
+
+val find : env -> string -> symbol option
+
+val arrays : env -> symbol list
+(** All array symbols. *)
+
+val scalars : env -> symbol list

@@ -1,0 +1,107 @@
+type t =
+  | Int_lit of int
+  | Ident of string
+  | Kw_int
+  | Kw_void
+  | Kw_if
+  | Kw_else
+  | Kw_while
+  | Kw_for
+  | Kw_return
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Lbrace
+  | Rbrace
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Amp
+  | Pipe
+  | Caret
+  | Tilde
+  | Bang
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq_eq
+  | Bang_eq
+  | Amp_amp
+  | Pipe_pipe
+  | Shl
+  | Shr
+  | Assign
+  | Plus_assign
+  | Minus_assign
+  | Star_assign
+  | Slash_assign
+  | Percent_assign
+  | Plus_plus
+  | Minus_minus
+  | Question
+  | Colon
+  | Comma
+  | Semi
+  | Eof
+
+type pos = { line : int; col : int }
+
+let to_string = function
+  | Int_lit n -> string_of_int n
+  | Ident s -> s
+  | Kw_int -> "int"
+  | Kw_void -> "void"
+  | Kw_if -> "if"
+  | Kw_else -> "else"
+  | Kw_while -> "while"
+  | Kw_for -> "for"
+  | Kw_return -> "return"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbracket -> "["
+  | Rbracket -> "]"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Slash -> "/"
+  | Percent -> "%"
+  | Amp -> "&"
+  | Pipe -> "|"
+  | Caret -> "^"
+  | Tilde -> "~"
+  | Bang -> "!"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq_eq -> "=="
+  | Bang_eq -> "!="
+  | Amp_amp -> "&&"
+  | Pipe_pipe -> "||"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Assign -> "="
+  | Plus_assign -> "+="
+  | Minus_assign -> "-="
+  | Star_assign -> "*="
+  | Slash_assign -> "/="
+  | Percent_assign -> "%="
+  | Plus_plus -> "++"
+  | Minus_minus -> "--"
+  | Question -> "?"
+  | Colon -> ":"
+  | Comma -> ","
+  | Semi -> ";"
+  | Eof -> "<eof>"
+
+let equal a b =
+  match (a, b) with
+  | Int_lit x, Int_lit y -> x = y
+  | Ident x, Ident y -> String.equal x y
+  | x, y -> x = y

@@ -1,0 +1,59 @@
+(** Tokens of the C subset accepted by the FPFA frontend. *)
+
+type t =
+  | Int_lit of int
+  | Ident of string
+  | Kw_int
+  | Kw_void
+  | Kw_if
+  | Kw_else
+  | Kw_while
+  | Kw_for
+  | Kw_return
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Lbrace
+  | Rbrace
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Amp
+  | Pipe
+  | Caret
+  | Tilde
+  | Bang
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq_eq
+  | Bang_eq
+  | Amp_amp
+  | Pipe_pipe
+  | Shl
+  | Shr
+  | Assign
+  | Plus_assign
+  | Minus_assign
+  | Star_assign
+  | Slash_assign
+  | Percent_assign
+  | Plus_plus
+  | Minus_minus
+  | Question
+  | Colon
+  | Comma
+  | Semi
+  | Eof
+
+type pos = { line : int; col : int }
+(** 1-based source position of the first character of a token. *)
+
+val to_string : t -> string
+(** Surface syntax of a token (for error messages and tests). *)
+
+val equal : t -> t -> bool

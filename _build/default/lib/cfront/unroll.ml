@@ -1,0 +1,160 @@
+exception Too_many_iterations of int
+
+module Env = Map.Make (String)
+
+(* The partial environment maps scalar names to their statically known
+   values; a missing binding means "unknown". *)
+
+let bool_int b = if b then 1 else 0
+
+let apply_binop op a b =
+  match op with
+  | Ast.Add -> Some (a + b)
+  | Ast.Sub -> Some (a - b)
+  | Ast.Mul -> Some (a * b)
+  (* Division and shifts are total: x/0 = x%0 = 0 and out-of-range shift
+     amounts yield 0. The whole toolchain (interpreter, CDFG evaluator, tile
+     simulator) shares these semantics so that speculative dataflow
+     execution cannot fault where sequential C would not. *)
+  | Ast.Div -> Some (if b = 0 then 0 else a / b)
+  | Ast.Mod -> Some (if b = 0 then 0 else a mod b)
+  | Ast.Shl -> Some (if b < 0 || b > 62 then 0 else a lsl b)
+  | Ast.Shr -> Some (if b < 0 || b > 62 then 0 else a asr b)
+  | Ast.Band -> Some (a land b)
+  | Ast.Bor -> Some (a lor b)
+  | Ast.Bxor -> Some (a lxor b)
+  | Ast.Lt -> Some (bool_int (a < b))
+  | Ast.Le -> Some (bool_int (a <= b))
+  | Ast.Gt -> Some (bool_int (a > b))
+  | Ast.Ge -> Some (bool_int (a >= b))
+  | Ast.Eq -> Some (bool_int (a = b))
+  | Ast.Ne -> Some (bool_int (a <> b))
+  | Ast.Land -> Some (bool_int (a <> 0 && b <> 0))
+  | Ast.Lor -> Some (bool_int (a <> 0 || b <> 0))
+
+let apply_unop op a =
+  match op with
+  | Ast.Neg -> -a
+  | Ast.Bnot -> lnot a
+  | Ast.Lnot -> bool_int (a = 0)
+
+let rec eval_const_expr lookup expr =
+  let ( let* ) = Option.bind in
+  match expr with
+  | Ast.Int_lit n -> Some n
+  | Ast.Var name -> lookup name
+  | Ast.Index (_, _) -> None
+  | Ast.Binop (op, a, b) ->
+    let* a = eval_const_expr lookup a in
+    let* b = eval_const_expr lookup b in
+    apply_binop op a b
+  | Ast.Unop (op, a) ->
+    let* a = eval_const_expr lookup a in
+    Some (apply_unop op a)
+  | Ast.Cond (c, a, b) ->
+    let* c = eval_const_expr lookup c in
+    if c <> 0 then eval_const_expr lookup a else eval_const_expr lookup b
+  | Ast.Call ("abs", [ a ]) ->
+    let* a = eval_const_expr lookup a in
+    Some (abs a)
+  | Ast.Call ("min", [ a; b ]) ->
+    let* a = eval_const_expr lookup a in
+    let* b = eval_const_expr lookup b in
+    Some (min a b)
+  | Ast.Call ("max", [ a; b ]) ->
+    let* a = eval_const_expr lookup a in
+    let* b = eval_const_expr lookup b in
+    Some (max a b)
+  | Ast.Call (_, _) -> None
+
+let eval env expr = eval_const_expr (fun name -> Env.find_opt name env) expr
+
+(* Scalars assigned anywhere inside a statement list: these lose their
+   statically known value when the enclosing control flow is not resolved. *)
+let rec assigned_scalars body acc =
+  List.fold_left
+    (fun acc stmt ->
+      match stmt with
+      | Ast.Decl (name, None, _) | Ast.Assign (Ast.Lvar name, _) -> name :: acc
+      | Ast.Decl (_, Some _, _) | Ast.Assign (Ast.Lindex _, _) -> acc
+      | Ast.If (_, then_body, else_body) ->
+        assigned_scalars else_body (assigned_scalars then_body acc)
+      | Ast.While (_, body) -> assigned_scalars body acc
+      | Ast.Return _ | Ast.Expr _ -> acc)
+    acc body
+
+let kill_assigned body env =
+  List.fold_left (fun env name -> Env.remove name env) env
+    (assigned_scalars body [])
+
+let rec process_body ~budget env body =
+  let env, rev_stmts =
+    List.fold_left
+      (fun (env, acc) stmt ->
+        let env, stmts = process_stmt ~budget env stmt in
+        (env, List.rev_append stmts acc))
+      (env, []) body
+  in
+  (env, List.rev rev_stmts)
+
+and process_stmt ~budget env stmt =
+  match stmt with
+  | Ast.Decl (name, None, init) ->
+    let env =
+      match Option.map (eval env) init with
+      | Some (Some v) -> Env.add name v env
+      | Some None -> Env.remove name env
+      | None -> Env.add name 0 env (* uninitialised scalars read as 0 *)
+    in
+    (env, [ stmt ])
+  | Ast.Decl (_, Some _, _) -> (env, [ stmt ])
+  | Ast.Assign (Ast.Lvar name, e) ->
+    let env =
+      match eval env e with
+      | Some v -> Env.add name v env
+      | None -> Env.remove name env
+    in
+    (env, [ stmt ])
+  | Ast.Assign (Ast.Lindex _, _) -> (env, [ stmt ])
+  | Ast.If (cond, then_body, else_body) -> (
+    match eval env cond with
+    | Some c ->
+      process_body ~budget env (if c <> 0 then then_body else else_body)
+    | None ->
+      let env_then, then_body' = process_body ~budget env then_body in
+      let _, else_body' = process_body ~budget env else_body in
+      ignore env_then;
+      let env' = kill_assigned (then_body @ else_body) env in
+      (env', [ Ast.If (cond, then_body', else_body') ]))
+  | Ast.While (cond, body) -> unroll_while ~budget env cond body
+  | Ast.Return _ | Ast.Expr _ -> (env, [ stmt ])
+
+(* Peels iterations while the condition stays statically known. If knowledge
+   is lost mid-way (e.g. the induction variable is overwritten by an array
+   read) the residual loop is emitted after the peeled copies. *)
+and unroll_while ~budget env cond body =
+  let rec peel env acc iterations =
+    if iterations > !budget then raise (Too_many_iterations iterations);
+    match eval env cond with
+    | Some 0 -> (env, List.concat (List.rev acc))
+    | Some _ ->
+      let env, copy = process_body ~budget env body in
+      peel env (copy :: acc) (iterations + 1)
+    | None ->
+      let env' = kill_assigned body env in
+      let _, body' = process_body ~budget env' body in
+      let residual = [ Ast.While (cond, body') ] in
+      (env', List.concat (List.rev (residual :: acc)))
+  in
+  peel env [] 0
+
+let unroll_body ?(max_iterations = 4096) body =
+  let budget = ref max_iterations in
+  let _, body' = process_body ~budget Env.empty body in
+  body'
+
+let unroll_func ?max_iterations (f : Ast.func) =
+  { f with Ast.body = unroll_body ?max_iterations f.Ast.body }
+
+let unroll_program ?max_iterations program =
+  List.map (unroll_func ?max_iterations) program

@@ -1,0 +1,29 @@
+(** Complete loop unrolling by partial evaluation.
+
+    The mapping flow targets directed acyclic graphs (paper Section VI), so
+    loops must be fully unrolled before CDFG construction. The unroller
+    abstractly interprets the statement list, tracking which scalars hold
+    statically known constants; a [while] whose condition evaluates to a
+    constant under that knowledge is peeled iteration by iteration.
+
+    Loops whose trip count is not statically determined are left in place
+    (the CDFG builder then rejects them with a clear error), matching the
+    paper's "loops and branches are future work" scope. *)
+
+exception Too_many_iterations of int
+(** Raised when a loop exceeds the unrolling budget (runaway or huge loop). *)
+
+val unroll_body : ?max_iterations:int -> Ast.stmt list -> Ast.stmt list
+(** [unroll_body body] is [body] with every statically bounded loop fully
+    unrolled. [max_iterations] (default 4096) bounds the total number of
+    peeled iterations per loop. *)
+
+val unroll_func : ?max_iterations:int -> Ast.func -> Ast.func
+
+val unroll_program : ?max_iterations:int -> Ast.program -> Ast.program
+
+val eval_const_expr : (string -> int option) -> Ast.expr -> int option
+(** Constant evaluation of a pure expression under a partial scalar
+    environment. Array accesses and failed lookups yield [None]; division by
+    zero and out-of-range shifts also yield [None] (the error is then left
+    to show up at run time, preserving behaviour). *)

@@ -1,0 +1,1 @@
+lib/core/flow.ml: Array Cdfg Cfront Format Fpfa_arch Fpfa_sim List Mapping Printf String Transform

@@ -1,0 +1,1 @@
+lib/core/flow.mli: Cdfg Cfront Format Fpfa_arch Mapping Transform

@@ -1,0 +1,1 @@
+lib/core/loop_flow.ml: Array Cfront Flow Format Fpfa_sim Hashtbl List Mapping Option Printf String

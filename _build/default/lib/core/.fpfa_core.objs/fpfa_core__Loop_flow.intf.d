@@ -1,0 +1,1 @@
+lib/core/loop_flow.mli: Flow Format Mapping

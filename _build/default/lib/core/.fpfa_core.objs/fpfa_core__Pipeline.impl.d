@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Cfront Flow Format Fpfa_sim Fpfa_util List Loop_flow Mapping Printf String

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Flow Format Loop_flow

@@ -1,0 +1,152 @@
+module Arch = Fpfa_arch.Arch
+
+type config = {
+  tile : Arch.tile;
+  caps : Arch.alu_caps option;
+  cluster_with : caps:Arch.alu_caps -> Cdfg.Graph.t -> Mapping.Cluster.t;
+  passes : Transform.Pass.t list;
+  alloc_options : Mapping.Alloc.options;
+  max_unroll : int;
+  delete_locals : bool;
+}
+
+let default_config =
+  {
+    tile = Arch.paper_tile;
+    caps = None;
+    cluster_with = (fun ~caps g -> Mapping.Cluster.run ~caps g);
+    passes = Transform.Simplify.default_passes;
+    alloc_options = Mapping.Alloc.default_options;
+    max_unroll = 4096;
+    delete_locals = false;
+  }
+
+type result = {
+  source : string;
+  func : Cfront.Ast.func;
+  raw_graph : Cdfg.Graph.t;
+  graph : Cdfg.Graph.t;
+  simplify_report : Transform.Simplify.report;
+  clustering : Mapping.Cluster.t;
+  schedule : Mapping.Sched.t;
+  job : Mapping.Job.t;
+  metrics : Mapping.Metrics.t;
+}
+
+exception Flow_error of string
+
+let stage name f =
+  try f () with
+  | Flow_error _ as e -> raise e
+  | Cfront.Lexer.Error (msg, pos) ->
+    raise
+      (Flow_error
+         (Printf.sprintf "%s: lexical error at %d:%d: %s" name pos.Cfront.Token.line
+            pos.Cfront.Token.col msg))
+  | Cfront.Parser.Error (msg, pos) ->
+    raise
+      (Flow_error
+         (Printf.sprintf "%s: syntax error at %d:%d: %s" name pos.Cfront.Token.line
+            pos.Cfront.Token.col msg))
+  | Cfront.Sema.Error msg -> raise (Flow_error (name ^ ": " ^ msg))
+  | Cfront.Inline.Error msg -> raise (Flow_error (name ^ ": " ^ msg))
+  | Cfront.Unroll.Too_many_iterations n ->
+    raise (Flow_error (Printf.sprintf "%s: loop exceeds %d iterations" name n))
+  | Cdfg.Builder.Unsupported msg -> raise (Flow_error (name ^ ": " ^ msg))
+  | Cdfg.Graph.Invalid msg -> raise (Flow_error (name ^ ": " ^ msg))
+  | Mapping.Legalize.Unmappable msg -> raise (Flow_error (name ^ ": " ^ msg))
+  | Mapping.Cluster.Clustering_error msg -> raise (Flow_error (name ^ ": " ^ msg))
+  | Mapping.Sched.Scheduling_error msg -> raise (Flow_error (name ^ ": " ^ msg))
+  | Mapping.Alloc.Allocation_error msg -> raise (Flow_error (name ^ ": " ^ msg))
+
+let map_prepared ~config ~source ~func raw_graph =
+  let graph = stage "validate" (fun () ->
+      Cdfg.Graph.validate raw_graph;
+      Cdfg.Graph.copy raw_graph)
+  in
+  let simplify_report =
+    stage "simplify" (fun () ->
+        Transform.Simplify.minimize ~passes:config.passes ~validate:false graph)
+  in
+  stage "simplify-validate" (fun () -> Cdfg.Graph.validate graph);
+  let caps = match config.caps with Some caps -> caps | None -> config.tile.Arch.alu in
+  let clustering = stage "cluster" (fun () -> config.cluster_with ~caps graph) in
+  stage "cluster-validate" (fun () -> Mapping.Cluster.validate clustering caps);
+  let schedule =
+    stage "schedule" (fun () ->
+        Mapping.Sched.run ~alu_count:config.tile.Arch.alu_count clustering)
+  in
+  stage "schedule-validate" (fun () ->
+      Mapping.Sched.validate schedule ~alu_count:config.tile.Arch.alu_count);
+  let job =
+    stage "allocate" (fun () ->
+        Mapping.Alloc.run ~options:config.alloc_options ~tile:config.tile
+          schedule)
+  in
+  let metrics = Mapping.Metrics.of_job job in
+  {
+    source;
+    func;
+    raw_graph;
+    graph;
+    simplify_report;
+    clustering;
+    schedule;
+    job;
+    metrics;
+  }
+
+let map_func ?(config = default_config) func =
+  let func =
+    stage "unroll" (fun () ->
+        Cfront.Unroll.unroll_func ~max_iterations:config.max_unroll func)
+  in
+  let raw_graph =
+    stage "build" (fun () ->
+        Cdfg.Builder.build_func ~delete_locals:config.delete_locals func)
+  in
+  let source = Cfront.Ast.program_to_string [ func ] in
+  map_prepared ~config ~source ~func raw_graph
+
+let map_source ?(config = default_config) ?(func = "main") source =
+  let program = stage "parse" (fun () -> Cfront.Parser.parse_program source) in
+  let program = stage "inline" (fun () -> Cfront.Inline.program program) in
+  let f =
+    match
+      List.find_opt
+        (fun (f : Cfront.Ast.func) -> String.equal f.Cfront.Ast.name func)
+        program
+    with
+    | Some f -> f
+    | None -> raise (Flow_error (Printf.sprintf "no function %s in source" func))
+  in
+  let result = map_func ~config f in
+  { result with source }
+
+let map_graph ?(config = default_config) g =
+  let placeholder =
+    {
+      Cfront.Ast.name = Cdfg.Graph.name g;
+      params = [];
+      body = [];
+      returns_value = false;
+    }
+  in
+  map_prepared ~config ~source:"" ~func:placeholder (Cdfg.Graph.copy g)
+
+let verify ?(memory_init = []) result =
+  let expected = Cdfg.Eval.run ~memory_init result.raw_graph in
+  let minimised = Cdfg.Eval.run ~memory_init result.graph in
+  Cdfg.Eval.equal_result expected minimised
+  && Fpfa_sim.Sim.conforms ~memory_init result.job
+
+let pp_summary fmt r =
+  Format.fprintf fmt
+    "@[<v>%s: %d nodes -> %d nodes, %d clusters, %d levels (cp %d), %a@]"
+    (Cdfg.Graph.name r.graph)
+    r.simplify_report.Transform.Simplify.before.Cdfg.Graph.total
+    r.simplify_report.Transform.Simplify.after.Cdfg.Graph.total
+    (Array.length r.clustering.Mapping.Cluster.clusters)
+    (Mapping.Sched.level_count r.schedule)
+    (Mapping.Sched.critical_path_levels r.schedule)
+    Mapping.Metrics.pp r.metrics

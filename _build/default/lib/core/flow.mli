@@ -1,0 +1,60 @@
+(** The end-to-end FPFA mapping flow (the paper's four steps):
+
+    C source → CDFG (translate) → minimised CDFG (transform) → clusters
+    (phase 1) → schedule (phase 2) → per-cycle tile job (phase 3).
+
+    This is the library's front door; each stage result stays accessible
+    for inspection, and {!verify} checks the mapped job against the
+    reference interpreter. *)
+
+type config = {
+  tile : Fpfa_arch.Arch.tile;
+  caps : Fpfa_arch.Arch.alu_caps option;
+      (** clustering data path; defaults to [tile.alu] *)
+  cluster_with :
+    caps:Fpfa_arch.Arch.alu_caps -> Cdfg.Graph.t -> Mapping.Cluster.t;
+      (** phase-1 algorithm; defaults to {!Mapping.Cluster.run} (greedy
+          template matching); {!Mapping.Cluster.sarkar} is the
+          edge-zeroing alternative *)
+  passes : Transform.Pass.t list;  (** simplification pipeline *)
+  alloc_options : Mapping.Alloc.options;
+  max_unroll : int;
+  delete_locals : bool;
+}
+
+val default_config : config
+(** Paper tile, paper ALU, default simplification, paper allocation. *)
+
+type result = {
+  source : string;
+  func : Cfront.Ast.func;  (** after unrolling *)
+  raw_graph : Cdfg.Graph.t;  (** CDFG before minimisation *)
+  graph : Cdfg.Graph.t;  (** minimised CDFG *)
+  simplify_report : Transform.Simplify.report;
+  clustering : Mapping.Cluster.t;
+  schedule : Mapping.Sched.t;
+  job : Mapping.Job.t;
+  metrics : Mapping.Metrics.t;
+}
+
+exception Flow_error of string
+
+val map_source : ?config:config -> ?func:string -> string -> result
+(** Runs the full flow on C source text: user-defined function calls are
+    inlined first, then the (call-free) function [func] (default ["main"])
+    is mapped.
+    @raise Flow_error wrapping any stage failure with stage context. *)
+
+val map_func : ?config:config -> Cfront.Ast.func -> result
+
+val map_graph : ?config:config -> Cdfg.Graph.t -> result
+(** Entry point for callers that build CDFGs directly (e.g. random-DAG
+    benchmarks). The graph is copied, minimised, and mapped; [source] and
+    [func] hold placeholders. *)
+
+val verify :
+  ?memory_init:(string * int array) list -> result -> bool
+(** Triple conformance on the given inputs: reference interpreter vs CDFG
+    evaluator (before and after minimisation) vs tile simulator. *)
+
+val pp_summary : Format.formatter -> result -> unit

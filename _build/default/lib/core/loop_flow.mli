@@ -1,0 +1,76 @@
+(** Loop mapping by configuration reuse — the paper's Section VII future
+    work ("loops should be included in the clustering, scheduling and
+    resource allocation phase").
+
+    Instead of fully unrolling counted loops into one huge DAG, the
+    function body is split into {e segments}: straight-line stretches map
+    to ordinary configurations, and each counted loop
+
+    {v i = k0; while (i < N) { body; i = i + 1; } v}
+
+    maps to {e one} body configuration replayed [N - k0] times with linear
+    per-iteration address/immediate strides ({!Mapping.Parametric}) — the
+    way a reconfigurable sequencer runs loops. Configuration size becomes
+    O(1) in each trip count.
+
+    A loop is parametrised only when it is safe: consecutive-iteration jobs
+    must be isomorphic, no two accesses that are distinct at the base
+    iteration may collide at any other iteration (static stride analysis),
+    and the whole staged program is validated end-to-end against the
+    reference interpreter. Loops failing any check are folded back into
+    the neighbouring straight segment (fully unrolled); if no loop
+    qualifies, the fall-back is the ordinary whole-function mapping. *)
+
+type loop_segment = {
+  body : Mapping.Parametric.t;
+  k_first : int;  (** first iteration index *)
+  trips : int;
+}
+
+type segment =
+  | Straight of Flow.result  (** one configuration *)
+  | Loop of loop_segment  (** one configuration replayed [trips] times *)
+
+type staged = { segments : segment list }
+
+type outcome =
+  | Looped of staged
+      (** at least one loop was parametrised; validated end-to-end *)
+  | Unrolled of Flow.result * string
+      (** fallback: the fully unrolled mapping, and why *)
+
+exception Loop_error of string
+
+val loops : staged -> loop_segment list
+val straights : staged -> Flow.result list
+
+val map_source : ?config:Flow.config -> ?func:string -> string -> outcome
+
+val run :
+  ?memory_init:(string * int array) list ->
+  staged ->
+  (string * int array) list
+(** Executes the segments in order (loop segments replay their patched body
+    [trips] times); region contents carried by name. *)
+
+val verify :
+  ?memory_init:(string * int array) list -> string -> ?func:string -> outcome -> bool
+(** Compares {!run} (or the fallback's simulation) against the reference
+    interpreter on the original source. *)
+
+type costs = {
+  looped_config_words : int;
+      (** all segment configurations + patch tables *)
+  unrolled_config_words : int;
+  looped_cycles : int;
+  unrolled_cycles : int;
+}
+
+val compare_costs : ?config:Flow.config -> ?func:string -> string -> costs option
+(** [None] when nothing loop-maps (fallback). *)
+
+val staged_costs : staged -> int * int
+(** (configuration words incl. patch tables, compute cycles) of a staged
+    program — the loop bodies counted once each. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,95 @@
+(** Multi-kernel applications as successive tile configurations.
+
+    The FPFA is dynamically reconfigurable (the paper's reference [3]): an
+    application is a sequence of kernels, each mapped to its own
+    configuration; between kernels the tile is reconfigured and the
+    statespace contents persist (outputs of one stage are the inputs of the
+    next — region names connect them).
+
+    Reconfiguration cost model: loading a configuration of [w] words
+    through the configuration port transfers {!config_words_per_cycle}
+    words per clock cycle, so switching to stage [k] costs
+    [ceil (size_words job_k / config_words_per_cycle)] cycles. *)
+
+type stage = {
+  stage_name : string;
+  result : Flow.result;
+  config_words : int;
+  reconfig_cycles : int;
+  compute_cycles : int;
+}
+
+type t = {
+  stages : stage list;
+  total_compute_cycles : int;
+  total_reconfig_cycles : int;
+}
+
+exception Pipeline_error of string
+
+val config_words_per_cycle : int
+(** Width of the modelled configuration port (words per cycle). *)
+
+val map : ?config:Flow.config -> string -> funcs:string list -> t
+(** [map source ~funcs] maps each named function of [source] (calls
+    inlined first) as one pipeline stage, in order.
+    @raise Pipeline_error wrapping per-stage flow failures. *)
+
+val run :
+  ?memory_init:(string * int array) list ->
+  t ->
+  (string * int array) list
+(** Executes the stages in order on the simulated tile, carrying region
+    contents from each stage to the next. Returns the final contents of
+    every region ever touched, sorted by name. *)
+
+val reference :
+  ?memory_init:(string * int array) list ->
+  string ->
+  funcs:string list ->
+  (string * int array) list
+(** The same staged execution under the reference interpreter (no
+    mapping): the golden result {!verify} compares against. *)
+
+val verify :
+  ?memory_init:(string * int array) list -> string -> funcs:string list -> bool
+(** Maps, runs, and compares against {!reference} (zero-padded per
+    region). *)
+
+val pp : Format.formatter -> t -> unit
+(** Per-stage table: compute cycles, configuration words, reconfiguration
+    cycles. *)
+
+(** {2 Stages with loop-configuration reuse}
+
+    Combines both reconfiguration mechanisms: each pipeline stage is mapped
+    through {!Loop_flow}, so a stage whose body is a counted loop loads one
+    small body configuration and replays it, instead of one large unrolled
+    configuration. *)
+
+type reuse_stage = {
+  rname : string;
+  outcome : Loop_flow.outcome;
+  rconfig_words : int;
+  rreconfig_cycles : int;
+  rcompute_cycles : int;
+}
+
+type reuse = {
+  rstages : reuse_stage list;
+  rtotal_compute_cycles : int;
+  rtotal_reconfig_cycles : int;
+}
+
+val map_reuse : ?config:Flow.config -> string -> funcs:string list -> reuse
+
+val run_reuse :
+  ?memory_init:(string * int array) list ->
+  reuse ->
+  (string * int array) list
+
+val verify_reuse :
+  ?memory_init:(string * int array) list -> string -> funcs:string list -> bool
+(** Maps with loop reuse, runs, and compares against {!reference}. *)
+
+val pp_reuse : Format.formatter -> reuse -> unit

@@ -1,0 +1,1 @@
+lib/kernels/kernels.ml: Array Cfront Fpfa_util List Printf String

@@ -1,0 +1,1 @@
+lib/kernels/paper_examples.ml: Array Cdfg Hashtbl List Mapping Printf

@@ -1,0 +1,1 @@
+lib/kernels/random_graph.ml: Array Cdfg Fpfa_util Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/kernels/random_graph.mli: Cdfg

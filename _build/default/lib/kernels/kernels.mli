@@ -1,0 +1,67 @@
+(** Benchmark kernel corpus.
+
+    The paper evaluates on the FIR filter of its Section V; the FPFA project
+    targeted 3G/4G baseband DSP (reference [2] of the paper), so the corpus
+    adds the standard kernels of that domain: IIR biquad, dot product,
+    matrix multiply, FFT butterflies, a 4-point DCT, correlation and vector
+    operations, plus predicated kernels that exercise if-conversion.
+
+    Every kernel carries deterministic input data so that tests and
+    benchmarks are reproducible. *)
+
+type t = {
+  name : string;
+  description : string;
+  source : string;  (** C source, function [main] *)
+  inputs : (string * int array) list;  (** seed contents of input regions *)
+}
+
+val fir_paper : t
+(** The FIR code of paper Section V, verbatim. *)
+
+val fir : taps:int -> t
+(** FIR with a configurable tap count (paper's loop bound generalised). *)
+
+val dot_product : n:int -> t
+val vector_scale : n:int -> t
+val saxpy : n:int -> t
+val iir_biquad : sections:int -> t
+val matmul : n:int -> t
+(** n x n matrix multiply. *)
+
+val fft_butterflies : pairs:int -> t
+(** Radix-2 butterflies, integer twiddles. *)
+
+val dct4 : t
+(** 4-point DCT approximation with integer weights. *)
+
+val correlation : lags:int -> n:int -> t
+val moving_average : window:int -> n:int -> t
+
+val clip : n:int -> t
+(** Saturation via if/else — exercises if-conversion. *)
+
+val clip_minmax : n:int -> t
+(** The same saturation via min/max intrinsics — E10's branch-free
+    comparison point. *)
+
+val max_abs : n:int -> t
+(** Reduction with the [max]/[abs] intrinsics. *)
+
+val polynomial : degree:int -> t
+(** Horner evaluation — a serial dependence chain. *)
+
+val complex_mul : n:int -> t
+(** Complex multiplies written with helper functions (inliner coverage). *)
+
+val manhattan : n:int -> t
+(** L1 distance via a helper function. *)
+
+val all : t list
+(** The default suite at representative sizes (deterministic order). *)
+
+val find : string -> t
+(** @raise Not_found for an unknown kernel name. *)
+
+val reference_state : t -> Cfront.Interp.state
+(** Runs the reference interpreter on the kernel's inputs. *)

@@ -1,0 +1,116 @@
+module G = Cdfg.Graph
+module Op = Cdfg.Op
+
+let value_binops =
+  [ Op.Add; Op.Sub; Op.Band; Op.Bor; Op.Bxor; Op.Lt; Op.Ne; Op.Shr ]
+
+let mul_binops = [ Op.Mul ]
+
+(* Regions are split into 256-word banks so that even large generated
+   graphs fit the tile's 512-word memories alongside scratch space. *)
+let bank_words = 256
+
+let generate ?(seed = 42) ?input_words ?(mul_ratio = 0.3) ~ops () =
+  assert (ops > 0);
+  let rng = Fpfa_util.Prng.create seed in
+  let input_words =
+    match input_words with Some w -> w | None -> max 4 (ops / 4)
+  in
+  let g = G.create (Printf.sprintf "random-%d-%d" ops seed) in
+  let consts = Hashtbl.create 8 in
+  let const v =
+    match Hashtbl.find_opt consts v with
+    | Some id -> id
+    | None ->
+      let id = G.add g (G.Const v) [] in
+      Hashtbl.replace consts v id;
+      id
+  in
+  (* Input fetches, split into banks of [bank_words]. *)
+  let input_banks = (input_words + bank_words - 1) / bank_words in
+  let input_tokens =
+    List.init input_banks (fun bank ->
+        let region = Printf.sprintf "input%d" bank in
+        let words = min bank_words (input_words - (bank * bank_words)) in
+        G.declare_region g region { G.size = Some words; implicit = true };
+        let ss = G.add g (G.Ss_in region) [] in
+        (region, ss))
+  in
+  let fetches =
+    List.init input_words (fun i ->
+        let region, ss = List.nth input_tokens (i / bank_words) in
+        G.add g (G.Fe region) [ ss; const (i mod bank_words) ])
+  in
+  (* Random operation layer: operands drawn from fetches and earlier ops,
+     biased towards recent values so that chains form. *)
+  let values = ref (Array.of_list fetches) in
+  let pick_value () =
+    let arr = !values in
+    let n = Array.length arr in
+    (* Bias: half the draws come from the most recent quarter. *)
+    let idx =
+      if Fpfa_util.Prng.bool rng && n > 4 then
+        n - 1 - Fpfa_util.Prng.int rng (max 1 (n / 4))
+      else Fpfa_util.Prng.int rng n
+    in
+    arr.(idx)
+  in
+  let op_ids =
+    List.init ops (fun _ ->
+        let id =
+          if Fpfa_util.Prng.float rng < mul_ratio then
+            G.add g
+              (G.Binop (Fpfa_util.Prng.pick rng mul_binops))
+              [ pick_value (); pick_value () ]
+          else if Fpfa_util.Prng.float rng < 0.1 then
+            G.add g (G.Unop Op.Neg) [ pick_value () ]
+          else
+            G.add g
+              (G.Binop (Fpfa_util.Prng.pick rng value_binops))
+              [ pick_value (); pick_value () ]
+        in
+        values := Array.append !values [| id |];
+        id)
+  in
+  (* Store every sink (op with no consumers) to banked output regions. *)
+  let consumers = G.consumers g in
+  let sinks =
+    List.filter (fun id -> not (Hashtbl.mem consumers id)) op_ids
+  in
+  let output_banks =
+    max 1 ((List.length sinks + bank_words - 1) / bank_words)
+  in
+  let output_tokens =
+    Array.init output_banks (fun bank ->
+        let region = Printf.sprintf "output%d" bank in
+        let words =
+          max 1 (min bank_words (List.length sinks - (bank * bank_words)))
+        in
+        G.declare_region g region { G.size = Some words; implicit = false };
+        (region, ref (G.add g (G.Ss_in region) [])))
+  in
+  List.iteri
+    (fun i sink ->
+      let region, token = output_tokens.(i / bank_words) in
+      token := G.add g (G.St region) [ !token; const (i mod bank_words); sink ])
+    sinks;
+  Array.iter
+    (fun (region, token) ->
+      ignore (G.add g (G.Ss_out region) [ !token ]))
+    output_tokens;
+  List.iter
+    (fun (region, ss) -> ignore (G.add g (G.Ss_out region) [ ss ]))
+    input_tokens;
+  G.validate g;
+  g
+
+let random_inputs ?(seed = 7) g =
+  let rng = Fpfa_util.Prng.create seed in
+  List.filter_map
+    (fun (region, (info : G.region_info)) ->
+      if info.G.implicit then
+        let words = match info.G.size with Some s -> s | None -> 8 in
+        Some
+          (region, Array.init words (fun _ -> Fpfa_util.Prng.int_in rng (-50) 50))
+      else None)
+    (G.regions g)

@@ -1,0 +1,23 @@
+(** Seeded random CDFG generator for scalability experiments.
+
+    Produces legal, already-minimised-looking DAGs: a layer of input
+    fetches, [ops] random arithmetic operations with bounded fan-in drawn
+    from earlier nodes, and stores of the sink values to an output region.
+    Offsets are constant, so the graphs map without further
+    transformation. Used by experiment E5 (linear-complexity check of the
+    scheduling and allocation phases) and by property-based tests. *)
+
+val generate :
+  ?seed:int ->
+  ?input_words:int ->
+  ?mul_ratio:float ->
+  ops:int ->
+  unit ->
+  Cdfg.Graph.t
+(** [generate ~ops ()] builds a graph with [ops] value operations.
+    [input_words] (default [max 4 (ops/4)]) sizes the input region;
+    [mul_ratio] (default 0.3) is the fraction of multiplier-class
+    operations. The result passes [Graph.validate] and [Legalize.check]. *)
+
+val random_inputs : ?seed:int -> Cdfg.Graph.t -> (string * int array) list
+(** Deterministic input contents for every implicit region of a graph. *)

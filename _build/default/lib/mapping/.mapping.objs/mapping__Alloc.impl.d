@@ -1,0 +1,1 @@
+lib/mapping/alloc.ml: Array Cdfg Cluster Format Fpfa_arch Fun Hashtbl Job Legalize List Printf Sched String Sys

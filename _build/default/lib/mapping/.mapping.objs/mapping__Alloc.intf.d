@@ -1,0 +1,1 @@
+lib/mapping/alloc.mli: Fpfa_arch Job Sched

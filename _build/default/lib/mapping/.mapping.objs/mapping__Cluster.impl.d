@@ -1,0 +1,1 @@
+lib/mapping/cluster.ml: Array Buffer Cdfg Format Fpfa_arch Fpfa_util Fun Hashtbl Legalize List Printf Queue String

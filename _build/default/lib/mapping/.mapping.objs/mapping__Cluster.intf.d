@@ -1,0 +1,1 @@
+lib/mapping/cluster.mli: Cdfg Format Fpfa_arch Hashtbl

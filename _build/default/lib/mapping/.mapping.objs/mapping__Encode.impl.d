@@ -1,0 +1,1 @@
+lib/mapping/encode.ml: Array Cdfg Format Fpfa_arch Fpfa_util Fun Job List Printf String

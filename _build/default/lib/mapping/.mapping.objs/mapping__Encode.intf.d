@@ -1,0 +1,1 @@
+lib/mapping/encode.mli: Format Job

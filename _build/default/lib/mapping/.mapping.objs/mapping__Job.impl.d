@@ -1,0 +1,1 @@
+lib/mapping/job.ml: Array Cdfg Char Format Fpfa_arch Fpfa_util List Printf String

@@ -1,0 +1,1 @@
+lib/mapping/job.mli: Cdfg Format Fpfa_arch

@@ -1,0 +1,1 @@
+lib/mapping/legalize.ml: Array Cdfg Format List

@@ -1,0 +1,1 @@
+lib/mapping/legalize.mli: Cdfg

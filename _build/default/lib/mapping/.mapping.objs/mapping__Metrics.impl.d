@@ -1,0 +1,1 @@
+lib/mapping/metrics.ml: Array Format Fpfa_arch Fpfa_util Job List Printf

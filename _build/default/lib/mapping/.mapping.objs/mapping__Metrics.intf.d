@@ -1,0 +1,1 @@
+lib/mapping/metrics.mli: Format Job

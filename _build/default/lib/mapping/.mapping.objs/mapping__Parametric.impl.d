@@ -1,0 +1,1 @@
+lib/mapping/parametric.ml: Array Format Job List Printf String

@@ -1,0 +1,1 @@
+lib/mapping/parametric.mli: Job

@@ -1,0 +1,1 @@
+lib/mapping/sched.ml: Array Cluster Format Hashtbl List Queue String

@@ -1,0 +1,1 @@
+lib/mapping/sched.mli: Cluster Format

@@ -1,0 +1,31 @@
+(** Tile configuration encoding.
+
+    The FPFA's shared control unit executes a per-cycle configuration; the
+    real toolchain's final output is that binary. This module serialises a
+    {!Job.t} into a self-contained little-endian configuration image
+    (header, tile parameters, embedded CDFG for conformance checking,
+    region map, then one record per clock cycle) and decodes it back.
+
+    The image size is also the model for reconfiguration cost: loading a
+    configuration of [size_words] words through the configuration port
+    takes [size_words / config_words_per_cycle] cycles
+    (see {!Fpfa_core.Pipeline}). *)
+
+exception Corrupt of string
+
+val to_string : Job.t -> string
+val of_string : string -> Job.t
+(** Exact round-trip up to CDFG node renumbering: the decoded job simulates
+    identically and [conforms] iff the original did.
+    @raise Corrupt on malformed images. *)
+
+val to_file : Job.t -> string -> unit
+val of_file : string -> Job.t
+
+val size_words : Job.t -> int
+(** Configuration size in 16-bit words (image bytes / 2, rounded up),
+    excluding the embedded debug CDFG — the part real hardware would
+    load. *)
+
+val pp_summary : Format.formatter -> Job.t -> unit
+(** One line: cycles, configuration words, bytes. *)

@@ -1,0 +1,193 @@
+type reg = { pp : int; bank : int; index : int }
+type mem_loc = { mpp : int; mem : int; addr : int }
+
+type arg = Port of int | Node of Cdfg.Graph.id
+
+type action = Bin of Cdfg.Op.binop | Un of Cdfg.Op.unop | Mux3 | Pass
+
+type micro = { node : Cdfg.Graph.id; action : action; args : arg list }
+
+type write = {
+  target : mem_loc;
+  wcycle : int;
+  source_store : Cdfg.Graph.id option;
+}
+
+type alu_work = {
+  wcluster : int;
+  wpp : int;
+  port_regs : (int * reg) list;
+  port_imms : (int * int) list;
+  micros : micro list;
+  writes : write list;
+  reg_dests : (int * reg) list;
+}
+
+type delete_work = { dcluster : int; dloc : mem_loc; dcycle : int }
+
+type move = {
+  src : mem_loc;
+  dst : reg;
+  carried : Cdfg.Graph.id;
+  for_cluster : int;
+}
+
+type copy = { csrc : mem_loc; cdst : mem_loc; kept : Cdfg.Graph.id }
+
+type cycle = {
+  moves : move list;
+  copies : copy list;
+  alu : alu_work list;
+  deletes : delete_work list;
+}
+
+type t = {
+  tile : Fpfa_arch.Arch.tile;
+  graph : Cdfg.Graph.t;
+  cycles : cycle array;
+  region_homes : (string * mem_loc list) list;
+  region_sizes : (string * int) list;
+  exec_cycle_of_level : int array;
+}
+
+let cycle_count t = Array.length t.cycles
+
+let home_of t region = List.assoc region t.region_homes
+
+let interleaved_cell slices offset =
+  let k = List.length slices in
+  assert (k > 0 && offset >= 0);
+  let base = List.nth slices (offset mod k) in
+  { base with addr = base.addr + (offset / k) }
+
+let cell_of t region offset = interleaved_cell (home_of t region) offset
+
+let size_of t region =
+  match List.assoc_opt region t.region_sizes with Some s -> s | None -> 0
+
+(* Bank letters only for the real banks; malformed jobs (e.g. corrupted
+   configuration images) may carry any integer and must still print. *)
+let bank_name bank =
+  if bank >= 0 && bank < 26 then String.make 1 (Char.chr (Char.code 'a' + bank))
+  else Printf.sprintf "bank%d" bank
+
+let pp_reg fmt { pp; bank; index } =
+  Format.fprintf fmt "PP%d.%s%d" pp (bank_name bank) index
+
+let pp_mem_loc fmt { mpp; mem; addr } =
+  Format.fprintf fmt "PP%d.MEM%d[%d]" mpp (mem + 1) addr
+
+let pp_action fmt = function
+  | Bin op -> Format.pp_print_string fmt (Cdfg.Op.binop_to_string op)
+  | Un op -> Format.pp_print_string fmt (Cdfg.Op.unop_to_string op)
+  | Mux3 -> Format.pp_print_string fmt "mux"
+  | Pass -> Format.pp_print_string fmt "pass"
+
+let pp_arg fmt = function
+  | Port p -> Format.fprintf fmt "R%s" (bank_name p)
+  | Node id -> Format.fprintf fmt "t%d" id
+
+let pp_micro fmt m =
+  Format.fprintf fmt "t%d=%a(%a)" m.node pp_action m.action
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ",")
+       pp_arg)
+    m.args
+
+let pp_cycle _graph fmt c =
+  List.iter
+    (fun mv ->
+      Format.fprintf fmt "  move %a -> %a (v%d, Clu%d)@," pp_mem_loc mv.src
+        pp_reg mv.dst mv.carried mv.for_cluster)
+    c.moves;
+  List.iter
+    (fun cp ->
+      Format.fprintf fmt "  keep %a -> %a (v%d)@," pp_mem_loc cp.csrc
+        pp_mem_loc cp.cdst cp.kept)
+    c.copies;
+  List.iter
+    (fun w ->
+      Format.fprintf fmt "  alu PP%d Clu%d: %a%s@," w.wpp w.wcluster
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+           pp_micro)
+        w.micros
+        (String.concat ""
+           (List.map
+              (fun wr -> Format.asprintf " ->%a@@%d" pp_mem_loc wr.target wr.wcycle)
+              w.writes
+           @ List.map
+               (fun (cyc, r) -> Format.asprintf " ->%a@@%d" pp_reg r cyc)
+               w.reg_dests)))
+    c.alu;
+  List.iter
+    (fun d ->
+      Format.fprintf fmt "  del %a (Clu%d)@," pp_mem_loc d.dloc d.dcluster)
+    c.deletes
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>job for %s: %d cycles@," (Cdfg.Graph.name t.graph)
+    (Array.length t.cycles);
+  List.iter
+    (fun (region, slices) ->
+      Format.fprintf fmt "region %s @@ %s (+%d words%s)@," region
+        (String.concat " | "
+           (List.map (Format.asprintf "%a" pp_mem_loc) slices))
+        (size_of t region)
+        (if List.length slices > 1 then
+           Printf.sprintf ", %d-way interleaved" (List.length slices)
+         else ""))
+    t.region_homes;
+  Array.iteri
+    (fun i c ->
+      Format.fprintf fmt "cycle %d:@," i;
+      pp_cycle t.graph fmt c)
+    t.cycles;
+  Format.fprintf fmt "@]"
+
+(* Timeline view: columns are cycles; PP rows show the firing cluster (as
+   a letter-coded id), the xfer row counts crossbar transfers per cycle. *)
+let pp_gantt fmt t =
+  let cycles = Array.length t.cycles in
+  let alu_count = t.tile.Fpfa_arch.Arch.alu_count in
+  let cell_of_pp pp cycle =
+    match
+      List.find_opt (fun w -> w.wpp = pp) t.cycles.(cycle).alu
+    with
+    | Some w ->
+      let text = string_of_int w.wcluster in
+      if String.length text <= 2 then text else String.sub text 0 2
+    | None -> "."
+  in
+  let width = 3 in
+  let pad s = s ^ String.make (max 0 (width - String.length s)) ' ' in
+  Format.fprintf fmt "@[<v>cycle ";
+  for c = 0 to cycles - 1 do
+    Format.pp_print_string fmt (pad (string_of_int c))
+  done;
+  Format.pp_print_cut fmt ();
+  for pp = 0 to alu_count - 1 do
+    Format.fprintf fmt "PP%d   " pp;
+    for c = 0 to cycles - 1 do
+      Format.pp_print_string fmt (pad (cell_of_pp pp c))
+    done;
+    Format.pp_print_cut fmt ()
+  done;
+  Format.fprintf fmt "moves ";
+  for c = 0 to cycles - 1 do
+    let n = List.length t.cycles.(c).moves + List.length t.cycles.(c).copies in
+    Format.pp_print_string fmt (pad (if n = 0 then "." else string_of_int n))
+  done;
+  Format.pp_print_cut fmt ();
+  Format.fprintf fmt "wb    ";
+  for c = 0 to cycles - 1 do
+    let n =
+      Fpfa_util.Listx.sum
+        (List.map
+           (fun w ->
+             List.length (List.filter (fun wr -> wr.wcycle = c) w.writes))
+           (Array.to_list t.cycles |> List.concat_map (fun cy -> cy.alu)))
+    in
+    Format.pp_print_string fmt (pad (if n = 0 then "." else string_of_int n))
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,43 @@
+module G = Cdfg.Graph
+
+exception Unmappable of string
+
+let unmappablef fmt = Format.kasprintf (fun msg -> raise (Unmappable msg)) fmt
+
+let const_offset g node_id =
+  let offset_input =
+    match (G.kind g node_id, G.inputs g node_id) with
+    | G.Fe _, [ _; offset ] | G.Del _, [ _; offset ] | G.St _, [ _; offset; _ ]
+      ->
+      offset
+    | _, _ -> unmappablef "node %d is not a statespace access" node_id
+  in
+  match G.kind g offset_input with
+  | G.Const c ->
+    if c < 0 then unmappablef "negative statespace offset %d" c;
+    c
+  | _ ->
+    unmappablef
+      "node %d has a dynamic statespace offset (unroll and simplify first)"
+      node_id
+
+let check g =
+  G.iter g (fun n ->
+      match n.G.kind with
+      | G.Fe _ | G.St _ | G.Del _ -> ignore (const_offset g n.G.id)
+      | G.Const _ | G.Binop _ | G.Unop _ | G.Mux | G.Ss_in _ | G.Ss_out _ -> ());
+  List.iter
+    (fun (name, id) ->
+      (* A named output must reach memory through some store, otherwise the
+         tile has nowhere observable to leave it. *)
+      let stored =
+        G.fold g ~init:false ~f:(fun acc n ->
+            acc
+            ||
+            match n.G.kind with
+            | G.St _ -> Array.length n.G.inputs = 3 && n.G.inputs.(2) = id
+            | _ -> false)
+      in
+      if not stored then
+        unmappablef "named output %s is not stored to any region" name)
+    (G.outputs g)

@@ -1,0 +1,15 @@
+(** Mappability checks run before clustering.
+
+    The mapping phases handle DAGs with statically known statespace
+    addresses (the paper's scope: fully unrolled loops, Section VI). *)
+
+exception Unmappable of string
+
+val const_offset : Cdfg.Graph.t -> Cdfg.Graph.id -> int
+(** The constant offset operand of an [Fe]/[St]/[Del] node.
+    @raise Unmappable when the offset is not a constant. *)
+
+val check : Cdfg.Graph.t -> unit
+(** @raise Unmappable when the graph contains a dynamic statespace offset,
+    or a named output that is not also stored to a region (results must be
+    memory-resident to be observable on the tile). *)

@@ -1,0 +1,186 @@
+type t = {
+  cycles : int;
+  exec_cycles : int;
+  inserted_cycles : int;
+  levels : int;
+  alu_ops : int;
+  alu_firings : int;
+  moves : int;
+  forwards : int;
+  mem_reads : int;
+  mem_writes : int;
+  deletes : int;
+  bus_transfers : int;
+  local_transfers : int;
+  alu_utilisation : float;
+  locality : float;
+  energy : float;
+}
+
+(* Arbitrary but documented energy weights (units: relative to one ALU
+   operation): transfers across the tile-wide crossbar and memory accesses
+   dominate, local traffic is cheap. *)
+let w_alu = 1.0
+let w_local = 1.0
+let w_global = 4.0
+let w_read = 2.0
+let w_write = 2.0
+
+let energy_weights =
+  [
+    ("alu_op", w_alu);
+    ("local_transfer", w_local);
+    ("global_transfer", w_global);
+    ("mem_read", w_read);
+    ("mem_write", w_write);
+  ]
+
+let of_job (job : Job.t) =
+  let cycles = Job.cycle_count job in
+  let exec_cycles =
+    Array.fold_left
+      (fun acc (c : Job.cycle) -> if c.Job.alu <> [] then acc + 1 else acc)
+      0 job.Job.cycles
+  in
+  let levels = Array.length job.Job.exec_cycle_of_level in
+  let fold f init =
+    Array.fold_left
+      (fun acc (c : Job.cycle) -> f acc c)
+      init job.Job.cycles
+  in
+  let alu_firings = fold (fun acc c -> acc + List.length c.Job.alu) 0 in
+  let alu_ops =
+    fold
+      (fun acc c ->
+        acc
+        + Fpfa_util.Listx.sum
+            (List.map
+               (fun (w : Job.alu_work) ->
+                 List.length
+                   (List.filter
+                      (fun (m : Job.micro) -> m.Job.action <> Job.Pass)
+                      w.Job.micros))
+               c.Job.alu))
+      0
+  in
+  let moves = fold (fun acc c -> acc + List.length c.Job.moves) 0 in
+  let copies = fold (fun acc c -> acc + List.length c.Job.copies) 0 in
+  let local_moves =
+    fold
+      (fun acc c ->
+        acc
+        + List.length
+            (List.filter
+               (fun (m : Job.move) -> m.Job.src.Job.mpp = m.Job.dst.Job.pp)
+               c.Job.moves))
+      0
+  in
+  let writes_of c =
+    Fpfa_util.Listx.sum
+      (List.map (fun (w : Job.alu_work) -> List.length w.Job.writes) c.Job.alu)
+  in
+  let mem_writes = fold (fun acc c -> acc + writes_of c) 0 in
+  let local_writes =
+    fold
+      (fun acc c ->
+        acc
+        + Fpfa_util.Listx.sum
+            (List.map
+               (fun (w : Job.alu_work) ->
+                 List.length
+                   (List.filter
+                      (fun (wr : Job.write) -> wr.Job.target.Job.mpp = w.Job.wpp)
+                      w.Job.writes))
+               c.Job.alu))
+      0
+  in
+  let forwards =
+    fold
+      (fun acc c ->
+        acc
+        + Fpfa_util.Listx.sum
+            (List.map
+               (fun (w : Job.alu_work) -> List.length w.Job.reg_dests)
+               c.Job.alu))
+      0
+  in
+  let local_forwards =
+    fold
+      (fun acc c ->
+        acc
+        + Fpfa_util.Listx.sum
+            (List.map
+               (fun (w : Job.alu_work) ->
+                 List.length
+                   (List.filter
+                      (fun ((_ : int), (r : Job.reg)) -> r.Job.pp = w.Job.wpp)
+                      w.Job.reg_dests))
+               c.Job.alu))
+      0
+  in
+  let deletes = fold (fun acc c -> acc + List.length c.Job.deletes) 0 in
+  let mem_reads = moves + copies in
+  (* a preservation copy occupies one crossbar lane and one write port *)
+  let mem_writes = mem_writes + copies in
+  let bus_transfers = moves + mem_writes + forwards in
+  let local_transfers = local_moves + local_writes + local_forwards in
+  let global_transfers = bus_transfers - local_transfers in
+  let energy =
+    (w_alu *. float_of_int alu_ops)
+    +. (w_local *. float_of_int local_transfers)
+    +. (w_global *. float_of_int global_transfers)
+    +. (w_read *. float_of_int mem_reads)
+    +. (w_write *. float_of_int (mem_writes + deletes))
+  in
+  {
+    cycles;
+    exec_cycles;
+    inserted_cycles = cycles - exec_cycles;
+    levels;
+    alu_ops;
+    alu_firings;
+    moves;
+    forwards;
+    mem_reads;
+    mem_writes;
+    deletes;
+    bus_transfers;
+    local_transfers;
+    alu_utilisation =
+      (if cycles = 0 then 0.0
+       else
+         float_of_int alu_firings
+         /. float_of_int (cycles * job.Job.tile.Fpfa_arch.Arch.alu_count));
+    locality =
+      (if bus_transfers = 0 then 1.0
+       else float_of_int local_transfers /. float_of_int bus_transfers);
+    energy;
+  }
+
+let pp fmt m =
+  Format.fprintf fmt
+    "cycles=%d (exec=%d stall=%d) levels=%d ops=%d firings=%d moves=%d \
+     fwd=%d reads=%d writes=%d bus=%d util=%.2f locality=%.2f energy=%.0f"
+    m.cycles m.exec_cycles m.inserted_cycles m.levels m.alu_ops m.alu_firings
+    m.moves m.forwards m.mem_reads m.mem_writes m.bus_transfers
+    m.alu_utilisation m.locality m.energy
+
+let header =
+  [
+    "kernel"; "cycles"; "levels"; "ops"; "moves"; "reads"; "writes"; "util";
+    "locality"; "energy";
+  ]
+
+let row ~name m =
+  [
+    name;
+    string_of_int m.cycles;
+    string_of_int m.levels;
+    string_of_int m.alu_ops;
+    string_of_int m.moves;
+    string_of_int m.mem_reads;
+    string_of_int m.mem_writes;
+    Printf.sprintf "%.2f" m.alu_utilisation;
+    Printf.sprintf "%.2f" m.locality;
+    Printf.sprintf "%.0f" m.energy;
+  ]

@@ -1,0 +1,33 @@
+(** Quality metrics of a mapped job (performance, utilisation, locality and
+    an energy proxy — the paper's Section VII claims). *)
+
+type t = {
+  cycles : int;  (** total clock cycles of the job *)
+  exec_cycles : int;  (** cycles in which at least one ALU fires *)
+  inserted_cycles : int;  (** cycles with moves/write-backs only (stalls) *)
+  levels : int;
+  alu_ops : int;  (** primitive operations executed *)
+  alu_firings : int;  (** cluster executions (ALU-cycles in use) *)
+  moves : int;  (** memory -> register transfers *)
+  forwards : int;  (** direct register forwards (extension) *)
+  mem_reads : int;
+  mem_writes : int;  (** statespace + scratch write-backs *)
+  deletes : int;
+  bus_transfers : int;
+  local_transfers : int;  (** transfers that stay within one PP *)
+  alu_utilisation : float;  (** firings / (cycles * alu_count) *)
+  locality : float;  (** local transfers / all transfers *)
+  energy : float;  (** weighted proxy, arbitrary units *)
+}
+
+val of_job : Job.t -> t
+
+val energy_weights : (string * float) list
+(** The (documented, arbitrary) weights of the energy proxy: ALU op, local
+    transfer, global transfer, memory read, memory write. *)
+
+val pp : Format.formatter -> t -> unit
+
+val header : string list
+val row : name:string -> t -> string list
+(** For tabular benchmark output. *)

@@ -1,0 +1,228 @@
+type t = { base_k : int; base : Job.t; next : Job.t }
+
+exception Mismatch of string
+
+let failf fmt = Format.kasprintf (fun msg -> raise (Mismatch msg)) fmt
+
+(* The zip drives three uses with one traversal: isomorphism checking
+   (t = 0 must reproduce [base] while visiting every field), instantiation
+   (arbitrary t) and stride counting (via [on_stride]). Strided fields are
+   memory addresses and ALU immediates; everything else must be equal. *)
+type ctx = { t : int; mutable strides : int }
+
+let fixed ctx what a b =
+  if a <> b then failf "%s differs (%d vs %d)" what a b;
+  ignore ctx;
+  a
+
+let strided ctx what a b =
+  ignore what;
+  if a <> b then ctx.strides <- ctx.strides + 1;
+  a + (ctx.t * (b - a))
+
+let zip_list (_ : ctx) what f xs ys =
+  if List.length xs <> List.length ys then
+    failf "%s: length %d vs %d" what (List.length xs) (List.length ys);
+  List.map2 f xs ys
+
+let zip_reg ctx what (a : Job.reg) (b : Job.reg) : Job.reg =
+  {
+    Job.pp = fixed ctx (what ^ ".pp") a.Job.pp b.Job.pp;
+    bank = fixed ctx (what ^ ".bank") a.Job.bank b.Job.bank;
+    index = fixed ctx (what ^ ".index") a.Job.index b.Job.index;
+  }
+
+let zip_loc ctx what (a : Job.mem_loc) (b : Job.mem_loc) : Job.mem_loc =
+  {
+    Job.mpp = fixed ctx (what ^ ".pp") a.Job.mpp b.Job.mpp;
+    mem = fixed ctx (what ^ ".mem") a.Job.mem b.Job.mem;
+    addr = strided ctx (what ^ ".addr") a.Job.addr b.Job.addr;
+  }
+
+let zip_action what (a : Job.action) (b : Job.action) =
+  if a <> b then failf "%s: different ALU actions" what;
+  a
+
+(* Node ids refer to each job's own CDFG and differ freely; the base's are
+   kept for debugging. Arg constructors must still line up. *)
+let zip_arg what (a : Job.arg) (b : Job.arg) =
+  match (a, b) with
+  | Job.Port p, Job.Port q ->
+    if p <> q then failf "%s: port %d vs %d" what p q;
+    a
+  | Job.Node _, Job.Node _ -> a
+  | (Job.Port _ | Job.Node _), _ -> failf "%s: arg shape differs" what
+
+let zip_micro ctx what (a : Job.micro) (b : Job.micro) : Job.micro =
+  {
+    Job.node = a.Job.node;
+    action = zip_action what a.Job.action b.Job.action;
+    args = zip_list ctx (what ^ ".args") (zip_arg what) a.Job.args b.Job.args;
+  }
+
+let zip_write ctx what (a : Job.write) (b : Job.write) : Job.write =
+  {
+    Job.target = zip_loc ctx (what ^ ".target") a.Job.target b.Job.target;
+    wcycle = fixed ctx (what ^ ".wcycle") a.Job.wcycle b.Job.wcycle;
+    source_store = a.Job.source_store;
+  }
+
+let zip_work ctx what (a : Job.alu_work) (b : Job.alu_work) : Job.alu_work =
+  {
+    Job.wcluster = fixed ctx (what ^ ".cluster") a.Job.wcluster b.Job.wcluster;
+    wpp = fixed ctx (what ^ ".pp") a.Job.wpp b.Job.wpp;
+    port_regs =
+      zip_list ctx (what ^ ".port_regs")
+        (fun (p1, r1) (p2, r2) ->
+          (fixed ctx (what ^ ".port") p1 p2, zip_reg ctx (what ^ ".reg") r1 r2))
+        a.Job.port_regs b.Job.port_regs;
+    port_imms =
+      zip_list ctx (what ^ ".port_imms")
+        (fun (p1, v1) (p2, v2) ->
+          (fixed ctx (what ^ ".port") p1 p2, strided ctx (what ^ ".imm") v1 v2))
+        a.Job.port_imms b.Job.port_imms;
+    micros =
+      zip_list ctx (what ^ ".micros") (zip_micro ctx what) a.Job.micros
+        b.Job.micros;
+    writes =
+      zip_list ctx (what ^ ".writes") (zip_write ctx what) a.Job.writes
+        b.Job.writes;
+    reg_dests =
+      zip_list ctx (what ^ ".fwd")
+        (fun (c1, r1) (c2, r2) ->
+          (fixed ctx (what ^ ".fwd_cycle") c1 c2, zip_reg ctx (what ^ ".fwd_reg") r1 r2))
+        a.Job.reg_dests b.Job.reg_dests;
+  }
+
+let zip_cycle ctx index (a : Job.cycle) (b : Job.cycle) : Job.cycle =
+  let what = Printf.sprintf "cycle %d" index in
+  {
+    Job.moves =
+      zip_list ctx (what ^ ".moves")
+        (fun (m1 : Job.move) (m2 : Job.move) ->
+          {
+            Job.src = zip_loc ctx (what ^ ".move.src") m1.Job.src m2.Job.src;
+            dst = zip_reg ctx (what ^ ".move.dst") m1.Job.dst m2.Job.dst;
+            carried = m1.Job.carried;
+            for_cluster =
+              fixed ctx (what ^ ".move.cluster") m1.Job.for_cluster
+                m2.Job.for_cluster;
+          })
+        a.Job.moves b.Job.moves;
+    copies =
+      zip_list ctx (what ^ ".copies")
+        (fun (c1 : Job.copy) (c2 : Job.copy) ->
+          {
+            Job.csrc = zip_loc ctx (what ^ ".copy.src") c1.Job.csrc c2.Job.csrc;
+            cdst = zip_loc ctx (what ^ ".copy.dst") c1.Job.cdst c2.Job.cdst;
+            kept = c1.Job.kept;
+          })
+        a.Job.copies b.Job.copies;
+    alu = zip_list ctx (what ^ ".alu") (zip_work ctx what) a.Job.alu b.Job.alu;
+    deletes =
+      zip_list ctx (what ^ ".deletes")
+        (fun (d1 : Job.delete_work) (d2 : Job.delete_work) ->
+          {
+            Job.dcluster =
+              fixed ctx (what ^ ".del.cluster") d1.Job.dcluster d2.Job.dcluster;
+            dloc = zip_loc ctx (what ^ ".del.loc") d1.Job.dloc d2.Job.dloc;
+            dcycle = fixed ctx (what ^ ".del.cycle") d1.Job.dcycle d2.Job.dcycle;
+          })
+        a.Job.deletes b.Job.deletes;
+  }
+
+let zip ctx (base : Job.t) (next : Job.t) : Job.t =
+  if base.Job.tile <> next.Job.tile then failf "tiles differ";
+  let region_names j = List.map fst j.Job.region_homes in
+  if region_names base <> region_names next then failf "region sets differ";
+  let region_homes =
+    zip_list ctx "region_homes"
+      (fun (r1, h1) (r2, h2) ->
+        if not (String.equal r1 r2) then failf "region order differs";
+        (r1, zip_list ctx ("region " ^ r1) (zip_loc ctx ("region " ^ r1)) h1 h2))
+      base.Job.region_homes next.Job.region_homes
+  in
+  let region_sizes =
+    zip_list ctx "region_sizes"
+      (fun (r1, s1) (r2, s2) ->
+        if not (String.equal r1 r2) then failf "region order differs";
+        (r1, fixed ctx ("size " ^ r1) s1 s2))
+      base.Job.region_sizes next.Job.region_sizes
+  in
+  if
+    Array.length base.Job.exec_cycle_of_level
+    <> Array.length next.Job.exec_cycle_of_level
+  then failf "level counts differ";
+  Array.iter2
+    (fun a b -> ignore (fixed ctx "exec cycle" a b))
+    base.Job.exec_cycle_of_level next.Job.exec_cycle_of_level;
+  if Array.length base.Job.cycles <> Array.length next.Job.cycles then
+    failf "cycle counts differ (%d vs %d)"
+      (Array.length base.Job.cycles)
+      (Array.length next.Job.cycles);
+  {
+    Job.tile = base.Job.tile;
+    graph = base.Job.graph;
+    cycles =
+      Array.of_list
+        (List.mapi
+           (fun i (a, b) -> zip_cycle ctx i a b)
+           (List.combine
+              (Array.to_list base.Job.cycles)
+              (Array.to_list next.Job.cycles)));
+    region_homes;
+    region_sizes;
+    exec_cycle_of_level = base.Job.exec_cycle_of_level;
+  }
+
+
+let of_pair ~base_k ~base ~next =
+  match zip { t = 0; strides = 0 } base next with
+  | (_ : Job.t) -> Ok { base_k; base; next }
+  | exception Mismatch reason -> Error reason
+
+let instantiate t k =
+  let ctx = { t = k - t.base_k; strides = 0 } in
+  zip ctx t.base t.next
+
+let base_job t = t.base
+let base_k t = t.base_k
+
+let stride_count t =
+  let ctx = { t = 0; strides = 0 } in
+  ignore (zip ctx t.base t.next);
+  ctx.strides
+
+let patch_words t = 2 * stride_count t
+
+type access = { location : Job.mem_loc; stride : int; is_write : bool }
+
+let accesses t =
+  let out = ref [] in
+  let record (a : Job.mem_loc) (b : Job.mem_loc) is_write =
+    out := { location = a; stride = b.Job.addr - a.Job.addr; is_write } :: !out
+  in
+  Array.iter2
+    (fun (ca : Job.cycle) (cb : Job.cycle) ->
+      List.iter2
+        (fun (m1 : Job.move) (m2 : Job.move) ->
+          record m1.Job.src m2.Job.src false)
+        ca.Job.moves cb.Job.moves;
+      List.iter2
+        (fun (c1 : Job.copy) (c2 : Job.copy) ->
+          record c1.Job.csrc c2.Job.csrc false;
+          record c1.Job.cdst c2.Job.cdst true)
+        ca.Job.copies cb.Job.copies;
+      List.iter2
+        (fun (w1 : Job.alu_work) (w2 : Job.alu_work) ->
+          List.iter2
+            (fun (wr1 : Job.write) (wr2 : Job.write) ->
+              record wr1.Job.target wr2.Job.target true)
+            w1.Job.writes w2.Job.writes)
+        ca.Job.alu cb.Job.alu;
+      List.iter2
+        (fun (d1 : Job.delete_work) (d2 : Job.delete_work) ->
+          record d1.Job.dloc d2.Job.dloc true)
+        ca.Job.deletes cb.Job.deletes)
+    t.base.Job.cycles t.next.Job.cycles;
+  !out

@@ -1,0 +1,51 @@
+(** Linear-parametric jobs: one configuration reused across loop
+    iterations.
+
+    Two jobs mapped from consecutive loop iterations are {e isomorphic}
+    when they differ only in memory addresses and ALU immediates; the
+    per-field differences are then the iteration {e strides}, and the job
+    for any iteration [k] is obtained by linear extrapolation. This is how
+    a reconfigurable sequencer executes a loop from a single configuration
+    with address-generator strides instead of one configuration per
+    unrolled iteration (the paper's Section VII future work).
+
+    Construction checks structural isomorphism (shape, clusters, PPs,
+    ports, registers, cycle numbers all equal); linearity of the strided
+    fields over the whole trip range is the caller's obligation and is
+    checked end-to-end by {!Fpfa_core.Loop_flow}. *)
+
+type t
+
+val of_pair : base_k:int -> base:Job.t -> next:Job.t -> (t, string) result
+(** [of_pair ~base_k ~base ~next] derives strides from the jobs of
+    iterations [base_k] and [base_k + 1]. [Error reason] when the jobs are
+    not isomorphic (the loop body does not map uniformly). *)
+
+val instantiate : t -> int -> Job.t
+(** [instantiate t k] is the job of iteration [k] (any integer; fields are
+    extrapolated linearly from the base). The base's CDFG and debug node
+    ids are kept. *)
+
+val base_job : t -> Job.t
+val base_k : t -> int
+
+val stride_count : t -> int
+(** Number of fields with a non-zero stride (the size of the patch table a
+    sequencer would hold). *)
+
+val patch_words : t -> int
+(** Configuration words for the patch table: one (field locator, stride)
+    pair per strided field, 2 words each. *)
+
+type access = {
+  location : Job.mem_loc;  (** at the base iteration *)
+  stride : int;  (** address delta per iteration *)
+  is_write : bool;
+}
+
+val accesses : t -> access list
+(** Every memory access of the job (move/copy reads; write-back, copy and
+    delete writes) with its per-iteration address stride. Used to check
+    that accesses distinct at the base iteration can never collide at
+    another iteration (the job's internal ordering assumed they do not
+    alias). *)

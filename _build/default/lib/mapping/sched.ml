@@ -1,0 +1,204 @@
+type t = {
+  clustering : Cluster.t;
+  level_of : int array;
+  levels : int list array;
+  asap : int array;
+  alap : int array;
+}
+
+exception Scheduling_error of string
+
+let errorf fmt = Format.kasprintf (fun msg -> raise (Scheduling_error msg)) fmt
+
+let uses_alu (c : Cluster.cluster) = c.Cluster.root <> None
+
+(* Adjacency arrays: the paper's linearity claim holds only when edges are
+   scanned once, not per cluster. *)
+let adjacency (clustering : Cluster.t) =
+  let n = Array.length clustering.Cluster.clusters in
+  let succs = Array.make n [] in
+  let preds = Array.make n [] in
+  List.iter
+    (fun (e : Cluster.edge) ->
+      succs.(e.Cluster.src) <- (e.Cluster.dst, e.Cluster.weight) :: succs.(e.Cluster.src);
+      preds.(e.Cluster.dst) <- (e.Cluster.src, e.Cluster.weight) :: preds.(e.Cluster.dst))
+    clustering.Cluster.edges;
+  (preds, succs)
+
+(* Longest-path levels assuming unbounded ALUs. *)
+let compute_asap (clustering : Cluster.t) ~succs =
+  let n = Array.length clustering.Cluster.clusters in
+  let asap = Array.make n 0 in
+  let indeg = Array.make n 0 in
+  Array.iter
+    (List.iter (fun (dst, _) -> indeg.(dst) <- indeg.(dst) + 1))
+    succs;
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+  let processed = ref 0 in
+  while not (Queue.is_empty queue) do
+    let c = Queue.pop queue in
+    incr processed;
+    List.iter
+      (fun (dst, weight) ->
+        asap.(dst) <- max asap.(dst) (asap.(c) + weight);
+        indeg.(dst) <- indeg.(dst) - 1;
+        if indeg.(dst) = 0 then Queue.add dst queue)
+      succs.(c)
+  done;
+  if !processed <> n then errorf "cluster graph has a cycle";
+  asap
+
+let compute_alap (clustering : Cluster.t) ~preds ~horizon =
+  let n = Array.length clustering.Cluster.clusters in
+  let alap = Array.make n horizon in
+  let outdeg = Array.make n 0 in
+  Array.iter
+    (List.iter (fun (src, _) -> outdeg.(src) <- outdeg.(src) + 1))
+    preds;
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) outdeg;
+  while not (Queue.is_empty queue) do
+    let c = Queue.pop queue in
+    List.iter
+      (fun (src, weight) ->
+        alap.(src) <- min alap.(src) (alap.(c) - weight);
+        outdeg.(src) <- outdeg.(src) - 1;
+        if outdeg.(src) = 0 then Queue.add src queue)
+      preds.(c)
+  done;
+  alap
+
+type priority = Mobility | Alap_first | Cid_order
+
+let run ?(alu_count = 5) ?(priority = Mobility) (clustering : Cluster.t) =
+  if alu_count <= 0 then errorf "alu_count must be positive";
+  let clusters = clustering.Cluster.clusters in
+  let n = Array.length clusters in
+  let preds, succs = adjacency clustering in
+  let asap = compute_asap clustering ~succs in
+  let horizon = Array.fold_left max 0 asap in
+  let alap = compute_alap clustering ~preds ~horizon in
+  let level_of = Array.make n (-1) in
+  let placed = Array.make n false in
+  (* Clusters become ready once all predecessors are placed; their earliest
+     feasible level is then fixed, so the pool is bucketed by level and
+     every cluster is touched O(1) times (plus capacity re-queues). *)
+  let unplaced_preds = Array.make n 0 in
+  Array.iteri
+    (fun cid plist -> unplaced_preds.(cid) <- List.length plist)
+    preds;
+  let earliest cid =
+    List.fold_left
+      (fun acc (src, weight) -> max acc (level_of.(src) + weight))
+      0 preds.(cid)
+  in
+  let buckets : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let push cid lvl =
+    let old = match Hashtbl.find_opt buckets lvl with Some l -> l | None -> [] in
+    Hashtbl.replace buckets lvl (cid :: old)
+  in
+  Array.iteri (fun cid d -> if d = 0 then push cid 0) unplaced_preds;
+  let remaining = ref n in
+  let levels = ref [] in
+  let level = ref 0 in
+  while !remaining > 0 do
+    if !level > (2 * n) + horizon + 2 then
+      errorf "scheduler failed to place all clusters (internal error)";
+    let this_level = ref [] in
+    let alus_used = ref 0 in
+    (* Sweep the current bucket; placements can ready weight-0 successors
+       for this same level, which re-fills the bucket. *)
+    let continue_sweeps = ref true in
+    while !continue_sweeps do
+      let ready =
+        match Hashtbl.find_opt buckets !level with Some l -> l | None -> []
+      in
+      Hashtbl.remove buckets !level;
+      match ready with
+      | [] -> continue_sweeps := false
+      | _ ->
+        (* Contended levels go to the highest-priority clusters; the paper
+           plays the critical path (least mobility) first. *)
+        let key cid =
+          match priority with
+          | Mobility -> (alap.(cid) - asap.(cid), cid)
+          | Alap_first -> (alap.(cid), cid)
+          | Cid_order -> (0, cid)
+        in
+        let ready = List.sort (fun a b -> compare (key a) (key b)) ready in
+        List.iter
+          (fun cid ->
+            let needs_alu = uses_alu clusters.(cid) in
+            if needs_alu && !alus_used >= alu_count then
+              (* level full: insert a new level for it (paper Fig. 4) *)
+              push cid (!level + 1)
+            else begin
+              placed.(cid) <- true;
+              level_of.(cid) <- !level;
+              this_level := cid :: !this_level;
+              if needs_alu then incr alus_used;
+              decr remaining;
+              List.iter
+                (fun (dst, _) ->
+                  unplaced_preds.(dst) <- unplaced_preds.(dst) - 1;
+                  if unplaced_preds.(dst) = 0 then
+                    push dst (max (earliest dst) !level))
+                succs.(cid)
+            end)
+          ready
+    done;
+    levels := List.rev !this_level :: !levels;
+    incr level
+  done;
+  (* Trim trailing empty levels. *)
+  let levels = List.rev !levels in
+  let levels =
+    let rec trim = function
+      | [] -> []
+      | [ [] ] -> []
+      | x :: rest -> (
+        match trim rest with [] when x = [] -> [] | rest -> x :: rest)
+    in
+    trim levels
+  in
+  { clustering; level_of; levels = Array.of_list levels; asap; alap }
+
+let level_count t = Array.length t.levels
+
+let critical_path_levels t = Array.fold_left max 0 t.asap + 1
+
+let mobility t cid = t.alap.(cid) - t.asap.(cid)
+
+let validate t ~alu_count =
+  List.iter
+    (fun (e : Cluster.edge) ->
+      if t.level_of.(e.Cluster.src) + e.Cluster.weight > t.level_of.(e.Cluster.dst)
+      then
+        errorf "dependence violated: Clu%d(+%d) -> Clu%d" e.Cluster.src
+          e.Cluster.weight e.Cluster.dst)
+    t.clustering.Cluster.edges;
+  Array.iteri
+    (fun level cids ->
+      let alus =
+        List.length
+          (List.filter
+             (fun cid -> uses_alu t.clustering.Cluster.clusters.(cid))
+             cids)
+      in
+      if alus > alu_count then
+        errorf "level %d uses %d ALUs (limit %d)" level alus alu_count)
+    t.levels;
+  Array.iteri
+    (fun cid level ->
+      if level < 0 then errorf "cluster %d was never placed" cid)
+    t.level_of
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  Array.iteri
+    (fun level cids ->
+      Format.fprintf fmt "Level%d: %s@," level
+        (String.concat " " (List.map (fun cid -> "Clu" ^ string_of_int cid) cids)))
+    t.levels;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Cdfg Format Fpfa_arch Fpfa_util Hashtbl List Mapping

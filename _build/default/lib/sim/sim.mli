@@ -1,0 +1,40 @@
+(** Cycle-accurate behavioural simulator of one FPFA tile.
+
+    Executes a {!Mapping.Job.t} cycle by cycle: register moves read memory
+    at the start of a cycle, ALUs evaluate their configured data paths from
+    the input register banks, and write-backs/deletes commit to memory at
+    the end of their cycle. Every hardware constraint (crossbar lanes,
+    memory ports, register-bank capacity, one ALU per PP) is re-checked
+    dynamically — the simulator is an independent referee for the
+    allocator.
+
+    The final region contents must equal the CDFG evaluator's result on the
+    same inputs; {!conforms} checks exactly that. *)
+
+type trace = {
+  cycles_run : int;
+  max_bus_per_cycle : int;
+  moves_executed : int;
+  writes_executed : int;
+}
+
+exception Fault of string
+(** Constraint violation or semantic error (read of a deleted word, two
+    writes racing on one cell in one cycle, port or lane overflow...). *)
+
+val run :
+  ?memory_init:(string * int array) list ->
+  ?trace_out:Format.formatter ->
+  Mapping.Job.t ->
+  (string * int array) list * trace
+(** Executes the job. Returns the final contents of every region (sorted by
+    name, sized per the job's static region sizes) and an execution trace.
+    [memory_init] seeds region contents exactly as in {!Cdfg.Eval.run}.
+    [trace_out] prints one line per event (move, copy, ALU result,
+    write-back, delete) with concrete values — the tile's logic-analyser
+    view. *)
+
+val conforms :
+  ?memory_init:(string * int array) list -> Mapping.Job.t -> bool
+(** Runs both the simulator and the CDFG evaluator on the same inputs and
+    compares region contents (zero-padded to the static size). *)

@@ -1,0 +1,1 @@
+lib/transform/cse.ml: Array Cdfg Hashtbl List Pass

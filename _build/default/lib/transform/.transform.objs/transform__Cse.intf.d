@@ -1,0 +1,1 @@
+lib/transform/cse.mli: Pass

@@ -1,0 +1,1 @@
+lib/transform/dce.ml: Cdfg Hashtbl List Pass

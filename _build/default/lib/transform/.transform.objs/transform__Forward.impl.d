@@ -1,0 +1,1 @@
+lib/transform/forward.ml: Array Cdfg Hashtbl List Pass String

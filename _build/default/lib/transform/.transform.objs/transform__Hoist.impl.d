@@ -1,0 +1,1 @@
+lib/transform/hoist.ml: Array Cdfg Hashtbl List Pass

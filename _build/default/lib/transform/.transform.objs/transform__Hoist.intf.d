@@ -1,0 +1,1 @@
+lib/transform/hoist.mli: Pass

@@ -1,0 +1,1 @@
+lib/transform/pass.ml: Cdfg List Printf

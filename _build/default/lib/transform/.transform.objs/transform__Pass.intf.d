@@ -1,0 +1,1 @@
+lib/transform/pass.mli: Cdfg

@@ -1,0 +1,1 @@
+lib/transform/range.ml: Array Cdfg Float Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/transform/range.mli: Cdfg Format

@@ -1,0 +1,1 @@
+lib/transform/reassoc.ml: Cdfg Fpfa_util Hashtbl List Pass

@@ -1,0 +1,1 @@
+lib/transform/reassoc.mli: Pass

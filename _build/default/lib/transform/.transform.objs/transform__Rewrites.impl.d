@@ -1,0 +1,1 @@
+lib/transform/rewrites.ml: Array Cdfg List Pass

@@ -1,0 +1,1 @@
+lib/transform/rewrites.mli: Pass

@@ -1,0 +1,1 @@
+lib/transform/simplify.ml: Cdfg Cse Dce Format Forward Hoist List Pass Reassoc Rewrites

@@ -1,0 +1,1 @@
+lib/transform/simplify.mli: Cdfg Format Pass

@@ -1,0 +1,37 @@
+module G = Cdfg.Graph
+module Op = Cdfg.Op
+
+type key = G.kind * int list
+
+let key_of g (n : G.node) : key option =
+  let inputs = Array.to_list n.G.inputs in
+  match n.G.kind with
+  | G.Const _ -> Some (n.G.kind, [])
+  | G.Unop _ | G.Mux | G.Fe _ -> Some (n.G.kind, inputs)
+  | G.Binop op ->
+    let inputs = if Op.commutative op then List.sort compare inputs else inputs in
+    Some (n.G.kind, inputs)
+  | G.Ss_in _ | G.Ss_out _ | G.St _ | G.Del _ -> ignore g; None
+
+let run g =
+  let changed = ref false in
+  let seen : (key, int) Hashtbl.t = Hashtbl.create 64 in
+  (* Topological order so that representatives are installed before their
+     consumers are keyed. *)
+  List.iter
+    (fun id ->
+      if G.mem g id then
+        let n = G.node g id in
+        match key_of g n with
+        | None -> ()
+        | Some key -> (
+          match Hashtbl.find_opt seen key with
+          | Some representative when representative <> id ->
+            G.replace_uses g id ~by:representative;
+            changed := true
+          | Some _ -> ()
+          | None -> Hashtbl.replace seen key id))
+    (G.topo_order g);
+  !changed
+
+let pass = { Pass.name = "cse"; run }

@@ -1,0 +1,9 @@
+(** Dead node elimination.
+
+    Removes nodes with no data uses and no named-output references.
+    [Ss_out] nodes are roots (region contents are observable). A node that
+    is only referenced by order-only edges is still dead: those edges
+    protect a read whose value nobody consumes, so they are dropped with
+    the node. *)
+
+val pass : Pass.t

@@ -1,0 +1,123 @@
+module G = Cdfg.Graph
+
+type offset_relation = Equal | Different | Unknown
+
+let relate g a b =
+  if a = b then Equal
+  else
+    match (G.kind g a, G.kind g b) with
+    | G.Const x, G.Const y -> if x = y then Equal else Different
+    | _, _ -> Unknown
+
+type resolution =
+  | Value of G.id  (** the fetched value is produced by this node *)
+  | Anchor of G.id  (** walk stopped; re-anchor the fetch on this token *)
+
+(* Walks the token chain of [fe] upwards past provably non-aliasing
+   stores/deletes. *)
+let resolve g ~offset token =
+  let rec walk token =
+    match G.kind g token with
+    | G.St _ -> (
+      let inputs = G.inputs g token in
+      match inputs with
+      | [ prev_token; st_offset; st_value ] -> (
+        match relate g st_offset offset with
+        | Equal -> Value st_value
+        | Different -> walk prev_token
+        | Unknown -> Anchor token)
+      | _ -> assert false)
+    | G.Del _ -> (
+      let inputs = G.inputs g token in
+      match inputs with
+      | [ prev_token; del_offset ] -> (
+        match relate g del_offset offset with
+        | Different -> walk prev_token
+        (* Equal would make the fetch a runtime error; leave it visible. *)
+        | Equal | Unknown -> Anchor token)
+      | _ -> assert false)
+    | G.Ss_in _ -> Anchor token
+    | G.Const _ | G.Binop _ | G.Unop _ | G.Mux | G.Ss_out _ | G.Fe _ ->
+      Anchor token
+  in
+  walk token
+
+let run_store_to_fetch g =
+  let changed = ref false in
+  let visit (n : G.node) =
+    match n.G.kind with
+    | G.Fe _ -> (
+      let token = n.G.inputs.(0) and offset = n.G.inputs.(1) in
+      match resolve g ~offset token with
+      | Value v ->
+        (* the read disappears, and with it the anti-dependences that
+           protected it *)
+        G.drop_order_references g n.G.id;
+        G.replace_uses g n.G.id ~by:v;
+        changed := true
+      | Anchor anchor ->
+        if anchor <> token then begin
+          G.set_inputs g n.G.id [ anchor; offset ];
+          changed := true
+        end)
+    | G.Const _ | G.Binop _ | G.Unop _ | G.Mux | G.Ss_in _ | G.Ss_out _
+    | G.St _ | G.Del _ ->
+      ()
+  in
+  List.iter (fun id -> if G.mem g id then visit (G.node g id)) (G.node_ids g);
+  !changed
+
+let store_to_fetch = { Pass.name = "store-to-fetch"; run = run_store_to_fetch }
+
+let token_mutator g id =
+  match G.kind g id with
+  | G.St _ | G.Del _ -> true
+  | G.Const _ | G.Binop _ | G.Unop _ | G.Mux | G.Ss_in _ | G.Ss_out _ | G.Fe _
+    ->
+    false
+
+let offset_of g id =
+  match (G.kind g id, G.inputs g id) with
+  | G.St _, [ _; offset; _ ] | G.Del _, [ _; offset ] -> offset
+  | _, _ -> invalid_arg "offset_of: not a store/delete"
+
+let region_of g id =
+  match G.kind g id with
+  | G.St r | G.Del r | G.Ss_in r | G.Ss_out r | G.Fe r -> r
+  | G.Const _ | G.Binop _ | G.Unop _ | G.Mux ->
+    invalid_arg "region_of: node has no region"
+
+let run_dead_store g =
+  let changed = ref false in
+  let consumers = G.consumers g in
+  let visit (n : G.node) =
+    if token_mutator g n.G.id then begin
+      let uses =
+        match Hashtbl.find_opt consumers n.G.id with Some l -> l | None -> []
+      in
+      match uses with
+      | [ (consumer, 0) ]
+        when G.mem g consumer
+             && token_mutator g consumer
+             && String.equal (region_of g n.G.id) (region_of g consumer)
+             && relate g (offset_of g n.G.id) (offset_of g consumer) = Equal
+        -> begin
+        (* The consumer overwrites this node's cell before anyone fetches
+           it: bypass. Ordering constraints migrate to the consumer. *)
+        match G.inputs g consumer with
+        | prev_token :: rest when prev_token = n.G.id ->
+          let my_token = List.nth (G.inputs g n.G.id) 0 in
+          G.set_inputs g consumer (my_token :: rest);
+          List.iter
+            (fun before -> G.add_order g consumer ~after:before)
+            (G.order_after g n.G.id);
+          changed := true
+        | _ -> ()
+      end
+      | _ -> ()
+    end
+  in
+  List.iter (fun id -> if G.mem g id then visit (G.node g id)) (G.node_ids g);
+  !changed
+
+let dead_store = { Pass.name = "dead-store"; run = run_dead_store }

@@ -1,0 +1,19 @@
+(** Statespace dependency analysis (paper Section I's "dependency
+    analysis"): store-to-fetch forwarding and dead-store elimination.
+
+    Offsets are compared after constant folding: two offsets are provably
+    equal when they are the same node or equal constants, provably
+    different when they are different constants, unknown otherwise. *)
+
+val store_to_fetch : Pass.t
+(** Each [Fe] walks its token chain towards [Ss_in]: a store to a provably
+    equal offset supplies the fetched value directly; stores/deletes to
+    provably different offsets are skipped (the fetch is re-anchored on the
+    earlier token, exposing parallelism); an unknown offset stops the
+    walk. *)
+
+val dead_store : Pass.t
+(** A store/delete whose token has exactly one consumer, that consumer
+    being a store/delete to a provably equal offset, is bypassed (its
+    effect is immediately overwritten). Order edges are preserved by moving
+    them onto the surviving node. *)

@@ -1,0 +1,24 @@
+type t = { name : string; run : Cdfg.Graph.t -> bool }
+
+let run_fixpoint ?(max_rounds = 100) passes g =
+  let rec loop rounds =
+    if rounds >= max_rounds then
+      failwith
+        (Printf.sprintf "transformation pipeline did not converge in %d rounds"
+           max_rounds);
+    let changed =
+      List.fold_left (fun changed pass -> pass.run g || changed) false passes
+    in
+    if changed then loop (rounds + 1) else rounds + 1
+  in
+  loop 0
+
+let checked pass =
+  {
+    pass with
+    run =
+      (fun g ->
+        let changed = pass.run g in
+        Cdfg.Graph.validate g;
+        changed);
+  }

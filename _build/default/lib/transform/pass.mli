@@ -1,0 +1,18 @@
+(** Behaviour-preserving graph transformation framework (paper Section I:
+    "minimized using a set of behaviour preserving transformations"). *)
+
+type t = {
+  name : string;
+  run : Cdfg.Graph.t -> bool;
+      (** Mutates the graph; returns true when anything changed. *)
+}
+
+val run_fixpoint : ?max_rounds:int -> t list -> Cdfg.Graph.t -> int
+(** Runs the pass list repeatedly until one full round changes nothing.
+    Returns the number of rounds executed. [max_rounds] (default 100)
+    guards against non-terminating rewrite interactions.
+    @raise Failure when the bound is hit. *)
+
+val checked : t -> t
+(** Wraps a pass so that the graph is validated after it runs (used by the
+    test suite to catch invariant-breaking rewrites early). *)

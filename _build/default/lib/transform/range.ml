@@ -1,0 +1,240 @@
+module G = Cdfg.Graph
+module Op = Cdfg.Op
+
+type interval = { lo : int; hi : int }
+
+let pp_interval fmt { lo; hi } = Format.fprintf fmt "[%d, %d]" lo hi
+
+(* Bounds saturate to the full OCaml int range: [min_int] and [max_int]
+   act as minus/plus infinity, so the top interval contains every runtime
+   value — including results of operations that wrap the 63-bit machine
+   integer (e.g. huge shifts). All arithmetic on bounds detects overflow
+   (via floats, exact enough at this magnitude) and saturates instead of
+   wrapping, which keeps the analysis sound. *)
+let neg_inf = min_int
+let pos_inf = max_int
+let finite_limit = 1 lsl 59
+
+let is_inf v = v = neg_inf || v = pos_inf
+
+let sat v = if v >= finite_limit then pos_inf else if v <= -finite_limit then neg_inf else v
+
+let sat_add a b =
+  if a = neg_inf || b = neg_inf then neg_inf
+  else if a = pos_inf || b = pos_inf then pos_inf
+  else sat (a + b)
+
+let sat_neg a =
+  if a = neg_inf then pos_inf else if a = pos_inf then neg_inf else -a
+
+let sat_sub a b = sat_add a (sat_neg b)
+
+let sat_mul a b =
+  if a = 0 || b = 0 then 0
+  else
+    let sign = (a > 0) = (b > 0) in
+    if is_inf a || is_inf b then if sign then pos_inf else neg_inf
+    else if Float.abs (float_of_int a *. float_of_int b) >= float_of_int finite_limit
+    then if sign then pos_inf else neg_inf
+    else sat (a * b)
+
+let make lo hi =
+  assert (lo <= hi);
+  { lo; hi }
+
+let const v = make (sat v) (sat v)
+let hull a b = make (min a.lo b.lo) (max a.hi b.hi)
+let top = make neg_inf pos_inf
+let bool_interval = make 0 1
+
+let full_width width =
+  assert (width > 1);
+  make (-(1 lsl (width - 1))) ((1 lsl (width - 1)) - 1)
+
+(* pos_inf when any bound is infinite *)
+let magnitude a =
+  if is_inf a.lo || is_inf a.hi then pos_inf else max (abs a.lo) (abs a.hi)
+
+(* Smallest k such that the interval fits in a signed (k+1)-bit word; used
+   for the conservative bitwise bound. *)
+let bits_for a =
+  let m = magnitude a in
+  if m = pos_inf then 62
+  else
+    let rec loop k = if k >= 62 || 1 lsl k > m then k else loop (k + 1) in
+    loop 1
+
+let binop_interval op a b =
+  match op with
+  | Op.Add -> make (sat_add a.lo b.lo) (sat_add a.hi b.hi)
+  | Op.Sub -> make (sat_sub a.lo b.hi) (sat_sub a.hi b.lo)
+  | Op.Mul ->
+    let products =
+      [ sat_mul a.lo b.lo; sat_mul a.lo b.hi; sat_mul a.hi b.lo; sat_mul a.hi b.hi ]
+    in
+    make
+      (List.fold_left min pos_inf products)
+      (List.fold_left max neg_inf products)
+  | Op.Div ->
+    (* |a / b| <= |a| for any b (and a/0 = 0 in our total semantics) *)
+    let m = magnitude a in
+    make (sat_neg m) m
+  | Op.Mod ->
+    (* |a mod b| < |b| and |a mod b| <= |a|; a mod 0 = 0 *)
+    let m =
+      let ma = magnitude a
+      and mb = if magnitude b = pos_inf then pos_inf else max 0 (magnitude b - 1) in
+      min ma mb
+    in
+    let lo = if a.lo < 0 then sat_neg m else 0 in
+    let hi = if a.hi > 0 then m else 0 in
+    make lo hi
+  | Op.Shl ->
+    (* the machine shift wraps the 63-bit integer, so anything uncertain is
+       the full top interval *)
+    if b.lo = b.hi && b.lo >= 0 && b.lo <= 40 && not (is_inf a.lo || is_inf a.hi)
+    then
+      let f = 1 lsl b.lo in
+      make (sat_mul a.lo f) (sat_mul a.hi f)
+    else top
+  | Op.Shr ->
+    if
+      b.lo = b.hi && b.lo >= 0 && b.lo <= 62
+      && not (is_inf a.lo || is_inf a.hi)
+    then make (a.lo asr b.lo) (a.hi asr b.lo)
+    else
+      (* arithmetic shift never grows magnitude; out-of-range yields 0 *)
+      make (min a.lo 0) (max a.hi 0)
+  | Op.Band | Op.Bor | Op.Bxor ->
+    let k = max (bits_for a) (bits_for b) in
+    if k >= 62 then top
+    else if a.lo >= 0 && b.lo >= 0 then
+      (* non-negative operands: results stay below the next power of two *)
+      make 0 ((1 lsl k) - 1)
+    else make (-(1 lsl k)) ((1 lsl k) - 1)
+  | Op.Lt | Op.Le | Op.Gt | Op.Ge | Op.Eq | Op.Ne | Op.Land | Op.Lor ->
+    bool_interval
+
+let unop_interval op a =
+  match op with
+  | Op.Neg -> make (sat_neg a.hi) (sat_neg a.lo)
+  | Op.Bnot -> make (sat_sub (sat_neg a.hi) 1) (sat_sub (sat_neg a.lo) 1)
+  | Op.Lnot -> bool_interval
+
+type violation = { node : G.id; kind : G.kind; range : interval }
+
+type report = {
+  ranges : (G.id * interval) list;
+  violations : violation list;
+  iterations : int;
+}
+
+let analyze ?(width = 16) ?(input_ranges = []) g =
+  let input_range region =
+    match List.assoc_opt region input_ranges with
+    | Some r -> r
+    | None -> full_width width
+  in
+  let value_range : (G.id, interval) Hashtbl.t = Hashtbl.create 64 in
+  (* Per region: the join of its input interval and every stored value seen
+     so far. Fetches read this; it only widens, so iteration converges. *)
+  let region_range : (string, interval) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (region, _) -> Hashtbl.replace region_range region (input_range region))
+    (G.regions g);
+  let order = G.topo_order g in
+  let changed = ref true in
+  let iterations = ref 0 in
+  let max_iterations = 8 in
+  while !changed && !iterations < max_iterations do
+    changed := false;
+    incr iterations;
+    List.iter
+      (fun id ->
+        let n = G.node g id in
+        let value i = Hashtbl.find value_range n.G.inputs.(i) in
+        let update range =
+          match Hashtbl.find_opt value_range id with
+          | Some old when old = range -> ()
+          | Some old ->
+            Hashtbl.replace value_range id (hull old range);
+            changed := true
+          | None ->
+            Hashtbl.replace value_range id range;
+            changed := true
+        in
+        match n.G.kind with
+        | G.Const v -> update (const v)
+        | G.Binop op -> update (binop_interval op (value 0) (value 1))
+        | G.Unop op -> update (unop_interval op (value 0))
+        | G.Mux -> update (hull (value 1) (value 2))
+        | G.Fe region -> update (Hashtbl.find region_range region)
+        | G.St region ->
+          let stored = value 2 in
+          let old = Hashtbl.find region_range region in
+          let joined = hull old stored in
+          if joined <> old then begin
+            Hashtbl.replace region_range region joined;
+            changed := true
+          end
+        | G.Ss_in _ | G.Ss_out _ | G.Del _ -> ())
+      order
+  done;
+  (* If the fixpoint did not settle, widen everything that was still in
+     motion to the unbounded interval (sound, maximally conservative). *)
+  if !changed then begin
+    List.iter
+      (fun id ->
+        if Hashtbl.mem value_range id then Hashtbl.replace value_range id top)
+      order
+  end;
+  let limit = full_width width in
+  let ranges =
+    List.filter_map
+      (fun id ->
+        match Hashtbl.find_opt value_range id with
+        | Some r -> Some (id, r)
+        | None -> None)
+      (G.node_ids g)
+  in
+  let violations =
+    List.filter_map
+      (fun (id, r) ->
+        if r.lo < limit.lo || r.hi > limit.hi then
+          Some { node = id; kind = G.kind g id; range = r }
+        else None)
+      ranges
+  in
+  { ranges; violations; iterations = !iterations }
+
+let range_of report id = List.assoc_opt id report.ranges
+
+let fits ?width ?input_ranges g =
+  (analyze ?width ?input_ranges g).violations = []
+
+let pp_report g fmt report =
+  Format.fprintf fmt "@[<v>%d value nodes analysed in %d iteration(s)@,"
+    (List.length report.ranges) report.iterations;
+  if report.violations = [] then
+    Format.fprintf fmt "all values fit the datapath@]"
+  else begin
+    Format.fprintf fmt "%d value(s) may exceed the datapath:@,"
+      (List.length report.violations);
+    List.iter
+      (fun v ->
+        let kind_text =
+          match v.kind with
+          | G.Binop op -> Cdfg.Op.binop_to_string op
+          | G.Unop op -> Cdfg.Op.unop_to_string op
+          | G.Mux -> "mux"
+          | G.Const c -> Printf.sprintf "const %d" c
+          | G.Fe r -> "FE " ^ r
+          | G.St r | G.Del r -> "ST/DEL " ^ r
+          | G.Ss_in r | G.Ss_out r -> "ss " ^ r
+        in
+        Format.fprintf fmt "  node %d (%s): %a@," v.node kind_text pp_interval
+          v.range)
+      report.violations;
+    Format.fprintf fmt "@]";
+    ignore g
+  end

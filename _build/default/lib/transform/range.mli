@@ -1,0 +1,52 @@
+(** Value-range analysis and datapath-width checking.
+
+    The FPFA is a 16-bit word-level architecture (paper Section II); a C
+    program whose intermediate values exceed the datapath width silently
+    wraps on real hardware. This analysis propagates integer intervals
+    through the (loop-free) CDFG — region inputs default to the full
+    16-bit range, constants are exact — and reports every node whose value
+    may fall outside a signed [width]-bit word.
+
+    Fetches join the region's input interval with the intervals of every
+    store to the region (reads may observe stored values); the analysis
+    iterates to a fixpoint, widening to the unbounded interval when it does
+    not stabilise quickly. All interval arithmetic saturates, so the
+    analysis itself cannot overflow. *)
+
+type interval = { lo : int; hi : int }
+
+val pp_interval : Format.formatter -> interval -> unit
+
+val const : int -> interval
+val hull : interval -> interval -> interval
+val full_width : int -> interval
+(** The signed [width]-bit interval, e.g. [full_width 16 = [-32768, 32767]]. *)
+
+type violation = {
+  node : Cdfg.Graph.id;
+  kind : Cdfg.Graph.kind;
+  range : interval;
+}
+
+type report = {
+  ranges : (Cdfg.Graph.id * interval) list;  (** value nodes, by id *)
+  violations : violation list;
+  iterations : int;
+}
+
+val analyze :
+  ?width:int ->
+  ?input_ranges:(string * interval) list ->
+  Cdfg.Graph.t ->
+  report
+(** [width] defaults to 16. [input_ranges] overrides the assumed interval
+    of a region's initial contents (e.g. ADC samples known to be 12-bit);
+    unlisted regions default to [full_width width]. *)
+
+val range_of : report -> Cdfg.Graph.id -> interval option
+
+val fits : ?width:int -> ?input_ranges:(string * interval) list ->
+  Cdfg.Graph.t -> bool
+(** No violations. *)
+
+val pp_report : Cdfg.Graph.t -> Format.formatter -> report -> unit

@@ -1,0 +1,76 @@
+module G = Cdfg.Graph
+module Op = Cdfg.Op
+
+let associative = function
+  | Op.Add | Op.Mul | Op.Band | Op.Bor | Op.Bxor -> true
+  | Op.Sub | Op.Div | Op.Mod | Op.Shl | Op.Shr | Op.Lt | Op.Le | Op.Gt
+  | Op.Ge | Op.Eq | Op.Ne | Op.Land | Op.Lor ->
+    false
+
+(* Collects the leaves of the maximal single-use chain of [op] rooted at
+   [id], left to right, together with the chain's depth. *)
+let rec chain_leaves g op use_counts id ~is_root =
+  let single_use = match Hashtbl.find_opt use_counts id with Some 1 -> true | _ -> false in
+  match G.kind g id with
+  | G.Binop op' when op' = op && (is_root || single_use) ->
+    let inputs = G.inputs g id in
+    let a = List.nth inputs 0 and b = List.nth inputs 1 in
+    let leaves_a, depth_a = chain_leaves g op use_counts a ~is_root:false in
+    let leaves_b, depth_b = chain_leaves g op use_counts b ~is_root:false in
+    (leaves_a @ leaves_b, 1 + max depth_a depth_b)
+  | _ -> ([ id ], 0)
+
+let rec build_balanced g op leaves =
+  match leaves with
+  | [] -> invalid_arg "build_balanced: no leaves"
+  | [ leaf ] -> (leaf, 0)
+  | _ ->
+    let mid = (List.length leaves + 1) / 2 in
+    let left, right = Fpfa_util.Listx.split_at mid leaves in
+    let left_id, dl = build_balanced g op left in
+    let right_id, dr = build_balanced g op right in
+    (G.add g (G.Binop op) [ left_id; right_id ], 1 + max dl dr)
+
+let run g =
+  let changed = ref false in
+  let use_counts = Hashtbl.create 64 in
+  let consumers = G.consumers g in
+  Hashtbl.iter
+    (fun producer uses -> Hashtbl.replace use_counts producer (List.length uses))
+    consumers;
+  let visit id =
+    if G.mem g id then
+      match G.kind g id with
+      | G.Binop op when associative op ->
+        (* Only rebalance chain roots: nodes whose consumer is not the same
+           single-use chain. *)
+        let is_chain_interior =
+          match Hashtbl.find_opt consumers id with
+          | Some [ (c, _) ] when G.mem g c -> (
+            Hashtbl.find_opt use_counts id = Some 1
+            &&
+            match G.kind g c with
+            | G.Binop op' -> op' = op
+            | _ -> false)
+          | _ -> false
+        in
+        if not is_chain_interior then begin
+          let leaves, depth = chain_leaves g op use_counts id ~is_root:true in
+          let n = List.length leaves in
+          if n > 2 then begin
+            let balanced_depth =
+              int_of_float (ceil (log (float_of_int n) /. log 2.0))
+            in
+            if balanced_depth < depth then begin
+              let root, _ = build_balanced g op leaves in
+              G.replace_uses g id ~by:root;
+              changed := true
+            end
+          end
+        end
+      | _ -> ()
+  in
+  List.iter visit (G.node_ids g);
+  !changed
+
+let pass = { Pass.name = "reassociate"; run }

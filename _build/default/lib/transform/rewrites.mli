@@ -1,0 +1,15 @@
+(** Local value rewrites: constant folding and algebraic simplification. *)
+
+val const_fold : Pass.t
+(** Folds [Binop]/[Unop]/[Mux] nodes whose relevant inputs are constants
+    into [Const] nodes. *)
+
+val algebraic : Pass.t
+(** Identity/absorption rewrites that need no constant operands on both
+    sides: [x+0], [x*1], [x*0], [x-0], [x/1], [x<<0], [x&0], [x|0], [x^0],
+    [x-x], [x^x], [Mux (c, a, a)], [Mux (!c, a, b)] and friends. *)
+
+val strength_reduce : Pass.t
+(** Optional extension pass (paper Section VII future work): rewrites
+    multiplications by powers of two into shifts, freeing the ALU multiplier
+    stage. Not part of the default pipeline; benched as an ablation. *)

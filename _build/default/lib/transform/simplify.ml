@@ -1,0 +1,29 @@
+let default_passes =
+  [
+    Rewrites.const_fold;
+    Rewrites.algebraic;
+    Cse.pass;
+    Forward.store_to_fetch;
+    Forward.dead_store;
+    Dce.pass;
+    Reassoc.pass;
+  ]
+
+let extended_passes = default_passes @ [ Rewrites.strength_reduce; Hoist.pass ]
+
+type report = {
+  rounds : int;
+  before : Cdfg.Graph.stats;
+  after : Cdfg.Graph.stats;
+}
+
+let minimize ?(passes = default_passes) ?(validate = true) g =
+  let passes = if validate then List.map Pass.checked passes else passes in
+  let before = Cdfg.Graph.stats g in
+  let rounds = Pass.run_fixpoint passes g in
+  let after = Cdfg.Graph.stats g in
+  { rounds; before; after }
+
+let pp_report fmt { rounds; before; after } =
+  Format.fprintf fmt "@[<v>rounds: %d@,before: %a@,after:  %a@]" rounds
+    Cdfg.Graph.pp_stats before Cdfg.Graph.pp_stats after

@@ -1,0 +1,24 @@
+(** The "full simplification" pipeline (paper Fig. 3's caption: "after
+    complete loop unrolling and full simplification"). *)
+
+val default_passes : Pass.t list
+(** Constant folding, algebraic simplification, CSE, store-to-fetch
+    forwarding, dead-store elimination, dead-node elimination, associative
+    rebalancing — run to a fixpoint in that order. *)
+
+val extended_passes : Pass.t list
+(** [default_passes] plus strength reduction and MUX hoisting (future-work
+    extensions). *)
+
+type report = {
+  rounds : int;
+  before : Cdfg.Graph.stats;
+  after : Cdfg.Graph.stats;
+}
+
+val minimize : ?passes:Pass.t list -> ?validate:bool -> Cdfg.Graph.t -> report
+(** Mutates the graph to its minimised form and reports the shrinkage.
+    When [validate] is true (default), the graph invariants are checked
+    after every pass. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,106 @@
+type writer = Buffer.t
+
+let writer () = Buffer.create 256
+let contents = Buffer.contents
+let length = Buffer.length
+
+let u8 w v =
+  if v < 0 || v > 0xFF then invalid_arg (Printf.sprintf "u8 out of range: %d" v);
+  Buffer.add_uint8 w v
+
+let u16 w v =
+  if v < 0 || v > 0xFFFF then
+    invalid_arg (Printf.sprintf "u16 out of range: %d" v);
+  Buffer.add_uint16_le w v
+
+let i32 w v =
+  if v < -0x8000_0000 || v > 0x7FFF_FFFF then
+    invalid_arg (Printf.sprintf "i32 out of range: %d" v);
+  Buffer.add_int32_le w (Int32.of_int v)
+
+let i64 w v = Buffer.add_int64_le w (Int64.of_int v)
+
+let str w s =
+  u16 w (String.length s);
+  Buffer.add_string w s
+
+let blob w s =
+  i32 w (String.length s);
+  Buffer.add_string w s
+
+type reader = { data : string; mutable pos : int }
+
+exception Corrupt of string
+
+let reader data = { data; pos = 0 }
+
+let need r n =
+  if r.pos + n > String.length r.data then
+    raise (Corrupt (Printf.sprintf "truncated at byte %d" r.pos))
+
+let at_end r = r.pos = String.length r.data
+
+let read_u8 r =
+  need r 1;
+  let v = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let read_u16 r =
+  need r 2;
+  let v = String.get_uint16_le r.data r.pos in
+  r.pos <- r.pos + 2;
+  v
+
+let read_i32 r =
+  need r 4;
+  let v = String.get_int32_le r.data r.pos in
+  r.pos <- r.pos + 4;
+  Int32.to_int v
+
+let read_i64 r =
+  need r 8;
+  let v = String.get_int64_le r.data r.pos in
+  r.pos <- r.pos + 8;
+  Int64.to_int v
+
+let read_str r =
+  let n = read_u16 r in
+  need r n;
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let read_blob r =
+  let n = read_i32 r in
+  if n < 0 then raise (Corrupt "negative blob length");
+  need r n;
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let list w items f =
+  i32 w (List.length items);
+  List.iter (f w) items
+
+let read_list r f =
+  let n = read_i32 r in
+  if n < 0 then raise (Corrupt "negative list length");
+  (* every item needs at least one byte: a length beyond the remaining
+     input is corruption, not a huge allocation *)
+  if n > String.length r.data - r.pos then
+    raise (Corrupt "list length exceeds remaining input");
+  List.init n (fun _ -> f r)
+
+let option w v f =
+  match v with
+  | None -> u8 w 0
+  | Some x ->
+    u8 w 1;
+    f w x
+
+let read_option r f =
+  match read_u8 r with
+  | 0 -> None
+  | 1 -> Some (f r)
+  | _ -> raise (Corrupt "bad option tag")

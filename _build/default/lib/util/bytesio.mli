@@ -1,0 +1,47 @@
+(** Little-endian binary encoding helpers for the serialisers. *)
+
+type writer
+
+val writer : unit -> writer
+val contents : writer -> string
+val length : writer -> int
+
+val u8 : writer -> int -> unit
+(** @raise Invalid_argument outside [0, 255]. *)
+
+val u16 : writer -> int -> unit
+(** @raise Invalid_argument outside [0, 65535]. *)
+
+val i32 : writer -> int -> unit
+(** Two's-complement 32-bit. @raise Invalid_argument outside range. *)
+
+val i64 : writer -> int -> unit
+(** Full OCaml int (63-bit), sign-extended into 8 bytes. *)
+
+val str : writer -> string -> unit
+(** u16 length followed by the bytes. *)
+
+val blob : writer -> string -> unit
+(** i32 length followed by the raw bytes (for large sections). *)
+
+type reader
+
+exception Corrupt of string
+
+val reader : string -> reader
+val at_end : reader -> bool
+
+val read_u8 : reader -> int
+val read_u16 : reader -> int
+val read_i32 : reader -> int
+val read_i64 : reader -> int
+val read_str : reader -> string
+val read_blob : reader -> string
+
+val list : writer -> 'a list -> (writer -> 'a -> unit) -> unit
+(** u32 count followed by the encoded items. *)
+
+val read_list : reader -> (reader -> 'a) -> 'a list
+
+val option : writer -> 'a option -> (writer -> 'a -> unit) -> unit
+val read_option : reader -> (reader -> 'a) -> 'a option

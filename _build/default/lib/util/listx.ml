@@ -1,0 +1,66 @@
+let take n xs =
+  let rec loop n xs acc =
+    match (n, xs) with
+    | 0, _ | _, [] -> List.rev acc
+    | n, x :: rest -> loop (n - 1) rest (x :: acc)
+  in
+  loop (max 0 n) xs []
+
+let rec drop n xs =
+  match (n, xs) with
+  | 0, _ | _, [] -> xs
+  | n, _ :: rest -> drop (n - 1) rest
+
+let split_at n xs = (take n xs, drop n xs)
+
+let chunks n xs =
+  assert (n > 0);
+  let rec loop xs acc =
+    match xs with
+    | [] -> List.rev acc
+    | _ ->
+      let chunk, rest = split_at n xs in
+      loop rest (chunk :: acc)
+  in
+  loop xs []
+
+let index_of pred xs =
+  let rec loop i = function
+    | [] -> None
+    | x :: rest -> if pred x then Some i else loop (i + 1) rest
+  in
+  loop 0 xs
+
+let uniq cmp xs =
+  let sorted = List.sort cmp xs in
+  let rec dedup = function
+    | [] -> []
+    | [ x ] -> [ x ]
+    | x :: (y :: _ as rest) -> if cmp x y = 0 then dedup rest else x :: dedup rest
+  in
+  dedup sorted
+
+let sum = List.fold_left ( + ) 0
+
+let max_by measure = function
+  | [] -> None
+  | x :: rest ->
+    let best =
+      List.fold_left
+        (fun best y -> if measure y > measure best then y else best)
+        x rest
+    in
+    Some best
+
+let range lo hi =
+  let rec loop i acc = if i < lo then acc else loop (i - 1) (i :: acc) in
+  loop (hi - 1) []
+
+let init_fold n acc f =
+  let rec loop i acc items =
+    if i >= n then (acc, List.rev items)
+    else
+      let acc, item = f acc i in
+      loop (i + 1) acc (item :: items)
+  in
+  loop 0 acc []

@@ -1,0 +1,33 @@
+(** List helpers shared across the FPFA toolchain. *)
+
+val take : int -> 'a list -> 'a list
+(** [take n xs] is the first [n] elements of [xs] (all of [xs] if shorter). *)
+
+val drop : int -> 'a list -> 'a list
+(** [drop n xs] is [xs] without its first [n] elements. *)
+
+val split_at : int -> 'a list -> 'a list * 'a list
+(** [split_at n xs] is [(take n xs, drop n xs)]. *)
+
+val chunks : int -> 'a list -> 'a list list
+(** [chunks n xs] groups [xs] into consecutive lists of length [n] (the last
+    chunk may be shorter). [n] must be positive. *)
+
+val index_of : ('a -> bool) -> 'a list -> int option
+(** Position of the first element satisfying the predicate. *)
+
+val uniq : ('a -> 'a -> int) -> 'a list -> 'a list
+(** [uniq cmp xs] sorts [xs] with [cmp] and removes duplicates. *)
+
+val sum : int list -> int
+
+val max_by : ('a -> int) -> 'a list -> 'a option
+(** Element maximising the measure; [None] on the empty list. First of the
+    maximal elements wins, so the result is deterministic. *)
+
+val range : int -> int -> int list
+(** [range lo hi] is [lo; lo+1; ...; hi-1]. Empty when [lo >= hi]. *)
+
+val init_fold : int -> 'acc -> ('acc -> int -> 'acc * 'a) -> 'acc * 'a list
+(** [init_fold n acc f] threads [acc] through [f] for indices [0..n-1] and
+    collects the produced elements in order. *)

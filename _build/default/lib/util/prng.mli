@@ -1,0 +1,30 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    All randomised components of the toolchain (random DAG generation, test
+    input vectors) draw from this generator so that every run is exactly
+    reproducible from a seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes an independent generator. *)
+
+val copy : t -> t
+(** Snapshot of the generator state. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive. Requires [lo <= hi]. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Fisher-Yates shuffle. *)

@@ -1,0 +1,38 @@
+type align = Left | Right
+
+let pad align width s =
+  let fill = String.make (max 0 (width - String.length s)) ' ' in
+  match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?(aligns = []) ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc row -> max acc (List.length row)) 0 all in
+  let width i =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row i with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let align_of i =
+    match List.nth_opt aligns i with Some a -> a | None -> Left
+  in
+  let line row =
+    let cells =
+      List.mapi
+        (fun i w ->
+          let cell = match List.nth_opt row i with Some c -> c | None -> "" in
+          pad (align_of i) w cell)
+        widths
+    in
+    String.concat "  " cells
+  in
+  let rule =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  let body = List.map line rows in
+  String.concat "\n" ((line header :: rule :: body) @ [ "" ])
+
+let print ?aligns ~header rows = print_string (render ?aligns ~header rows)

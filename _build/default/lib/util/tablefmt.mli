@@ -1,0 +1,11 @@
+(** Plain-text table rendering for benchmark and report output. *)
+
+type align = Left | Right
+
+val render : ?aligns:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays the rows out in aligned columns with a rule
+    under the header. [aligns] defaults to left alignment everywhere; when
+    shorter than the column count the remaining columns are left-aligned. *)
+
+val print : ?aligns:align list -> header:string list -> string list list -> unit
+(** [render] followed by [print_string]. *)

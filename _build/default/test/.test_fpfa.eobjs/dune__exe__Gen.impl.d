@@ -1,0 +1,1 @@
+test/gen.ml: Array Cfront Format List QCheck

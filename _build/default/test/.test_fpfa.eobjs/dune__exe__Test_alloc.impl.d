@@ -1,0 +1,1 @@
+test/test_alloc.ml: Alcotest Array Cdfg Fpfa_arch Fpfa_kernels Fpfa_sim Fpfa_util Hashtbl List Mapping Transform

@@ -1,0 +1,1 @@
+test/test_builder.ml: Alcotest Array Cdfg Cfront Fpfa_kernels List Option

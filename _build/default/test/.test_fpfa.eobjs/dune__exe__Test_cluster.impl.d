@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Array Cdfg Cfront Fpfa_arch Fpfa_kernels Fpfa_util List Mapping QCheck QCheck_alcotest Transform

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Cdfg Cfront Gen List QCheck QCheck_alcotest

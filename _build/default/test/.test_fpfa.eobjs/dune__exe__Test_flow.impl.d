@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Baseline Cfront Fpfa_core Fpfa_kernels Fpfa_sim Gen List Mapping QCheck QCheck_alcotest

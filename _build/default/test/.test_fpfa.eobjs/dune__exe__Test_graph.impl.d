@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Cdfg Fpfa_kernels Fpfa_util Hashtbl List Option

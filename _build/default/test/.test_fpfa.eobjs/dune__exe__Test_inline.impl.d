@@ -1,0 +1,1 @@
+test/test_inline.ml: Alcotest Cfront Fpfa_core Fpfa_sim List

@@ -1,0 +1,1 @@
+test/test_loop.ml: Alcotest Array Cfront Fpfa_core Fpfa_sim Gen List Mapping Option Printf QCheck QCheck_alcotest String

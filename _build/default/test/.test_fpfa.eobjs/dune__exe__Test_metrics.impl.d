@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Bytes Cdfg Char Format Fpfa_core Fpfa_kernels Fpfa_sim Fpfa_util Lazy List Mapping Printf QCheck QCheck_alcotest String

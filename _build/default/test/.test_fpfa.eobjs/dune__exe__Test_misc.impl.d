@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Bytes Cdfg Format Fpfa_core Fpfa_kernels Fpfa_util List Mapping Printf String Transform

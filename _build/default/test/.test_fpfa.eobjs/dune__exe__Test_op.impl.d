@@ -1,0 +1,1 @@
+test/test_op.ml: Alcotest Cdfg Cfront List QCheck QCheck_alcotest

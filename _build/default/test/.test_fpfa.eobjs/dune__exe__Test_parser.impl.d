@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Cfront Format Fpfa_kernels Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Fpfa_core Fpfa_kernels Fpfa_util List Option

@@ -1,0 +1,1 @@
+test/test_range.ml: Alcotest Array Cdfg Cfront Fpfa_kernels Gen List Option Printf QCheck QCheck_alcotest String Transform

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Cdfg Fpfa_kernels List Mapping QCheck QCheck_alcotest Transform

@@ -1,0 +1,1 @@
+test/test_sema.ml: Alcotest Cfront List Option

@@ -1,0 +1,1 @@
+test/test_serialize.ml: Alcotest Cdfg Filename Fpfa_core Fpfa_kernels Fpfa_sim Fun List Mapping QCheck QCheck_alcotest String Sys Transform

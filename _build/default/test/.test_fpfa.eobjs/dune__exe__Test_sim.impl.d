@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Baseline Cdfg Fpfa_arch Fpfa_core Fpfa_kernels Fpfa_sim List Mapping

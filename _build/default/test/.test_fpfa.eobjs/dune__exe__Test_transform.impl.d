@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Array Cdfg Cfront Fpfa_kernels Gen List Option QCheck QCheck_alcotest Transform

@@ -1,0 +1,1 @@
+test/test_unroll.ml: Alcotest Cfront Fpfa_kernels Gen List QCheck QCheck_alcotest

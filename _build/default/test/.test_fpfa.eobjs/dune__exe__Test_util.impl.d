@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Fpfa_util List String

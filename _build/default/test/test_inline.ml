@@ -1,0 +1,143 @@
+(* Unit tests for function inlining. *)
+
+module Ast = Cfront.Ast
+module Inline = Cfront.Inline
+
+let inline_main source =
+  Inline.entry (Cfront.Parser.parse_program source)
+
+let run_main ?array_init source =
+  Cfront.Interp.run ?array_init (inline_main source)
+
+let scalar state name =
+  match List.assoc_opt name state.Cfront.Interp.scalars with
+  | Some v -> v
+  | None -> Alcotest.fail ("no scalar " ^ name)
+
+let test_simple_call () =
+  let st =
+    run_main "int add1(int v) { return v + 1; } void main() { x = add1(41); }"
+  in
+  Alcotest.(check int) "result" 42 (scalar st "x")
+
+let test_nested_calls () =
+  let st =
+    run_main
+      "int sq(int v) { return v * v; }\n\
+       int quad(int v) { return sq(sq(v)); }\n\
+       void main() { x = quad(2); }"
+  in
+  Alcotest.(check int) "2^4" 16 (scalar st "x")
+
+let test_call_in_expression_position () =
+  let st =
+    run_main
+      "int f(int a) { return a * 3; } void main() { x = f(1) + f(2) * f(3); }"
+  in
+  Alcotest.(check int) "3 + 6*9" 57 (scalar st "x")
+
+let test_locals_are_renamed () =
+  (* the callee's local t must not clash with the caller's t *)
+  let st =
+    run_main
+      "int f(int a) { int t; t = a * 2; return t; }\n\
+       void main() { t = 5; x = f(10); y = t; }"
+  in
+  Alcotest.(check int) "callee result" 20 (scalar st "x");
+  Alcotest.(check int) "caller t untouched" 5 (scalar st "y")
+
+let test_globals_are_shared () =
+  let st =
+    run_main
+      "void bump() { counter = counter + 1; return; }\n\
+       void main() { counter = 0; bump(); bump(); bump(); }"
+  in
+  Alcotest.(check int) "global incremented" 3 (scalar st "counter")
+
+let test_callee_arrays_renamed () =
+  let st =
+    run_main
+      "int sum3(int a) { int buf[3]; buf[0] = a; buf[1] = a + 1; buf[2] = a + 2;\n\
+       return buf[0] + buf[1] + buf[2]; }\n\
+       void main() { x = sum3(7); }"
+  in
+  Alcotest.(check int) "7+8+9" 24 (scalar st "x")
+
+let test_loops_inside_callee () =
+  let st =
+    run_main
+      "int sum_to(int n) { s = 0; for (i = 1; i <= n; i++) { s = s + i; } return s; }\n\
+       void main() { x = sum_to(10); }"
+  in
+  Alcotest.(check int) "55" 55 (scalar st "x")
+
+let test_call_inside_loop_body () =
+  let st =
+    run_main
+      "int dbl(int v) { return 2 * v; }\n\
+       void main() { acc = 0; for (i = 0; i < 4; i++) { acc = acc + dbl(i); } }"
+  in
+  Alcotest.(check int) "2*(0+1+2+3)" 12 (scalar st "acc")
+
+let expect_error source =
+  match Inline.program (Cfront.Parser.parse_program source) with
+  | exception Inline.Error _ -> ()
+  | _ -> Alcotest.fail ("expected inline error: " ^ source)
+
+let test_recursion_rejected () =
+  expect_error "int f(int n) { return f(n - 1); } void main() { x = f(3); }";
+  expect_error
+    "int f(int n) { return g(n); } int g(int n) { return f(n); }\n\
+     void main() { x = f(3); }"
+
+let test_mid_return_rejected () =
+  expect_error
+    "int f(int n) { if (n) { return 1; } return 0; } void main() { x = f(2); }"
+
+let test_void_in_expression_rejected () =
+  expect_error "void f() { g = 1; return; } void main() { x = f() + 1; }"
+
+let test_arity_checked () =
+  expect_error "int f(int a, int b) { return a + b; } void main() { x = f(1); }"
+
+let test_call_in_loop_condition_rejected () =
+  expect_error
+    "int f(int n) { return n - 1; } void main() { i = 3; while (f(i)) { i = i - 1; } }"
+
+let test_full_flow_with_calls () =
+  let source =
+    "int mac(int acc, int a, int b) { return acc + a * b; }\n\
+     void main() { s = 0; for (i = 0; i < 4; i++) { s = mac(s, u[i], v[i]); } }"
+  in
+  let result = Fpfa_core.Flow.map_source source in
+  let memory_init = [ ("u", [| 1; 2; 3; 4 |]); ("v", [| 5; 6; 7; 8 |]) ] in
+  Alcotest.(check bool) "verifies" true
+    (Fpfa_core.Flow.verify ~memory_init result);
+  let mem, _ = Fpfa_sim.Sim.run ~memory_init result.Fpfa_core.Flow.job in
+  Alcotest.(check int) "dot product" 70
+    (match List.assoc "s" mem with [| v |] -> v | _ -> -1)
+
+let test_idempotent_on_call_free () =
+  let source = "void main() { x = abs(-3) + min(1, 2); }" in
+  let p = Cfront.Parser.parse_program source in
+  Alcotest.(check bool) "unchanged" true
+    (Ast.equal_program p (Inline.program p))
+
+let suite =
+  [
+    Alcotest.test_case "simple call" `Quick test_simple_call;
+    Alcotest.test_case "nested calls" `Quick test_nested_calls;
+    Alcotest.test_case "expression position" `Quick test_call_in_expression_position;
+    Alcotest.test_case "locals renamed" `Quick test_locals_are_renamed;
+    Alcotest.test_case "globals shared" `Quick test_globals_are_shared;
+    Alcotest.test_case "callee arrays" `Quick test_callee_arrays_renamed;
+    Alcotest.test_case "loops in callee" `Quick test_loops_inside_callee;
+    Alcotest.test_case "call in loop body" `Quick test_call_inside_loop_body;
+    Alcotest.test_case "recursion" `Quick test_recursion_rejected;
+    Alcotest.test_case "mid return" `Quick test_mid_return_rejected;
+    Alcotest.test_case "void in expr" `Quick test_void_in_expression_rejected;
+    Alcotest.test_case "arity" `Quick test_arity_checked;
+    Alcotest.test_case "call in loop cond" `Quick test_call_in_loop_condition_rejected;
+    Alcotest.test_case "full flow" `Quick test_full_flow_with_calls;
+    Alcotest.test_case "idempotent" `Quick test_idempotent_on_call_free;
+  ]

@@ -1,0 +1,138 @@
+(* Unit tests for the reference interpreter. *)
+
+module Interp = Cfront.Interp
+
+let run ?array_init ?scalar_init source =
+  Interp.run_main ?array_init ?scalar_init (Cfront.Parser.parse_program source)
+
+let scalar state name =
+  match List.assoc_opt name state.Interp.scalars with
+  | Some v -> v
+  | None -> Alcotest.fail ("no scalar " ^ name)
+
+let array state name =
+  match List.assoc_opt name state.Interp.arrays with
+  | Some arr -> Array.to_list arr
+  | None -> Alcotest.fail ("no array " ^ name)
+
+let test_arithmetic () =
+  let st = run "void main() { x = 2 + 3 * 4 - 1; y = (10 - 4) / 3; }" in
+  Alcotest.(check int) "x" 13 (scalar st "x");
+  Alcotest.(check int) "y" 2 (scalar st "y")
+
+let test_total_division () =
+  let st = run "void main() { a = 7 / 0; b = 7 % 0; c = 1 << 100; d = 1 >> (-1); }" in
+  Alcotest.(check int) "div by zero is 0" 0 (scalar st "a");
+  Alcotest.(check int) "mod by zero is 0" 0 (scalar st "b");
+  Alcotest.(check int) "oversized shift is 0" 0 (scalar st "c");
+  Alcotest.(check int) "negative shift is 0" 0 (scalar st "d")
+
+let test_comparisons_yield_01 () =
+  let st = run "void main() { a = 3 < 5; b = 3 > 5; c = !7; d = !!7; }" in
+  Alcotest.(check int) "lt" 1 (scalar st "a");
+  Alcotest.(check int) "gt" 0 (scalar st "b");
+  Alcotest.(check int) "lnot" 0 (scalar st "c");
+  Alcotest.(check int) "double lnot" 1 (scalar st "d")
+
+let test_short_circuit () =
+  (* && short-circuits: the division by zero on the right is never reached,
+     and even if it were, division is total. The point is the 0/1 result. *)
+  let st = run "void main() { a = 0 && 5; b = 2 && 5; c = 0 || 0; d = 0 || 9; }" in
+  Alcotest.(check (list int)) "logic" [ 0; 1; 0; 1 ]
+    [ scalar st "a"; scalar st "b"; scalar st "c"; scalar st "d" ]
+
+let test_while_loop () =
+  let st = run "void main() { s = 0; i = 0; while (i < 10) { s = s + i; i++; } }" in
+  Alcotest.(check int) "sum 0..9" 45 (scalar st "s");
+  Alcotest.(check int) "i" 10 (scalar st "i")
+
+let test_if_else () =
+  let st = run "void main() { x = 7; if (x > 5) { y = 1; } else { y = 2; } }" in
+  Alcotest.(check int) "then branch" 1 (scalar st "y")
+
+let test_arrays_grow_and_bounds () =
+  let st = run "void main() { a[3] = 9; x = a[0] + a[3]; }" in
+  Alcotest.(check (list int)) "grown with zeros" [ 0; 0; 0; 9 ] (array st "a");
+  Alcotest.(check int) "read" 9 (scalar st "x")
+
+let test_declared_bounds_enforced () =
+  (match run "void main() { int a[2]; a[5] = 1; }" with
+  | exception Interp.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "out of bounds write");
+  match run "void main() { x = a[-1]; }" with
+  | exception Interp.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "negative index"
+
+let test_uninitialised_reads_zero () =
+  let st = run "void main() { int x; y = x + q; }" in
+  Alcotest.(check int) "decl without init is 0" 0 (scalar st "x");
+  Alcotest.(check int) "implicit reads 0" 0 (scalar st "y")
+
+let test_inputs () =
+  let st =
+    run ~array_init:[ ("a", [| 5; 6 |]) ] ~scalar_init:[ ("k", 10) ]
+      "void main() { x = a[0] + a[1] + k; }"
+  in
+  Alcotest.(check int) "seeded" 21 (scalar st "x")
+
+let test_return_value () =
+  match Cfront.Parser.parse_program "int f() { return 6 * 7; }" with
+  | [ f ] ->
+    let st = Interp.run f in
+    Alcotest.(check (option int)) "return" (Some 42) st.Interp.return_value
+  | _ -> Alcotest.fail "one function"
+
+let test_args () =
+  match Cfront.Parser.parse_program "int f(int a, int b) { return a - b; }" with
+  | [ f ] ->
+    let st = Interp.run ~args:[ 10; 4 ] f in
+    Alcotest.(check (option int)) "args bound" (Some 6) st.Interp.return_value
+  | _ -> Alcotest.fail "one function"
+
+let test_fuel () =
+  match run ~array_init:[] "void main() { x = 1; while (x) { x = 1; } }" with
+  | exception Interp.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected fuel exhaustion"
+
+let test_intrinsics () =
+  let st = run "void main() { a = abs(-4); b = min(3, -2); c = max(3, -2); }" in
+  Alcotest.(check (list int)) "intrinsics" [ 4; -2; 3 ]
+    [ scalar st "a"; scalar st "b"; scalar st "c" ]
+
+let test_fir_golden () =
+  let k = Fpfa_kernels.Kernels.fir_paper in
+  let st = Interp.run_main ~array_init:k.Fpfa_kernels.Kernels.inputs
+      (Cfront.Parser.parse_program k.Fpfa_kernels.Kernels.source)
+  in
+  let a = List.assoc "a" k.Fpfa_kernels.Kernels.inputs in
+  let c = List.assoc "c" k.Fpfa_kernels.Kernels.inputs in
+  let expected = ref 0 in
+  Array.iteri (fun i ai -> expected := !expected + (ai * c.(i))) a;
+  Alcotest.(check int) "fir sum" !expected (scalar st "sum")
+
+let test_equal_state () =
+  let st1 = run "void main() { x = 1; a[0] = 2; }" in
+  let st2 = run "void main() { a[0] = 2; x = 1; }" in
+  Alcotest.(check bool) "equal" true (Interp.equal_state st1 st2);
+  let st3 = run "void main() { x = 2; a[0] = 2; }" in
+  Alcotest.(check bool) "not equal" false (Interp.equal_state st1 st3)
+
+let suite =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "total division" `Quick test_total_division;
+    Alcotest.test_case "comparisons" `Quick test_comparisons_yield_01;
+    Alcotest.test_case "short circuit" `Quick test_short_circuit;
+    Alcotest.test_case "while loop" `Quick test_while_loop;
+    Alcotest.test_case "if/else" `Quick test_if_else;
+    Alcotest.test_case "arrays grow" `Quick test_arrays_grow_and_bounds;
+    Alcotest.test_case "declared bounds" `Quick test_declared_bounds_enforced;
+    Alcotest.test_case "uninitialised is 0" `Quick test_uninitialised_reads_zero;
+    Alcotest.test_case "inputs" `Quick test_inputs;
+    Alcotest.test_case "return value" `Quick test_return_value;
+    Alcotest.test_case "arguments" `Quick test_args;
+    Alcotest.test_case "fuel" `Quick test_fuel;
+    Alcotest.test_case "intrinsics" `Quick test_intrinsics;
+    Alcotest.test_case "fir golden" `Quick test_fir_golden;
+    Alcotest.test_case "equal_state" `Quick test_equal_state;
+  ]

@@ -1,0 +1,102 @@
+(* Unit tests for the C-subset lexer. *)
+
+let tokens source = List.map fst (Cfront.Lexer.tokenize source)
+
+let token_strings source =
+  List.map Cfront.Token.to_string (tokens source)
+
+let check = Alcotest.(check (list string))
+
+let test_keywords () =
+  check "keywords"
+    [ "int"; "void"; "if"; "else"; "while"; "for"; "return"; "<eof>" ]
+    (token_strings "int void if else while for return")
+
+let test_identifiers () =
+  check "identifiers vs keywords"
+    [ "inty"; "whilex"; "_a1"; "<eof>" ]
+    (token_strings "inty whilex _a1")
+
+let test_numbers () =
+  match tokens "0 42 007" with
+  | [ Cfront.Token.Int_lit 0; Int_lit 42; Int_lit 7; Eof ] -> ()
+  | _ -> Alcotest.fail "number lexing"
+
+let test_operators_longest_match () =
+  check "multi-char operators"
+    [ "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||"; "++"; "--"; "+="; "<eof>" ]
+    (token_strings "<< >> <= >= == != && || ++ -- +=")
+
+let test_operator_adjacency () =
+  (* <<= is lexed << then =; a<-b is a < - b. *)
+  check "adjacent ops" [ "<<"; "="; "a"; "<"; "-"; "b"; "<eof>" ]
+    (token_strings "<<= a<-b")
+
+let test_punctuation () =
+  check "punctuation"
+    [ "("; ")"; "["; "]"; "{"; "}"; "?"; ":"; ","; ";"; "<eof>" ]
+    (token_strings "()[]{}?:,;")
+
+let test_line_comments () =
+  check "line comment skipped" [ "a"; "b"; "<eof>" ]
+    (token_strings "a // comment ; int\nb")
+
+let test_block_comments () =
+  check "block comment skipped" [ "a"; "b"; "<eof>" ]
+    (token_strings "a /* while (x) { */ b");
+  check "multiline block" [ "x"; "<eof>" ] (token_strings "/* 1\n2\n3 */ x")
+
+let test_preprocessor_skipped () =
+  check "preprocessor lines skipped" [ "y"; "<eof>" ]
+    (token_strings "#include <stdio.h>\ny")
+
+let test_positions () =
+  let toks = Cfront.Lexer.tokenize "a\n  b" in
+  match toks with
+  | [ (_, p1); (_, p2); _ ] ->
+    Alcotest.(check (pair int int)) "first" (1, 1) (p1.Cfront.Token.line, p1.Cfront.Token.col);
+    Alcotest.(check (pair int int)) "second" (2, 3) (p2.Cfront.Token.line, p2.Cfront.Token.col)
+  | _ -> Alcotest.fail "expected three tokens"
+
+let test_unterminated_comment () =
+  Alcotest.check_raises "unterminated comment"
+    (Cfront.Lexer.Error ("unterminated comment", { Cfront.Token.line = 1; col = 3 }))
+    (fun () -> ignore (Cfront.Lexer.tokenize "x /* never closed"))
+
+let test_bad_character () =
+  match Cfront.Lexer.tokenize "a $ b" with
+  | exception Cfront.Lexer.Error (msg, _) ->
+    Alcotest.(check bool) "mentions char" true
+      (String.length msg > 0)
+  | _ -> Alcotest.fail "expected lexer error"
+
+let test_empty_input () =
+  match tokens "" with
+  | [ Cfront.Token.Eof ] -> ()
+  | _ -> Alcotest.fail "empty input should give EOF only"
+
+let test_token_equal () =
+  Alcotest.(check bool) "int lits" true
+    (Cfront.Token.equal (Cfront.Token.Int_lit 3) (Cfront.Token.Int_lit 3));
+  Alcotest.(check bool) "different lits" false
+    (Cfront.Token.equal (Cfront.Token.Int_lit 3) (Cfront.Token.Int_lit 4));
+  Alcotest.(check bool) "idents" false
+    (Cfront.Token.equal (Cfront.Token.Ident "a") (Cfront.Token.Ident "b"))
+
+let suite =
+  [
+    Alcotest.test_case "keywords" `Quick test_keywords;
+    Alcotest.test_case "identifiers" `Quick test_identifiers;
+    Alcotest.test_case "numbers" `Quick test_numbers;
+    Alcotest.test_case "longest match" `Quick test_operators_longest_match;
+    Alcotest.test_case "adjacency" `Quick test_operator_adjacency;
+    Alcotest.test_case "punctuation" `Quick test_punctuation;
+    Alcotest.test_case "line comments" `Quick test_line_comments;
+    Alcotest.test_case "block comments" `Quick test_block_comments;
+    Alcotest.test_case "preprocessor" `Quick test_preprocessor_skipped;
+    Alcotest.test_case "positions" `Quick test_positions;
+    Alcotest.test_case "unterminated comment" `Quick test_unterminated_comment;
+    Alcotest.test_case "bad character" `Quick test_bad_character;
+    Alcotest.test_case "empty input" `Quick test_empty_input;
+    Alcotest.test_case "token equality" `Quick test_token_equal;
+  ]

@@ -1,0 +1,172 @@
+(* Unit + property tests for the parser. *)
+
+module Ast = Cfront.Ast
+
+let expr = Alcotest.testable Ast.pp_expr Ast.equal_expr
+
+let parse_e = Cfront.Parser.parse_expr
+
+let test_precedence () =
+  Alcotest.check expr "mul binds tighter than add"
+    (Ast.Binop (Ast.Add, Ast.Var "a", Ast.Binop (Ast.Mul, Ast.Var "b", Ast.Var "c")))
+    (parse_e "a + b * c");
+  Alcotest.check expr "shift below add"
+    (Ast.Binop (Ast.Shl, Ast.Var "a", Ast.Binop (Ast.Add, Ast.Var "b", Ast.Int_lit 1)))
+    (parse_e "a << b + 1");
+  Alcotest.check expr "comparison below shift"
+    (Ast.Binop (Ast.Lt, Ast.Binop (Ast.Shr, Ast.Var "a", Ast.Int_lit 2), Ast.Var "b"))
+    (parse_e "a >> 2 < b");
+  Alcotest.check expr "and below or"
+    (Ast.Binop (Ast.Lor, Ast.Var "a", Ast.Binop (Ast.Land, Ast.Var "b", Ast.Var "c")))
+    (parse_e "a || b && c")
+
+let test_associativity () =
+  Alcotest.check expr "sub is left associative"
+    (Ast.Binop (Ast.Sub, Ast.Binop (Ast.Sub, Ast.Var "a", Ast.Var "b"), Ast.Var "c"))
+    (parse_e "a - b - c")
+
+let test_unary () =
+  Alcotest.check expr "nested unary"
+    (Ast.Unop (Ast.Neg, Ast.Unop (Ast.Bnot, Ast.Var "x")))
+    (parse_e "-~x");
+  Alcotest.check expr "unary plus is dropped" (Ast.Var "x") (parse_e "+x")
+
+let test_ternary () =
+  Alcotest.check expr "ternary right associative"
+    (Ast.Cond (Ast.Var "a", Ast.Int_lit 1, Ast.Cond (Ast.Var "b", Ast.Int_lit 2, Ast.Int_lit 3)))
+    (parse_e "a ? 1 : b ? 2 : 3")
+
+let test_index_and_call () =
+  Alcotest.check expr "array index"
+    (Ast.Index ("a", Ast.Binop (Ast.Add, Ast.Var "i", Ast.Int_lit 1)))
+    (parse_e "a[i + 1]");
+  Alcotest.check expr "intrinsic call"
+    (Ast.Call ("max", [ Ast.Var "a"; Ast.Int_lit 0 ]))
+    (parse_e "max(a, 0)")
+
+let parse_main source =
+  match Cfront.Parser.parse_program source with
+  | [ f ] -> f.Ast.body
+  | _ -> Alcotest.fail "expected one function"
+
+let stmt_count body = Ast.stmt_count body
+
+let test_compound_assign_desugar () =
+  let body = parse_main "void main() { x += 2; y *= x; }" in
+  match body with
+  | [
+   Ast.Assign (Ast.Lvar "x", Ast.Binop (Ast.Add, Ast.Var "x", Ast.Int_lit 2));
+   Ast.Assign (Ast.Lvar "y", Ast.Binop (Ast.Mul, Ast.Var "y", Ast.Var "x"));
+  ] ->
+    ()
+  | _ -> Alcotest.fail "compound assignment desugaring"
+
+let test_increment_desugar () =
+  let body = parse_main "void main() { i++; j--; }" in
+  match body with
+  | [
+   Ast.Assign (Ast.Lvar "i", Ast.Binop (Ast.Add, Ast.Var "i", Ast.Int_lit 1));
+   Ast.Assign (Ast.Lvar "j", Ast.Binop (Ast.Sub, Ast.Var "j", Ast.Int_lit 1));
+  ] ->
+    ()
+  | _ -> Alcotest.fail "increment desugaring"
+
+let test_for_desugar () =
+  let body = parse_main "void main() { for (i = 0; i < 4; i++) { x = i; } }" in
+  match body with
+  | [ Ast.Assign (Ast.Lvar "i", Ast.Int_lit 0); Ast.While (cond, loop_body) ] ->
+    Alcotest.check expr "condition"
+      (Ast.Binop (Ast.Lt, Ast.Var "i", Ast.Int_lit 4))
+      cond;
+    Alcotest.(check int) "body + step" 2 (List.length loop_body)
+  | _ -> Alcotest.fail "for desugaring"
+
+let test_for_without_init_step () =
+  let body = parse_main "void main() { for (; x < 3;) { x = x + 1; } }" in
+  match body with
+  | [ Ast.While (_, _) ] -> ()
+  | _ -> Alcotest.fail "for without init/step"
+
+let test_dangling_else () =
+  let body = parse_main "void main() { if (a) if (b) x = 1; else x = 2; }" in
+  match body with
+  | [ Ast.If (_, [ Ast.If (_, _, [ _ ]) ], []) ] -> ()
+  | _ -> Alcotest.fail "dangling else binds to inner if"
+
+let test_declarations () =
+  let body = parse_main "void main() { int x; int y = 3; int a[10]; }" in
+  match body with
+  | [
+   Ast.Decl ("x", None, None);
+   Ast.Decl ("y", None, Some (Ast.Int_lit 3));
+   Ast.Decl ("a", Some 10, None);
+  ] ->
+    ()
+  | _ -> Alcotest.fail "declarations"
+
+let test_functions_and_params () =
+  match Cfront.Parser.parse_program "int f(int a, int b) { return a + b; } void main() { x = 1; }" with
+  | [ f; m ] ->
+    Alcotest.(check string) "name" "f" f.Ast.name;
+    Alcotest.(check (list string)) "params" [ "a"; "b" ] f.Ast.params;
+    Alcotest.(check bool) "returns" true f.Ast.returns_value;
+    Alcotest.(check bool) "main void" false m.Ast.returns_value
+  | _ -> Alcotest.fail "two functions"
+
+let test_empty_statement () =
+  let body = parse_main "void main() { ;; x = 1; ; }" in
+  Alcotest.(check int) "empty statements dropped" 1 (stmt_count body)
+
+let expect_syntax_error source =
+  match Cfront.Parser.parse_program source with
+  | exception Cfront.Parser.Error (_, _) -> ()
+  | _ -> Alcotest.fail ("expected syntax error: " ^ source)
+
+let test_errors () =
+  expect_syntax_error "void main() { x = ; }";
+  expect_syntax_error "void main() { if x { } }";
+  expect_syntax_error "void main() { x = 1 }";
+  expect_syntax_error "void main() { int a[n]; }";
+  expect_syntax_error "void main() {";
+  expect_syntax_error "main() { }";
+  expect_syntax_error ""
+
+let test_paper_fir_parses () =
+  let body =
+    parse_main Fpfa_kernels.Kernels.fir_paper.Fpfa_kernels.Kernels.source
+  in
+  Alcotest.(check int) "statement count" 5 (stmt_count body)
+
+(* Property: printing then re-parsing an expression yields the same AST. *)
+let roundtrip_expr =
+  QCheck.Test.make ~name:"print/parse round-trip (expr)" ~count:500 Gen.expr
+    (fun e ->
+      let printed = Format.asprintf "%a" Ast.pp_expr e in
+      Ast.equal_expr e (Cfront.Parser.parse_expr printed))
+
+let roundtrip_program =
+  QCheck.Test.make ~name:"print/parse round-trip (program)" ~count:200
+    Gen.program (fun p ->
+      let printed = Ast.program_to_string p in
+      Ast.equal_program p (Cfront.Parser.parse_program printed))
+
+let suite =
+  [
+    Alcotest.test_case "precedence" `Quick test_precedence;
+    Alcotest.test_case "associativity" `Quick test_associativity;
+    Alcotest.test_case "unary" `Quick test_unary;
+    Alcotest.test_case "ternary" `Quick test_ternary;
+    Alcotest.test_case "index and call" `Quick test_index_and_call;
+    Alcotest.test_case "compound assign" `Quick test_compound_assign_desugar;
+    Alcotest.test_case "increment" `Quick test_increment_desugar;
+    Alcotest.test_case "for desugar" `Quick test_for_desugar;
+    Alcotest.test_case "for minimal" `Quick test_for_without_init_step;
+    Alcotest.test_case "dangling else" `Quick test_dangling_else;
+    Alcotest.test_case "declarations" `Quick test_declarations;
+    Alcotest.test_case "functions" `Quick test_functions_and_params;
+    Alcotest.test_case "empty statements" `Quick test_empty_statement;
+    Alcotest.test_case "syntax errors" `Quick test_errors;
+    Alcotest.test_case "paper FIR parses" `Quick test_paper_fir_parses;
+    QCheck_alcotest.to_alcotest roundtrip_expr;
+    QCheck_alcotest.to_alcotest roundtrip_program;
+  ]

@@ -1,0 +1,198 @@
+(* Unit + property tests for value-range analysis. *)
+
+module G = Cdfg.Graph
+module Range = Transform.Range
+
+let build source =
+  let g = Cdfg.Builder.build_program source in
+  ignore (Transform.Simplify.minimize g);
+  g
+
+let analyze ?width ?input_ranges source =
+  Range.analyze ?width ?input_ranges (build source)
+
+let test_constants_exact () =
+  let g = build "void main() { x = 12345; }" in
+  let report = Range.analyze g in
+  let const_node =
+    G.fold g ~init:None ~f:(fun acc n ->
+        match n.G.kind with G.Const 12345 -> Some n.G.id | _ -> acc)
+  in
+  match const_node with
+  | Some id ->
+    Alcotest.(check (option (pair int int)))
+      "exact" (Some (12345, 12345))
+      (Option.map
+         (fun (r : Range.interval) -> (r.Range.lo, r.Range.hi))
+         (Range.range_of report id))
+  | None -> Alcotest.fail "const not found"
+
+let test_default_inputs_are_16bit () =
+  (* adding two full-width inputs overflows 16 bits *)
+  let report = analyze "void main() { x = a[0] + a[1]; }" in
+  Alcotest.(check bool) "overflow reported" true (report.Range.violations <> [])
+
+let test_narrow_inputs_fit () =
+  let narrow = Range.{ lo = -100; hi = 100 } in
+  let report =
+    analyze ~input_ranges:[ ("a", narrow) ] "void main() { x = a[0] + a[1]; }"
+  in
+  Alcotest.(check (list int)) "no violations" []
+    (List.map (fun (v : Range.violation) -> v.Range.node) report.Range.violations)
+
+let test_multiply_squares_range () =
+  let narrow = Range.{ lo = -300; hi = 300 } in
+  (* 300*300 = 90000 > 32767: must be flagged *)
+  let report =
+    analyze ~input_ranges:[ ("a", narrow) ] "void main() { x = a[0] * a[1]; }"
+  in
+  Alcotest.(check bool) "flagged" true (report.Range.violations <> []);
+  let tiny = Range.{ lo = -100; hi = 100 } in
+  let report =
+    analyze ~input_ranges:[ ("a", tiny) ] "void main() { x = a[0] * a[1]; }"
+  in
+  Alcotest.(check bool) "10000 fits" true (report.Range.violations = [])
+
+let test_comparisons_are_boolean () =
+  let report = analyze "void main() { x = a[0] < a[1]; }" in
+  Alcotest.(check bool) "fits trivially" true (report.Range.violations = [])
+
+let test_shift_scaling () =
+  let narrow = Range.{ lo = 0; hi = 255 } in
+  let fits_shift k =
+    let source = Printf.sprintf "void main() { x = a[0] << %d; }" k in
+    (Range.analyze ~input_ranges:[ ("a", narrow) ] (build source))
+      .Range.violations = []
+  in
+  Alcotest.(check bool) "<<7 fits (255*128 = 32640)" true (fits_shift 7);
+  Alcotest.(check bool) "<<8 overflows (255*256 = 65280)" false (fits_shift 8)
+
+let test_division_bounded_by_numerator () =
+  (* full 16-bit inputs include -32768, and -32768 / -1 = 32768 genuinely
+     overflows the datapath: the analysis must flag it *)
+  let report = analyze "void main() { x = a[0] / a[1]; }" in
+  Alcotest.(check bool) "asymmetric minimum flagged" true
+    (report.Range.violations <> []);
+  (* symmetric inputs are safe: |a/b| <= |a| <= 32767 *)
+  let sym = Range.{ lo = -32767; hi = 32767 } in
+  let report =
+    analyze ~input_ranges:[ ("a", sym) ] "void main() { x = a[0] / a[1]; }"
+  in
+  Alcotest.(check bool) "symmetric fits" true (report.Range.violations = [])
+
+let test_mod_bounded_by_divisor () =
+  let narrow = Range.{ lo = 0; hi = 7 } in
+  let report =
+    analyze
+      ~input_ranges:[ ("b", narrow) ]
+      "void main() { x = a[0] % b[0]; }"
+  in
+  (* |x| < 7 regardless of a *)
+  Alcotest.(check bool) "fits" true (report.Range.violations = [])
+
+let test_mux_hull () =
+  let report =
+    analyze
+      ~input_ranges:[ ("a", Range.{ lo = 0; hi = 5 }) ]
+      "void main() { x = c ? a[0] : 100; }"
+  in
+  let g = build "void main() { x = c ? a[0] : 100; }" in
+  ignore g;
+  Alcotest.(check bool) "fits" true (report.Range.violations = []);
+  (* the stored hull includes both branches *)
+  Alcotest.(check bool) "analysis ran" true (report.Range.iterations >= 1)
+
+let test_store_feeds_fetch () =
+  (* the oversized product is stored; the store node must carry the
+     overflow into the region and be flagged *)
+  let big = Range.{ lo = 0; hi = 30000 } in
+  let report =
+    analyze ~input_ranges:[ ("a", big) ] "void main() { t[0] = a[0] * 4; }"
+  in
+  Alcotest.(check bool) "stored overflow flagged" true
+    (report.Range.violations <> [])
+
+let test_accumulator_grows () =
+  (* an 8-tap accumulation of 16-bit products overflows the datapath —
+     the classic fixed-point pitfall the analysis must expose *)
+  let k = Fpfa_kernels.Kernels.fir ~taps:8 in
+  let report = Range.analyze (build k.Fpfa_kernels.Kernels.source) in
+  Alcotest.(check bool) "FIR accumulator flagged at full-scale inputs" true
+    (report.Range.violations <> []);
+  (* with enough headroom (8 products of 60*60 = 28800 < 32767) it fits *)
+  let narrow = Range.{ lo = -60; hi = 60 } in
+  let report =
+    Range.analyze
+      ~input_ranges:[ ("a", narrow); ("c", narrow) ]
+      (build k.Fpfa_kernels.Kernels.source)
+  in
+  Alcotest.(check bool) "narrow inputs fit" true (report.Range.violations = [])
+
+let test_width_parameter () =
+  let narrow = Range.{ lo = -300; hi = 300 } in
+  let g = build "void main() { x = a[0] * a[1]; }" in
+  Alcotest.(check bool) "fails at 16" false
+    (Range.fits ~input_ranges:[ ("a", narrow) ] g);
+  Alcotest.(check bool) "fits at 32" true
+    (Range.fits ~width:32 ~input_ranges:[ ("a", narrow) ] g)
+
+(* Property: the analysis is sound — evaluating on random in-range inputs
+   never produces a value outside its computed interval. *)
+let analysis_is_sound =
+  QCheck.Test.make ~name:"range analysis is sound" ~count:150 Gen.program
+    (fun program ->
+      let unrolled = Cfront.Unroll.unroll_program program in
+      let g = Cdfg.Builder.build_func (List.hd unrolled) in
+      ignore (Transform.Simplify.minimize g);
+      let input_ranges =
+        List.map
+          (fun (region, contents) ->
+            ( region,
+              Array.fold_left
+                (fun acc v -> Range.hull acc (Range.const v))
+                (Range.const contents.(0))
+                contents ))
+          Gen.memory_init
+      in
+      let report = Range.analyze ~input_ranges g in
+      (* soundness check: every final region cell must lie within the join
+         of the region's input interval and the intervals of all stores to
+         it *)
+      let eval = Cdfg.Eval.run ~memory_init:Gen.memory_init g in
+      List.for_all
+        (fun (region, contents) ->
+          let region_hull =
+            G.fold g ~init:(
+              match List.assoc_opt region input_ranges with
+              | Some r -> r
+              | None -> Range.full_width 16)
+              ~f:(fun acc n ->
+                match n.G.kind with
+                | G.St r when String.equal r region -> (
+                  match Range.range_of report (List.nth (G.inputs g n.G.id) 2) with
+                  | Some r -> Range.hull acc r
+                  | None -> acc)
+                | _ -> acc)
+          in
+          Array.for_all
+            (fun v ->
+              v >= region_hull.Range.lo && v <= region_hull.Range.hi)
+            contents)
+        eval.Cdfg.Eval.memory)
+
+let suite =
+  [
+    Alcotest.test_case "constants exact" `Quick test_constants_exact;
+    Alcotest.test_case "16-bit defaults" `Quick test_default_inputs_are_16bit;
+    Alcotest.test_case "narrow inputs" `Quick test_narrow_inputs_fit;
+    Alcotest.test_case "multiply" `Quick test_multiply_squares_range;
+    Alcotest.test_case "comparisons" `Quick test_comparisons_are_boolean;
+    Alcotest.test_case "shifts" `Quick test_shift_scaling;
+    Alcotest.test_case "division" `Quick test_division_bounded_by_numerator;
+    Alcotest.test_case "modulo" `Quick test_mod_bounded_by_divisor;
+    Alcotest.test_case "mux hull" `Quick test_mux_hull;
+    Alcotest.test_case "store to fetch" `Quick test_store_feeds_fetch;
+    Alcotest.test_case "FIR accumulator" `Quick test_accumulator_grows;
+    Alcotest.test_case "width parameter" `Quick test_width_parameter;
+    QCheck_alcotest.to_alcotest analysis_is_sound;
+  ]

@@ -1,0 +1,120 @@
+(* Unit + property tests for phase 2 (level scheduling). *)
+
+module Cluster = Mapping.Cluster
+module Sched = Mapping.Sched
+
+let test_fig4_before () =
+  (* Unbounded ALUs: levels must match paper Fig. 4(a). *)
+  let clustering = Fpfa_kernels.Paper_examples.fig4_clustering () in
+  let sched = Sched.run ~alu_count:100 clustering in
+  let levels =
+    Array.to_list sched.Sched.levels |> List.map (List.sort compare)
+  in
+  Alcotest.(check (list (list int)))
+    "Fig 4(a)"
+    (List.map (List.sort compare) Fpfa_kernels.Paper_examples.fig4_before)
+    levels
+
+let test_fig4_after () =
+  (* 5 ALUs: Clu6 is displaced and a new level is inserted — Fig. 4(b). *)
+  let clustering = Fpfa_kernels.Paper_examples.fig4_clustering () in
+  let sched = Sched.run ~alu_count:5 clustering in
+  let levels =
+    Array.to_list sched.Sched.levels |> List.map (List.sort compare)
+  in
+  Alcotest.(check (list (list int)))
+    "Fig 4(b)"
+    (List.map (List.sort compare) Fpfa_kernels.Paper_examples.fig4_after)
+    levels;
+  Alcotest.(check int) "one level inserted" 5 (Sched.level_count sched);
+  Alcotest.(check int) "critical path was 4" 4 (Sched.critical_path_levels sched)
+
+let test_capacity_never_exceeded () =
+  let clustering = Fpfa_kernels.Paper_examples.fig4_clustering () in
+  List.iter
+    (fun alu_count ->
+      let sched = Sched.run ~alu_count clustering in
+      Sched.validate sched ~alu_count)
+    [ 1; 2; 3; 5; 11 ]
+
+let test_one_alu_serialises () =
+  let clustering = Fpfa_kernels.Paper_examples.fig4_clustering () in
+  let sched = Sched.run ~alu_count:1 clustering in
+  Alcotest.(check int) "eleven levels" 11 (Sched.level_count sched)
+
+let test_mobility () =
+  let clustering = Fpfa_kernels.Paper_examples.fig4_clustering () in
+  let sched = Sched.run ~alu_count:5 clustering in
+  (* Clu10 ends the critical path: zero mobility. *)
+  Alcotest.(check int) "sink mobility" 0 (Sched.mobility sched 10);
+  (* every mobility is non-negative *)
+  Array.iteri
+    (fun cid _ ->
+      Alcotest.(check bool) "non-negative" true (Sched.mobility sched cid >= 0))
+    clustering.Cluster.clusters
+
+let test_critical_first () =
+  (* With capacity 5 and 6 ready clusters of which one has mobility, the
+     mobile one (Clu6 has the highest cid among critical ties... ) is
+     deferred: exactly the Fig. 4 behaviour checked structurally. *)
+  let clustering = Fpfa_kernels.Paper_examples.fig4_clustering () in
+  let sched = Sched.run ~alu_count:5 clustering in
+  Alcotest.(check int) "Clu6 deferred to level 1" 1 sched.Sched.level_of.(6)
+
+let test_empty_graph () =
+  let g = Cdfg.Graph.create "empty" in
+  Cdfg.Graph.declare_region g "r" { Cdfg.Graph.size = Some 1; implicit = true };
+  let ss = Cdfg.Graph.add g (Cdfg.Graph.Ss_in "r") [] in
+  ignore (Cdfg.Graph.add g (Cdfg.Graph.Ss_out "r") [ ss ]);
+  let clustering = Cluster.run g in
+  let sched = Sched.run clustering in
+  Alcotest.(check int) "no levels" 0 (Sched.level_count sched)
+
+let test_kernel_schedules_valid () =
+  List.iter
+    (fun (k : Fpfa_kernels.Kernels.t) ->
+      let g = Cdfg.Builder.build_program k.Fpfa_kernels.Kernels.source in
+      ignore (Transform.Simplify.minimize g);
+      let clustering = Cluster.run g in
+      let sched = Sched.run ~alu_count:5 clustering in
+      Sched.validate sched ~alu_count:5;
+      (* list scheduling can never beat the critical path *)
+      Alcotest.(check bool)
+        (k.Fpfa_kernels.Kernels.name ^ " >= critical path")
+        true
+        (Sched.level_count sched >= Sched.critical_path_levels sched))
+    Fpfa_kernels.Kernels.all
+
+(* Properties on random graphs. *)
+let schedule_is_valid =
+  QCheck.Test.make ~name:"schedule valid on random graphs" ~count:100
+    (QCheck.make QCheck.Gen.(pair (int_range 0 5_000) (int_range 1 6)))
+    (fun (seed, alu_count) ->
+      let g = Fpfa_kernels.Random_graph.generate ~seed ~ops:50 () in
+      let clustering = Cluster.run g in
+      let sched = Sched.run ~alu_count clustering in
+      Sched.validate sched ~alu_count;
+      true)
+
+let more_alus_never_hurt =
+  QCheck.Test.make ~name:"more ALUs never lengthen the schedule" ~count:60
+    (QCheck.make QCheck.Gen.(int_range 0 5_000))
+    (fun seed ->
+      let g = Fpfa_kernels.Random_graph.generate ~seed ~ops:50 () in
+      let clustering = Cluster.run g in
+      let levels n = Sched.level_count (Sched.run ~alu_count:n clustering) in
+      levels 1 >= levels 2 && levels 2 >= levels 5 && levels 5 >= levels 10)
+
+let suite =
+  [
+    Alcotest.test_case "Fig 4(a) before" `Quick test_fig4_before;
+    Alcotest.test_case "Fig 4(b) after" `Quick test_fig4_after;
+    Alcotest.test_case "capacity" `Quick test_capacity_never_exceeded;
+    Alcotest.test_case "one ALU" `Quick test_one_alu_serialises;
+    Alcotest.test_case "mobility" `Quick test_mobility;
+    Alcotest.test_case "critical first" `Quick test_critical_first;
+    Alcotest.test_case "empty graph" `Quick test_empty_graph;
+    Alcotest.test_case "kernel schedules" `Quick test_kernel_schedules_valid;
+    QCheck_alcotest.to_alcotest schedule_is_valid;
+    QCheck_alcotest.to_alcotest more_alus_never_hurt;
+  ]

@@ -1,0 +1,104 @@
+(* Unit tests for semantic analysis. *)
+
+module Sema = Cfront.Sema
+
+let analyze source =
+  match Cfront.Parser.parse_program source with
+  | [ f ] -> Sema.check_func f
+  | _ -> Alcotest.fail "expected one function"
+
+let expect_error source =
+  match analyze source with
+  | exception Sema.Error _ -> ()
+  | _ -> Alcotest.fail ("expected semantic error: " ^ source)
+
+let kind_of env name =
+  match Sema.find env name with
+  | Some sym -> sym.Sema.kind
+  | None -> Alcotest.fail ("symbol not found: " ^ name)
+
+let test_implicit_symbols () =
+  let env = analyze "void main() { sum = a[0] + b; }" in
+  Alcotest.(check bool) "sum scalar" true (kind_of env "sum" = Sema.Scalar);
+  Alcotest.(check bool) "a array" true (kind_of env "a" = Sema.Array None);
+  Alcotest.(check bool) "b scalar" true (kind_of env "b" = Sema.Scalar);
+  let sum = Option.get (Sema.find env "sum") in
+  Alcotest.(check bool) "implicit" true sum.Sema.implicit
+
+let test_declared_symbols () =
+  let env = analyze "void main() { int x = 1; int a[5]; a[0] = x; }" in
+  Alcotest.(check bool) "x scalar" true (kind_of env "x" = Sema.Scalar);
+  Alcotest.(check bool) "a sized" true (kind_of env "a" = Sema.Array (Some 5));
+  let x = Option.get (Sema.find env "x") in
+  Alcotest.(check bool) "not implicit" false x.Sema.implicit
+
+let test_implicit_then_declared () =
+  (* A use before the declaration upgrades to the declared size. *)
+  let env = analyze "void main() { a[2] = 1; int a[5]; }" in
+  Alcotest.(check bool) "upgraded" true (kind_of env "a" = Sema.Array (Some 5))
+
+let test_params_are_scalars () =
+  match Cfront.Parser.parse_program "int f(int p) { return p + 1; }" with
+  | [ f ] ->
+    let env = Sema.check_func f in
+    Alcotest.(check bool) "param scalar" true (kind_of env "p" = Sema.Scalar)
+  | _ -> Alcotest.fail "one function"
+
+let test_scalar_array_conflicts () =
+  expect_error "void main() { x = 1; x[0] = 2; }";
+  expect_error "void main() { x[0] = 2; x = 1; }";
+  expect_error "void main() { int a[3]; a = 1; }"
+
+let test_duplicate_declaration () =
+  expect_error "void main() { int x; int x; }";
+  expect_error "void main() { int x; int x[3]; }"
+
+let test_array_size_positive () =
+  expect_error "void main() { int a[0]; a[0] = 1; }"
+
+let test_intrinsics () =
+  ignore (analyze "void main() { x = min(1, 2) + max(3, 4) + abs(-5); }");
+  expect_error "void main() { x = foo(1); }";
+  expect_error "void main() { x = min(1); }";
+  expect_error "void main() { x = abs(1, 2); }"
+
+let test_return_checks () =
+  expect_error "void main() { return 1; }";
+  (match Cfront.Parser.parse_program "int f() { return; }" with
+  | [ f ] -> (
+    match Sema.check_func f with
+    | exception Sema.Error _ -> ()
+    | _ -> Alcotest.fail "int function must return a value")
+  | _ -> Alcotest.fail "one function");
+  ignore (analyze "void main() { return; }")
+
+let test_env_queries () =
+  let env = analyze "void main() { s = a[0] + b[1]; t = s; }" in
+  Alcotest.(check int) "arrays" 2 (List.length (Sema.arrays env));
+  Alcotest.(check int) "scalars" 2 (List.length (Sema.scalars env));
+  (* env is sorted by name *)
+  let names = List.map (fun (s : Sema.symbol) -> s.Sema.name) env in
+  Alcotest.(check (list string)) "sorted" (List.sort compare names) names
+
+let test_program_duplicates () =
+  match Cfront.Parser.parse_program "void f() { x = 1; } void f() { y = 2; }" with
+  | p -> (
+    match Sema.check_program p with
+    | exception Sema.Error _ -> ()
+    | _ -> Alcotest.fail "duplicate function names")
+  | exception _ -> Alcotest.fail "should parse"
+
+let suite =
+  [
+    Alcotest.test_case "implicit symbols" `Quick test_implicit_symbols;
+    Alcotest.test_case "declared symbols" `Quick test_declared_symbols;
+    Alcotest.test_case "implicit then declared" `Quick test_implicit_then_declared;
+    Alcotest.test_case "params" `Quick test_params_are_scalars;
+    Alcotest.test_case "scalar/array conflict" `Quick test_scalar_array_conflicts;
+    Alcotest.test_case "duplicate decl" `Quick test_duplicate_declaration;
+    Alcotest.test_case "array size" `Quick test_array_size_positive;
+    Alcotest.test_case "intrinsics" `Quick test_intrinsics;
+    Alcotest.test_case "return checks" `Quick test_return_checks;
+    Alcotest.test_case "env queries" `Quick test_env_queries;
+    Alcotest.test_case "duplicate functions" `Quick test_program_duplicates;
+  ]

@@ -1,0 +1,153 @@
+(* Unit + property tests for the binary CDFG and configuration formats. *)
+
+module G = Cdfg.Graph
+module Serialize = Cdfg.Serialize
+module Encode = Mapping.Encode
+
+let graph_of (k : Fpfa_kernels.Kernels.t) =
+  let g = Cdfg.Builder.build_program k.Fpfa_kernels.Kernels.source in
+  ignore (Transform.Simplify.minimize g);
+  g
+
+let test_graph_roundtrip_kernels () =
+  List.iter
+    (fun (k : Fpfa_kernels.Kernels.t) ->
+      let g = graph_of k in
+      let g' = Serialize.of_string (Serialize.to_string g) in
+      G.validate g';
+      let memory_init = k.Fpfa_kernels.Kernels.inputs in
+      let e1 = Cdfg.Eval.run ~memory_init g in
+      let e2 = Cdfg.Eval.run ~memory_init g' in
+      Alcotest.(check bool)
+        (k.Fpfa_kernels.Kernels.name ^ " eval-equal")
+        true
+        (Cdfg.Eval.equal_result e1 e2);
+      Alcotest.(check int) "node count" (G.node_count g) (G.node_count g'))
+    Fpfa_kernels.Kernels.all
+
+let test_graph_roundtrip_preserves_structure () =
+  let g = graph_of Fpfa_kernels.Kernels.fir_paper in
+  let g' = Serialize.of_string (Serialize.to_string g) in
+  let s = G.stats g and s' = G.stats g' in
+  Alcotest.(check int) "fetches" s.G.fetches s'.G.fetches;
+  Alcotest.(check int) "stores" s.G.stores s'.G.stores;
+  Alcotest.(check int) "critical path" s.G.critical_path s'.G.critical_path;
+  Alcotest.(check (list (pair string bool)))
+    "regions"
+    (List.map (fun (r, (i : G.region_info)) -> (r, i.G.implicit)) (G.regions g))
+    (List.map (fun (r, (i : G.region_info)) -> (r, i.G.implicit)) (G.regions g'))
+
+let test_graph_order_edges_survive () =
+  let g = Cdfg.Builder.build_program "void main() { x = x + 1; }" in
+  let count_orders g =
+    G.fold g ~init:0 ~f:(fun acc n -> acc + List.length n.G.order_after)
+  in
+  let g' = Serialize.of_string (Serialize.to_string g) in
+  Alcotest.(check int) "order edges" (count_orders g) (count_orders g');
+  Alcotest.(check bool) "some order edges exist" true (count_orders g > 0)
+
+let test_graph_corrupt_rejected () =
+  let g = graph_of Fpfa_kernels.Kernels.dct4 in
+  let data = Serialize.to_string g in
+  (match Serialize.of_string "garbage" with
+  | exception Serialize.Corrupt _ -> ()
+  | _ -> Alcotest.fail "garbage accepted");
+  (match Serialize.of_string (String.sub data 0 (String.length data / 2)) with
+  | exception Serialize.Corrupt _ -> ()
+  | _ -> Alcotest.fail "truncation accepted");
+  match Serialize.of_string (data ^ "x") with
+  | exception Serialize.Corrupt _ -> ()
+  | _ -> Alcotest.fail "trailing bytes accepted"
+
+let test_graph_file_io () =
+  let g = graph_of Fpfa_kernels.Kernels.dct4 in
+  let path = Filename.temp_file "fpfa" ".cdfg" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Serialize.to_file g path;
+      let g' = Serialize.of_file path in
+      Alcotest.(check int) "nodes" (G.node_count g) (G.node_count g'))
+
+let job_of (k : Fpfa_kernels.Kernels.t) =
+  (Fpfa_core.Flow.map_source k.Fpfa_kernels.Kernels.source).Fpfa_core.Flow.job
+
+let test_config_roundtrip_kernels () =
+  List.iter
+    (fun (k : Fpfa_kernels.Kernels.t) ->
+      let job = job_of k in
+      let job' = Encode.of_string (Encode.to_string job) in
+      let memory_init = k.Fpfa_kernels.Kernels.inputs in
+      Alcotest.(check bool)
+        (k.Fpfa_kernels.Kernels.name ^ " decoded job conforms")
+        true
+        (Fpfa_sim.Sim.conforms ~memory_init job');
+      Alcotest.(check int) "cycle count"
+        (Mapping.Job.cycle_count job)
+        (Mapping.Job.cycle_count job'))
+    Fpfa_kernels.Kernels.all
+
+let test_config_sim_identical () =
+  let k = Fpfa_kernels.Kernels.fir_paper in
+  let job = job_of k in
+  let job' = Encode.of_string (Encode.to_string job) in
+  let memory_init = k.Fpfa_kernels.Kernels.inputs in
+  let m1, t1 = Fpfa_sim.Sim.run ~memory_init job in
+  let m2, t2 = Fpfa_sim.Sim.run ~memory_init job' in
+  Alcotest.(check bool) "same memory" true (m1 = m2);
+  Alcotest.(check int) "same moves" t1.Fpfa_sim.Sim.moves_executed
+    t2.Fpfa_sim.Sim.moves_executed
+
+let test_config_size () =
+  let job = job_of Fpfa_kernels.Kernels.fir_paper in
+  let words = Encode.size_words job in
+  Alcotest.(check bool) "non-trivial" true (words > 20);
+  (* the debug CDFG is excluded from the hardware size *)
+  Alcotest.(check bool) "smaller than full image" true
+    (words * 2 < String.length (Encode.to_string job))
+
+let test_config_corrupt_rejected () =
+  match Encode.of_string "FCFGgarbage" with
+  | exception Encode.Corrupt _ -> ()
+  | _ -> Alcotest.fail "garbage config accepted"
+
+(* Property: random graphs round-trip exactly through the serializer. *)
+let graph_roundtrip_random =
+  QCheck.Test.make ~name:"graph round-trip on random graphs" ~count:60
+    (QCheck.make QCheck.Gen.(int_range 0 5_000))
+    (fun seed ->
+      let g = Fpfa_kernels.Random_graph.generate ~seed ~ops:40 () in
+      let g' = Serialize.of_string (Serialize.to_string g) in
+      G.validate g';
+      let memory_init = Fpfa_kernels.Random_graph.random_inputs g in
+      Cdfg.Eval.equal_result
+        (Cdfg.Eval.run ~memory_init g)
+        (Cdfg.Eval.run ~memory_init g'))
+
+(* Property: random jobs round-trip through the configuration format. *)
+let config_roundtrip_random =
+  QCheck.Test.make ~name:"config round-trip on random jobs" ~count:30
+    (QCheck.make QCheck.Gen.(int_range 0 3_000))
+    (fun seed ->
+      let g = Fpfa_kernels.Random_graph.generate ~seed ~ops:35 () in
+      let result = Fpfa_core.Flow.map_graph g in
+      let job' =
+        Encode.of_string (Encode.to_string result.Fpfa_core.Flow.job)
+      in
+      let memory_init = Fpfa_kernels.Random_graph.random_inputs g in
+      Fpfa_sim.Sim.conforms ~memory_init job')
+
+let suite =
+  [
+    Alcotest.test_case "graph roundtrip kernels" `Quick test_graph_roundtrip_kernels;
+    Alcotest.test_case "graph structure" `Quick test_graph_roundtrip_preserves_structure;
+    Alcotest.test_case "order edges" `Quick test_graph_order_edges_survive;
+    Alcotest.test_case "graph corrupt" `Quick test_graph_corrupt_rejected;
+    Alcotest.test_case "graph file io" `Quick test_graph_file_io;
+    Alcotest.test_case "config roundtrip kernels" `Quick test_config_roundtrip_kernels;
+    Alcotest.test_case "config sim identical" `Quick test_config_sim_identical;
+    Alcotest.test_case "config size" `Quick test_config_size;
+    Alcotest.test_case "config corrupt" `Quick test_config_corrupt_rejected;
+    QCheck_alcotest.to_alcotest graph_roundtrip_random;
+    QCheck_alcotest.to_alcotest config_roundtrip_random;
+  ]

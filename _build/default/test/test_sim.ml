@@ -1,0 +1,186 @@
+(* Unit tests for the tile simulator, including fault injection: a tampered
+   job must be rejected, proving the simulator really checks constraints. *)
+
+module Arch = Fpfa_arch.Arch
+module Job = Mapping.Job
+module Sim = Fpfa_sim.Sim
+
+let job_for (k : Fpfa_kernels.Kernels.t) =
+  let result = Fpfa_core.Flow.map_source k.Fpfa_kernels.Kernels.source in
+  (result.Fpfa_core.Flow.job, k.Fpfa_kernels.Kernels.inputs)
+
+let test_kernel_conformance () =
+  List.iter
+    (fun (k : Fpfa_kernels.Kernels.t) ->
+      let job, memory_init = job_for k in
+      Alcotest.(check bool)
+        (k.Fpfa_kernels.Kernels.name ^ " conforms")
+        true
+        (Sim.conforms ~memory_init job))
+    Fpfa_kernels.Kernels.all
+
+let test_trace_counts () =
+  let job, memory_init = job_for Fpfa_kernels.Kernels.fir_paper in
+  let _, trace = Sim.run ~memory_init job in
+  let metrics = Mapping.Metrics.of_job job in
+  Alcotest.(check int) "moves agree with metrics" metrics.Mapping.Metrics.moves
+    trace.Sim.moves_executed;
+  Alcotest.(check int) "writes agree with metrics"
+    metrics.Mapping.Metrics.mem_writes trace.Sim.writes_executed;
+  Alcotest.(check bool) "bus within tile limit" true
+    (trace.Sim.max_bus_per_cycle <= job.Job.tile.Arch.buses)
+
+let test_unseeded_inputs_read_zero () =
+  let job, _ = job_for Fpfa_kernels.Kernels.fir_paper in
+  let memory, _ = Sim.run job in
+  (* with all-zero inputs the FIR sum is zero *)
+  match List.assoc_opt "sum" memory with
+  | Some [| 0 |] -> ()
+  | _ -> Alcotest.fail "expected zero sum"
+
+let tamper f job =
+  {
+    job with
+    Job.cycles =
+      Array.map
+        (fun (c : Job.cycle) -> f c)
+        job.Job.cycles;
+  }
+
+let test_fault_two_bundles_one_pp () =
+  let job, _ = job_for Fpfa_kernels.Kernels.fir_paper in
+  let bad =
+    tamper
+      (fun c ->
+        match c.Job.alu with
+        | w :: rest -> { c with Job.alu = w :: w :: rest }
+        | [] -> c)
+      job
+  in
+  match Sim.run bad with
+  | exception Sim.Fault _ -> ()
+  | _ -> Alcotest.fail "duplicate bundle accepted"
+
+let test_fault_read_port_conflict () =
+  let job, _ = job_for Fpfa_kernels.Kernels.fir_paper in
+  let bad =
+    tamper
+      (fun c ->
+        match c.Job.moves with
+        | m :: rest ->
+          (* a second read of the same memory in the same cycle *)
+          { c with Job.moves = m :: { m with Job.dst = { m.Job.dst with Job.index = 3 } } :: rest }
+        | [] -> c)
+      job
+  in
+  match Sim.run bad with
+  | exception Sim.Fault _ -> ()
+  | _ -> Alcotest.fail "read-port conflict accepted"
+
+let test_fault_bus_overflow () =
+  let tile = Arch.with_buses 1 Arch.paper_tile in
+  let job, _ = job_for Fpfa_kernels.Kernels.fir_paper in
+  (* shrink the tile under the job's feet: the simulator must notice *)
+  let bad = { job with Job.tile } in
+  match Sim.run bad with
+  | exception Sim.Fault _ -> ()
+  | _ ->
+    (* jobs with <=1 transfer per cycle would legitimately pass; the FIR
+       job has cycles with several transfers *)
+    Alcotest.fail "bus overflow accepted"
+
+let test_fault_write_race () =
+  let job, _ = job_for Fpfa_kernels.Kernels.fir_paper in
+  let bad =
+    tamper
+      (fun c ->
+        match c.Job.alu with
+        | w :: rest -> (
+          match w.Job.writes with
+          | wr :: _ ->
+            (* duplicate the write: two writes race on one cell *)
+            { c with Job.alu = { w with Job.writes = [ wr; wr ] } :: rest }
+          | [] -> c)
+        | [] -> c)
+      job
+  in
+  match Sim.run bad with
+  | exception Sim.Fault _ -> ()
+  | _ -> Alcotest.fail "write race accepted"
+
+let test_fault_missing_port_source () =
+  let job, _ = job_for Fpfa_kernels.Kernels.fir_paper in
+  let bad =
+    tamper
+      (fun c ->
+        {
+          c with
+          Job.alu =
+            List.map
+              (fun (w : Job.alu_work) ->
+                { w with Job.port_regs = []; port_imms = [] })
+              c.Job.alu;
+        })
+      job
+  in
+  match Sim.run bad with
+  | exception Sim.Fault _ -> ()
+  | _ -> Alcotest.fail "missing port source accepted"
+
+let test_deleted_read_faults () =
+  (* hand-build a job that deletes a cell and then moves from it *)
+  let g = Cdfg.Graph.create "t" in
+  Cdfg.Graph.declare_region g "r" { Cdfg.Graph.size = Some 1; implicit = true };
+  let ss = Cdfg.Graph.add g (Cdfg.Graph.Ss_in "r") [] in
+  ignore (Cdfg.Graph.add g (Cdfg.Graph.Ss_out "r") [ ss ]);
+  let loc = { Job.mpp = 0; mem = 0; addr = 0 } in
+  let job =
+    {
+      Job.tile = Arch.paper_tile;
+      graph = g;
+      cycles =
+        [|
+          { Job.moves = []; copies = []; alu = [];
+            deletes = [ { Job.dcluster = 0; dloc = loc; dcycle = 0 } ] };
+          {
+            Job.moves =
+              [ { Job.src = loc; dst = { Job.pp = 0; bank = 0; index = 0 }; carried = 0; for_cluster = 0 } ];
+            copies = [];
+            alu = [];
+            deletes = [];
+          };
+        |];
+      region_homes = [ ("r", [ loc ]) ];
+      region_sizes = [ ("r", 1) ];
+      exec_cycle_of_level = [||];
+    }
+  in
+  match Sim.run job with
+  | exception Sim.Fault _ -> ()
+  | _ -> Alcotest.fail "read of deleted word accepted"
+
+let test_variants_conform () =
+  List.iter
+    (fun (v : Baseline.variant) ->
+      let k = Fpfa_kernels.Kernels.dct4 in
+      let result = Baseline.map_source v k.Fpfa_kernels.Kernels.source in
+      Alcotest.(check bool)
+        (v.Baseline.vname ^ " conforms")
+        true
+        (Sim.conforms ~memory_init:k.Fpfa_kernels.Kernels.inputs
+           result.Fpfa_core.Flow.job))
+    Baseline.all
+
+let suite =
+  [
+    Alcotest.test_case "kernel conformance" `Quick test_kernel_conformance;
+    Alcotest.test_case "trace counts" `Quick test_trace_counts;
+    Alcotest.test_case "unseeded zero" `Quick test_unseeded_inputs_read_zero;
+    Alcotest.test_case "fault: two bundles" `Quick test_fault_two_bundles_one_pp;
+    Alcotest.test_case "fault: read port" `Quick test_fault_read_port_conflict;
+    Alcotest.test_case "fault: bus overflow" `Quick test_fault_bus_overflow;
+    Alcotest.test_case "fault: write race" `Quick test_fault_write_race;
+    Alcotest.test_case "fault: missing source" `Quick test_fault_missing_port_source;
+    Alcotest.test_case "fault: deleted read" `Quick test_deleted_read_faults;
+    Alcotest.test_case "variants conform" `Quick test_variants_conform;
+  ]

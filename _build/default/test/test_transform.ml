@@ -1,0 +1,311 @@
+(* Unit + property tests for the transformation passes. *)
+
+module G = Cdfg.Graph
+module Op = Cdfg.Op
+module T = Transform
+
+let build = Cdfg.Builder.build_program
+
+let run_pass pass g =
+  let changed = pass.T.Pass.run g in
+  G.validate g;
+  changed
+
+let stats_after passes source =
+  let g = build source in
+  ignore (T.Simplify.minimize ~passes g);
+  G.stats g
+
+let test_const_fold_binop () =
+  let g = build "void main() { x = 2 + 3 * 4; }" in
+  ignore (T.Simplify.minimize ~passes:[ T.Rewrites.const_fold; T.Dce.pass ] g);
+  let s = G.stats g in
+  Alcotest.(check int) "no arithmetic left" 0 (s.G.adds + s.G.multiplies + s.G.other_alu);
+  let result = Cdfg.Eval.run g in
+  Alcotest.(check (option int)) "value" (Some 14)
+    (Option.map (fun a -> a.(0)) (List.assoc_opt "x" result.Cdfg.Eval.memory))
+
+let test_const_fold_mux () =
+  let g = build "void main() { x = 1 ? 5 : 7; }" in
+  ignore (T.Simplify.minimize ~passes:[ T.Rewrites.const_fold; T.Dce.pass ] g);
+  Alcotest.(check int) "mux folded" 0 (G.stats g).G.muxes
+
+let test_algebraic_identities () =
+  let cases =
+    [
+      ("void main() { x = y + 0; }", `No_alu);
+      ("void main() { x = 0 + y; }", `No_alu);
+      ("void main() { x = y * 1; }", `No_alu);
+      ("void main() { x = y - 0; }", `No_alu);
+      ("void main() { x = y / 1; }", `No_alu);
+      ("void main() { x = y << 0; }", `No_alu);
+      ("void main() { x = y | 0; }", `No_alu);
+      ("void main() { x = y ^ 0; }", `No_alu);
+      ("void main() { x = y * 0; }", `No_alu);
+      ("void main() { x = y - y; }", `No_alu);
+      ("void main() { x = y ^ y; }", `No_alu);
+      ("void main() { x = y == y; }", `No_alu);
+    ]
+  in
+  List.iter
+    (fun (source, _) ->
+      let s =
+        stats_after
+          [ T.Rewrites.const_fold; T.Cse.pass; T.Rewrites.algebraic; T.Dce.pass ]
+          source
+      in
+      Alcotest.(check int) (source ^ " simplified") 0
+        (s.G.adds + s.G.multiplies + s.G.other_alu))
+    cases
+
+let test_mux_same_branches () =
+  let g = build "void main() { x = c ? y : y; }" in
+  ignore
+    (T.Simplify.minimize ~passes:[ T.Cse.pass; T.Rewrites.algebraic; T.Dce.pass ] g);
+  Alcotest.(check int) "mux gone" 0 (G.stats g).G.muxes
+
+let test_cse_merges_fetches () =
+  let g = build "void main() { x = a[0] + a[0]; }" in
+  Alcotest.(check int) "two fetches before" 2 (G.stats g).G.fetches;
+  ignore (T.Simplify.minimize ~passes:[ T.Cse.pass; T.Dce.pass ] g);
+  Alcotest.(check int) "one fetch after" 1 (G.stats g).G.fetches
+
+let test_cse_commutative () =
+  let g = build "void main() { x = a[0] + a[1]; y = a[1] + a[0]; }" in
+  ignore (T.Simplify.minimize ~passes:[ T.Cse.pass; T.Dce.pass ] g);
+  Alcotest.(check int) "one add" 1 (G.stats g).G.adds
+
+let test_cse_does_not_merge_noncommutative () =
+  let g = build "void main() { x = a[0] - a[1]; y = a[1] - a[0]; }" in
+  ignore (T.Simplify.minimize ~passes:[ T.Cse.pass; T.Dce.pass ] g);
+  Alcotest.(check int) "two subs" 2 (G.stats g).G.adds
+
+let test_forwarding_scalar () =
+  let g = build "void main() { x = 5; y = x + 1; }" in
+  ignore (T.Simplify.minimize g);
+  let s = G.stats g in
+  (* x's value forwards into y; both stores remain (observable), but no
+     fetch is needed. *)
+  Alcotest.(check int) "no fetches" 0 s.G.fetches;
+  Alcotest.(check int) "stores remain" 2 s.G.stores
+
+let test_forwarding_skips_other_addresses () =
+  let g = build "void main() { b[0] = 1; x = b[1]; }" in
+  ignore (T.Simplify.minimize g);
+  (* the fetch of b[1] must skip over the store to b[0] and read ss_in *)
+  let fe_token =
+    G.fold g ~init:None ~f:(fun acc n ->
+        match n.G.kind with
+        | G.Fe "b" -> Some (List.nth (G.inputs g n.G.id) 0)
+        | _ -> acc)
+  in
+  match fe_token with
+  | Some token ->
+    Alcotest.(check bool) "anchored on ss_in" true
+      (match G.kind g token with G.Ss_in _ -> true | _ -> false)
+  | None -> Alcotest.fail "fetch disappeared"
+
+let test_forwarding_blocked_by_unknown_offset () =
+  (* u is unknown, so a[u] may alias a[1]: the fetch must NOT be forwarded
+     past the store. *)
+  let g = build "void main() { a[u] = 5; x = a[1]; }" in
+  ignore (T.Simplify.minimize g);
+  let fe_token =
+    G.fold g ~init:None ~f:(fun acc n ->
+        match n.G.kind with
+        | G.Fe "a" -> Some (List.nth (G.inputs g n.G.id) 0)
+        | _ -> acc)
+  in
+  match fe_token with
+  | Some token ->
+    Alcotest.(check bool) "still behind the store" true
+      (match G.kind g token with G.St "a" -> true | _ -> false)
+  | None -> Alcotest.fail "fetch disappeared"
+
+let test_dead_store_elimination () =
+  let g = build "void main() { x = 1; x = 2; x = 3; }" in
+  ignore (T.Simplify.minimize g);
+  Alcotest.(check int) "one store survives" 1 (G.stats g).G.stores;
+  let result = Cdfg.Eval.run g in
+  Alcotest.(check (option int)) "last value" (Some 3)
+    (Option.map (fun a -> a.(0)) (List.assoc_opt "x" result.Cdfg.Eval.memory))
+
+let test_dead_store_keeps_read_values () =
+  let g = build "void main() { x = 1; y = x; x = 2; }" in
+  ignore (T.Simplify.minimize g);
+  let result = Cdfg.Eval.run g in
+  let cell name =
+    Option.map (fun a -> a.(0)) (List.assoc_opt name result.Cdfg.Eval.memory)
+  in
+  Alcotest.(check (option int)) "y saw 1" (Some 1) (cell "y");
+  Alcotest.(check (option int)) "x ends 2" (Some 2) (cell "x")
+
+let test_dce_removes_unused () =
+  let g = build "void main() { x = a[0] + a[1]; }" in
+  (* make the expression dead by overwriting x *)
+  let g2 = build "void main() { x = a[0] + a[1]; x = 0; }" in
+  ignore (T.Simplify.minimize g);
+  ignore (T.Simplify.minimize g2);
+  Alcotest.(check bool) "dead adder removed" true
+    ((G.stats g2).G.adds = 0 && (G.stats g2).G.fetches = 0);
+  Alcotest.(check int) "live adder kept" 1 (G.stats g).G.adds
+
+let test_strength_reduction () =
+  let g = build "void main() { x = y * 8; z = y * 6; }" in
+  ignore
+    (T.Simplify.minimize ~passes:T.Simplify.extended_passes g);
+  let s = G.stats g in
+  (* y*8 becomes y<<3 (other_alu); y*6 stays a multiply *)
+  Alcotest.(check int) "one multiply left" 1 s.G.multiplies;
+  Alcotest.(check bool) "shift introduced" true (s.G.other_alu >= 1)
+
+let test_reassociation_balances () =
+  let g =
+    build "void main() { x = a[0] + a[1] + a[2] + a[3] + a[4] + a[5] + a[6] + a[7]; }"
+  in
+  let before = (G.stats g).G.critical_path in
+  ignore (T.Simplify.minimize g);
+  let s = G.stats g in
+  Alcotest.(check int) "adds preserved" 7 s.G.adds;
+  (* the 7-add chain becomes a log2(8) = 3-level tree; the critical path
+     also carries ss_in, FE, ST and ss_out *)
+  Alcotest.(check bool) "depth reduced" true (s.G.critical_path < before);
+  Alcotest.(check bool) "balanced" true (s.G.critical_path <= 7)
+
+let alu_ops_of (s : G.stats) = s.G.adds + s.G.multiplies + s.G.other_alu
+
+let test_hoist_shared_operand () =
+  let g = build "void main() { if (c) { y = a[0] + k; } else { y = a[1] + k; } }" in
+  ignore (T.Simplify.minimize ~passes:T.Simplify.extended_passes g);
+  let s = G.stats g in
+  Alcotest.(check int) "one mux" 1 s.G.muxes;
+  Alcotest.(check int) "one add" 1 (alu_ops_of s);
+  let memory_init = [ ("a", [| 5; 9 |]); ("c", [| 1 |]); ("k", [| 100 |]) ] in
+  let result = Cdfg.Eval.run ~memory_init g in
+  Alcotest.(check (option (list int))) "value" (Some [ 105 ])
+    (Option.map Array.to_list (List.assoc_opt "y" result.Cdfg.Eval.memory))
+
+let test_hoist_commutative () =
+  (* op (s, t) vs op (f, s): sharing found through commutativity *)
+  let g = build "void main() { if (c) { y = k + a[0]; } else { y = a[1] + k; } }" in
+  ignore (T.Simplify.minimize ~passes:T.Simplify.extended_passes g);
+  Alcotest.(check int) "one add after hoist" 1 (alu_ops_of (G.stats g));
+  let memory_init = [ ("a", [| 5; 9 |]); ("c", [| 0 |]); ("k", [| 100 |]) ] in
+  let result = Cdfg.Eval.run ~memory_init g in
+  Alcotest.(check (option (list int))) "else branch" (Some [ 109 ])
+    (Option.map Array.to_list (List.assoc_opt "y" result.Cdfg.Eval.memory))
+
+let test_hoist_blocked_by_sharing () =
+  (* both branch values are also stored elsewhere: hoisting would not
+     remove work, so it must not fire *)
+  let g =
+    build
+      "void main() { t0 = a[0] + k; t1 = a[1] + k; y = c ? t0 : t1; }"
+  in
+  ignore (T.Simplify.minimize ~passes:T.Simplify.extended_passes g);
+  Alcotest.(check int) "both adds kept" 2 (alu_ops_of (G.stats g))
+
+let test_hoist_nested_same_condition () =
+  let g = build "void main() { y = c ? a[0] : (c ? a[1] : a[2]); }" in
+  ignore (T.Simplify.minimize ~passes:T.Simplify.extended_passes g);
+  Alcotest.(check int) "one mux left" 1 (G.stats g).G.muxes;
+  let memory_init = [ ("a", [| 5; 9; 13 |]); ("c", [| 0 |]) ] in
+  let result = Cdfg.Eval.run ~memory_init g in
+  Alcotest.(check (option (list int))) "same condition dominates" (Some [ 13 ])
+    (Option.map Array.to_list (List.assoc_opt "y" result.Cdfg.Eval.memory))
+
+let test_fir_fig3_shape () =
+  let g = build Fpfa_kernels.Kernels.fir_paper.Fpfa_kernels.Kernels.source in
+  let report = T.Simplify.minimize g in
+  let s = report.T.Simplify.after in
+  Alcotest.(check int) "10 fetches (a0-a4, c0-c4)" 10 s.G.fetches;
+  Alcotest.(check int) "2 stores (sum, i)" 2 s.G.stores;
+  Alcotest.(check int) "5 multiplies" 5 s.G.multiplies;
+  Alcotest.(check int) "4 adds" 4 s.G.adds;
+  Alcotest.(check int) "no muxes" 0 s.G.muxes
+
+let test_fixpoint_terminates () =
+  List.iter
+    (fun (k : Fpfa_kernels.Kernels.t) ->
+      let g = build k.Fpfa_kernels.Kernels.source in
+      let report = T.Simplify.minimize g in
+      Alcotest.(check bool)
+        (k.Fpfa_kernels.Kernels.name ^ " converges quickly")
+        true
+        (report.T.Simplify.rounds < 20))
+    Fpfa_kernels.Kernels.all
+
+let test_simplify_never_grows () =
+  List.iter
+    (fun (k : Fpfa_kernels.Kernels.t) ->
+      let g = build k.Fpfa_kernels.Kernels.source in
+      let report = T.Simplify.minimize g in
+      Alcotest.(check bool)
+        (k.Fpfa_kernels.Kernels.name ^ " shrinks")
+        true
+        (report.T.Simplify.after.G.total <= report.T.Simplify.before.G.total))
+    Fpfa_kernels.Kernels.all
+
+(* Property: the default pipeline preserves evaluation on generated
+   programs. *)
+let simplify_preserves_semantics =
+  QCheck.Test.make ~name:"simplification preserves evaluation" ~count:250
+    Gen.program (fun program ->
+      let unrolled = Cfront.Unroll.unroll_program program in
+      let g = Cdfg.Builder.build_func (List.hd unrolled) in
+      let before = Cdfg.Eval.run ~memory_init:Gen.memory_init g in
+      ignore (T.Simplify.minimize g);
+      let after = Cdfg.Eval.run ~memory_init:Gen.memory_init g in
+      Cdfg.Eval.equal_result before after)
+
+(* Property: each individual pass in isolation preserves evaluation on
+   random mapped graphs. *)
+let each_pass_preserves =
+  let passes =
+    [
+      T.Rewrites.const_fold; T.Rewrites.algebraic; T.Rewrites.strength_reduce;
+      T.Cse.pass; T.Forward.store_to_fetch; T.Forward.dead_store; T.Dce.pass;
+      T.Reassoc.pass; T.Hoist.pass;
+    ]
+  in
+  QCheck.Test.make ~name:"every pass alone preserves evaluation" ~count:100
+    (QCheck.make QCheck.Gen.(int_range 0 10_000))
+    (fun seed ->
+      let g = Fpfa_kernels.Random_graph.generate ~seed ~ops:40 () in
+      let inputs = Fpfa_kernels.Random_graph.random_inputs g in
+      let before = Cdfg.Eval.run ~memory_init:inputs g in
+      List.for_all
+        (fun pass ->
+          let g' = G.copy g in
+          ignore (run_pass pass g');
+          let after = Cdfg.Eval.run ~memory_init:inputs g' in
+          Cdfg.Eval.equal_result before after)
+        passes)
+
+let suite =
+  [
+    Alcotest.test_case "const fold binop" `Quick test_const_fold_binop;
+    Alcotest.test_case "const fold mux" `Quick test_const_fold_mux;
+    Alcotest.test_case "algebraic identities" `Quick test_algebraic_identities;
+    Alcotest.test_case "mux same branches" `Quick test_mux_same_branches;
+    Alcotest.test_case "cse fetches" `Quick test_cse_merges_fetches;
+    Alcotest.test_case "cse commutative" `Quick test_cse_commutative;
+    Alcotest.test_case "cse non-commutative" `Quick test_cse_does_not_merge_noncommutative;
+    Alcotest.test_case "scalar forwarding" `Quick test_forwarding_scalar;
+    Alcotest.test_case "skip other addresses" `Quick test_forwarding_skips_other_addresses;
+    Alcotest.test_case "unknown offset blocks" `Quick test_forwarding_blocked_by_unknown_offset;
+    Alcotest.test_case "dead store" `Quick test_dead_store_elimination;
+    Alcotest.test_case "dead store + reader" `Quick test_dead_store_keeps_read_values;
+    Alcotest.test_case "dce" `Quick test_dce_removes_unused;
+    Alcotest.test_case "strength reduction" `Quick test_strength_reduction;
+    Alcotest.test_case "reassociation" `Quick test_reassociation_balances;
+    Alcotest.test_case "hoist shared" `Quick test_hoist_shared_operand;
+    Alcotest.test_case "hoist commutative" `Quick test_hoist_commutative;
+    Alcotest.test_case "hoist blocked" `Quick test_hoist_blocked_by_sharing;
+    Alcotest.test_case "hoist nested" `Quick test_hoist_nested_same_condition;
+    Alcotest.test_case "FIR Fig.3 shape" `Quick test_fir_fig3_shape;
+    Alcotest.test_case "fixpoint terminates" `Quick test_fixpoint_terminates;
+    Alcotest.test_case "simplify never grows" `Quick test_simplify_never_grows;
+    QCheck_alcotest.to_alcotest simplify_preserves_semantics;
+    QCheck_alcotest.to_alcotest each_pass_preserves;
+  ]

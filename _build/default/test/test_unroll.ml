@@ -1,0 +1,136 @@
+(* Unit + property tests for the partial-evaluation loop unroller. *)
+
+module Ast = Cfront.Ast
+module Unroll = Cfront.Unroll
+module Interp = Cfront.Interp
+
+let parse source =
+  match Cfront.Parser.parse_program source with
+  | [ f ] -> f
+  | _ -> Alcotest.fail "expected one function"
+
+let has_loop body =
+  let rec stmt_has = function
+    | Ast.While _ -> true
+    | Ast.If (_, t, e) -> List.exists stmt_has t || List.exists stmt_has e
+    | Ast.Decl _ | Ast.Assign _ | Ast.Return _ | Ast.Expr _ -> false
+  in
+  List.exists stmt_has body
+
+let test_full_unroll () =
+  let f = parse Fpfa_kernels.Kernels.fir_paper.Fpfa_kernels.Kernels.source in
+  let f' = Unroll.unroll_func f in
+  Alcotest.(check bool) "no residual loop" false (has_loop f'.Ast.body);
+  (* 2 init statements + 5 iterations x 2 statements *)
+  Alcotest.(check int) "statement count" 12 (Ast.stmt_count f'.Ast.body)
+
+let test_zero_trip () =
+  let f = parse "void main() { i = 9; while (i < 5) { x = 1; i++; } }" in
+  let f' = Unroll.unroll_func f in
+  Alcotest.(check int) "loop dropped" 1 (Ast.stmt_count f'.Ast.body)
+
+let test_decl_without_init_counts_as_zero () =
+  let f = parse "void main() { int i; while (i < 3) { i = i + 1; } }" in
+  let f' = Unroll.unroll_func f in
+  Alcotest.(check bool) "unrolled from 0" false (has_loop f'.Ast.body);
+  Alcotest.(check int) "3 iterations + decl" 4 (Ast.stmt_count f'.Ast.body)
+
+let test_static_if_resolution () =
+  let f = parse "void main() { k = 3; if (k > 2) { x = 1; } else { x = 2; } }" in
+  let f' = Unroll.unroll_func f in
+  match f'.Ast.body with
+  | [ _; Ast.Assign (Ast.Lvar "x", Ast.Int_lit 1) ] -> ()
+  | _ -> Alcotest.fail "static if should resolve to its then-branch"
+
+let test_dynamic_if_kills_knowledge () =
+  (* After an if with unknown condition assigning i, the following loop
+     cannot be unrolled. *)
+  let f =
+    parse
+      "void main() { i = 0; if (u) { i = 5; } while (i < 2) { i = i + 1; } }"
+  in
+  let f' = Unroll.unroll_func f in
+  Alcotest.(check bool) "residual loop stays" true (has_loop f'.Ast.body)
+
+let test_nested_loops () =
+  let f =
+    parse
+      "void main() { s = 0; for (i = 0; i < 3; i++) { for (j = 0; j < 2; j++) { s = s + 1; } } }"
+  in
+  let f' = Unroll.unroll_func f in
+  Alcotest.(check bool) "fully unrolled" false (has_loop f'.Ast.body)
+
+let test_knowledge_lost_mid_loop () =
+  (* The counter is overwritten from an array: knowledge is lost after one
+     peel and the residual loop is kept. *)
+  let f = parse "void main() { i = 0; while (i < 4) { i = a[0]; } }" in
+  let f' = Unroll.unroll_func f in
+  Alcotest.(check bool) "residual loop" true (has_loop f'.Ast.body)
+
+let test_budget () =
+  let f = parse "void main() { i = 0; while (i < 100) { i = i + 1; } }" in
+  match Unroll.unroll_func ~max_iterations:10 f with
+  | exception Unroll.Too_many_iterations _ -> ()
+  | _ -> Alcotest.fail "expected unroll budget exhaustion"
+
+let test_eval_const_expr () =
+  let lookup = function "x" -> Some 5 | _ -> None in
+  let e = Cfront.Parser.parse_expr "x * 2 + 1" in
+  Alcotest.(check (option int)) "known" (Some 11) (Unroll.eval_const_expr lookup e);
+  let e = Cfront.Parser.parse_expr "y + 1" in
+  Alcotest.(check (option int)) "unknown" None (Unroll.eval_const_expr lookup e);
+  let e = Cfront.Parser.parse_expr "x / 0" in
+  Alcotest.(check (option int)) "total division" (Some 0)
+    (Unroll.eval_const_expr lookup e);
+  let e = Cfront.Parser.parse_expr "1 ? x : y" in
+  Alcotest.(check (option int)) "cond picks known branch" (Some 5)
+    (Unroll.eval_const_expr lookup e)
+
+let test_unroll_preserves_fir () =
+  let k = Fpfa_kernels.Kernels.fir_paper in
+  let program = Cfront.Parser.parse_program k.Fpfa_kernels.Kernels.source in
+  let st = Interp.run_main ~array_init:k.Fpfa_kernels.Kernels.inputs program in
+  let st' =
+    Interp.run_main ~array_init:k.Fpfa_kernels.Kernels.inputs
+      (Unroll.unroll_program program)
+  in
+  Alcotest.(check bool) "same final state" true (Interp.equal_state st st')
+
+(* Property: unrolling never changes the interpreter's final state. *)
+let unroll_preserves_semantics =
+  QCheck.Test.make ~name:"unroll preserves semantics" ~count:300 Gen.program
+    (fun program ->
+      let st =
+        Interp.run_main ~array_init:Gen.array_inputs
+          ~scalar_init:Gen.scalar_inputs program
+      in
+      let st' =
+        Interp.run_main ~array_init:Gen.array_inputs
+          ~scalar_init:Gen.scalar_inputs
+          (Unroll.unroll_program program)
+      in
+      Interp.equal_state st st')
+
+(* Property: unrolled mappable programs contain no residual loops. *)
+let unroll_is_complete =
+  QCheck.Test.make ~name:"unroll eliminates bounded loops" ~count:300
+    Gen.program (fun program ->
+      List.for_all
+        (fun (f : Ast.func) -> not (has_loop f.Ast.body))
+        (Unroll.unroll_program program))
+
+let suite =
+  [
+    Alcotest.test_case "full unroll" `Quick test_full_unroll;
+    Alcotest.test_case "zero trip" `Quick test_zero_trip;
+    Alcotest.test_case "decl is zero" `Quick test_decl_without_init_counts_as_zero;
+    Alcotest.test_case "static if" `Quick test_static_if_resolution;
+    Alcotest.test_case "dynamic if" `Quick test_dynamic_if_kills_knowledge;
+    Alcotest.test_case "nested loops" `Quick test_nested_loops;
+    Alcotest.test_case "knowledge lost" `Quick test_knowledge_lost_mid_loop;
+    Alcotest.test_case "budget" `Quick test_budget;
+    Alcotest.test_case "const eval" `Quick test_eval_const_expr;
+    Alcotest.test_case "fir preserved" `Quick test_unroll_preserves_fir;
+    QCheck_alcotest.to_alcotest unroll_preserves_semantics;
+    QCheck_alcotest.to_alcotest unroll_is_complete;
+  ]

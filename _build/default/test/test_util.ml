@@ -1,0 +1,137 @@
+(* Unit tests for Fpfa_util. *)
+
+let check_ints = Alcotest.(check (list int))
+
+let test_take_drop () =
+  check_ints "take" [ 1; 2 ] (Fpfa_util.Listx.take 2 [ 1; 2; 3 ]);
+  check_ints "take over" [ 1; 2; 3 ] (Fpfa_util.Listx.take 9 [ 1; 2; 3 ]);
+  check_ints "take zero" [] (Fpfa_util.Listx.take 0 [ 1 ]);
+  check_ints "take negative" [] (Fpfa_util.Listx.take (-2) [ 1 ]);
+  check_ints "drop" [ 3 ] (Fpfa_util.Listx.drop 2 [ 1; 2; 3 ]);
+  check_ints "drop over" [] (Fpfa_util.Listx.drop 9 [ 1; 2; 3 ])
+
+let test_split_chunks () =
+  let left, right = Fpfa_util.Listx.split_at 2 [ 1; 2; 3; 4 ] in
+  check_ints "split left" [ 1; 2 ] left;
+  check_ints "split right" [ 3; 4 ] right;
+  Alcotest.(check (list (list int)))
+    "chunks" [ [ 1; 2 ]; [ 3; 4 ]; [ 5 ] ]
+    (Fpfa_util.Listx.chunks 2 [ 1; 2; 3; 4; 5 ])
+
+let test_index_of () =
+  Alcotest.(check (option int))
+    "found" (Some 1)
+    (Fpfa_util.Listx.index_of (fun x -> x > 5) [ 3; 7; 9 ]);
+  Alcotest.(check (option int))
+    "missing" None
+    (Fpfa_util.Listx.index_of (fun x -> x > 50) [ 3; 7; 9 ])
+
+let test_uniq_sum () =
+  check_ints "uniq sorts and dedups" [ 1; 2; 3 ]
+    (Fpfa_util.Listx.uniq compare [ 3; 1; 2; 1; 3 ]);
+  Alcotest.(check int) "sum" 10 (Fpfa_util.Listx.sum [ 1; 2; 3; 4 ])
+
+let test_max_by () =
+  Alcotest.(check (option int))
+    "max_by" (Some (-9))
+    (Fpfa_util.Listx.max_by abs [ 3; -9; 7 ]);
+  Alcotest.(check (option int)) "empty" None (Fpfa_util.Listx.max_by abs []);
+  (* First of the maximal elements wins. *)
+  Alcotest.(check (option int))
+    "tie keeps first" (Some 5)
+    (Fpfa_util.Listx.max_by abs [ 5; -5 ])
+
+let test_range () =
+  check_ints "range" [ 2; 3; 4 ] (Fpfa_util.Listx.range 2 5);
+  check_ints "empty range" [] (Fpfa_util.Listx.range 5 5);
+  check_ints "inverted range" [] (Fpfa_util.Listx.range 7 5)
+
+let test_init_fold () =
+  let acc, items =
+    Fpfa_util.Listx.init_fold 4 10 (fun acc i -> (acc + i, acc + i))
+  in
+  Alcotest.(check int) "acc" 16 acc;
+  check_ints "items" [ 10; 11; 13; 16 ] items
+
+let test_prng_deterministic () =
+  let a = Fpfa_util.Prng.create 99 and b = Fpfa_util.Prng.create 99 in
+  let seq rng = List.init 20 (fun _ -> Fpfa_util.Prng.int rng 1000) in
+  check_ints "same seed, same sequence" (seq a) (seq b);
+  let c = Fpfa_util.Prng.create 100 in
+  Alcotest.(check bool)
+    "different seed differs" false
+    (seq (Fpfa_util.Prng.create 99) = seq c)
+
+let test_prng_bounds () =
+  let rng = Fpfa_util.Prng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Fpfa_util.Prng.int rng 7 in
+    Alcotest.(check bool) "in [0,7)" true (v >= 0 && v < 7);
+    let w = Fpfa_util.Prng.int_in rng (-3) 3 in
+    Alcotest.(check bool) "in [-3,3]" true (w >= -3 && w <= 3)
+  done
+
+let test_prng_copy () =
+  let rng = Fpfa_util.Prng.create 5 in
+  ignore (Fpfa_util.Prng.int rng 10);
+  let snap = Fpfa_util.Prng.copy rng in
+  let a = List.init 5 (fun _ -> Fpfa_util.Prng.int rng 100) in
+  let b = List.init 5 (fun _ -> Fpfa_util.Prng.int snap 100) in
+  check_ints "copy resumes identically" a b
+
+let test_prng_shuffle () =
+  let rng = Fpfa_util.Prng.create 3 in
+  let xs = [ 1; 2; 3; 4; 5; 6 ] in
+  let shuffled = Fpfa_util.Prng.shuffle rng xs in
+  check_ints "permutation" xs (List.sort compare shuffled)
+
+let test_prng_float () =
+  let rng = Fpfa_util.Prng.create 17 in
+  for _ = 1 to 1000 do
+    let f = Fpfa_util.Prng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_table_render () =
+  let text =
+    Fpfa_util.Tablefmt.render ~header:[ "a"; "bb" ] [ [ "xxx"; "y" ] ]
+  in
+  Alcotest.(check bool) "contains header" true
+    (String.length text > 0
+    && (let lines = String.split_on_char '\n' text in
+        match lines with
+        | header :: rule :: _ ->
+          String.length header >= 6 && String.contains rule '-'
+        | _ -> false))
+
+let test_table_align () =
+  let text =
+    Fpfa_util.Tablefmt.render
+      ~aligns:[ Fpfa_util.Tablefmt.Left; Fpfa_util.Tablefmt.Right ]
+      ~header:[ "name"; "n" ]
+      [ [ "x"; "1234" ]; [ "long"; "5" ] ]
+  in
+  (* Right-aligned numeric column: "5" is padded on the left. *)
+  Alcotest.(check bool) "right align pads left" true
+    (let lines = String.split_on_char '\n' text in
+     match List.nth_opt lines 3 with
+     | Some line -> String.length line >= 4 && String.sub line 0 4 = "long"
+     | None -> false)
+
+let suite =
+  [
+    Alcotest.test_case "listx take/drop" `Quick test_take_drop;
+    Alcotest.test_case "listx split/chunks" `Quick test_split_chunks;
+    Alcotest.test_case "listx index_of" `Quick test_index_of;
+    Alcotest.test_case "listx uniq/sum" `Quick test_uniq_sum;
+    Alcotest.test_case "listx max_by" `Quick test_max_by;
+    Alcotest.test_case "listx range" `Quick test_range;
+    Alcotest.test_case "listx init_fold" `Quick test_init_fold;
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+    Alcotest.test_case "prng copy" `Quick test_prng_copy;
+    Alcotest.test_case "prng shuffle" `Quick test_prng_shuffle;
+    Alcotest.test_case "prng float" `Quick test_prng_float;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table align" `Quick test_table_align;
+  ]
