@@ -23,12 +23,31 @@ type node = {
 
 type region_info = { size : int option; implicit : bool }
 
+(* The use/def index. Every data edge (producer -> consumer input port) is a
+   key of the producer's inner table, so adding or dropping one edge is O(1)
+   regardless of the producer's fan-out (constants feeding thousands of
+   fetches would otherwise make every rewrite O(fan-out)). Order-only edges
+   get the same treatment in [order_uses]. [output_uses] counts named-output
+   references per node, so [use_count] is a pair of table lookups. *)
 type t = {
   fname : string;
   nodes : (id, node) Hashtbl.t;
   region_tbl : (string, region_info) Hashtbl.t;
   mutable next_id : id;
   mutable named_outputs : (string * id) list;
+  data_uses : (id, (id * int, unit) Hashtbl.t) Hashtbl.t;
+      (** producer -> set of (consumer, input port) *)
+  order_uses : (id, (id, unit) Hashtbl.t) Hashtbl.t;
+      (** producer -> set of nodes whose [order_after] lists it *)
+  output_uses : (id, int) Hashtbl.t;
+      (** node -> number of named outputs referencing it *)
+  mutable generation : int;
+      (** bumped by every structural mutation; stamps the topo cache *)
+  mutable topo_cache : (int * id list) option;
+  mutable dirty_def : Id_set.t;
+      (** nodes whose own definition (inputs / order edges) changed *)
+  mutable dirty_use : Id_set.t;
+      (** nodes that lost a use (a consumer was rewired or removed) *)
 }
 
 exception Invalid of string
@@ -42,6 +61,13 @@ let create fname =
     region_tbl = Hashtbl.create 8;
     next_id = 0;
     named_outputs = [];
+    data_uses = Hashtbl.create 64;
+    order_uses = Hashtbl.create 16;
+    output_uses = Hashtbl.create 8;
+    generation = 0;
+    topo_cache = None;
+    dirty_def = Id_set.empty;
+    dirty_use = Id_set.empty;
   }
 
 let name g = g.fname
@@ -78,6 +104,77 @@ let preds g id =
 let check_ref g id =
   if not (Hashtbl.mem g.nodes id) then invalidf "dangling node reference %d" id
 
+(* {2 Index plumbing} *)
+
+let touch g = g.generation <- g.generation + 1
+let mark_def g id = g.dirty_def <- Id_set.add id g.dirty_def
+let mark_use g id = g.dirty_use <- Id_set.add id g.dirty_use
+
+let drain_dirty g =
+  let d = g.dirty_def and u = g.dirty_use in
+  g.dirty_def <- Id_set.empty;
+  g.dirty_use <- Id_set.empty;
+  (d, u)
+
+let generation g = g.generation
+
+let data_tbl g producer =
+  match Hashtbl.find_opt g.data_uses producer with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 4 in
+    Hashtbl.replace g.data_uses producer tbl;
+    tbl
+
+let order_tbl g producer =
+  match Hashtbl.find_opt g.order_uses producer with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 4 in
+    Hashtbl.replace g.order_uses producer tbl;
+    tbl
+
+let index_data_edge g ~producer ~consumer ~port =
+  Hashtbl.replace (data_tbl g producer) (consumer, port) ()
+
+let unindex_data_edge g ~producer ~consumer ~port =
+  match Hashtbl.find_opt g.data_uses producer with
+  | Some tbl -> Hashtbl.remove tbl (consumer, port)
+  | None -> ()
+
+let index_order_edge g ~producer ~consumer =
+  Hashtbl.replace (order_tbl g producer) consumer ()
+
+let unindex_order_edge g ~producer ~consumer =
+  match Hashtbl.find_opt g.order_uses producer with
+  | Some tbl -> Hashtbl.remove tbl consumer
+  | None -> ()
+
+let consumers_of g id =
+  match Hashtbl.find_opt g.data_uses id with
+  | None -> []
+  | Some tbl ->
+    Hashtbl.fold (fun edge () acc -> edge :: acc) tbl [] |> List.sort compare
+
+let order_successors g id =
+  match Hashtbl.find_opt g.order_uses id with
+  | None -> []
+  | Some tbl ->
+    Hashtbl.fold (fun succ () acc -> succ :: acc) tbl [] |> List.sort compare
+
+let use_count g id =
+  let data =
+    match Hashtbl.find_opt g.data_uses id with
+    | Some tbl -> Hashtbl.length tbl
+    | None -> 0
+  in
+  let outputs =
+    match Hashtbl.find_opt g.output_uses id with Some c -> c | None -> 0
+  in
+  data + outputs
+
+(* {2 Construction} *)
+
 let add g kind inputs =
   if List.length inputs <> arity kind then
     invalidf "wrong input arity for node (expected %d, got %d)" (arity kind)
@@ -87,69 +184,143 @@ let add g kind inputs =
   g.next_id <- id + 1;
   Hashtbl.replace g.nodes id
     { id; kind; inputs = Array.of_list inputs; order_after = [] };
+  List.iteri
+    (fun port producer -> index_data_edge g ~producer ~consumer:id ~port)
+    inputs;
+  touch g;
+  mark_def g id;
   id
 
 let add_order g id ~after =
   check_ref g after;
   let n = node g id in
-  if after <> id && not (List.mem after n.order_after) then
-    Hashtbl.replace g.nodes id { n with order_after = after :: n.order_after }
+  if after <> id && not (List.mem after n.order_after) then begin
+    Hashtbl.replace g.nodes id { n with order_after = after :: n.order_after };
+    index_order_edge g ~producer:after ~consumer:id;
+    touch g;
+    mark_def g id
+  end
 
 let set_output g output_name id =
   check_ref g id;
+  (match List.assoc_opt output_name g.named_outputs with
+  | Some old ->
+    let c = match Hashtbl.find_opt g.output_uses old with Some c -> c | None -> 0 in
+    if c <= 1 then Hashtbl.remove g.output_uses old
+    else Hashtbl.replace g.output_uses old (c - 1);
+    mark_use g old
+  | None -> ());
+  Hashtbl.replace g.output_uses id
+    (1 + match Hashtbl.find_opt g.output_uses id with Some c -> c | None -> 0);
   g.named_outputs <-
     (output_name, id) :: List.remove_assoc output_name g.named_outputs
 
 let outputs g =
   List.sort (fun (a, _) (b, _) -> String.compare a b) g.named_outputs
 
+(* {2 Mutation} *)
+
 let set_inputs g id inputs =
   let n = node g id in
   if List.length inputs <> Array.length n.inputs then
     invalidf "set_inputs: arity change on node %d" id;
   List.iter (check_ref g) inputs;
-  Hashtbl.replace g.nodes id { n with inputs = Array.of_list inputs }
+  Array.iteri
+    (fun port producer ->
+      unindex_data_edge g ~producer ~consumer:id ~port;
+      mark_use g producer)
+    n.inputs;
+  List.iteri
+    (fun port producer -> index_data_edge g ~producer ~consumer:id ~port)
+    inputs;
+  Hashtbl.replace g.nodes id { n with inputs = Array.of_list inputs };
+  touch g;
+  mark_def g id
 
 let replace_uses g old ~by =
   check_ref g by;
-  Hashtbl.iter
-    (fun id n ->
-      let changed = ref false in
-      let inputs =
-        Array.map
-          (fun input ->
-            if input = old then begin
-              changed := true;
-              by
-            end
-            else input)
-          n.inputs
-      in
+  (* Data edges: the index lists exactly the affected (consumer, port)
+     pairs, so this is O(degree of [old]), not O(graph). *)
+  List.iter
+    (fun (cid, port) ->
+      let n = node g cid in
+      let inputs = Array.copy n.inputs in
+      inputs.(port) <- by;
+      Hashtbl.replace g.nodes cid { n with inputs };
+      unindex_data_edge g ~producer:old ~consumer:cid ~port;
+      index_data_edge g ~producer:by ~consumer:cid ~port;
+      mark_def g cid)
+    (consumers_of g old);
+  (* Order edges: re-point, deduplicate, and never create a self edge. *)
+  List.iter
+    (fun cid ->
+      let n = node g cid in
+      let without = List.filter (fun x -> x <> old) n.order_after in
       let order_after =
-        if List.mem old n.order_after then begin
-          changed := true;
-          Fpfa_util.Listx.uniq compare
-            (List.map (fun x -> if x = old then by else x) n.order_after)
-          |> List.filter (fun x -> x <> id)
-        end
-        else n.order_after
+        if by <> cid && not (List.mem by without) then by :: without
+        else without
       in
-      if !changed then Hashtbl.replace g.nodes id { n with inputs; order_after })
-    g.nodes;
-  g.named_outputs <-
-    List.map (fun (k, v) -> (k, if v = old then by else v)) g.named_outputs
+      Hashtbl.replace g.nodes cid { n with order_after };
+      unindex_order_edge g ~producer:old ~consumer:cid;
+      if List.mem by order_after then
+        index_order_edge g ~producer:by ~consumer:cid;
+      mark_def g cid)
+    (order_successors g old);
+  (match Hashtbl.find_opt g.output_uses old with
+  | Some c ->
+    g.named_outputs <-
+      List.map (fun (k, v) -> (k, if v = old then by else v)) g.named_outputs;
+    Hashtbl.remove g.output_uses old;
+    Hashtbl.replace g.output_uses by
+      (c + match Hashtbl.find_opt g.output_uses by with Some c' -> c' | None -> 0)
+  | None -> ());
+  touch g;
+  mark_use g old
 
 let clear_order g id =
   let n = node g id in
-  Hashtbl.replace g.nodes id { n with order_after = [] }
+  if n.order_after <> [] then begin
+    List.iter
+      (fun producer -> unindex_order_edge g ~producer ~consumer:id)
+      n.order_after;
+    Hashtbl.replace g.nodes id { n with order_after = [] };
+    touch g;
+    mark_def g id
+  end
 
 let drop_order_references g id =
-  Hashtbl.iter
-    (fun nid n ->
-      if List.mem id n.order_after then
-        Hashtbl.replace g.nodes nid
-          { n with order_after = List.filter (fun x -> x <> id) n.order_after })
-    g.nodes
+  match order_successors g id with
+  | [] -> ()
+  | succs ->
+    List.iter
+      (fun sid ->
+        let n = node g sid in
+        Hashtbl.replace g.nodes sid
+          { n with order_after = List.filter (fun x -> x <> id) n.order_after };
+        unindex_order_edge g ~producer:id ~consumer:sid;
+        mark_def g sid)
+      succs;
+    touch g
+
+let remove g id =
+  if use_count g id > 0 then invalidf "removing node %d which still has uses" id;
+  let n = node g id in
+  (* Drop order edges pointing at the removed node. *)
+  drop_order_references g id;
+  Array.iteri
+    (fun port producer ->
+      unindex_data_edge g ~producer ~consumer:id ~port;
+      mark_use g producer)
+    n.inputs;
+  List.iter
+    (fun producer -> unindex_order_edge g ~producer ~consumer:id)
+    n.order_after;
+  Hashtbl.remove g.data_uses id;
+  Hashtbl.remove g.order_uses id;
+  Hashtbl.remove g.nodes id;
+  touch g
+
+(* {2 Traversal} *)
 
 let node_ids g =
   Hashtbl.fold (fun id _ acc -> id :: acc) g.nodes [] |> List.sort compare
@@ -173,27 +344,6 @@ let consumers g =
         n.inputs);
   tbl
 
-let use_count g id =
-  let data_uses =
-    fold g ~init:0 ~f:(fun acc n ->
-        acc + Array.fold_left (fun c input -> if input = id then c + 1 else c) 0 n.inputs)
-  in
-  let output_uses =
-    List.length (List.filter (fun (_, v) -> v = id) g.named_outputs)
-  in
-  data_uses + output_uses
-
-let remove g id =
-  if use_count g id > 0 then invalidf "removing node %d which still has uses" id;
-  (* Drop order edges pointing at the removed node. *)
-  Hashtbl.iter
-    (fun nid n ->
-      if List.mem id n.order_after then
-        Hashtbl.replace g.nodes nid
-          { n with order_after = List.filter (fun x -> x <> id) n.order_after })
-    g.nodes;
-  Hashtbl.remove g.nodes id
-
 let find_region_node g region ~test =
   let found =
     fold g ~init:None ~f:(fun acc n ->
@@ -212,8 +362,11 @@ let ss_out_of g region =
       match kind with Ss_out r' -> String.equal r r' | _ -> false)
 
 (* Kahn's algorithm with a min-heap on ids (a sorted module Set) so the
-   resulting order is deterministic. *)
-let topo_order g =
+   resulting order is deterministic. The result is cached and stamped with
+   the generation counter: read-only phases (evaluation, clustering,
+   serialisation, range analysis) reuse one order instead of re-running
+   Kahn's algorithm per call. *)
+let compute_topo_order g =
   let succ = Hashtbl.create (Hashtbl.length g.nodes) in
   let indegree = Hashtbl.create (Hashtbl.length g.nodes) in
   iter g (fun n -> Hashtbl.replace indegree n.id 0);
@@ -251,6 +404,14 @@ let topo_order g =
   in
   loop ready [] 0
 
+let topo_order g =
+  match g.topo_cache with
+  | Some (gen, order) when gen = g.generation -> order
+  | Some _ | None ->
+    let order = compute_topo_order g in
+    g.topo_cache <- Some (g.generation, order);
+    order
+
 let depth g =
   let order = topo_order g in
   let depth_tbl = Hashtbl.create (List.length order) in
@@ -280,6 +441,59 @@ let token_region g id =
   match kind g id with
   | Ss_in r | St r | Del r -> Some r
   | Const _ | Binop _ | Unop _ | Mux | Ss_out _ | Fe _ -> None
+
+(* Recomputes the use/def index from scratch and compares it with the
+   maintained one. O(V + E); used by [validate] and the index-invariant
+   tests to catch any mutation path that forgets an index update. *)
+let check_index g =
+  let expect_data : (id * (id * int), unit) Hashtbl.t = Hashtbl.create 64 in
+  let expect_order : (id * id, unit) Hashtbl.t = Hashtbl.create 16 in
+  iter g (fun n ->
+      Array.iteri
+        (fun port producer -> Hashtbl.replace expect_data (producer, (n.id, port)) ())
+        n.inputs;
+      List.iter
+        (fun producer -> Hashtbl.replace expect_order (producer, n.id) ())
+        n.order_after);
+  let count_indexed tbls =
+    Hashtbl.fold (fun _ inner acc -> acc + Hashtbl.length inner) tbls 0
+  in
+  Hashtbl.iter
+    (fun (producer, (cid, port)) () ->
+      match Hashtbl.find_opt g.data_uses producer with
+      | Some tbl when Hashtbl.mem tbl (cid, port) -> ()
+      | _ ->
+        invalidf "use/def index misses data edge %d -> (%d, port %d)" producer
+          cid port)
+    expect_data;
+  if count_indexed g.data_uses <> Hashtbl.length expect_data then
+    invalidf "use/def index has stale data edges (%d indexed, %d real)"
+      (count_indexed g.data_uses) (Hashtbl.length expect_data);
+  Hashtbl.iter
+    (fun (producer, cid) () ->
+      match Hashtbl.find_opt g.order_uses producer with
+      | Some tbl when Hashtbl.mem tbl cid -> ()
+      | _ -> invalidf "use/def index misses order edge %d -> %d" producer cid)
+    expect_order;
+  if count_indexed g.order_uses <> Hashtbl.length expect_order then
+    invalidf "use/def index has stale order edges (%d indexed, %d real)"
+      (count_indexed g.order_uses) (Hashtbl.length expect_order);
+  let expect_outputs = Hashtbl.create 8 in
+  List.iter
+    (fun (_, v) ->
+      Hashtbl.replace expect_outputs v
+        (1 + match Hashtbl.find_opt expect_outputs v with Some c -> c | None -> 0))
+    g.named_outputs;
+  Hashtbl.iter
+    (fun id c ->
+      if Hashtbl.find_opt g.output_uses id <> Some c then
+        invalidf "use/def index miscounts named-output references of node %d" id)
+    expect_outputs;
+  Hashtbl.iter
+    (fun id c ->
+      if Hashtbl.find_opt expect_outputs id <> Some c then
+        invalidf "use/def index has stale named-output count for node %d" id)
+    g.output_uses
 
 (* Port typing: for each node kind, which input ports expect a token of the
    node's own region (port 0 of Fe/St/Del/Ss_out) and which expect values. *)
@@ -375,15 +589,34 @@ let validate g =
       if not (produces_value (kind g id)) then
         invalidf "named output %s is not a value" oname)
     g.named_outputs;
+  check_index g;
   (* Acyclicity (raises on cycles). *)
   ignore (topo_order g)
 
 let copy g =
   let g' = create g.fname in
+  (* Node records are immutable (mutators install fresh records with fresh
+     input arrays), so sharing them across copies is safe. *)
   Hashtbl.iter (fun id n -> Hashtbl.replace g'.nodes id n) g.nodes;
   Hashtbl.iter (fun r info -> Hashtbl.replace g'.region_tbl r info) g.region_tbl;
   g'.next_id <- g.next_id;
   g'.named_outputs <- g.named_outputs;
+  iter g' (fun n ->
+      Array.iteri
+        (fun port producer -> index_data_edge g' ~producer ~consumer:n.id ~port)
+        n.inputs;
+      List.iter
+        (fun producer -> index_order_edge g' ~producer ~consumer:n.id)
+        n.order_after);
+  List.iter
+    (fun (_, v) ->
+      Hashtbl.replace g'.output_uses v
+        (1 + match Hashtbl.find_opt g'.output_uses v with Some c -> c | None -> 0))
+    g.named_outputs;
+  (match g.topo_cache with
+  | Some (gen, order) when gen = g.generation ->
+    g'.topo_cache <- Some (g'.generation, order)
+  | Some _ | None -> ());
   g'
 
 type stats = {

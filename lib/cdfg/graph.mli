@@ -73,7 +73,8 @@ val outputs : t -> (string * id) list
 val set_inputs : t -> id -> id list -> unit
 val replace_uses : t -> id -> by:id -> unit
 (** Rewrites every data input, order edge and named output that references
-    the first node to reference [by] instead. *)
+    the first node to reference [by] instead. O(degree of the replaced
+    node): the use/def index lists the affected consumers directly. *)
 
 val remove : t -> id -> unit
 (** Removes a node. @raise Invalid if the node still has uses. *)
@@ -108,11 +109,20 @@ val fold : t -> init:'a -> f:('a -> node -> 'a) -> 'a
 
 val consumers : t -> (id, (id * int) list) Hashtbl.t
 (** Snapshot reverse index: producer id -> [(consumer id, input port)].
-    Order-only edges are not included. *)
+    Order-only edges are not included. Prefer {!consumers_of} for point
+    queries: the snapshot goes stale as soon as the graph mutates. *)
+
+val consumers_of : t -> id -> (id * int) list
+(** Live [(consumer, input port)] list of one producer, read straight from
+    the incrementally maintained use/def index. O(degree), sorted. *)
+
+val order_successors : t -> id -> id list
+(** Nodes whose [order_after] list references the given node (the reverse
+    of {!order_after}). O(degree), sorted. *)
 
 val use_count : t -> id -> int
 (** Number of data uses plus named-output references (order edges do not
-    count as uses for liveness). *)
+    count as uses for liveness). O(1): two index lookups. *)
 
 val ss_in_of : t -> string -> id option
 (** The [Ss_in] node of a region, if present. *)
@@ -123,7 +133,27 @@ val ss_out_of : t -> string -> id option
 
 val topo_order : t -> id list
 (** Topological order over data and order edges, ties broken by ascending
-    id (deterministic). @raise Invalid on a cycle. *)
+    id (deterministic). The order is cached and stamped with the graph's
+    generation counter, so consecutive calls without intervening mutation
+    are O(1). @raise Invalid on a cycle. *)
+
+val generation : t -> int
+(** Monotone counter bumped by every structural mutation ([add],
+    [set_inputs], [replace_uses], [remove], order-edge changes). Stamps
+    the topo-order cache; exposed for tests and cache-aware callers. *)
+
+val drain_dirty : t -> Id_set.t * Id_set.t
+(** Returns and clears the mutation journal as [(def_dirty, use_dirty)]:
+    nodes whose own definition changed (inputs, order edges, existence)
+    and nodes that lost a use (a consumer was rewired or removed). The
+    worklist pass engine drains this after every rewrite to decide what to
+    re-examine; ids may reference since-removed nodes, so filter with
+    {!mem}. *)
+
+val check_index : t -> unit
+(** Recomputes the use/def index from scratch and compares it with the
+    incrementally maintained one (also run as part of {!validate}).
+    @raise Invalid on any divergence. *)
 
 val depth : t -> (id -> int)
 (** Longest-path depth of each node (sources at 0), over data + order

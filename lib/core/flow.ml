@@ -1,10 +1,14 @@
 module Arch = Fpfa_arch.Arch
 
+type simplifier =
+  | Worklist of Transform.Pass.rule list
+  | Fixpoint of Transform.Pass.t list
+
 type config = {
   tile : Arch.tile;
   caps : Arch.alu_caps option;
   cluster_with : caps:Arch.alu_caps -> Cdfg.Graph.t -> Mapping.Cluster.t;
-  passes : Transform.Pass.t list;
+  simplify : simplifier;
   alloc_options : Mapping.Alloc.options;
   max_unroll : int;
   delete_locals : bool;
@@ -15,7 +19,7 @@ let default_config =
     tile = Arch.paper_tile;
     caps = None;
     cluster_with = (fun ~caps g -> Mapping.Cluster.run ~caps g);
-    passes = Transform.Simplify.default_passes;
+    simplify = Worklist Transform.Simplify.default_rules;
     alloc_options = Mapping.Alloc.default_options;
     max_unroll = 4096;
     delete_locals = false;
@@ -66,7 +70,11 @@ let map_prepared ~config ~source ~func raw_graph =
   in
   let simplify_report =
     stage "simplify" (fun () ->
-        Transform.Simplify.minimize ~passes:config.passes ~validate:false graph)
+        match config.simplify with
+        | Worklist rules ->
+          Transform.Simplify.minimize ~rules ~validate:false graph
+        | Fixpoint passes ->
+          Transform.Simplify.minimize ~passes ~validate:false graph)
   in
   stage "simplify-validate" (fun () -> Cdfg.Graph.validate graph);
   let caps = match config.caps with Some caps -> caps | None -> config.tile.Arch.alu in

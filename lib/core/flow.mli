@@ -7,6 +7,12 @@
     for inspection, and {!verify} checks the mapped job against the
     reference interpreter. *)
 
+type simplifier =
+  | Worklist of Transform.Pass.rule list
+      (** incremental worklist engine (default; near-linear) *)
+  | Fixpoint of Transform.Pass.t list
+      (** legacy whole-graph fixpoint (reference oracle) *)
+
 type config = {
   tile : Fpfa_arch.Arch.tile;
   caps : Fpfa_arch.Arch.alu_caps option;
@@ -16,7 +22,7 @@ type config = {
       (** phase-1 algorithm; defaults to {!Mapping.Cluster.run} (greedy
           template matching); {!Mapping.Cluster.sarkar} is the
           edge-zeroing alternative *)
-  passes : Transform.Pass.t list;  (** simplification pipeline *)
+  simplify : simplifier;  (** simplification pipeline *)
   alloc_options : Mapping.Alloc.options;
   max_unroll : int;
   delete_locals : bool;

@@ -35,3 +35,36 @@ let run g =
   !changed
 
 let pass = { Pass.name = "cse"; run }
+
+(* Worklist variant: the value-number table lives for the whole engine run.
+   Entries go stale when a representative is removed or its inputs change;
+   staleness is detected lazily at lookup time (the representative must
+   still exist and still hash to the key) and the entry is then usurped by
+   the node in hand. *)
+let rule =
+  {
+    Pass.rname = "cse";
+    settled = false;
+    prepare =
+      (fun g ->
+        let seen : (key, int) Hashtbl.t = Hashtbl.create 64 in
+        fun id ->
+          let n = G.node g id in
+          match key_of g n with
+          | None -> false
+          | Some key -> (
+            match Hashtbl.find_opt seen key with
+            | Some rep when rep = id -> false
+            | Some rep
+              when G.mem g rep
+                   && (match key_of g (G.node g rep) with
+                      | Some k -> k = key
+                      | None -> false) ->
+              (* [rep] and [id] have identical kind and inputs, so neither
+                 can be a descendant of the other: the merge is acyclic. *)
+              G.replace_uses g id ~by:rep;
+              true
+            | Some _ | None ->
+              Hashtbl.replace seen key id;
+              false));
+  }

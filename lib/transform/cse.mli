@@ -7,3 +7,8 @@
     Stores, deletes and statespace endpoints are never merged. *)
 
 val pass : Pass.t
+
+val rule : Pass.rule
+(** Worklist variant: keeps a value-number table for the whole engine run;
+    stale entries (removed or re-keyed representatives) are detected and
+    replaced lazily at lookup time. *)

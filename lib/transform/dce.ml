@@ -40,3 +40,18 @@ let run g =
   !changed
 
 let pass = { Pass.name = "dce"; run }
+
+(* Worklist variant: a non-root node with zero uses is removed; the removal
+   marks its producers use-dirty, so the engine re-examines them and the
+   sweep cascades upwards. Iterated zero-use removal on a DAG deletes
+   exactly the nodes the mark-and-sweep above would (data-unreachable from
+   [Ss_out] roots and named outputs), one O(degree) step at a time. *)
+let removable g id = (not (is_root g id)) && G.use_count g id = 0
+
+let rule =
+  Pass.local "dce" (fun g id ->
+      if removable g id then begin
+        G.remove g id;
+        true
+      end
+      else false)

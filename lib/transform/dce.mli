@@ -7,3 +7,8 @@
     the node. *)
 
 val pass : Pass.t
+
+val rule : Pass.rule
+(** Worklist variant: removes one zero-use non-root node per application;
+    the removal marks its producers use-dirty so the engine cascades the
+    sweep upwards without any whole-graph marking. *)

@@ -42,32 +42,41 @@ let resolve g ~offset token =
   in
   walk token
 
+(* One fetch's worth of forwarding; shared by the whole-graph pass and the
+   worklist rule. *)
+let forward_fetch g (n : G.node) =
+  match n.G.kind with
+  | G.Fe _ -> (
+    let token = n.G.inputs.(0) and offset = n.G.inputs.(1) in
+    match resolve g ~offset token with
+    | Value v ->
+      (* the read disappears, and with it the anti-dependences that
+         protected it *)
+      G.drop_order_references g n.G.id;
+      G.replace_uses g n.G.id ~by:v;
+      true
+    | Anchor anchor ->
+      if anchor <> token then begin
+        G.set_inputs g n.G.id [ anchor; offset ];
+        true
+      end
+      else false)
+  | G.Const _ | G.Binop _ | G.Unop _ | G.Mux | G.Ss_in _ | G.Ss_out _
+  | G.St _ | G.Del _ ->
+    false
+
 let run_store_to_fetch g =
   let changed = ref false in
-  let visit (n : G.node) =
-    match n.G.kind with
-    | G.Fe _ -> (
-      let token = n.G.inputs.(0) and offset = n.G.inputs.(1) in
-      match resolve g ~offset token with
-      | Value v ->
-        (* the read disappears, and with it the anti-dependences that
-           protected it *)
-        G.drop_order_references g n.G.id;
-        G.replace_uses g n.G.id ~by:v;
-        changed := true
-      | Anchor anchor ->
-        if anchor <> token then begin
-          G.set_inputs g n.G.id [ anchor; offset ];
-          changed := true
-        end)
-    | G.Const _ | G.Binop _ | G.Unop _ | G.Mux | G.Ss_in _ | G.Ss_out _
-    | G.St _ | G.Del _ ->
-      ()
-  in
-  List.iter (fun id -> if G.mem g id then visit (G.node g id)) (G.node_ids g);
+  List.iter
+    (fun id ->
+      if G.mem g id && forward_fetch g (G.node g id) then changed := true)
+    (G.node_ids g);
   !changed
 
 let store_to_fetch = { Pass.name = "store-to-fetch"; run = run_store_to_fetch }
+
+let store_to_fetch_rule =
+  Pass.local "store-to-fetch" (fun g id -> forward_fetch g (G.node g id))
 
 let token_mutator g id =
   match G.kind g id with
@@ -87,37 +96,39 @@ let region_of g id =
   | G.Const _ | G.Binop _ | G.Unop _ | G.Mux ->
     invalid_arg "region_of: node has no region"
 
+(* One store/delete's worth of dead-store bypassing, reading the live
+   use/def index. *)
+let bypass_dead_store g (n : G.node) =
+  if not (token_mutator g n.G.id) then false
+  else
+    match G.consumers_of g n.G.id with
+    | [ (consumer, 0) ]
+      when G.mem g consumer
+           && token_mutator g consumer
+           && String.equal (region_of g n.G.id) (region_of g consumer)
+           && relate g (offset_of g n.G.id) (offset_of g consumer) = Equal -> (
+      (* The consumer overwrites this node's cell before anyone fetches
+         it: bypass. Ordering constraints migrate to the consumer. *)
+      match G.inputs g consumer with
+      | prev_token :: rest when prev_token = n.G.id ->
+        let my_token = List.nth (G.inputs g n.G.id) 0 in
+        G.set_inputs g consumer (my_token :: rest);
+        List.iter
+          (fun before -> G.add_order g consumer ~after:before)
+          (G.order_after g n.G.id);
+        true
+      | _ -> false)
+    | _ -> false
+
 let run_dead_store g =
   let changed = ref false in
-  let consumers = G.consumers g in
-  let visit (n : G.node) =
-    if token_mutator g n.G.id then begin
-      let uses =
-        match Hashtbl.find_opt consumers n.G.id with Some l -> l | None -> []
-      in
-      match uses with
-      | [ (consumer, 0) ]
-        when G.mem g consumer
-             && token_mutator g consumer
-             && String.equal (region_of g n.G.id) (region_of g consumer)
-             && relate g (offset_of g n.G.id) (offset_of g consumer) = Equal
-        -> begin
-        (* The consumer overwrites this node's cell before anyone fetches
-           it: bypass. Ordering constraints migrate to the consumer. *)
-        match G.inputs g consumer with
-        | prev_token :: rest when prev_token = n.G.id ->
-          let my_token = List.nth (G.inputs g n.G.id) 0 in
-          G.set_inputs g consumer (my_token :: rest);
-          List.iter
-            (fun before -> G.add_order g consumer ~after:before)
-            (G.order_after g n.G.id);
-          changed := true
-        | _ -> ()
-      end
-      | _ -> ()
-    end
-  in
-  List.iter (fun id -> if G.mem g id then visit (G.node g id)) (G.node_ids g);
+  List.iter
+    (fun id ->
+      if G.mem g id && bypass_dead_store g (G.node g id) then changed := true)
+    (G.node_ids g);
   !changed
 
 let dead_store = { Pass.name = "dead-store"; run = run_dead_store }
+
+let dead_store_rule =
+  Pass.local "dead-store" (fun g id -> bypass_dead_store g (G.node g id))

@@ -5,6 +5,14 @@
     equal when they are the same node or equal constants, provably
     different when they are different constants, unknown otherwise. *)
 
+type offset_relation = Equal | Different | Unknown
+
+val relate :
+  Cdfg.Graph.t -> Cdfg.Graph.id -> Cdfg.Graph.id -> offset_relation
+(** Provable relation between two offset-producing nodes (used by the
+    aliasing decisions below; exported for analyses and tests that need
+    the same notion of "may alias"). *)
+
 val store_to_fetch : Pass.t
 (** Each [Fe] walks its token chain towards [Ss_in]: a store to a provably
     equal offset supplies the fetched value directly; stores/deletes to
@@ -17,3 +25,9 @@ val dead_store : Pass.t
     being a store/delete to a provably equal offset, is bypassed (its
     effect is immediately overwritten). Order edges are preserved by moving
     them onto the surviving node. *)
+
+val store_to_fetch_rule : Pass.rule
+(** Worklist variant of {!store_to_fetch}. *)
+
+val dead_store_rule : Pass.rule
+(** Worklist variant of {!dead_store}, reading the live use/def index. *)

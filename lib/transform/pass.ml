@@ -1,3 +1,5 @@
+module G = Cdfg.Graph
+
 type t = { name : string; run : Cdfg.Graph.t -> bool }
 
 let run_fixpoint ?(max_rounds = 100) passes g =
@@ -22,3 +24,105 @@ let checked pass =
         Cdfg.Graph.validate g;
         changed);
   }
+
+(* {2 Worklist engine} *)
+
+type rule = {
+  rname : string;
+  prepare : Cdfg.Graph.t -> Cdfg.Graph.id -> bool;
+  settled : bool;
+}
+
+let local rname rewrite = { rname; prepare = rewrite; settled = false }
+let settled rname rewrite = { rname; prepare = rewrite; settled = true }
+
+type worklist_report = { steps : int; rewrites : int; peak_queue : int }
+
+let run_worklist ?(debug = false) ?max_steps rules g =
+  (* Forget mutations that predate the run (graph construction). *)
+  ignore (G.drain_dirty g);
+  let eager, deferred = List.partition (fun r -> not r.settled) rules in
+  let eager_rw = List.map (fun r -> r.prepare g) eager in
+  let settled_rw = List.map (fun r -> r.prepare g) deferred in
+  let have_settled = settled_rw <> [] in
+  (* Two priority tiers. Eager rules (folding, CSE, forwarding, DCE) run
+     from the high queue. Settled rules run from the low queue, which is
+     popped only when the high queue is empty — i.e. when the eager rules
+     have quiesced. At that point DCE is complete (every node that hit
+     zero uses was use-dirtied, enqueued and collected), so settled rules
+     observe use counts of the live graph only. Rules such as chain
+     rebalancing key their chain boundaries on use counts; letting them
+     fire on transient counts inflated by not-yet-collected dead trees
+     makes them rebuild chains that the next collection invalidates again,
+     feeding CSE/DCE fresh dead trees forever. *)
+  let pending_hi : (G.id, unit) Hashtbl.t = Hashtbl.create (G.node_count g) in
+  let pending_lo : (G.id, unit) Hashtbl.t = Hashtbl.create 16 in
+  let queue_hi = Queue.create () and queue_lo = Queue.create () in
+  let enqueue id =
+    if G.mem g id then begin
+      if not (Hashtbl.mem pending_hi id) then begin
+        Hashtbl.replace pending_hi id ();
+        Queue.add id queue_hi
+      end;
+      if have_settled && not (Hashtbl.mem pending_lo id) then begin
+        Hashtbl.replace pending_lo id ();
+        Queue.add id queue_lo
+      end
+    end
+  in
+  (* Seed in topological order: producers are simplified before their
+     consumers key on them, mirroring the scan order of the whole-graph
+     passes. *)
+  List.iter enqueue (G.topo_order g);
+  let max_steps =
+    match max_steps with
+    | Some m -> m
+    | None -> 100 + ((if have_settled then 200 else 100) * G.node_count g)
+  in
+  let steps = ref 0 and rewrites = ref 0 and peak = ref 0 in
+  while not (Queue.is_empty queue_hi && Queue.is_empty queue_lo) do
+    if !steps > max_steps then
+      failwith
+        (Printf.sprintf
+           "worklist engine exceeded %d steps (diverging rewrite rules?)"
+           max_steps);
+    peak := max !peak (Queue.length queue_hi + Queue.length queue_lo);
+    let id, rewriters =
+      if not (Queue.is_empty queue_hi) then begin
+        let id = Queue.pop queue_hi in
+        Hashtbl.remove pending_hi id;
+        (id, eager_rw)
+      end
+      else begin
+        let id = Queue.pop queue_lo in
+        Hashtbl.remove pending_lo id;
+        (id, settled_rw)
+      end
+    in
+    if G.mem g id then begin
+      incr steps;
+      List.iter (fun rw -> if G.mem g id && rw id then incr rewrites) rewriters;
+      if debug then G.validate g;
+      let def_dirty, use_dirty = G.drain_dirty g in
+      (* A changed definition can enable rewrites of the node itself, of
+         everything reading it (data or order), and of its direct
+         producers (dead-store bypassing examines a store but keys on its
+         consumer's offset, so the enabling event lands on the consumer).
+         Producers are bounded by arity, so this stays O(degree). A lost
+         use can enable use-count-driven rewrites (DCE, dead-store, chain
+         rebalancing) of the producer alone — crucially NOT of its
+         consumers, or a popular constant would re-enqueue its whole
+         fan-out on every removal. *)
+      G.Id_set.iter
+        (fun d ->
+          enqueue d;
+          if G.mem g d then begin
+            List.iter (fun (c, _) -> enqueue c) (G.consumers_of g d);
+            List.iter enqueue (G.order_successors g d);
+            List.iter enqueue (G.inputs g d)
+          end)
+        def_dirty;
+      G.Id_set.iter enqueue use_dirty
+    end
+  done;
+  { steps = !steps; rewrites = !rewrites; peak_queue = !peak }

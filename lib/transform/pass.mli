@@ -1,5 +1,16 @@
 (** Behaviour-preserving graph transformation framework (paper Section I:
-    "minimized using a set of behaviour preserving transformations"). *)
+    "minimized using a set of behaviour preserving transformations").
+
+    Two engines share the rewrite rules:
+
+    - the legacy {e whole-graph fixpoint} ({!run_fixpoint}) re-runs every
+      pass over the full CDFG until a round changes nothing — O(rounds x
+      passes x graph), kept as the reference oracle;
+    - the {e worklist engine} ({!run_worklist}) seeds a queue with all
+      nodes in topological order and thereafter re-examines only the
+      neighbourhood of each rewrite, which the graph reports through its
+      mutation journal ({!Cdfg.Graph.drain_dirty}). Validation runs once
+      at the end of the caller (or after every step under [~debug]). *)
 
 type t = {
   name : string;
@@ -16,3 +27,47 @@ val run_fixpoint : ?max_rounds:int -> t list -> Cdfg.Graph.t -> int
 val checked : t -> t
 (** Wraps a pass so that the graph is validated after it runs (used by the
     test suite to catch invariant-breaking rewrites early). *)
+
+(** {2 Worklist engine} *)
+
+type rule = {
+  rname : string;
+  prepare : Cdfg.Graph.t -> Cdfg.Graph.id -> bool;
+      (** [prepare g] is called once per engine run and may allocate
+          per-run state (e.g. the CSE value-number table); the returned
+          closure rewrites one node and reports whether it changed the
+          graph. It is only ever called on ids that still exist. *)
+  settled : bool;
+      (** Settled rules run only when the eager (non-settled) rules have
+          quiesced, at which point dead code has been fully collected.
+          Required for rules whose enabling condition reads use counts
+          (e.g. chain rebalancing): on transient counts inflated by
+          not-yet-collected dead nodes they oscillate with CSE/DCE. *)
+}
+
+val local : string -> (Cdfg.Graph.t -> Cdfg.Graph.id -> bool) -> rule
+(** [local name rewrite] wraps a stateless per-node rewrite as a rule. *)
+
+val settled : string -> (Cdfg.Graph.t -> Cdfg.Graph.id -> bool) -> rule
+(** [settled name rewrite] is {!local} but deferred to eager quiescence
+    (see {!type-rule}.settled). *)
+
+type worklist_report = {
+  steps : int;  (** node visits (a node can be revisited after a rewrite) *)
+  rewrites : int;  (** rule applications that changed the graph *)
+  peak_queue : int;  (** high-water mark of the pending queue *)
+}
+
+val run_worklist :
+  ?debug:bool -> ?max_steps:int -> rule list -> Cdfg.Graph.t -> worklist_report
+(** Node-level fixpoint: every node is visited at least once (in
+    topological order); a rewrite re-enqueues only the affected
+    neighbourhood — the rewritten nodes, their consumers (data and order),
+    their producers, and producers that lost a use. Rules are applied in
+    list order on each visit; settled rules run in a lower-priority tier
+    drained only when the eager tier is empty. [~debug] validates the
+    graph after every visited node (slow; for debugging
+    invariant-breaking rules). [max_steps] (default
+    [100 + 100 * node_count] per tier in use) guards against diverging
+    rule sets.
+    @raise Failure when the step budget is hit. *)

@@ -8,15 +8,17 @@ let associative = function
     false
 
 (* Collects the leaves of the maximal single-use chain of [op] rooted at
-   [id], left to right, together with the chain's depth. *)
-let rec chain_leaves g op use_counts id ~is_root =
-  let single_use = match Hashtbl.find_opt use_counts id with Some 1 -> true | _ -> false in
+   [id], left to right, together with the chain's depth. [data_uses]
+   counts data edges only (named outputs do not make a node a chain
+   boundary: its value is unchanged by rebalancing the root above it). *)
+let rec chain_leaves g op ~data_uses id ~is_root =
+  let single_use = data_uses id = 1 in
   match G.kind g id with
   | G.Binop op' when op' = op && (is_root || single_use) ->
     let inputs = G.inputs g id in
     let a = List.nth inputs 0 and b = List.nth inputs 1 in
-    let leaves_a, depth_a = chain_leaves g op use_counts a ~is_root:false in
-    let leaves_b, depth_b = chain_leaves g op use_counts b ~is_root:false in
+    let leaves_a, depth_a = chain_leaves g op ~data_uses a ~is_root:false in
+    let leaves_b, depth_b = chain_leaves g op ~data_uses b ~is_root:false in
     (leaves_a @ leaves_b, 1 + max depth_a depth_b)
   | _ -> ([ id ], 0)
 
@@ -31,6 +33,43 @@ let rec build_balanced g op leaves =
     let right_id, dr = build_balanced g op right in
     (G.add g (G.Binop op) [ left_id; right_id ], 1 + max dl dr)
 
+(* Rebalances the chain rooted at [id] when that strictly reduces its
+   depth. [data_uses id] must count data consumers; [consumer_of id] must
+   return the single data consumer when there is exactly one. *)
+let rebalance_root g ~data_uses ~consumer_of id =
+  match G.kind g id with
+  | G.Binop op when associative op ->
+    (* Only rebalance chain roots: nodes whose consumer is not the same
+       single-use chain. *)
+    let is_chain_interior =
+      match consumer_of id with
+      | Some c when G.mem g c -> (
+        data_uses id = 1
+        &&
+        match G.kind g c with
+        | G.Binop op' -> op' = op
+        | _ -> false)
+      | _ -> false
+    in
+    if is_chain_interior then false
+    else begin
+      let leaves, depth = chain_leaves g op ~data_uses id ~is_root:true in
+      let n = List.length leaves in
+      if n > 2 then begin
+        let balanced_depth =
+          int_of_float (ceil (log (float_of_int n) /. log 2.0))
+        in
+        if balanced_depth < depth then begin
+          let root, _ = build_balanced g op leaves in
+          G.replace_uses g id ~by:root;
+          true
+        end
+        else false
+      end
+      else false
+    end
+  | _ -> false
+
 let run g =
   let changed = ref false in
   let use_counts = Hashtbl.create 64 in
@@ -38,39 +77,54 @@ let run g =
   Hashtbl.iter
     (fun producer uses -> Hashtbl.replace use_counts producer (List.length uses))
     consumers;
-  let visit id =
-    if G.mem g id then
-      match G.kind g id with
-      | G.Binop op when associative op ->
-        (* Only rebalance chain roots: nodes whose consumer is not the same
-           single-use chain. *)
-        let is_chain_interior =
-          match Hashtbl.find_opt consumers id with
-          | Some [ (c, _) ] when G.mem g c -> (
-            Hashtbl.find_opt use_counts id = Some 1
-            &&
-            match G.kind g c with
-            | G.Binop op' -> op' = op
-            | _ -> false)
-          | _ -> false
-        in
-        if not is_chain_interior then begin
-          let leaves, depth = chain_leaves g op use_counts id ~is_root:true in
-          let n = List.length leaves in
-          if n > 2 then begin
-            let balanced_depth =
-              int_of_float (ceil (log (float_of_int n) /. log 2.0))
-            in
-            if balanced_depth < depth then begin
-              let root, _ = build_balanced g op leaves in
-              G.replace_uses g id ~by:root;
-              changed := true
-            end
-          end
-        end
-      | _ -> ()
+  let data_uses id =
+    match Hashtbl.find_opt use_counts id with Some c -> c | None -> 0
   in
-  List.iter visit (G.node_ids g);
+  let consumer_of id =
+    match Hashtbl.find_opt consumers id with
+    | Some [ (c, _) ] -> Some c
+    | Some _ | None -> None
+  in
+  List.iter
+    (fun id ->
+      if G.mem g id && rebalance_root g ~data_uses ~consumer_of id then
+        changed := true)
+    (G.node_ids g);
   !changed
 
 let pass = { Pass.name = "reassociate"; run }
+
+(* Worklist variant: use counts come from the live index instead of a
+   snapshot, so re-examining a node after its chain changed is O(chain).
+   The rule self-localizes: a dirty node deep inside a single-use chain
+   (e.g. one whose second consumer just died, fusing two chains) walks up
+   to the chain root, because that is where the rebalance fires — the
+   engine's dirty journal only wakes immediate neighbours.
+
+   The rule is [settled]: chain boundaries are use-count-driven, and use
+   counts are only meaningful once DCE has collected every dead tree. If
+   rebalancing interleaves with collection at node granularity it keeps
+   rebuilding chains whose boundaries were artifacts of dying nodes,
+   handing CSE/DCE fresh duplicates forever (observed on fir-16). *)
+let rule =
+  Pass.settled "reassociate" (fun g id ->
+      let data_uses id = List.length (G.consumers_of g id) in
+      let consumer_of id =
+        match G.consumers_of g id with
+        | [ (c, _) ] -> Some c
+        | _ -> None
+      in
+      let rec root_of id fuel =
+        if fuel <= 0 then id
+        else
+          match G.kind g id with
+          | G.Binop op when associative op -> (
+            match consumer_of id with
+            | Some c when data_uses id = 1 && G.mem g c -> (
+              match G.kind g c with
+              | G.Binop op' when op' = op -> root_of c (fuel - 1)
+              | _ -> id)
+            | _ -> id)
+          | _ -> id
+      in
+      rebalance_root g ~data_uses ~consumer_of (root_of id (G.node_count g)))

@@ -9,3 +9,7 @@
     depth, which guarantees termination. *)
 
 val pass : Pass.t
+
+val rule : Pass.rule
+(** Worklist variant: chain membership and single-use tests read the live
+    use/def index instead of a snapshot. *)

@@ -13,3 +13,9 @@ val strength_reduce : Pass.t
 (** Optional extension pass (paper Section VII future work): rewrites
     multiplications by powers of two into shifts, freeing the ALU multiplier
     stage. Not part of the default pipeline; benched as an ablation. *)
+
+(** {2 Worklist variants} *)
+
+val const_fold_rule : Pass.rule
+val algebraic_rule : Pass.rule
+val strength_reduce_rule : Pass.rule

@@ -11,19 +11,46 @@ let default_passes =
 
 let extended_passes = default_passes @ [ Rewrites.strength_reduce; Hoist.pass ]
 
+let default_rules =
+  [
+    Rewrites.const_fold_rule;
+    Rewrites.algebraic_rule;
+    Cse.rule;
+    Forward.store_to_fetch_rule;
+    Forward.dead_store_rule;
+    Dce.rule;
+    Reassoc.rule;
+  ]
+
+let extended_rules = default_rules @ [ Rewrites.strength_reduce_rule ]
+
 type report = {
   rounds : int;
+  steps : int;
   before : Cdfg.Graph.stats;
   after : Cdfg.Graph.stats;
 }
 
-let minimize ?(passes = default_passes) ?(validate = true) g =
-  let passes = if validate then List.map Pass.checked passes else passes in
+let minimize ?passes ?rules ?(validate = true) ?(debug = false) g =
   let before = Cdfg.Graph.stats g in
-  let rounds = Pass.run_fixpoint passes g in
+  let rounds, steps =
+    match passes with
+    | Some passes ->
+      (* Legacy whole-graph fixpoint: the reference oracle. [validate]
+         keeps its historical meaning — check invariants after every
+         pass. *)
+      let passes = if validate then List.map Pass.checked passes else passes in
+      let rounds = Pass.run_fixpoint passes g in
+      (rounds, rounds * List.length passes)
+    | None ->
+      let rules = match rules with Some r -> r | None -> default_rules in
+      let wr = Pass.run_worklist ~debug rules g in
+      if validate && not debug then Cdfg.Graph.validate g;
+      (1, wr.Pass.steps)
+  in
   let after = Cdfg.Graph.stats g in
-  { rounds; before; after }
+  { rounds; steps; before; after }
 
-let pp_report fmt { rounds; before; after } =
-  Format.fprintf fmt "@[<v>rounds: %d@,before: %a@,after:  %a@]" rounds
-    Cdfg.Graph.pp_stats before Cdfg.Graph.pp_stats after
+let pp_report fmt { rounds; steps; before; after } =
+  Format.fprintf fmt "@[<v>rounds: %d (%d steps)@,before: %a@,after:  %a@]"
+    rounds steps Cdfg.Graph.pp_stats before Cdfg.Graph.pp_stats after

@@ -1,24 +1,54 @@
 (** The "full simplification" pipeline (paper Fig. 3's caption: "after
-    complete loop unrolling and full simplification"). *)
+    complete loop unrolling and full simplification").
+
+    Two engines are available. The {e worklist engine} (default) visits
+    every node once in topological order and thereafter re-examines only
+    the neighbourhood of each rewrite — near-linear in graph size. The
+    {e legacy fixpoint} re-runs whole-graph passes until global
+    quiescence; it is kept as the reference oracle (the property tests
+    check that both engines produce isomorphic graphs) and is selected by
+    passing an explicit [~passes] list. *)
 
 val default_passes : Pass.t list
 (** Constant folding, algebraic simplification, CSE, store-to-fetch
     forwarding, dead-store elimination, dead-node elimination, associative
-    rebalancing — run to a fixpoint in that order. *)
+    rebalancing — run to a fixpoint in that order (legacy engine). *)
 
 val extended_passes : Pass.t list
 (** [default_passes] plus strength reduction and MUX hoisting (future-work
     extensions). *)
 
+val default_rules : Pass.rule list
+(** The worklist-engine counterparts of {!default_passes}, applied in the
+    same order on each visited node. *)
+
+val extended_rules : Pass.rule list
+(** [default_rules] plus strength reduction. (MUX hoisting has no local
+    form yet; use [~passes:extended_passes] for it.) *)
+
 type report = {
-  rounds : int;
+  rounds : int;  (** legacy: fixpoint rounds; worklist: always 1 *)
+  steps : int;
+      (** legacy: pass executions; worklist: node visits (revisits
+          included) *)
   before : Cdfg.Graph.stats;
   after : Cdfg.Graph.stats;
 }
 
-val minimize : ?passes:Pass.t list -> ?validate:bool -> Cdfg.Graph.t -> report
+val minimize :
+  ?passes:Pass.t list ->
+  ?rules:Pass.rule list ->
+  ?validate:bool ->
+  ?debug:bool ->
+  Cdfg.Graph.t ->
+  report
 (** Mutates the graph to its minimised form and reports the shrinkage.
-    When [validate] is true (default), the graph invariants are checked
-    after every pass. *)
+
+    With [~passes] the legacy whole-graph fixpoint runs over that list;
+    [validate] then keeps its historical meaning (invariants checked after
+    every pass, default true). Without [~passes] the worklist engine runs
+    over [rules] (default {!default_rules}); [validate] checks invariants
+    once at the end, and [~debug:true] re-validates after every visited
+    node instead (slow; for pinpointing an invariant-breaking rule). *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -173,6 +173,154 @@ let test_consumers () =
   let uses = List.sort compare (Hashtbl.find tbl c) in
   Alcotest.(check (list (pair int int))) "ports" [ (a, 0); (a, 1) ] uses
 
+(* --- use/def index invariants --------------------------------------- *)
+
+(* From-scratch recomputations of what the incremental index answers. *)
+let naive_consumers g id =
+  G.fold g ~init:[] ~f:(fun acc n ->
+      let hits = ref acc in
+      Array.iteri
+        (fun port p -> if p = id then hits := (n.G.id, port) :: !hits)
+        n.G.inputs;
+      !hits)
+  |> List.sort compare
+
+let naive_order_successors g id =
+  G.fold g ~init:[] ~f:(fun acc n ->
+      if List.mem id n.G.order_after then n.G.id :: acc else acc)
+  |> List.sort_uniq compare
+
+let naive_use_count g id =
+  List.length (naive_consumers g id)
+  + List.length (List.filter (fun (_, o) -> o = id) (G.outputs g))
+
+let check_index_against_naive g =
+  G.check_index g;
+  List.iter
+    (fun id ->
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "consumers_of %d" id)
+        (naive_consumers g id) (G.consumers_of g id);
+      Alcotest.(check (list int))
+        (Printf.sprintf "order_successors %d" id)
+        (naive_order_successors g id)
+        (G.order_successors g id);
+      Alcotest.(check int)
+        (Printf.sprintf "use_count %d" id)
+        (naive_use_count g id) (G.use_count g id))
+    (G.node_ids g)
+
+(* Arbitrary interleavings of every index-maintaining mutation, applied to
+   a real generated graph. Edges always point from lower to higher id (the
+   generator builds them that way and every mutation below preserves it),
+   so the graph stays acyclic throughout. *)
+let test_index_random_mutations () =
+  let rng = Random.State.make [| 0xC0FFEE |] in
+  let g = Fpfa_kernels.Random_graph.generate ~seed:3 ~ops:60 () in
+  let pick l = List.nth l (Random.State.int rng (List.length l)) in
+  let values_below n =
+    List.filter
+      (fun id -> id < n && G.produces_value (G.kind g id))
+      (G.node_ids g)
+  in
+  for step = 1 to 300 do
+    let ids = G.node_ids g in
+    let values = List.filter (fun id -> G.produces_value (G.kind g id)) ids in
+    (match Random.State.int rng 5 with
+    | 0 ->
+      let a = pick values and b = pick values in
+      ignore (G.add g (G.Binop Op.Add) [ a; b ])
+    | 1 -> (
+      (* rewire a binop to producers below it *)
+      let binops =
+        List.filter
+          (fun id -> match G.kind g id with G.Binop _ -> true | _ -> false)
+          ids
+      in
+      match binops with
+      | [] -> ()
+      | _ -> (
+        let n = pick binops in
+        match values_below n with
+        | [] -> ()
+        | lower -> G.set_inputs g n [ pick lower; pick lower ]))
+    | 2 -> (
+      (* redirect all uses of a node to an earlier value *)
+      let old = pick values in
+      match values_below old with
+      | [] -> ()
+      | lower ->
+        let by = pick lower in
+        G.replace_uses g old ~by)
+    | 3 -> (
+      (* remove a dead node *)
+      match List.filter (fun id -> G.use_count g id = 0) ids with
+      | [] -> ()
+      | dead -> G.remove g (pick dead))
+    | _ ->
+      (* add an order edge consistent with the id order *)
+      let a = pick ids and b = pick ids in
+      if a < b then G.add_order g b ~after:a);
+    if step mod 25 = 0 then check_index_against_naive g
+  done;
+  check_index_against_naive g
+
+(* The journal feeding the worklist engine: a rewrite marks the rewired
+   consumers def-dirty and the displaced producer use-dirty, and draining
+   empties it. *)
+let test_dirty_journal () =
+  let g = G.create "t" in
+  let c1 = G.add g (G.Const 1) [] in
+  let c2 = G.add g (G.Const 2) [] in
+  let a = G.add g (G.Binop Op.Add) [ c1; c1 ] in
+  ignore (G.drain_dirty g);
+  G.replace_uses g c1 ~by:c2;
+  let def, use = G.drain_dirty g in
+  Alcotest.(check bool) "consumer def-dirty" true (G.Id_set.mem a def);
+  Alcotest.(check bool) "old producer use-dirty" true (G.Id_set.mem c1 use);
+  let def2, use2 = G.drain_dirty g in
+  Alcotest.(check bool) "second drain empty" true
+    (G.Id_set.is_empty def2 && G.Id_set.is_empty use2);
+  (* removing a node marks its producers use-dirty so a DCE cascade can
+     re-examine them *)
+  G.remove g a;
+  let _, use3 = G.drain_dirty g in
+  Alcotest.(check bool) "removal marks producers use-dirty" true
+    (G.Id_set.mem c2 use3)
+
+let test_topo_cache_generation () =
+  let g = G.create "t" in
+  let c1 = G.add g (G.Const 1) [] in
+  let c2 = G.add g (G.Const 2) [] in
+  let a = G.add g (G.Binop Op.Add) [ c1; c2 ] in
+  let g0 = G.generation g in
+  let t1 = G.topo_order g in
+  let t2 = G.topo_order g in
+  Alcotest.(check bool) "cache hit returns the same list" true (t1 == t2);
+  Alcotest.(check int) "topo_order itself does not mutate" g0 (G.generation g);
+  G.set_inputs g a [ c2; c1 ];
+  Alcotest.(check bool) "mutation bumps the generation" true
+    (G.generation g > g0);
+  let t3 = G.topo_order g in
+  Alcotest.(check bool) "recomputed after mutation" true (not (t1 == t3));
+  Alcotest.(check (list int)) "order still correct" [ c1; c2; a ] t3
+
+let test_copy_index_independent () =
+  let g = Fpfa_kernels.Random_graph.generate ~seed:5 ~ops:40 () in
+  let g' = G.copy g in
+  G.check_index g';
+  let v =
+    List.find (fun id -> G.produces_value (G.kind g' id)) (G.node_ids g')
+  in
+  let before = List.length (G.consumers_of g v) in
+  ignore (G.add g' (G.Binop Op.Add) [ v; v ]);
+  Alcotest.(check int) "copy indexed the new uses" (before + 2)
+    (List.length (G.consumers_of g' v));
+  Alcotest.(check int) "original index untouched" before
+    (List.length (G.consumers_of g v));
+  G.check_index g;
+  G.check_index g'
+
 let suite =
   [
     Alcotest.test_case "add/access" `Quick test_add_and_access;
@@ -190,4 +338,11 @@ let suite =
     Alcotest.test_case "stats/depth" `Quick test_stats_and_depth;
     Alcotest.test_case "use_count" `Quick test_use_count;
     Alcotest.test_case "consumers" `Quick test_consumers;
+    Alcotest.test_case "index vs naive (random mutations)" `Quick
+      test_index_random_mutations;
+    Alcotest.test_case "dirty journal" `Quick test_dirty_journal;
+    Alcotest.test_case "topo cache + generation" `Quick
+      test_topo_cache_generation;
+    Alcotest.test_case "copy index independence" `Quick
+      test_copy_index_independent;
   ]

@@ -246,6 +246,133 @@ let test_simplify_never_grows () =
         (report.T.Simplify.after.G.total <= report.T.Simplify.before.G.total))
     Fpfa_kernels.Kernels.all
 
+(* Value-structure isomorphism up to node renaming. Roots (named outputs
+   matched by name, Ss_out matched by region) anchor the mapping; data
+   inputs are matched recursively port by port; the mapping must cover
+   both graphs (after DCE every node is data-reachable from the roots).
+   Order-only edges are deliberately NOT compared edge for edge: the
+   builder adds anti-dependences conservatively (every fetch of a token,
+   aliasing or not), and the two engines merge duplicate fetches along
+   different rewrite orders, so their leftover redundant anti-deps differ.
+   What must hold of the order edges is semantic: see
+   {!anti_deps_sound}. *)
+let isomorphic ga gb =
+  let map_ab = Hashtbl.create 64 in
+  let map_ba = Hashtbl.create 64 in
+  let rec match_nodes a b =
+    match (Hashtbl.find_opt map_ab a, Hashtbl.find_opt map_ba b) with
+    | Some b', _ -> b' = b
+    | None, Some _ -> false
+    | None, None ->
+      G.kind ga a = G.kind gb b
+      && begin
+           Hashtbl.replace map_ab a b;
+           Hashtbl.replace map_ba b a;
+           let ia = G.inputs ga a and ib = G.inputs gb b in
+           List.length ia = List.length ib && List.for_all2 match_nodes ia ib
+         end
+  in
+  let oa = G.outputs ga and ob = G.outputs gb in
+  List.length oa = List.length ob
+  && List.for_all2
+       (fun (na, ida) (nb, idb) -> String.equal na nb && match_nodes ida idb)
+       oa ob
+  && List.for_all
+       (fun (r, _) ->
+         match (G.ss_out_of ga r, G.ss_out_of gb r) with
+         | Some a, Some b -> match_nodes a b
+         | None, None -> true
+         | Some _, None | None, Some _ -> false)
+       (G.regions ga)
+  && G.node_count ga = G.node_count gb
+  && Hashtbl.length map_ab = G.node_count ga
+
+(* The soundness requirement on order edges: a store/delete that may
+   overwrite the cell a fetch reads (same region, offsets not provably
+   different) while consuming the fetch's token version — or a later one
+   reached only through non-aliasing mutators — must be preceded by the
+   fetch in the data+order partial order. The first aliasing mutator on
+   each chain suffices: anything deeper consumes its token and is behind
+   it transitively. *)
+let anti_deps_sound g =
+  let precedes src dst =
+    let seen = ref G.Id_set.empty in
+    let rec go id =
+      id = dst
+      || (not (G.Id_set.mem id !seen))
+         && begin
+              seen := G.Id_set.add id !seen;
+              List.exists go
+                (List.map fst (G.consumers_of g id)
+                @ G.order_successors g id)
+            end
+    in
+    go src
+  in
+  let token_consumers id =
+    List.filter_map
+      (fun (c, port) ->
+        match G.kind g c with
+        | (G.St _ | G.Del _ | G.Ss_out _) when port = 0 -> Some c
+        | _ -> None)
+      (G.consumers_of g id)
+  in
+  let ok = ref true in
+  G.iter g (fun n ->
+      match n.G.kind with
+      | G.Fe region ->
+        let fe = n.G.id in
+        let offset = n.G.inputs.(1) in
+        let rec chase token =
+          List.iter
+            (fun m ->
+              match G.kind g m with
+              | (G.St r | G.Del r) when String.equal r region -> (
+                let m_off = List.nth (G.inputs g m) 1 in
+                match T.Forward.relate g m_off offset with
+                | T.Forward.Different -> chase m
+                | T.Forward.Equal | T.Forward.Unknown ->
+                  if not (precedes fe m) then ok := false)
+              | _ -> ())
+            (token_consumers token)
+        in
+        chase n.G.inputs.(0)
+      | _ -> ());
+  !ok
+
+let minimize_both g =
+  let legacy = G.copy g in
+  let worklist = G.copy g in
+  ignore (T.Simplify.minimize ~passes:T.Simplify.default_passes legacy);
+  ignore (T.Simplify.minimize worklist);
+  (legacy, worklist)
+
+(* Property: both engines reduce any generated program to isomorphic
+   graphs with identical statistics (the legacy fixpoint is the worklist
+   engine's reference oracle). *)
+let engines_agree_on_programs =
+  QCheck.Test.make ~name:"worklist and legacy engines agree (programs)"
+    ~count:250 Gen.program (fun program ->
+      let unrolled = Cfront.Unroll.unroll_program program in
+      let g = Cdfg.Builder.build_func (List.hd unrolled) in
+      let legacy, worklist = minimize_both g in
+      G.stats legacy = G.stats worklist
+      && isomorphic legacy worklist
+      && anti_deps_sound legacy
+      && anti_deps_sound worklist)
+
+let engines_agree_on_random_graphs =
+  QCheck.Test.make ~name:"worklist and legacy engines agree (random DAGs)"
+    ~count:50
+    (QCheck.make QCheck.Gen.(int_range 0 10_000))
+    (fun seed ->
+      let g = Fpfa_kernels.Random_graph.generate ~seed ~ops:60 () in
+      let legacy, worklist = minimize_both g in
+      G.stats legacy = G.stats worklist
+      && isomorphic legacy worklist
+      && anti_deps_sound legacy
+      && anti_deps_sound worklist)
+
 (* Property: the default pipeline preserves evaluation on generated
    programs. *)
 let simplify_preserves_semantics =
@@ -308,4 +435,6 @@ let suite =
     Alcotest.test_case "simplify never grows" `Quick test_simplify_never_grows;
     QCheck_alcotest.to_alcotest simplify_preserves_semantics;
     QCheck_alcotest.to_alcotest each_pass_preserves;
+    QCheck_alcotest.to_alcotest engines_agree_on_programs;
+    QCheck_alcotest.to_alcotest engines_agree_on_random_graphs;
   ]
