@@ -21,6 +21,9 @@
                                               fixpoint simplification engine;
                                               run explicitly: it is excluded
                                               from the no-argument sweep
+     E14 obs_overhead           (infrastructure) cost of the lib/obs
+                                              null-sink fast path (target:
+                                              <2% with obs disabled)
 
    Absolute numbers are ours (the substrate is a simulator, not the
    CHAMELEON testbed); the shapes are what EXPERIMENTS.md compares. *)
@@ -684,6 +687,131 @@ let pass_engine () =
   close_out oc;
   Printf.printf "\nwrote BENCH_pass_engine.json\n"
 
+(* ------------------------------------------------------------------ *)
+(* E14 - observability overhead: the null-sink fast path must cost      *)
+(* <2% of a full map+simulate sweep when the subsystem is disabled.     *)
+(* ------------------------------------------------------------------ *)
+
+let obs_overhead () =
+  section "E14 obs_overhead (null-sink fast path cost)";
+  let module Obs = Fpfa_obs.Obs in
+  let reps = 10 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let run_corpus () =
+    List.iter
+      (fun (k : Kernels.t) ->
+        let r = map_kernel k in
+        ignore (Fpfa_sim.Sim.run ~memory_init:k.Kernels.inputs r.Flow.job))
+      Kernels.all
+  in
+  (* warm-up, then one enabled sweep to count the events it records *)
+  run_corpus ();
+  Obs.set_clock Unix.gettimeofday;
+  Obs.enable ();
+  Obs.reset ();
+  run_corpus ();
+  let spans_per_sweep = List.length (Obs.spans ()) in
+  (* every add/incr of n counts as n updates: a conservative bound *)
+  let counter_updates_per_sweep =
+    List.fold_left (fun acc (_, v) -> acc + v) 0 (Obs.counters ())
+  in
+  (* Sub-second sweeps drown in scheduler noise, so time [reps] blocks
+     of each mode in alternation and keep the per-mode minimum — the
+     standard noise-robust estimator. *)
+  let disabled_block () =
+    Obs.disable ();
+    time (fun () -> run_corpus ())
+  in
+  let enabled_block () =
+    Obs.enable ();
+    Obs.reset ();
+    time (fun () -> run_corpus ())
+  in
+  let disabled_s = ref infinity and enabled_s = ref infinity in
+  for _ = 1 to reps do
+    disabled_s := Float.min !disabled_s (disabled_block ());
+    enabled_s := Float.min !enabled_s (enabled_block ())
+  done;
+  let disabled_s = !disabled_s and enabled_s = !enabled_s in
+  Obs.disable ();
+  Obs.reset ();
+  (* microbenchmark of the disabled operations themselves *)
+  let iters = 5_000_000 in
+  let c = Obs.counter "bench.e14" in
+  let span_ns =
+    time (fun () ->
+        for _ = 1 to iters do
+          Obs.span "e14" (fun () -> ())
+        done)
+    /. float_of_int iters *. 1e9
+  in
+  let ctr_ns =
+    time (fun () ->
+        for _ = 1 to iters do
+          Obs.incr c
+        done)
+    /. float_of_int iters *. 1e9
+  in
+  let enabled_pct = (enabled_s -. disabled_s) /. disabled_s *. 100.0 in
+  (* the disabled fast path costs (events * per-event ns) out of the
+     measured disabled sweep time *)
+  let est_disabled_pct =
+    float_of_int spans_per_sweep *. span_ns
+    +. (float_of_int counter_updates_per_sweep *. ctr_ns)
+  in
+  let est_disabled_pct = est_disabled_pct /. (disabled_s *. 1e9) *. 100.0 in
+  Fpfa_util.Tablefmt.print
+    ~header:[ "quantity"; "value" ]
+    [
+      [ "blocks per mode (reps)"; string_of_int reps ];
+      [ "disabled sweep (min)"; Printf.sprintf "%.3f s" disabled_s ];
+      [ "enabled sweep (min)"; Printf.sprintf "%.3f s" enabled_s ];
+      [ "enabled overhead"; Printf.sprintf "%.1f %%" enabled_pct ];
+      [ "spans per sweep"; string_of_int spans_per_sweep ];
+      [ "counter updates per sweep"; string_of_int counter_updates_per_sweep ];
+      [ "disabled span call"; Printf.sprintf "%.1f ns" span_ns ];
+      [ "disabled counter update"; Printf.sprintf "%.1f ns" ctr_ns ];
+      [ "est. disabled overhead"; Printf.sprintf "%.3f %%" est_disabled_pct ];
+    ];
+  Printf.printf
+    "disabled spans reduce to one branch + closure call and disabled\n\
+     counter updates to one branch; their total share of a full\n\
+     map+simulate sweep is the 'est. disabled overhead' row (target <2%%).\n";
+  let json = Buffer.create 512 in
+  Buffer.add_string json "{\n  \"experiment\": \"obs_overhead\",\n";
+  Buffer.add_string json (Printf.sprintf "  \"reps\": %d,\n" reps);
+  Buffer.add_string json
+    (Printf.sprintf "  \"kernels\": %d,\n" (List.length Kernels.all));
+  Buffer.add_string json
+    (Printf.sprintf
+       "  \"disabled_sweep_s\": %.6f,\n  \"enabled_sweep_s\": %.6f,\n"
+       disabled_s enabled_s);
+  Buffer.add_string json
+    (Printf.sprintf "  \"enabled_overhead_pct\": %.2f,\n" enabled_pct);
+  Buffer.add_string json
+    (Printf.sprintf "  \"spans_per_sweep\": %d,\n" spans_per_sweep);
+  Buffer.add_string json
+    (Printf.sprintf "  \"counter_updates_per_sweep\": %d,\n"
+       counter_updates_per_sweep);
+  Buffer.add_string json
+    (Printf.sprintf
+       "  \"disabled_span_ns\": %.2f,\n  \"disabled_counter_ns\": %.2f,\n"
+       span_ns ctr_ns);
+  Buffer.add_string json
+    (Printf.sprintf "  \"est_disabled_overhead_pct\": %.4f,\n"
+       est_disabled_pct);
+  Buffer.add_string json
+    (Printf.sprintf "  \"target_pct\": 2.0,\n  \"pass\": %b\n}\n"
+       (est_disabled_pct < 2.0));
+  let oc = open_out "BENCH_obs_overhead.json" in
+  output_string oc (Buffer.contents json);
+  close_out oc;
+  Printf.printf "\nwrote BENCH_obs_overhead.json\n"
+
 let () =
   let only =
     match Array.to_list Sys.argv with
@@ -708,6 +836,7 @@ let () =
   run "branches" branch_cost;
   run "interleave" interleaving;
   run "priority" priority_ablation;
+  run "obs" obs_overhead;
   (* E13 is opt-in: it times multi-second fixpoint runs, so the default
      no-argument sweep (and anything scripted on top of it) stays fast. *)
   (match only with

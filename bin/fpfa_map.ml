@@ -2,11 +2,34 @@
 
    Subcommands:
      compile  map a C file (or a named built-in kernel) and print the
-              per-stage report, optionally the full per-cycle job
+              per-stage report, optionally the full per-cycle job;
+              this is the default command (`fpfa_map fir --trace t.json`)
      dot      emit the minimised CDFG as Graphviz
      kernels  list the built-in kernel corpus
      suite    map every built-in kernel under a flow variant and print the
-              metrics table *)
+              metrics table
+
+   `--trace FILE` (Chrome-trace JSON timeline) and `--stats` (counter and
+   span report) hook the whole run into the lib/obs observability
+   subsystem; both compose with compile and pipeline. *)
+
+module Obs = Fpfa_obs.Obs
+
+let obs_setup ~trace ~stats =
+  if trace <> None || stats then begin
+    (* Wall-clock time for real timelines; the library default (Sys.time)
+       stays in force when observability is off. *)
+    Obs.set_clock Unix.gettimeofday;
+    Obs.enable ()
+  end
+
+let obs_finish ~trace ~stats =
+  (match trace with
+  | Some path ->
+    Obs.write_chrome_trace path;
+    Printf.printf "wrote Chrome trace to %s (load in chrome://tracing)\n" path
+  | None -> ());
+  if stats then print_string (Obs.stats_report ())
 
 let read_file path =
   let ic = open_in_bin path in
@@ -14,12 +37,41 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* Kernel names may be abbreviated to a prefix ("fir" -> "fir-paper");
+   exact matches always win, and an ambiguous prefix resolves to the
+   first kernel in corpus order with a note on stderr. *)
+let find_kernel ?(quiet = false) input =
+  match Fpfa_kernels.Kernels.find input with
+  | k -> Some k
+  | exception Not_found -> (
+    let matches =
+      List.filter
+        (fun (k : Fpfa_kernels.Kernels.t) ->
+          let name = k.Fpfa_kernels.Kernels.name in
+          String.length input <= String.length name
+          && String.equal input (String.sub name 0 (String.length input)))
+        Fpfa_kernels.Kernels.all
+    in
+    match matches with
+    | [] -> None
+    | [ k ] -> Some k
+    | k :: _ ->
+      if not quiet then
+        Printf.eprintf "note: %s is ambiguous (%s); using %s\n" input
+          (String.concat ", "
+             (List.map
+                (fun (k : Fpfa_kernels.Kernels.t) ->
+                  k.Fpfa_kernels.Kernels.name)
+                matches))
+          k.Fpfa_kernels.Kernels.name;
+      Some k)
+
 let load_source input =
   if Sys.file_exists input then read_file input
   else
-    match Fpfa_kernels.Kernels.find input with
-    | k -> k.Fpfa_kernels.Kernels.source
-    | exception Not_found ->
+    match find_kernel input with
+    | Some k -> k.Fpfa_kernels.Kernels.source
+    | None ->
       Printf.eprintf "error: %s is neither a file nor a built-in kernel\n"
         input;
       exit 2
@@ -41,9 +93,11 @@ let variant_of_name name =
     exit 2
 
 let inputs_for input =
-  match Fpfa_kernels.Kernels.find input with
-  | k -> k.Fpfa_kernels.Kernels.inputs
-  | exception Not_found -> []
+  if Sys.file_exists input then []
+  else
+    match find_kernel ~quiet:true input with
+    | Some k -> k.Fpfa_kernels.Kernels.inputs
+    | None -> []
 
 open Cmdliner
 
@@ -83,7 +137,29 @@ let check_width_arg =
           "Run value-range analysis and report values that may exceed a \
            signed BITS-bit datapath (the FPFA is 16-bit).")
 
-let compile input variant func show_job show_schedule show_gantt check_width =
+let obs_trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record every flow stage, transform pass and simulator cycle as a \
+           Chrome-trace JSON timeline in FILE (open in chrome://tracing or \
+           ui.perfetto.dev).")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print the observability report after the run: rule firing \
+           counts, queue depths, allocator and simulator tallies, and \
+           per-stage time.")
+
+let compile input variant func show_job show_schedule show_gantt check_width
+    obs_trace obs_stats =
+  obs_setup ~trace:obs_trace ~stats:obs_stats;
+  let finish () = obs_finish ~trace:obs_trace ~stats:obs_stats in
   let source = load_source input in
   let v = variant_of_name variant in
   match Baseline.map_source v ~func source with
@@ -111,17 +187,23 @@ let compile input variant func show_job show_schedule show_gantt check_width =
     let ok = Fpfa_core.Flow.verify ~memory_init result in
     Format.printf "verification (interp = eval = simulator): %s@."
       (if ok then "PASS" else "FAIL");
+    finish ();
     if not ok then exit 1
   | exception Fpfa_core.Flow.Flow_error msg ->
     Printf.eprintf "flow error: %s\n" msg;
+    finish ();
     exit 1
+
+let compile_term =
+  Term.(
+    const compile $ input_arg $ variant_arg $ func_arg $ show_job_arg
+    $ show_schedule_arg $ show_gantt_arg $ check_width_arg $ obs_trace_arg
+    $ stats_arg)
 
 let compile_cmd =
   Cmd.v
     (Cmd.info "compile" ~doc:"Map a C program onto one FPFA tile.")
-    Term.(
-      const compile $ input_arg $ variant_arg $ func_arg $ show_job_arg
-      $ show_schedule_arg $ show_gantt_arg $ check_width_arg)
+    compile_term
 
 let dot input func out show_clusters =
   let source = load_source input in
@@ -252,7 +334,9 @@ let run_config_cmd =
              (zero-initialised inputs).")
     Term.(const run_config $ config_path_arg $ trace_arg)
 
-let pipeline input stages reuse =
+let pipeline input stages reuse obs_trace obs_stats =
+  obs_setup ~trace:obs_trace ~stats:obs_stats;
+  let finish () = obs_finish ~trace:obs_trace ~stats:obs_stats in
   let source = load_source input in
   let funcs = String.split_on_char ',' stages in
   match
@@ -269,12 +353,15 @@ let pipeline input stages reuse =
   with
   | ok ->
     Format.printf "verification: %s@." (if ok then "PASS" else "FAIL");
+    finish ();
     if not ok then exit 1
   | exception Fpfa_core.Pipeline.Pipeline_error msg ->
     Printf.eprintf "pipeline error: %s\n" msg;
+    finish ();
     exit 1
   | exception Fpfa_core.Loop_flow.Loop_error msg ->
     Printf.eprintf "pipeline error: %s\n" msg;
+    finish ();
     exit 1
 
 let stages_arg =
@@ -295,7 +382,9 @@ let pipeline_cmd =
   Cmd.v
     (Cmd.info "pipeline"
        ~doc:"Map a multi-kernel application as successive configurations.")
-    Term.(const pipeline $ input_arg $ stages_arg $ reuse_arg)
+    Term.(
+      const pipeline $ input_arg $ stages_arg $ reuse_arg $ obs_trace_arg
+      $ stats_arg)
 
 let loop input func =
   let source = load_source input in
@@ -380,9 +469,38 @@ let () =
     Cmd.info "fpfa_map" ~version:"1.0.0"
       ~doc:"Map C programs onto an FPFA processor tile (DATE'03 flow)."
   in
+  (* compile is the default command: `fpfa_map fir --trace t.json` works
+     without spelling out the subcommand. Cmdliner's ~default only kicks in
+     when the first argument is an option, so a leading positional that is
+     not a (prefix of a) subcommand name gets an explicit "compile"
+     injected in front of it. *)
+  let command_names =
+    [
+      "compile"; "dot"; "kernels"; "suite"; "encode"; "run-config";
+      "pipeline"; "loop"; "simplify";
+    ]
+  in
+  let argv =
+    let argv = Sys.argv in
+    if
+      Array.length argv > 1
+      && String.length argv.(1) > 0
+      && argv.(1).[0] <> '-'
+      && not
+           (List.exists
+              (fun name ->
+                String.length argv.(1) <= String.length name
+                && String.equal argv.(1)
+                     (String.sub name 0 (String.length argv.(1))))
+              command_names)
+    then
+      Array.append [| argv.(0); "compile" |]
+        (Array.sub argv 1 (Array.length argv - 1))
+    else argv
+  in
   exit
-    (Cmd.eval
-       (Cmd.group info
+    (Cmd.eval ~argv
+       (Cmd.group ~default:compile_term info
           [
             compile_cmd; dot_cmd; kernels_cmd; suite_cmd; encode_cmd;
             run_config_cmd; pipeline_cmd; loop_cmd; simplify_cmd;

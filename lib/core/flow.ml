@@ -1,4 +1,7 @@
 module Arch = Fpfa_arch.Arch
+module Obs = Fpfa_obs.Obs
+
+let c_maps = Obs.counter "flow.maps"
 
 type simplifier =
   | Worklist of Transform.Pass.rule list
@@ -39,8 +42,11 @@ type result = {
 
 exception Flow_error of string
 
+(* Every stage is an observability span: `--trace` renders the whole flow
+   as a timeline, `--stats` aggregates per-stage time. The exception
+   mapping below is unaffected — Obs.span re-raises after closing. *)
 let stage name f =
-  try f () with
+  try Obs.span ~cat:"flow" name f with
   | Flow_error _ as e -> raise e
   | Cfront.Lexer.Error (msg, pos) ->
     raise
@@ -64,6 +70,14 @@ let stage name f =
   | Mapping.Alloc.Allocation_error msg -> raise (Flow_error (name ^ ": " ^ msg))
 
 let map_prepared ~config ~source ~func raw_graph =
+  Obs.incr c_maps;
+  Obs.span ~cat:"flow" "map"
+    ~args:
+      [
+        ("graph", Obs.Str (Cdfg.Graph.name raw_graph));
+        ("nodes", Obs.Int (Cdfg.Graph.node_count raw_graph));
+      ]
+  @@ fun () ->
   let graph = stage "validate" (fun () ->
       Cdfg.Graph.validate raw_graph;
       Cdfg.Graph.copy raw_graph)
@@ -143,6 +157,7 @@ let map_graph ?(config = default_config) g =
   map_prepared ~config ~source:"" ~func:placeholder (Cdfg.Graph.copy g)
 
 let verify ?(memory_init = []) result =
+  Obs.span ~cat:"flow" "verify" @@ fun () ->
   let expected = Cdfg.Eval.run ~memory_init result.raw_graph in
   let minimised = Cdfg.Eval.run ~memory_init result.graph in
   Cdfg.Eval.equal_result expected minimised

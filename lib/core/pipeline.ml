@@ -1,3 +1,8 @@
+module Obs = Fpfa_obs.Obs
+
+let c_stages = Obs.counter "pipeline.stages"
+let c_config_words = Obs.counter "pipeline.config_words"
+
 type stage = {
   stage_name : string;
   result : Flow.result;
@@ -36,6 +41,7 @@ let map ?(config = Flow.default_config) source ~funcs =
   let stages =
     List.map
       (fun name ->
+        Obs.span ~cat:"pipeline" ("map:" ^ name) @@ fun () ->
         let f =
           match
             List.find_opt
@@ -52,6 +58,8 @@ let map ?(config = Flow.default_config) source ~funcs =
           | exception Flow.Flow_error msg -> errorf "stage %s: %s" name msg
         in
         let config_words = Mapping.Encode.size_words result.Flow.job in
+        Obs.incr c_stages;
+        Obs.add c_config_words config_words;
         {
           stage_name = name;
           result;
@@ -82,7 +90,8 @@ let run ?(memory_init = []) t =
   List.fold_left
     (fun memory stage ->
       let stage_memory, _ =
-        Fpfa_sim.Sim.run ~memory_init:memory stage.result.Flow.job
+        Obs.span ~cat:"pipeline" ("run:" ^ stage.stage_name) (fun () ->
+            Fpfa_sim.Sim.run ~memory_init:memory stage.result.Flow.job)
       in
       merge_memory memory stage_memory)
     (List.sort compare memory_init)
@@ -182,6 +191,7 @@ let map_reuse ?(config = Flow.default_config) source ~funcs =
   let rstages =
     List.map
       (fun name ->
+        Obs.span ~cat:"pipeline" ("map-reuse:" ^ name) @@ fun () ->
         let outcome =
           match Loop_flow.map_source ~config ~func:name source with
           | outcome -> outcome

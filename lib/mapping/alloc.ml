@@ -1,5 +1,16 @@
 module G = Cdfg.Graph
 module Arch = Fpfa_arch.Arch
+module Obs = Fpfa_obs.Obs
+
+(* Allocator tallies for `--stats` (inert until Obs.enable). "alloc.moves"
+   and "alloc.forwards" must reconcile with Mapping.Metrics on the mapped
+   job; the test suite checks exactly that. *)
+let c_moves = Obs.counter "alloc.moves"
+let c_forwards = Obs.counter "alloc.forwards"
+let c_copies = Obs.counter "alloc.preserve_copies"
+let c_reg_hits = Obs.counter "alloc.register_hits"
+let c_retries = Obs.counter "alloc.level_retries"
+let c_inserted = Obs.counter "alloc.inserted_cycles"
 
 type options = { locality : bool; forwarding : bool; interleave : bool }
 
@@ -639,6 +650,7 @@ let try_level st ~exec level_cids =
 
 let commit_level st ~exec ~level level_cids plan =
   let g = st.graph in
+  Obs.add c_reg_hits (List.length plan.p_regs);
   Counter.merge ~into:st.bus plan.p_bus;
   Counter.merge ~into:st.read_port plan.p_read;
   Counter.merge ~into:st.bank_write plan.p_bank_write;
@@ -850,6 +862,7 @@ let run ?(options = default_options) ~tile (sched : Sched.t) =
   let prev_exec = ref (-1) in
   Array.iteri
     (fun level level_cids ->
+      let first_try = !prev_exec + 1 in
       let rec attempt exec =
         if exec > !prev_exec + 1 + 200 then
           errorf "level %d cannot be placed (inserted more than 200 cycles)"
@@ -857,12 +870,15 @@ let run ?(options = default_options) ~tile (sched : Sched.t) =
         match try_level st ~exec level_cids with
         | Some plan ->
           commit_level st ~exec ~level level_cids plan;
+          Obs.add c_inserted (exec - first_try);
           prev_exec := exec
-        | None -> attempt (exec + 1)
+        | None ->
+          Obs.incr c_retries;
+          attempt (exec + 1)
       in
       (* The first level can execute at cycle 0 only when it needs no
          operand moves; attempts start one past the previous level. *)
-      attempt (!prev_exec + 1))
+      attempt first_try)
     st.sched.Sched.levels;
   (* Patch forwards into the producing clusters' work records. *)
   let rec_alu =
@@ -897,6 +913,13 @@ let run ?(options = default_options) ~tile (sched : Sched.t) =
       records;
     buckets
   in
+  Obs.add c_moves (List.length st.rec_moves);
+  Obs.add c_copies (List.length st.rec_copies);
+  Obs.add c_forwards
+    (Fpfa_util.Listx.sum
+       (List.map
+          (fun ((_ : int), (w : Job.alu_work)) -> List.length w.Job.reg_dests)
+          rec_alu));
   let move_buckets = bucket (List.rev st.rec_moves) in
   let copy_buckets = bucket (List.rev st.rec_copies) in
   let alu_buckets = bucket (List.rev rec_alu) in

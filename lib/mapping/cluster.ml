@@ -544,13 +544,21 @@ let rec assemble ctx ~detached value_protos =
     | st :: _ -> assemble ctx ~detached:(G.Id_set.add st detached) value_protos
     | [] -> assert false)
 
+let c_clusters = Fpfa_obs.Obs.counter "cluster.clusters"
+let c_edges = Fpfa_obs.Obs.counter "cluster.edges"
+
+let tally t =
+  Fpfa_obs.Obs.add c_clusters (Array.length t.clusters);
+  Fpfa_obs.Obs.add c_edges (List.length t.edges);
+  t
+
 let run ?(caps = Arch.paper_alu) g =
   let ctx = make_ctx g in
-  assemble ctx ~detached:G.Id_set.empty (partition_greedy ctx caps)
+  tally (assemble ctx ~detached:G.Id_set.empty (partition_greedy ctx caps))
 
 let sarkar ?(caps = Arch.paper_alu) g =
   let ctx = make_ctx g in
-  assemble ctx ~detached:G.Id_set.empty (partition_sarkar ctx caps)
+  tally (assemble ctx ~detached:G.Id_set.empty (partition_sarkar ctx caps))
 
 let unit_clusters g = run ~caps:Arch.unit_alu g
 

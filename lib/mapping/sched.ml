@@ -1,3 +1,5 @@
+module Obs = Fpfa_obs.Obs
+
 type t = {
   clustering : Cluster.t;
   level_of : int array;
@@ -5,6 +7,11 @@ type t = {
   asap : int array;
   alap : int array;
 }
+
+(* Scheduler tallies for `--stats` (inert until Obs.enable). *)
+let c_displacements = Obs.counter "sched.displacements"
+let c_levels = Obs.counter "sched.levels"
+let c_levels_inserted = Obs.counter "sched.levels_inserted"
 
 exception Scheduling_error of string
 
@@ -130,9 +137,11 @@ let run ?(alu_count = 5) ?(priority = Mobility) (clustering : Cluster.t) =
         List.iter
           (fun cid ->
             let needs_alu = uses_alu clusters.(cid) in
-            if needs_alu && !alus_used >= alu_count then
+            if needs_alu && !alus_used >= alu_count then begin
               (* level full: insert a new level for it (paper Fig. 4) *)
+              Obs.incr c_displacements;
               push cid (!level + 1)
+            end
             else begin
               placed.(cid) <- true;
               level_of.(cid) <- !level;
@@ -162,6 +171,8 @@ let run ?(alu_count = 5) ?(priority = Mobility) (clustering : Cluster.t) =
     in
     trim levels
   in
+  Obs.set c_levels (List.length levels);
+  Obs.add c_levels_inserted (max 0 (List.length levels - (horizon + 1)));
   { clustering; level_of; levels = Array.of_list levels; asap; alap }
 
 let level_count t = Array.length t.levels

@@ -1,0 +1,261 @@
+type attr = Str of string | Int of int | Float of float | Bool of bool
+
+(* ------------------------------ state ------------------------------ *)
+
+let enabled_flag = ref false
+let clock = ref Sys.time
+
+type finished_span = {
+  sid : int;
+  sparent : int option;
+  sname : string;
+  scat : string;
+  sstart : float;
+  sdur : float;
+  sargs : (string * attr) list;
+}
+
+type open_span = {
+  oid : int;
+  oparent : int option;
+  oname : string;
+  ocat : string;
+  ostart : float;
+  oargs : (string * attr) list;
+}
+
+let next_id = ref 0
+let stack : open_span list ref = ref []
+let finished : finished_span list ref = ref []  (* newest first *)
+
+type counter = { cname : string; mutable cvalue : int }
+
+let registry : (string, counter) Hashtbl.t = Hashtbl.create 64
+
+let enabled () = !enabled_flag
+let enable () = enabled_flag := true
+let disable () = enabled_flag := false
+let set_clock f = clock := f
+
+let reset () =
+  stack := [];
+  finished := [];
+  next_id := 0;
+  Hashtbl.iter (fun _ c -> c.cvalue <- 0) registry
+
+(* ------------------------------ spans ------------------------------ *)
+
+let close o t1 =
+  (* Physical-equality pop: tolerates a thunk that enabled/disabled the
+     subsystem mid-span by dropping any deeper strays. *)
+  let rec drop = function
+    | top :: rest when top == o -> rest
+    | _ :: rest -> drop rest
+    | [] -> []
+  in
+  stack := drop !stack;
+  let dur = t1 -. o.ostart in
+  finished :=
+    {
+      sid = o.oid;
+      sparent = o.oparent;
+      sname = o.oname;
+      scat = o.ocat;
+      sstart = o.ostart;
+      sdur = (if dur > 0.0 then dur else 0.0);
+      sargs = o.oargs;
+    }
+    :: !finished
+
+let span ?(cat = "flow") ?(args = []) name f =
+  if not !enabled_flag then f ()
+  else begin
+    let oid = !next_id in
+    Stdlib.incr next_id;
+    let oparent =
+      match !stack with [] -> None | top :: _ -> Some top.oid
+    in
+    let o =
+      { oid; oparent; oname = name; ocat = cat; ostart = !clock (); oargs = args }
+    in
+    stack := o :: !stack;
+    match f () with
+    | v ->
+      close o (!clock ());
+      v
+    | exception e ->
+      close o (!clock ());
+      raise e
+  end
+
+let instant ?(cat = "flow") ?(args = []) name =
+  if !enabled_flag then begin
+    let oid = !next_id in
+    Stdlib.incr next_id;
+    let sparent =
+      match !stack with [] -> None | top :: _ -> Some top.oid
+    in
+    let now = !clock () in
+    finished :=
+      {
+        sid = oid;
+        sparent;
+        sname = name;
+        scat = cat;
+        sstart = now;
+        sdur = 0.0;
+        sargs = args;
+      }
+      :: !finished
+  end
+
+let spans () = List.rev !finished
+
+(* ----------------------------- counters ---------------------------- *)
+
+let counter cname =
+  match Hashtbl.find_opt registry cname with
+  | Some c -> c
+  | None ->
+    let c = { cname; cvalue = 0 } in
+    Hashtbl.replace registry cname c;
+    c
+
+let incr c = if !enabled_flag then c.cvalue <- c.cvalue + 1
+let add c n = if !enabled_flag then c.cvalue <- c.cvalue + n
+let set c n = if !enabled_flag then c.cvalue <- n
+let record_max c n = if !enabled_flag && n > c.cvalue then c.cvalue <- n
+let value c = c.cvalue
+
+let counters () =
+  Hashtbl.fold (fun _ c acc -> (c.cname, c.cvalue) :: acc) registry []
+  |> List.sort compare
+
+let find_counter name =
+  Option.map (fun c -> c.cvalue) (Hashtbl.find_opt registry name)
+
+(* --------------------------- Chrome trace --------------------------- *)
+
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_json_attr buf = function
+  | Str s -> add_json_string buf s
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    (* %.17g round-trips but is noisy; %g may print nan/inf, which JSON
+       forbids — clamp those to 0. *)
+    if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
+    else Buffer.add_string buf "0"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+
+let add_json_args buf args =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_json_string buf k;
+      Buffer.add_char buf ':';
+      add_json_attr buf v)
+    args;
+  Buffer.add_char buf '}'
+
+let chrome_trace () =
+  let all = spans () in
+  let ordered =
+    List.stable_sort
+      (fun a b -> compare (a.sstart, a.sid) (b.sstart, b.sid))
+      all
+  in
+  let t0 = match ordered with [] -> 0.0 | s :: _ -> s.sstart in
+  let us t = (t -. t0) *. 1e6 in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  Buffer.add_string buf
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"fpfa_map\"}}";
+  let t_end =
+    List.fold_left (fun acc s -> Float.max acc (s.sstart +. s.sdur)) t0 all
+  in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf ",\n{\"name\":";
+      add_json_string buf s.sname;
+      Buffer.add_string buf ",\"cat\":";
+      add_json_string buf s.scat;
+      Buffer.add_string buf
+        (Printf.sprintf ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":0"
+           (us s.sstart) (s.sdur *. 1e6));
+      if s.sargs <> [] then begin
+        Buffer.add_string buf ",\"args\":";
+        add_json_args buf s.sargs
+      end;
+      Buffer.add_char buf '}')
+    ordered;
+  List.iter
+    (fun (name, v) ->
+      if v <> 0 then begin
+        Buffer.add_string buf ",\n{\"name\":";
+        add_json_string buf name;
+        Buffer.add_string buf
+          (Printf.sprintf
+             ",\"ph\":\"C\",\"ts\":%.3f,\"pid\":0,\"tid\":0,\"args\":{\"value\":%d}}"
+             (us t_end) v)
+      end)
+    (counters ());
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let write_chrome_trace path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (chrome_trace ()))
+
+(* ---------------------------- stats report -------------------------- *)
+
+let stats_report () =
+  let buf = Buffer.create 1024 in
+  let nonzero = List.filter (fun (_, v) -> v <> 0) (counters ()) in
+  Buffer.add_string buf "counters:\n";
+  if nonzero = [] then Buffer.add_string buf "  (none)\n"
+  else
+    List.iter
+      (fun (name, v) ->
+        Buffer.add_string buf (Printf.sprintf "  %-36s %12d\n" name v))
+      nonzero;
+  let groups : (string * string, int * float) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      let key = (s.scat, s.sname) in
+      let n, t =
+        match Hashtbl.find_opt groups key with Some x -> x | None -> (0, 0.0)
+      in
+      Hashtbl.replace groups key (n + 1, t +. s.sdur))
+    (spans ());
+  let rows =
+    Hashtbl.fold (fun (cat, name) (n, t) acc -> (cat, name, n, t) :: acc) groups []
+    |> List.sort (fun (c1, n1, _, _) (c2, n2, _, _) -> compare (c1, n1) (c2, n2))
+  in
+  Buffer.add_string buf "spans (cat/name, count, total):\n";
+  if rows = [] then Buffer.add_string buf "  (none)\n"
+  else
+    List.iter
+      (fun (cat, name, n, t) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-36s %8d %10.3f ms\n" (cat ^ "/" ^ name) n
+             (t *. 1e3)))
+      rows;
+  Buffer.contents buf

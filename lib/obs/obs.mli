@@ -1,0 +1,96 @@
+(** Zero-dependency observability: timed spans, a counter registry, and
+    export sinks (Chrome-trace JSON, human-readable stats).
+
+    Every stage of the mapping flow, every pass-engine run and every
+    simulated cycle reports here. The subsystem is {e off by default}:
+    with {!enable} never called, {!span} runs its thunk directly and
+    counter updates reduce to one branch — the null-sink fast path whose
+    cost E14 (EXPERIMENTS.md) bounds below 2%.
+
+    The module is deliberately stdlib-only so every library (transform,
+    mapping, sim, core) can depend on it without cycles. State is global
+    and single-threaded, like the flow itself. *)
+
+type attr = Str of string | Int of int | Float of float | Bool of bool
+(** Span/event attribute values (rendered into Chrome-trace [args]). *)
+
+(** {2 Switch and clock} *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val set_clock : (unit -> float) -> unit
+(** Replaces the time source (seconds as a float). The default is
+    {!Sys.time} (processor time, no extra dependencies); binaries that
+    link [unix] install [Unix.gettimeofday] for wall-clock traces, tests
+    install a deterministic ticking clock. The clock must be monotonic
+    non-decreasing for spans to nest properly in trace viewers. *)
+
+val reset : unit -> unit
+(** Clears recorded spans and zeroes every counter (registrations are
+    kept, as modules hold counter handles created at load time). *)
+
+(** {2 Spans} *)
+
+val span : ?cat:string -> ?args:(string * attr) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] times [f ()] as a region nested inside the innermost
+    open span. The span is recorded even when [f] raises (the exception
+    is re-raised). When disabled this is exactly [f ()]. [cat] groups
+    spans in sinks (["flow"], ["transform"], ["pipeline"], ["sim"]). *)
+
+val instant : ?cat:string -> ?args:(string * attr) list -> string -> unit
+(** Records a zero-duration marker at the current time. *)
+
+type finished_span = {
+  sid : int;  (** unique, in open order *)
+  sparent : int option;  (** [sid] of the enclosing span *)
+  sname : string;
+  scat : string;
+  sstart : float;  (** clock seconds *)
+  sdur : float;  (** >= 0 *)
+  sargs : (string * attr) list;
+}
+
+val spans : unit -> finished_span list
+(** Completed spans in completion order (children before parents). *)
+
+(** {2 Counters} *)
+
+type counter
+
+val counter : string -> counter
+(** Finds or registers the counter [name]. Handles are cheap and
+    idempotent; modules create them once at load time. Dotted names
+    namespace by subsystem (e.g. ["pass.rewrites"], ["sim.moves"]). *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val set : counter -> int -> unit
+(** Gauge-style: overwrite with the latest observation. *)
+
+val record_max : counter -> int -> unit
+(** Gauge-style: keep the high-water mark. *)
+
+val value : counter -> int
+
+val counters : unit -> (string * int) list
+(** Every registered counter with its current value, sorted by name. *)
+
+val find_counter : string -> int option
+(** Value of a counter by name, [None] if never registered. *)
+
+(** {2 Sinks} *)
+
+val chrome_trace : unit -> string
+(** The recorded spans and final counter values as Chrome-trace JSON
+    ([{"traceEvents": [...]}]) — load in [chrome://tracing] or Perfetto.
+    Timestamps are rebased to the first span and scaled to microseconds;
+    spans become ["ph":"X"] complete events, counters ["ph":"C"]. *)
+
+val write_chrome_trace : string -> unit
+
+val stats_report : unit -> string
+(** Human-readable report: every non-zero counter, then per-[(cat, name)]
+    span aggregates (count, total time). *)

@@ -1,5 +1,6 @@
 module Arch = Fpfa_arch.Arch
 module Job = Mapping.Job
+module Obs = Fpfa_obs.Obs
 
 type trace = {
   cycles_run : int;
@@ -7,6 +8,38 @@ type trace = {
   moves_executed : int;
   writes_executed : int;
 }
+
+(* The logic-analyser view of the tile: one event per observable action.
+   The textual trace (and any other consumer) renders this stream. *)
+type event =
+  | Move of { cycle : int; src : Job.mem_loc; dst : Job.reg; value : int }
+  | Keep of { cycle : int; src : Job.mem_loc; dst : Job.mem_loc; value : int }
+  | Alu of { cycle : int; pp : int; cluster : int; value : int }
+  | Writeback of { cycle : int; loc : Job.mem_loc; value : int }
+  | Delete of { cycle : int; loc : Job.mem_loc }
+
+let pp_event fmt = function
+  | Move e ->
+    Format.fprintf fmt "@@%d move %a -> %a = %d" e.cycle Job.pp_mem_loc e.src
+      Job.pp_reg e.dst e.value
+  | Keep e ->
+    Format.fprintf fmt "@@%d keep %a -> %a = %d" e.cycle Job.pp_mem_loc e.src
+      Job.pp_mem_loc e.dst e.value
+  | Alu e ->
+    Format.fprintf fmt "@@%d alu PP%d Clu%d = %d" e.cycle e.pp e.cluster e.value
+  | Writeback e ->
+    Format.fprintf fmt "@@%d wb %a = %d" e.cycle Job.pp_mem_loc e.loc e.value
+  | Delete e -> Format.fprintf fmt "@@%d del %a" e.cycle Job.pp_mem_loc e.loc
+
+(* Simulator tallies for `--stats` (inert until Obs.enable); the test
+   suite reconciles them against Mapping.Metrics of the same job. *)
+let c_cycles = Obs.counter "sim.cycles"
+let c_moves = Obs.counter "sim.moves"
+let c_copies = Obs.counter "sim.copies"
+let c_alu = Obs.counter "sim.alu_firings"
+let c_writebacks = Obs.counter "sim.writebacks"
+let c_deletes = Obs.counter "sim.deletes"
+let c_bus_peak = Obs.counter "sim.bus.peak"
 
 exception Fault of string
 
@@ -127,13 +160,20 @@ let check_static_constraints tile (cycle : Job.cycle) index =
         faultf "cycle %d: PP %d out of range" index pp)
     pps
 
-let run ?(memory_init = []) ?trace_out (job : Job.t) =
+let run ?(memory_init = []) ?trace_out ?on_event (job : Job.t) =
+  Obs.span ~cat:"sim" "run"
+    ~args:[ ("cycles", Obs.Int (Array.length job.Job.cycles)) ]
+  @@ fun () ->
   let tile = job.Job.tile in
   let m = create_machine tile in
-  let emit fmt =
-    match trace_out with
-    | Some out -> Format.fprintf out fmt
-    | None -> Format.ifprintf Format.err_formatter fmt
+  (* Events are only materialised when someone consumes them; the common
+     no-trace path must not allocate per action. *)
+  let want_events = trace_out <> None || on_event <> None in
+  let emit ev =
+    (match trace_out with
+    | Some out -> Format.fprintf out "%a@." pp_event ev
+    | None -> ());
+    match on_event with Some f -> f ev | None -> ()
   in
   (* Seed region contents at their home cells. *)
   List.iter
@@ -167,6 +207,7 @@ let run ?(memory_init = []) ?trace_out (job : Job.t) =
   let max_bus = ref 0 in
   Array.iteri
     (fun index (cycle : Job.cycle) ->
+      let exec_cycle () =
       check_static_constraints tile cycle index;
       (* Crossbar usage this cycle: moves issued now + writes/forwards that
          commit now (they were counted by the allocator at their commit
@@ -187,6 +228,7 @@ let run ?(memory_init = []) ?trace_out (job : Job.t) =
         + commits_now + forwards_now
       in
       max_bus := max !max_bus bus_now;
+      Obs.record_max c_bus_peak bus_now;
       if bus_now > tile.Arch.buses then
         faultf "cycle %d: %d crossbar transfers exceed %d lanes" index bus_now
           tile.Arch.buses;
@@ -222,24 +264,28 @@ let run ?(memory_init = []) ?trace_out (job : Job.t) =
       List.iter
         (fun (mv : Job.move) ->
           incr moves_executed;
+          Obs.incr c_moves;
           let v = read_mem m mv.Job.src in
-          emit "@@%d move %a -> %a = %d@." index Job.pp_mem_loc mv.Job.src
-            Job.pp_reg mv.Job.dst v;
+          if want_events then
+            emit (Move { cycle = index; src = mv.Job.src; dst = mv.Job.dst; value = v });
           write_reg m mv.Job.dst v)
         cycle.Job.moves;
       List.iter
         (fun (cp : Job.copy) ->
+          Obs.incr c_copies;
           let v = read_mem m cp.Job.csrc in
-          emit "@@%d keep %a -> %a = %d@." index Job.pp_mem_loc cp.Job.csrc
-            Job.pp_mem_loc cp.Job.cdst v;
+          if want_events then
+            emit (Keep { cycle = index; src = cp.Job.csrc; dst = cp.Job.cdst; value = v });
           defer ~lane:false index cp.Job.cdst (Some v))
         cycle.Job.copies;
       (* 2. ALU bundles execute; results queue their write-backs *)
       List.iter
         (fun (work : Job.alu_work) ->
           let v = exec_alu m work in
-          emit "@@%d alu PP%d Clu%d = %d@." index work.Job.wpp
-            work.Job.wcluster v;
+          Obs.incr c_alu;
+          if want_events then
+            emit
+              (Alu { cycle = index; pp = work.Job.wpp; cluster = work.Job.wcluster; value = v });
           List.iter
             (fun (w : Job.write) -> defer w.Job.wcycle w.Job.target (Some v))
             work.Job.writes;
@@ -274,15 +320,30 @@ let run ?(memory_init = []) ?trace_out (job : Job.t) =
             incr writes_executed;
             match payload with
             | Some v ->
-              emit "@@%d wb %a = %d@." index Job.pp_mem_loc loc v;
+              Obs.incr c_writebacks;
+              if want_events then
+                emit (Writeback { cycle = index; loc; value = v });
               write_mem m loc v
             | None ->
-              emit "@@%d del %a@." index Job.pp_mem_loc loc;
+              Obs.incr c_deletes;
+              if want_events then emit (Delete { cycle = index; loc });
               delete_mem m loc)
           commits;
         Hashtbl.remove pending_writes index
-      | None -> ()))
+      | None -> ())
+      in
+      if Obs.enabled () then
+        Obs.span ~cat:"sim"
+          ~args:
+            [
+              ("alu", Obs.Int (List.length cycle.Job.alu));
+              ("moves", Obs.Int (List.length cycle.Job.moves));
+            ]
+          ("cycle " ^ string_of_int index)
+          exec_cycle
+      else exec_cycle ())
     job.Job.cycles;
+  Obs.add c_cycles (Array.length job.Job.cycles);
   if Hashtbl.length pending_writes > 0 then
     faultf "write-backs scheduled past the end of the job";
   let memory =

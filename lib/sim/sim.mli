@@ -18,6 +18,32 @@ type trace = {
   writes_executed : int;
 }
 
+(** One observable tile action with its concrete value — the tile's
+    logic-analyser view, in execution order. The textual trace
+    ([trace_out]) is a renderer over this stream ({!pp_event}), not a
+    separate code path; [Fpfa_obs] counters and per-cycle spans are fed
+    from the same places. *)
+type event =
+  | Move of {
+      cycle : int;
+      src : Mapping.Job.mem_loc;
+      dst : Mapping.Job.reg;
+      value : int;
+    }
+  | Keep of {
+      cycle : int;
+      src : Mapping.Job.mem_loc;
+      dst : Mapping.Job.mem_loc;
+      value : int;
+    }  (** preservation copy *)
+  | Alu of { cycle : int; pp : int; cluster : int; value : int }
+  | Writeback of { cycle : int; loc : Mapping.Job.mem_loc; value : int }
+  | Delete of { cycle : int; loc : Mapping.Job.mem_loc }
+
+val pp_event : Format.formatter -> event -> unit
+(** One line per event, no trailing newline (e.g.
+    ["@0 move M0.1[2] -> PP1.Ra[0] = 5"]). *)
+
 exception Fault of string
 (** Constraint violation or semantic error (read of a deleted word, two
     writes racing on one cell in one cycle, port or lane overflow...). *)
@@ -25,14 +51,15 @@ exception Fault of string
 val run :
   ?memory_init:(string * int array) list ->
   ?trace_out:Format.formatter ->
+  ?on_event:(event -> unit) ->
   Mapping.Job.t ->
   (string * int array) list * trace
 (** Executes the job. Returns the final contents of every region (sorted by
     name, sized per the job's static region sizes) and an execution trace.
     [memory_init] seeds region contents exactly as in {!Cdfg.Eval.run}.
-    [trace_out] prints one line per event (move, copy, ALU result,
-    write-back, delete) with concrete values — the tile's logic-analyser
-    view. *)
+    [trace_out] renders every event as one text line; [on_event] receives
+    the structured stream. Events are not materialised when neither is
+    given. *)
 
 val conforms :
   ?memory_init:(string * int array) list -> Mapping.Job.t -> bool

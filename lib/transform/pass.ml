@@ -1,6 +1,17 @@
 module G = Cdfg.Graph
+module Obs = Fpfa_obs.Obs
 
 type t = { name : string; run : Cdfg.Graph.t -> bool }
+
+(* Engine tallies, visible in `fpfa_map ... --stats` (counters are inert
+   until Obs.enable). Per-rule firing counters are registered lazily in
+   run_worklist under "pass.fire.<rule>". *)
+let c_steps = Obs.counter "pass.steps"
+let c_rewrites = Obs.counter "pass.rewrites"
+let c_enqueues = Obs.counter "pass.enqueues"
+let c_peak_eager = Obs.counter "pass.queue.eager.peak"
+let c_peak_settled = Obs.counter "pass.queue.settled.peak"
+let c_fixpoint_rounds = Obs.counter "pass.fixpoint.rounds"
 
 let run_fixpoint ?(max_rounds = 100) passes g =
   let rec loop rounds =
@@ -9,11 +20,16 @@ let run_fixpoint ?(max_rounds = 100) passes g =
         (Printf.sprintf "transformation pipeline did not converge in %d rounds"
            max_rounds);
     let changed =
-      List.fold_left (fun changed pass -> pass.run g || changed) false passes
+      List.fold_left
+        (fun changed pass ->
+          Obs.span ~cat:"transform" pass.name (fun () -> pass.run g) || changed)
+        false passes
     in
     if changed then loop (rounds + 1) else rounds + 1
   in
-  loop 0
+  let rounds = loop 0 in
+  Obs.add c_fixpoint_rounds rounds;
+  rounds
 
 let checked pass =
   {
@@ -39,11 +55,15 @@ let settled rname rewrite = { rname; prepare = rewrite; settled = true }
 type worklist_report = { steps : int; rewrites : int; peak_queue : int }
 
 let run_worklist ?(debug = false) ?max_steps rules g =
+  Obs.span ~cat:"transform" "worklist"
+    ~args:[ ("nodes", Obs.Int (G.node_count g)) ]
+  @@ fun () ->
   (* Forget mutations that predate the run (graph construction). *)
   ignore (G.drain_dirty g);
   let eager, deferred = List.partition (fun r -> not r.settled) rules in
-  let eager_rw = List.map (fun r -> r.prepare g) eager in
-  let settled_rw = List.map (fun r -> r.prepare g) deferred in
+  let fire_counter r = Obs.counter ("pass.fire." ^ r.rname) in
+  let eager_rw = List.map (fun r -> (fire_counter r, r.prepare g)) eager in
+  let settled_rw = List.map (fun r -> (fire_counter r, r.prepare g)) deferred in
   let have_settled = settled_rw <> [] in
   (* Two priority tiers. Eager rules (folding, CSE, forwarding, DCE) run
      from the high queue. Settled rules run from the low queue, which is
@@ -62,11 +82,13 @@ let run_worklist ?(debug = false) ?max_steps rules g =
     if G.mem g id then begin
       if not (Hashtbl.mem pending_hi id) then begin
         Hashtbl.replace pending_hi id ();
-        Queue.add id queue_hi
+        Queue.add id queue_hi;
+        Obs.incr c_enqueues
       end;
       if have_settled && not (Hashtbl.mem pending_lo id) then begin
         Hashtbl.replace pending_lo id ();
-        Queue.add id queue_lo
+        Queue.add id queue_lo;
+        Obs.incr c_enqueues
       end
     end
   in
@@ -87,6 +109,8 @@ let run_worklist ?(debug = false) ?max_steps rules g =
            "worklist engine exceeded %d steps (diverging rewrite rules?)"
            max_steps);
     peak := max !peak (Queue.length queue_hi + Queue.length queue_lo);
+    Obs.record_max c_peak_eager (Queue.length queue_hi);
+    Obs.record_max c_peak_settled (Queue.length queue_lo);
     let id, rewriters =
       if not (Queue.is_empty queue_hi) then begin
         let id = Queue.pop queue_hi in
@@ -101,7 +125,13 @@ let run_worklist ?(debug = false) ?max_steps rules g =
     in
     if G.mem g id then begin
       incr steps;
-      List.iter (fun rw -> if G.mem g id && rw id then incr rewrites) rewriters;
+      List.iter
+        (fun (fired, rw) ->
+          if G.mem g id && rw id then begin
+            incr rewrites;
+            Obs.incr fired
+          end)
+        rewriters;
       if debug then G.validate g;
       let def_dirty, use_dirty = G.drain_dirty g in
       (* A changed definition can enable rewrites of the node itself, of
@@ -125,4 +155,6 @@ let run_worklist ?(debug = false) ?max_steps rules g =
       G.Id_set.iter enqueue use_dirty
     end
   done;
+  Obs.add c_steps !steps;
+  Obs.add c_rewrites !rewrites;
   { steps = !steps; rewrites = !rewrites; peak_queue = !peak }

@@ -27,4 +27,5 @@ let () =
       ("serialize", Test_serialize.suite);
       ("pipeline", Test_pipeline.suite);
       ("loop", Test_loop.suite);
+      ("obs", Test_obs.suite);
     ]
