@@ -24,6 +24,11 @@
      E14 obs_overhead           (infrastructure) cost of the lib/obs
                                               null-sink fast path (target:
                                               <2% with obs disabled)
+     E15 verify_overhead        (infrastructure) cost of the per-firing
+                                              structural verifier
+                                              (--verify-each-pass) on the
+                                              E13 random-DAG sweep
+                                              (target: <15%)
 
    Absolute numbers are ours (the substrate is a simulator, not the
    CHAMELEON testbed); the shapes are what EXPERIMENTS.md compares. *)
@@ -812,6 +817,93 @@ let obs_overhead () =
   close_out oc;
   Printf.printf "\nwrote BENCH_obs_overhead.json\n"
 
+(* ------------------------------------------------------------------ *)
+(* E15 - verify-each-pass overhead: the per-firing structural verifier  *)
+(* (--verify-each-pass) audits the touched neighbourhood after every    *)
+(* rule firing; its cost over the E13 random-DAG sweep must stay <15%.  *)
+(* ------------------------------------------------------------------ *)
+
+let verify_overhead () =
+  section "E15 verify_overhead (--verify-each-pass cost)";
+  let module Simplify = Transform.Simplify in
+  let module Verify = Fpfa_analysis.Verify in
+  let reps = 5 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* Same workload shape as E13's worklist column: random DAGs, seed 11.
+     Time [reps] alternating blocks per mode and keep the per-mode
+     minimum (noise-robust). *)
+  let sizes = [ 500; 1_000; 2_000; 5_000; 10_000; 20_000; 50_000 ] in
+  let json = Buffer.create 1024 in
+  Buffer.add_string json "{\n  \"experiment\": \"verify_overhead\",\n";
+  Buffer.add_string json
+    (Printf.sprintf "  \"seed\": 11,\n  \"reps\": %d,\n  \"sizes\": [\n" reps);
+  let worst = ref 0.0 in
+  let rows =
+    List.map
+      (fun ops ->
+        let g = Fpfa_kernels.Random_graph.generate ~seed:11 ~ops () in
+        let before = Cdfg.Graph.node_count g in
+        let plain_s = ref infinity and verified_s = ref infinity in
+        let checks = ref 0 in
+        for _ = 1 to reps do
+          let g1 = Cdfg.Graph.copy g in
+          let _, t = time (fun () -> Simplify.minimize ~validate:false g1) in
+          plain_s := Float.min !plain_s t;
+          let g2 = Cdfg.Graph.copy g in
+          let n = ref 0 in
+          let hook rule g touched =
+            incr n;
+            Verify.pass_hook () rule g touched
+          in
+          let _, t =
+            time (fun () ->
+                Simplify.minimize ~validate:false ~verify:hook g2)
+          in
+          verified_s := Float.min !verified_s t;
+          checks := !n
+        done;
+        let plain_s = !plain_s and verified_s = !verified_s in
+        let pct = (verified_s -. plain_s) /. plain_s *. 100.0 in
+        worst := Float.max !worst pct;
+        Buffer.add_string json
+          (Printf.sprintf
+             "    {\"ops\": %d, \"nodes\": %d, \"plain_s\": %.6f, \
+              \"verified_s\": %.6f, \"checks\": %d, \"overhead_pct\": %.2f}%s\n"
+             ops before plain_s verified_s !checks pct
+             (if ops = List.nth sizes (List.length sizes - 1) then "" else ","));
+        [
+          string_of_int ops;
+          string_of_int before;
+          Printf.sprintf "%.4f" plain_s;
+          Printf.sprintf "%.4f" verified_s;
+          string_of_int !checks;
+          Printf.sprintf "%.1f %%" pct;
+        ])
+      sizes
+  in
+  Fpfa_util.Tablefmt.print
+    ~header:
+      [ "ops"; "nodes"; "plain s"; "verified s"; "checks"; "overhead" ]
+    rows;
+  Printf.printf
+    "'checks' counts verifier invocations (one per rule firing); the\n\
+     touched-neighbourhood audit keeps each one O(degree), so the\n\
+     worst-case overhead across the sweep (target <15%%) is %.1f%%.\n"
+    !worst;
+  Buffer.add_string json
+    (Printf.sprintf
+       "  ],\n  \"worst_overhead_pct\": %.2f,\n  \"target_pct\": 15.0,\n\
+       \  \"pass\": %b\n}\n"
+       !worst (!worst < 15.0));
+  let oc = open_out "BENCH_verify_overhead.json" in
+  output_string oc (Buffer.contents json);
+  close_out oc;
+  Printf.printf "\nwrote BENCH_verify_overhead.json\n"
+
 let () =
   let only =
     match Array.to_list Sys.argv with
@@ -837,6 +929,7 @@ let () =
   run "interleave" interleaving;
   run "priority" priority_ablation;
   run "obs" obs_overhead;
+  run "verify" verify_overhead;
   (* E13 is opt-in: it times multi-second fixpoint runs, so the default
      no-argument sweep (and anything scripted on top of it) stays fast. *)
   (match only with

@@ -464,6 +464,152 @@ let simplify_cmd =
        ~doc:"Show the graph minimisation pass by pass (paper Fig. 3).")
     Term.(const simplify $ input_arg $ func_arg)
 
+(* {2 check — the static verifier / lint front end} *)
+
+module Diag = Fpfa_diag.Diag
+
+(* All diagnostics for one program: structural verifier on the raw and
+   minimised graphs, mappability + lints on the minimised graph, and the
+   mapping validators replaying cluster/schedule/allocation legality. *)
+let check_one ~config source ~func =
+  match Fpfa_core.Flow.map_source ~config ~func source with
+  | result ->
+    let open Fpfa_core.Flow in
+    let caps =
+      match config.caps with
+      | Some caps -> caps
+      | None -> config.tile.Fpfa_arch.Arch.alu
+    in
+    Diag.sort
+      (Fpfa_analysis.Verify.structure result.raw_graph
+      @ Fpfa_analysis.Verify.all result.graph
+      @ Fpfa_analysis.Lint.run result.graph
+      @ Fpfa_analysis.Mapcheck.cluster ~caps result.clustering
+      @ Fpfa_analysis.Mapcheck.sched
+          ~alu_count:config.tile.Fpfa_arch.Arch.alu_count result.schedule
+      @ Fpfa_analysis.Mapcheck.alloc result.job)
+  | exception Fpfa_core.Flow.Flow_error msg ->
+    [ Diag.error "flow.error" "%s" msg ]
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let check input func json verify_each no_lint all obs_trace obs_stats =
+  obs_setup ~trace:obs_trace ~stats:obs_stats;
+  let targets =
+    if all then
+      List.map
+        (fun (k : Fpfa_kernels.Kernels.t) ->
+          (k.Fpfa_kernels.Kernels.name, k.Fpfa_kernels.Kernels.source, "main"))
+        Fpfa_kernels.Kernels.all
+    else
+      match input with
+      | Some input -> [ (input, load_source input, func) ]
+      | None ->
+        Printf.eprintf "error: check needs an INPUT (or --all)\n";
+        exit 2
+  in
+  let config =
+    { Fpfa_core.Flow.default_config with Fpfa_core.Flow.verify_each }
+  in
+  let checked =
+    List.map
+      (fun (name, source, func) ->
+        let diags = check_one ~config source ~func in
+        let diags =
+          if no_lint then
+            List.filter
+              (fun d ->
+                not
+                  (String.length d.Diag.rule >= 5
+                  && String.equal (String.sub d.Diag.rule 0 5) "lint."))
+              diags
+          else diags
+        in
+        (name, diags))
+      targets
+  in
+  if json then begin
+    let objects =
+      List.map
+        (fun (name, diags) ->
+          Printf.sprintf "{\"input\": \"%s\", \"diagnostics\": %s}"
+            (json_escape name) (Diag.list_to_json diags))
+        checked
+    in
+    print_string ("[" ^ String.concat ", " objects ^ "]\n")
+  end
+  else
+    List.iter
+      (fun (name, diags) ->
+        let errors = Diag.count Diag.Error diags in
+        let warnings = Diag.count Diag.Warning diags in
+        if diags = [] then Printf.printf "%s: clean\n" name
+        else begin
+          Printf.printf "%s: %d error%s, %d warning%s\n" name errors
+            (if errors = 1 then "" else "s")
+            warnings
+            (if warnings = 1 then "" else "s");
+          List.iter (fun d -> Format.printf "  %a@." Diag.pp d) diags
+        end)
+      checked;
+  obs_finish ~trace:obs_trace ~stats:obs_stats;
+  if List.exists (fun (_, diags) -> Diag.has_errors diags) checked then exit 1
+
+let check_input_arg =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"INPUT"
+        ~doc:"C source file or built-in kernel name (omit with --all).")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Emit diagnostics as a JSON array instead of human-readable \
+              text.")
+
+let verify_each_arg =
+  Arg.(
+    value & flag
+    & info [ "verify-each-pass" ]
+        ~doc:"Run the structural verifier after every simplification rule \
+              firing; an invariant-breaking rule fails the flow naming the \
+              rule.")
+
+let no_lint_arg =
+  Arg.(
+    value & flag
+    & info [ "no-lint" ] ~doc:"Drop lint.* findings, keep verifier rules.")
+
+let all_arg =
+  Arg.(
+    value & flag
+    & info [ "all" ] ~doc:"Check every built-in kernel instead of INPUT.")
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run the CDFG verifier, the dataflow lints and the mapping \
+          validators over a program; non-zero exit on any error-severity \
+          diagnostic.")
+    Term.(
+      const check $ check_input_arg $ func_arg $ json_arg $ verify_each_arg
+      $ no_lint_arg $ all_arg $ obs_trace_arg $ stats_arg)
+
 let () =
   let info =
     Cmd.info "fpfa_map" ~version:"1.0.0"
@@ -477,7 +623,7 @@ let () =
   let command_names =
     [
       "compile"; "dot"; "kernels"; "suite"; "encode"; "run-config";
-      "pipeline"; "loop"; "simplify";
+      "pipeline"; "loop"; "simplify"; "check";
     ]
   in
   let argv =
@@ -503,5 +649,5 @@ let () =
        (Cmd.group ~default:compile_term info
           [
             compile_cmd; dot_cmd; kernels_cmd; suite_cmd; encode_cmd;
-            run_config_cmd; pipeline_cmd; loop_cmd; simplify_cmd;
+            run_config_cmd; pipeline_cmd; loop_cmd; simplify_cmd; check_cmd;
           ]))

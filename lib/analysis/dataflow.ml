@@ -1,0 +1,70 @@
+module G = Cdfg.Graph
+
+type direction = Forward | Backward
+
+type 'fact analysis = {
+  direction : direction;
+  bottom : 'fact;
+  entry : G.node -> 'fact;
+  transfer : G.node -> 'fact -> 'fact;
+  join : 'fact -> 'fact -> 'fact;
+  equal : 'fact -> 'fact -> bool;
+  order_edges : bool;
+}
+
+let forward ?(order_edges = true) ~bottom ~entry ~transfer ~join ~equal () =
+  { direction = Forward; bottom; entry; transfer; join; equal; order_edges }
+
+let backward ?(order_edges = true) ~bottom ~entry ~transfer ~join ~equal () =
+  { direction = Backward; bottom; entry; transfer; join; equal; order_edges }
+
+type 'fact solution = {
+  input : G.id -> 'fact;
+  output : G.id -> 'fact;
+  iterations : int;
+}
+
+let solve g a =
+  let order =
+    match a.direction with
+    | Forward -> G.topo_order g
+    | Backward -> List.rev (G.topo_order g)
+  in
+  let out_facts : (G.id, 'fact) Hashtbl.t = Hashtbl.create (G.node_count g) in
+  let out_of id =
+    match Hashtbl.find_opt out_facts id with Some f -> f | None -> a.bottom
+  in
+  (* Nodes whose output facts feed this node's input fact. *)
+  let sources (n : G.node) =
+    match a.direction with
+    | Forward ->
+      Array.to_list n.G.inputs
+      @ (if a.order_edges then n.G.order_after else [])
+    | Backward ->
+      List.map fst (G.consumers_of g n.G.id)
+      @ (if a.order_edges then G.order_successors g n.G.id else [])
+  in
+  let in_of n =
+    List.fold_left (fun acc p -> a.join acc (out_of p)) (a.entry n) (sources n)
+  in
+  let iterations = ref 0 in
+  let changed = ref true in
+  (* One sweep reaches the fixpoint on a DAG (facts only flow along the
+     sweep direction); the loop re-checks and terminates on sweep two. *)
+  while !changed do
+    incr iterations;
+    if !iterations > G.node_count g + 2 then
+      failwith "Dataflow.solve: facts did not stabilise (non-monotone analysis?)";
+    changed := false;
+    List.iter
+      (fun id ->
+        let n = G.node g id in
+        let f = a.transfer n (in_of n) in
+        if not (a.equal f (out_of id)) then begin
+          Hashtbl.replace out_facts id f;
+          changed := true
+        end)
+      order
+  done;
+  { input = (fun id -> in_of (G.node g id)); output = out_of;
+    iterations = !iterations }

@@ -1,0 +1,63 @@
+(** Generic dataflow framework over the CDFG.
+
+    An analysis instance names a lattice (a [bottom], a [join], an
+    [equal]) and a per-node [transfer] function; {!solve} propagates facts
+    along the graph's edges to a fixpoint. Forward analyses read facts
+    from a node's producers (data inputs, optionally order-only
+    predecessors); backward analyses read from its consumers. Since the
+    CDFG is a DAG the solver converges in a single sweep in (reverse)
+    topological order — the outer fixpoint loop is a safety net, and the
+    [iterations] field reports that it closed after round two.
+
+    Clients in this library: {!Lint.liveness} (backward, boolean lattice)
+    and {!Lint.reaching_stores} (forward, per-cell store-set lattice). *)
+
+type direction = Forward | Backward
+
+type 'fact analysis = {
+  direction : direction;
+  bottom : 'fact;  (** fact of an unreached node / empty join *)
+  entry : Cdfg.Graph.node -> 'fact;
+      (** boundary contribution joined into every node's input fact
+          (how roots inject non-bottom facts) *)
+  transfer : Cdfg.Graph.node -> 'fact -> 'fact;
+      (** output fact from the joined input fact *)
+  join : 'fact -> 'fact -> 'fact;
+  equal : 'fact -> 'fact -> bool;
+  order_edges : bool;
+      (** propagate along order-only edges too (scheduling analyses want
+          them; value analyses such as liveness do not) *)
+}
+
+val forward :
+  ?order_edges:bool ->
+  bottom:'fact ->
+  entry:(Cdfg.Graph.node -> 'fact) ->
+  transfer:(Cdfg.Graph.node -> 'fact -> 'fact) ->
+  join:('fact -> 'fact -> 'fact) ->
+  equal:('fact -> 'fact -> bool) ->
+  unit ->
+  'fact analysis
+(** Facts flow producer -> consumer. [order_edges] defaults to [true]. *)
+
+val backward :
+  ?order_edges:bool ->
+  bottom:'fact ->
+  entry:(Cdfg.Graph.node -> 'fact) ->
+  transfer:(Cdfg.Graph.node -> 'fact -> 'fact) ->
+  join:('fact -> 'fact -> 'fact) ->
+  equal:('fact -> 'fact -> bool) ->
+  unit ->
+  'fact analysis
+(** Facts flow consumer -> producer. [order_edges] defaults to [true]. *)
+
+type 'fact solution = {
+  input : Cdfg.Graph.id -> 'fact;
+      (** joined incoming fact (recomputed on demand, O(degree)) *)
+  output : Cdfg.Graph.id -> 'fact;  (** post-transfer fact *)
+  iterations : int;  (** sweeps until stable (2 on a DAG) *)
+}
+
+val solve : Cdfg.Graph.t -> 'fact analysis -> 'fact solution
+(** @raise Failure when the lattice does not stabilise (non-monotone
+    [transfer]/[join]; cannot happen for the analyses in this library). *)

@@ -1,0 +1,176 @@
+module G = Cdfg.Graph
+module D = Fpfa_diag.Diag
+module Obs = Fpfa_obs.Obs
+
+(* {2 Liveness (backward, boolean)} *)
+
+let liveness g =
+  let output_ids =
+    List.fold_left
+      (fun s (_, id) -> G.Id_set.add id s)
+      G.Id_set.empty (G.outputs g)
+  in
+  let root (n : G.node) =
+    match n.G.kind with
+    | G.St _ | G.Del _ | G.Ss_out _ -> true
+    | _ -> G.Id_set.mem n.G.id output_ids
+  in
+  let sol =
+    Dataflow.solve g
+      (Dataflow.backward ~order_edges:false ~bottom:false ~entry:root
+         ~transfer:(fun _ f -> f)
+         ~join:( || ) ~equal:Bool.equal ())
+  in
+  sol.Dataflow.output
+
+(* {2 Reaching stores (forward, per-cell store sets)} *)
+
+(* Fact: (region, offset) -> set of St nodes whose value may still occupy
+   that cell. A constant-offset store strongly kills earlier stores to its
+   cell; everything else is the identity; paths join by union. *)
+module Cell = struct
+  type t = string * int
+
+  let compare = compare
+end
+
+module Cell_map = Map.Make (Cell)
+
+let const_offset g (n : G.node) =
+  let offset_input =
+    match (n.G.kind, Array.length n.G.inputs) with
+    | (G.Fe _ | G.Del _), 2 | G.St _, 3 -> Some n.G.inputs.(1)
+    | _ -> None
+  in
+  match offset_input with
+  | Some off when G.mem g off -> (
+    match G.kind g off with G.Const c when c >= 0 -> Some c | _ -> None)
+  | Some _ | None -> None
+
+let solve_reaching g =
+  let union_maps =
+    Cell_map.union (fun _ a b -> Some (G.Id_set.union a b))
+  in
+  Dataflow.solve g
+    (Dataflow.forward ~bottom:Cell_map.empty
+       ~entry:(fun _ -> Cell_map.empty)
+       ~transfer:(fun n fact ->
+         match n.G.kind with
+         | G.St region -> (
+           match const_offset g n with
+           | Some k ->
+             Cell_map.add (region, k) (G.Id_set.singleton n.G.id) fact
+           | None -> fact)
+         | _ -> fact)
+       ~join:union_maps
+       ~equal:(Cell_map.equal G.Id_set.equal) ())
+
+let cell_of_fact fact cell =
+  match Cell_map.find_opt cell fact with
+  | Some s -> s
+  | None -> G.Id_set.empty
+
+let reaching_stores g =
+  let sol = solve_reaching g in
+  fun id ->
+    if not (G.mem g id) then G.Id_set.empty
+    else
+      let n = G.node g id in
+      match (n.G.kind, const_offset g n) with
+      | G.Fe region, Some k -> cell_of_fact (sol.Dataflow.input id) (region, k)
+      | _ -> G.Id_set.empty
+
+(* {2 The lint pass} *)
+
+let run ?(width = 16) g =
+  Obs.span ~cat:"analysis" "lint"
+    ~args:[ ("nodes", Obs.Int (G.node_count g)) ]
+  @@ fun () ->
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  (* Dead nodes: what DCE would remove. *)
+  let live = liveness g in
+  G.iter g (fun n ->
+      if G.produces_value n.G.kind && not (live n.G.id) then
+        add
+          (D.warning ~node:n.G.id "lint.dead-node"
+             "node %d computes a value no output or store depends on" n.G.id));
+  let sol = solve_reaching g in
+  (* Regions with dynamic-offset accesses defeat cell-precise reasoning:
+     a dynamic store may initialise any cell (disables fetch-uninit), a
+     dynamic fetch may read any store (disables dead-store). *)
+  let dyn_store = Hashtbl.create 4 and dyn_fetch = Hashtbl.create 4 in
+  G.iter g (fun n ->
+      match (n.G.kind, const_offset g n) with
+      | G.St region, None -> Hashtbl.replace dyn_store region ()
+      | G.Fe region, None -> Hashtbl.replace dyn_fetch region ()
+      | _ -> ());
+  (* Fetch of a never-written cell of a declared local. *)
+  G.iter g (fun n ->
+      match (n.G.kind, const_offset g n) with
+      | G.Fe region, Some k
+        when (not (Hashtbl.mem dyn_store region))
+             && (match G.region_info g region with
+                | Some info -> not info.G.implicit
+                | None -> false) ->
+        if G.Id_set.is_empty (cell_of_fact (sol.Dataflow.input n.G.id) (region, k))
+        then
+          add
+            (D.warning ~node:n.G.id "lint.fetch-uninit"
+               "node %d fetches %s[%d], which no store initialises" n.G.id
+               region k)
+      | _ -> ());
+  (* Dead stores: never read, and overwritten before the region's final
+     contents on every path. [read] is the union of every fetch's reaching
+     set; [final] joins the out-facts of all token-chain tails (including
+     [Ss_out]), so a store surviving to the end of any path counts as
+     observable — memory persists. *)
+  let read = Hashtbl.create 16 in
+  G.iter g (fun n ->
+      match (n.G.kind, const_offset g n) with
+      | G.Fe region, Some k ->
+        G.Id_set.iter
+          (fun s -> Hashtbl.replace read s ())
+          (cell_of_fact (sol.Dataflow.input n.G.id) (region, k))
+      | _ -> ());
+  let final = ref Cell_map.empty in
+  let union_maps = Cell_map.union (fun _ a b -> Some (G.Id_set.union a b)) in
+  G.iter g (fun n ->
+      let is_chain_tail =
+        match n.G.kind with
+        | G.Ss_in _ | G.St _ | G.Del _ ->
+          not
+            (List.exists
+               (fun (c, _) ->
+                 match G.kind g c with
+                 | G.St _ | G.Del _ | G.Ss_out _ -> true
+                 | _ -> false)
+               (G.consumers_of g n.G.id))
+        | G.Ss_out _ -> true
+        | _ -> false
+      in
+      if is_chain_tail then
+        final := union_maps !final (sol.Dataflow.output n.G.id));
+  G.iter g (fun n ->
+      match (n.G.kind, const_offset g n) with
+      | G.St region, Some k
+        when (not (Hashtbl.mem dyn_fetch region))
+             && (not (Hashtbl.mem read n.G.id))
+             && not (G.Id_set.mem n.G.id (cell_of_fact !final (region, k))) ->
+        add
+          (D.warning ~node:n.G.id "lint.dead-store"
+             "node %d stores to %s[%d] but the value is overwritten before \
+              any fetch reads it"
+             n.G.id region k)
+      | _ -> ());
+  (* Datapath-width overflow, via the interval analysis. *)
+  let report = Transform.Range.analyze ~width g in
+  List.iter
+    (fun (v : Transform.Range.violation) ->
+      add
+        (D.warning ~node:v.Transform.Range.node "lint.range-overflow"
+           "node %d value range [%d, %d] exceeds the signed %d-bit datapath"
+           v.Transform.Range.node v.Transform.Range.range.Transform.Range.lo
+           v.Transform.Range.range.Transform.Range.hi width))
+    report.Transform.Range.violations;
+  List.rev !diags

@@ -1,0 +1,42 @@
+(** Dataflow-driven lints: findings that are legal CDFG but almost
+    certainly not what the programmer meant.
+
+    All lints are {e warnings} — a graph with lint findings still maps and
+    simulates correctly. Rule ids: ["lint.dead-node"], ["lint.dead-store"],
+    ["lint.fetch-uninit"], ["lint.range-overflow"].
+
+    The first three are clients of the {!Dataflow} framework; the range
+    lint wraps the interval analysis of {!Transform.Range}. *)
+
+val liveness : Cdfg.Graph.t -> Cdfg.Graph.id -> bool
+(** Backward boolean analysis over data edges: a node is live when it is
+    an effect root ([St]/[Del]/[Ss_out]), a named output, or feeds a live
+    consumer. Exposed for tests; {!run} consumes it for
+    ["lint.dead-node"]. *)
+
+val reaching_stores :
+  Cdfg.Graph.t -> Cdfg.Graph.id -> Cdfg.Graph.Id_set.t
+(** Forward per-cell analysis: [reaching_stores g id] is the set of [St]
+    nodes whose written value may still occupy the cell read by fetch
+    [id] (empty for non-fetch nodes or dynamic offsets). A store to a
+    cell strongly kills earlier stores to the same cell; paths join by
+    union. Feeds ["lint.fetch-uninit"] and ["lint.dead-store"]. *)
+
+val run : ?width:int -> Cdfg.Graph.t -> Fpfa_diag.Diag.t list
+(** Every lint over the graph:
+
+    - ["lint.dead-node"]: a value-producing node no named output or
+      statespace effect transitively depends on (what DCE would remove);
+    - ["lint.dead-store"]: a store whose cell is overwritten on every
+      path before any fetch reads it, and which does not survive into the
+      region's final contents;
+    - ["lint.fetch-uninit"]: a fetch from a {e declared} (non-implicit)
+      region cell that no store has written on any path — reading an
+      uninitialised local. Implicit regions are program inputs and exempt;
+      a region with any dynamic-offset store disables the lint for that
+      region (the store may initialise anything);
+    - ["lint.range-overflow"]: {!Transform.Range} proves the node's value
+      may exceed the signed [width]-bit datapath (default 16).
+
+    The graph must be structurally valid (run {!Verify.structure}
+    first). *)

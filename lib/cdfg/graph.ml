@@ -443,9 +443,13 @@ let token_region g id =
   | Const _ | Binop _ | Unop _ | Mux | Ss_out _ | Fe _ -> None
 
 (* Recomputes the use/def index from scratch and compares it with the
-   maintained one. O(V + E); used by [validate] and the index-invariant
-   tests to catch any mutation path that forgets an index update. *)
-let check_index g =
+   maintained one. O(V + E); used by [validate], the verifier in
+   lib/analysis and the index-invariant tests to catch any mutation path
+   that forgets an index update. Accumulates every divergence so the
+   diagnostic-producing callers report them all in one run. *)
+let index_errors g =
+  let errs = ref [] in
+  let errf fmt = Format.kasprintf (fun msg -> errs := msg :: !errs) fmt in
   let expect_data : (id * (id * int), unit) Hashtbl.t = Hashtbl.create 64 in
   let expect_order : (id * id, unit) Hashtbl.t = Hashtbl.create 16 in
   iter g (fun n ->
@@ -463,20 +467,20 @@ let check_index g =
       match Hashtbl.find_opt g.data_uses producer with
       | Some tbl when Hashtbl.mem tbl (cid, port) -> ()
       | _ ->
-        invalidf "use/def index misses data edge %d -> (%d, port %d)" producer
+        errf "use/def index misses data edge %d -> (%d, port %d)" producer
           cid port)
     expect_data;
   if count_indexed g.data_uses <> Hashtbl.length expect_data then
-    invalidf "use/def index has stale data edges (%d indexed, %d real)"
+    errf "use/def index has stale data edges (%d indexed, %d real)"
       (count_indexed g.data_uses) (Hashtbl.length expect_data);
   Hashtbl.iter
     (fun (producer, cid) () ->
       match Hashtbl.find_opt g.order_uses producer with
       | Some tbl when Hashtbl.mem tbl cid -> ()
-      | _ -> invalidf "use/def index misses order edge %d -> %d" producer cid)
+      | _ -> errf "use/def index misses order edge %d -> %d" producer cid)
     expect_order;
   if count_indexed g.order_uses <> Hashtbl.length expect_order then
-    invalidf "use/def index has stale order edges (%d indexed, %d real)"
+    errf "use/def index has stale order edges (%d indexed, %d real)"
       (count_indexed g.order_uses) (Hashtbl.length expect_order);
   let expect_outputs = Hashtbl.create 8 in
   List.iter
@@ -487,13 +491,17 @@ let check_index g =
   Hashtbl.iter
     (fun id c ->
       if Hashtbl.find_opt g.output_uses id <> Some c then
-        invalidf "use/def index miscounts named-output references of node %d" id)
+        errf "use/def index miscounts named-output references of node %d" id)
     expect_outputs;
   Hashtbl.iter
     (fun id c ->
       if Hashtbl.find_opt expect_outputs id <> Some c then
-        invalidf "use/def index has stale named-output count for node %d" id)
-    g.output_uses
+        errf "use/def index has stale named-output count for node %d" id)
+    g.output_uses;
+  List.rev !errs
+
+let check_index g =
+  match index_errors g with [] -> () | msg :: _ -> raise (Invalid msg)
 
 (* Port typing: for each node kind, which input ports expect a token of the
    node's own region (port 0 of Fe/St/Del/Ss_out) and which expect values. *)

@@ -150,10 +150,15 @@ val drain_dirty : t -> Id_set.t * Id_set.t
     re-examine; ids may reference since-removed nodes, so filter with
     {!mem}. *)
 
-val check_index : t -> unit
+val index_errors : t -> string list
 (** Recomputes the use/def index from scratch and compares it with the
-    incrementally maintained one (also run as part of {!validate}).
-    @raise Invalid on any divergence. *)
+    incrementally maintained one, returning every divergence found (empty
+    when consistent). The single implementation behind {!check_index},
+    the [lib/analysis] verifier and the index-invariant tests. *)
+
+val check_index : t -> unit
+(** [index_errors], raising on the first divergence (also run as part of
+    {!validate}). @raise Invalid on any divergence. *)
 
 val depth : t -> (id -> int)
 (** Longest-path depth of each node (sources at 0), over data + order
@@ -188,3 +193,11 @@ val pp_stats : Format.formatter -> stats -> unit
 
 val produces_token : kind -> bool
 val produces_value : kind -> bool
+
+val arity : kind -> int
+(** Number of data inputs each node kind takes (the invariant {!add} and
+    {!validate} enforce; exposed for the [lib/analysis] verifier). *)
+
+val token_region : t -> id -> string option
+(** The region whose token the node produces ([Ss_in]/[St]/[Del]), [None]
+    for value-producing and token-consuming-only kinds. *)

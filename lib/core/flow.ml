@@ -15,6 +15,7 @@ type config = {
   alloc_options : Mapping.Alloc.options;
   max_unroll : int;
   delete_locals : bool;
+  verify_each : bool;
 }
 
 let default_config =
@@ -26,6 +27,7 @@ let default_config =
     alloc_options = Mapping.Alloc.default_options;
     max_unroll = 4096;
     delete_locals = false;
+    verify_each = false;
   }
 
 type result = {
@@ -68,6 +70,11 @@ let stage name f =
   | Mapping.Cluster.Clustering_error msg -> raise (Flow_error (name ^ ": " ^ msg))
   | Mapping.Sched.Scheduling_error msg -> raise (Flow_error (name ^ ": " ^ msg))
   | Mapping.Alloc.Allocation_error msg -> raise (Flow_error (name ^ ": " ^ msg))
+  | Transform.Pass.Verification_failed { rule; error } ->
+    raise
+      (Flow_error
+         (Printf.sprintf "%s: rule %s broke an invariant: %s" name rule
+            (Printexc.to_string error)))
 
 let map_prepared ~config ~source ~func raw_graph =
   Obs.incr c_maps;
@@ -84,11 +91,18 @@ let map_prepared ~config ~source ~func raw_graph =
   in
   let simplify_report =
     stage "simplify" (fun () ->
+        (* Under verify_each the structural verifier audits the touched
+           neighbourhood after every rule firing; whole-graph invariants
+           are still covered once by "simplify-validate" below. *)
+        let verify =
+          if config.verify_each then Some (Fpfa_analysis.Verify.pass_hook ())
+          else None
+        in
         match config.simplify with
         | Worklist rules ->
-          Transform.Simplify.minimize ~rules ~validate:false graph
+          Transform.Simplify.minimize ~rules ~validate:false ?verify graph
         | Fixpoint passes ->
-          Transform.Simplify.minimize ~passes ~validate:false graph)
+          Transform.Simplify.minimize ~passes ~validate:false ?verify graph)
   in
   stage "simplify-validate" (fun () -> Cdfg.Graph.validate graph);
   let caps = match config.caps with Some caps -> caps | None -> config.tile.Arch.alu in

@@ -26,6 +26,11 @@ type config = {
   alloc_options : Mapping.Alloc.options;
   max_unroll : int;
   delete_locals : bool;
+  verify_each : bool;
+      (** run the structural verifier ({!Fpfa_analysis.Verify.pass_hook})
+          after every simplification rule firing; an invariant-breaking
+          rule surfaces as a [Flow_error] naming the rule (default
+          false — the `--verify-each-pass` CLI mode) *)
 }
 
 val default_config : config

@@ -1,0 +1,92 @@
+type severity = Error | Warning | Info
+
+type t = {
+  rule : string;
+  severity : severity;
+  node : int option;
+  message : string;
+}
+
+let make severity ?node rule fmt =
+  Format.kasprintf (fun message -> { rule; severity; node; message }) fmt
+
+let error ?node rule fmt = make Error ?node rule fmt
+let warning ?node rule fmt = make Warning ?node rule fmt
+let info ?node rule fmt = make Info ?node rule fmt
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+let compare_severity a b = compare (severity_rank a) (severity_rank b)
+
+let sort diags =
+  List.stable_sort
+    (fun a b ->
+      compare
+        (severity_rank a.severity, a.rule, a.node)
+        (severity_rank b.severity, b.rule, b.node))
+    diags
+
+let errors diags = List.filter (fun d -> d.severity = Error) diags
+let has_errors diags = List.exists (fun d -> d.severity = Error) diags
+let count sev diags = List.length (List.filter (fun d -> d.severity = sev) diags)
+let has_rule rule diags = List.exists (fun d -> String.equal d.rule rule) diags
+
+exception Failed of t list
+
+let failure_message = function
+  | [] -> "no diagnostics"
+  | [ d ] -> Printf.sprintf "[%s] %s" d.rule d.message
+  | d :: rest ->
+    Printf.sprintf "[%s] %s (and %d more)" d.rule d.message (List.length rest)
+
+let () =
+  Printexc.register_printer (function
+    | Failed diags -> Some ("Diag.Failed: " ^ failure_message diags)
+    | _ -> None)
+
+let pp fmt d =
+  Format.fprintf fmt "%s %s%s: %s" d.rule
+    (severity_to_string d.severity)
+    (match d.node with Some n -> Printf.sprintf "(node %d)" n | None -> "")
+    d.message
+
+let pp_list fmt diags =
+  Format.fprintf fmt "@[<v>";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Format.fprintf fmt "@,";
+      pp fmt d)
+    diags;
+  Format.fprintf fmt "@]"
+
+(* Minimal JSON string escaping — the same character set the Chrome-trace
+   sink in lib/obs escapes. *)
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  Printf.sprintf "{\"rule\":\"%s\",\"severity\":\"%s\",\"node\":%s,\"message\":\"%s\"}"
+    (escape d.rule)
+    (severity_to_string d.severity)
+    (match d.node with Some n -> string_of_int n | None -> "null")
+    (escape d.message)
+
+let list_to_json diags =
+  "[" ^ String.concat "," (List.map to_json diags) ^ "]"

@@ -1,0 +1,69 @@
+(** Structured diagnostics for the verifier, lint and mapping validators.
+
+    A diagnostic is a machine-readable finding: a stable dotted rule id
+    (["cdfg.port-type"], ["sched.capacity"], ...), a severity, the CDFG
+    node (or cluster/cycle index) it anchors to, and a human-readable
+    message. Checkers return diagnostic {e lists} instead of raising on
+    the first violation, so one run reports every problem and tools can
+    filter by rule id or severity.
+
+    The module is stdlib-only (like {!Fpfa_obs.Obs}) so every layer —
+    cdfg, transform, mapping, analysis, the CLI — can produce and consume
+    diagnostics without dependency cycles. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  rule : string;  (** stable dotted rule id, e.g. ["cdfg.cycle"] *)
+  severity : severity;
+  node : int option;
+      (** the CDFG node id (or cluster/cycle index, per the rule's
+          documentation) the finding anchors to *)
+  message : string;
+}
+
+val error : ?node:int -> string -> ('a, Format.formatter, unit, t) format4 -> 'a
+(** [error ~node rule fmt ...] builds an error diagnostic; the format
+    arguments render the message. *)
+
+val warning : ?node:int -> string -> ('a, Format.formatter, unit, t) format4 -> 'a
+val info : ?node:int -> string -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val severity_to_string : severity -> string
+(** ["error"], ["warning"], ["info"] — also the JSON encoding. *)
+
+val compare_severity : severity -> severity -> int
+(** Orders [Error < Warning < Info] (most severe first). *)
+
+val sort : t list -> t list
+(** Stable sort by severity (errors first), then rule id, then node. *)
+
+val errors : t list -> t list
+val has_errors : t list -> bool
+
+val count : severity -> t list -> int
+
+val has_rule : string -> t list -> bool
+(** Any diagnostic carrying exactly this rule id. *)
+
+exception Failed of t list
+(** Raised by verification hooks that must abort on the first violation
+    (e.g. the pass engine's verify-each-pass callback); carries every
+    diagnostic found in that batch. *)
+
+val failure_message : t list -> string
+(** One-line summary of a non-empty diagnostic list (first finding plus a
+    count of the rest) — the payload for exception messages. *)
+
+val pp : Format.formatter -> t -> unit
+(** [rule severity(node): message]. *)
+
+val pp_list : Format.formatter -> t list -> unit
+
+val to_json : t -> string
+(** One diagnostic as a JSON object
+    [{"rule": ..., "severity": ..., "node": ..., "message": ...}]
+    ([node] is [null] when absent). *)
+
+val list_to_json : t list -> string
+(** A JSON array of {!to_json} objects. *)

@@ -1,4 +1,5 @@
 module G = Cdfg.Graph
+module D = Fpfa_diag.Diag
 
 exception Unmappable of string
 
@@ -21,23 +22,52 @@ let const_offset g node_id =
       "node %d has a dynamic statespace offset (unroll and simplify first)"
       node_id
 
-let check g =
-  G.iter g (fun n ->
-      match n.G.kind with
-      | G.Fe _ | G.St _ | G.Del _ -> ignore (const_offset g n.G.id)
-      | G.Const _ | G.Binop _ | G.Unop _ | G.Mux | G.Ss_in _ | G.Ss_out _ -> ());
+(* Diagnostic-producing legality check. [check] keeps its historical
+   raise-on-first behaviour as a thin wrapper, so the clustering phase and
+   the `fpfa_map check` validators share one implementation. *)
+let check_diags g =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let offset_diag (n : G.node) =
+    match (n.G.kind, Array.to_list n.G.inputs) with
+    | G.Fe _, [ _; offset ] | G.Del _, [ _; offset ]
+    | G.St _, [ _; offset; _ ] -> (
+      match G.kind g offset with
+      | G.Const c when c >= 0 -> ()
+      | G.Const c ->
+        add
+          (D.error ~node:n.G.id "ss.offset-negative"
+             "negative statespace offset %d" c)
+      | _ ->
+        add
+          (D.error ~node:n.G.id "ss.offset-dynamic"
+             "node %d has a dynamic statespace offset (unroll and simplify \
+              first)"
+             n.G.id))
+    | _ -> ()
+  in
+  (* The set of value ids some store writes back: one graph scan instead of
+     one full-graph fold per named output. *)
+  let stored =
+    G.fold g ~init:G.Id_set.empty ~f:(fun acc n ->
+        offset_diag n;
+        match n.G.kind with
+        | G.St _ when Array.length n.G.inputs = 3 ->
+          G.Id_set.add n.G.inputs.(2) acc
+        | _ -> acc)
+  in
   List.iter
     (fun (name, id) ->
       (* A named output must reach memory through some store, otherwise the
          tile has nowhere observable to leave it. *)
-      let stored =
-        G.fold g ~init:false ~f:(fun acc n ->
-            acc
-            ||
-            match n.G.kind with
-            | G.St _ -> Array.length n.G.inputs = 3 && n.G.inputs.(2) = id
-            | _ -> false)
-      in
-      if not stored then
-        unmappablef "named output %s is not stored to any region" name)
-    (G.outputs g)
+      if not (G.Id_set.mem id stored) then
+        add
+          (D.error ~node:id "ss.output-not-stored"
+             "named output %s is not stored to any region" name))
+    (G.outputs g);
+  List.rev !diags
+
+let check g =
+  match check_diags g with
+  | [] -> ()
+  | d :: _ -> raise (Unmappable d.D.message)

@@ -9,7 +9,15 @@ val const_offset : Cdfg.Graph.t -> Cdfg.Graph.id -> int
 (** The constant offset operand of an [Fe]/[St]/[Del] node.
     @raise Unmappable when the offset is not a constant. *)
 
+val check_diags : Cdfg.Graph.t -> Fpfa_diag.Diag.t list
+(** Every mappability violation as a diagnostic — rule ids
+    ["ss.offset-dynamic"], ["ss.offset-negative"],
+    ["ss.output-not-stored"] — in one O(nodes + outputs) scan (the set of
+    stored value ids is computed once, not per named output). Empty when
+    the graph is mappable. *)
+
 val check : Cdfg.Graph.t -> unit
-(** @raise Unmappable when the graph contains a dynamic statespace offset,
+(** [check_diags], raising on the first violation.
+    @raise Unmappable when the graph contains a dynamic statespace offset,
     or a named output that is not also stored to a region (results must be
     memory-resident to be observable on the tile). *)

@@ -12,8 +12,31 @@ let c_enqueues = Obs.counter "pass.enqueues"
 let c_peak_eager = Obs.counter "pass.queue.eager.peak"
 let c_peak_settled = Obs.counter "pass.queue.settled.peak"
 let c_fixpoint_rounds = Obs.counter "pass.fixpoint.rounds"
+let c_verify_checks = Obs.counter "pass.verify.checks"
+let c_verify_failures = Obs.counter "pass.verify.failures"
 
-let run_fixpoint ?(max_rounds = 100) passes g =
+type verify_hook =
+  string -> Cdfg.Graph.t -> Cdfg.Graph.Id_set.t -> unit
+
+exception Verification_failed of { rule : string; error : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Verification_failed { rule; error } ->
+      Some
+        (Printf.sprintf "Verification_failed(rule %s): %s" rule
+           (Printexc.to_string error))
+    | _ -> None)
+
+(* Runs [f rule g touched]; any exception is charged to [rule]. *)
+let run_verify f rule g touched =
+  Obs.incr c_verify_checks;
+  try f rule g touched
+  with error ->
+    Obs.incr c_verify_failures;
+    raise (Verification_failed { rule; error })
+
+let run_fixpoint ?(max_rounds = 100) ?verify passes g =
   let rec loop rounds =
     if rounds >= max_rounds then
       failwith
@@ -22,7 +45,20 @@ let run_fixpoint ?(max_rounds = 100) passes g =
     let changed =
       List.fold_left
         (fun changed pass ->
-          Obs.span ~cat:"transform" pass.name (fun () -> pass.run g) || changed)
+          let fired =
+            Obs.span ~cat:"transform" pass.name (fun () -> pass.run g)
+          in
+          (match verify with
+          | Some f when fired ->
+            (* Whole-graph passes touch arbitrary nodes, so the verify
+               batch is the full graph. *)
+            Obs.span ~cat:"transform" "verify-each" (fun () ->
+                run_verify f pass.name g
+                  (List.fold_left
+                     (fun s id -> G.Id_set.add id s)
+                     G.Id_set.empty (G.node_ids g)))
+          | Some _ | None -> ());
+          fired || changed)
         false passes
     in
     if changed then loop (rounds + 1) else rounds + 1
@@ -54,7 +90,7 @@ let settled rname rewrite = { rname; prepare = rewrite; settled = true }
 
 type worklist_report = { steps : int; rewrites : int; peak_queue : int }
 
-let run_worklist ?(debug = false) ?max_steps rules g =
+let run_worklist ?(debug = false) ?max_steps ?verify rules g =
   Obs.span ~cat:"transform" "worklist"
     ~args:[ ("nodes", Obs.Int (G.node_count g)) ]
   @@ fun () ->
@@ -62,8 +98,10 @@ let run_worklist ?(debug = false) ?max_steps rules g =
   ignore (G.drain_dirty g);
   let eager, deferred = List.partition (fun r -> not r.settled) rules in
   let fire_counter r = Obs.counter ("pass.fire." ^ r.rname) in
-  let eager_rw = List.map (fun r -> (fire_counter r, r.prepare g)) eager in
-  let settled_rw = List.map (fun r -> (fire_counter r, r.prepare g)) deferred in
+  let eager_rw = List.map (fun r -> (r.rname, fire_counter r, r.prepare g)) eager in
+  let settled_rw =
+    List.map (fun r -> (r.rname, fire_counter r, r.prepare g)) deferred
+  in
   let have_settled = settled_rw <> [] in
   (* Two priority tiers. Eager rules (folding, CSE, forwarding, DCE) run
      from the high queue. Settled rules run from the low queue, which is
@@ -125,15 +163,34 @@ let run_worklist ?(debug = false) ?max_steps rules g =
     in
     if G.mem g id then begin
       incr steps;
+      (* Under [~verify] the journal is drained after every firing so the
+         verifier sees exactly the nodes that firing touched; the drained
+         sets are accumulated for the enqueue phase below, which therefore
+         behaves identically with and without verification. *)
+      let def_acc = ref G.Id_set.empty and use_acc = ref G.Id_set.empty in
+      let drain_acc () =
+        let d, u = G.drain_dirty g in
+        def_acc := G.Id_set.union !def_acc d;
+        use_acc := G.Id_set.union !use_acc u;
+        G.Id_set.union d u
+      in
       List.iter
-        (fun (fired, rw) ->
+        (fun (rname, fired, rw) ->
           if G.mem g id && rw id then begin
             incr rewrites;
-            Obs.incr fired
+            Obs.incr fired;
+            match verify with
+            | Some f ->
+              let touched = drain_acc () in
+              run_verify f rname g touched
+            | None -> ()
           end)
         rewriters;
       if debug then G.validate g;
-      let def_dirty, use_dirty = G.drain_dirty g in
+      let def_dirty, use_dirty =
+        ignore (drain_acc ());
+        (!def_acc, !use_acc)
+      in
       (* A changed definition can enable rewrites of the node itself, of
          everything reading it (data or order), and of its direct
          producers (dead-store bypassing examines a store but keys on its

@@ -18,11 +18,25 @@ type t = {
       (** Mutates the graph; returns true when anything changed. *)
 }
 
-val run_fixpoint : ?max_rounds:int -> t list -> Cdfg.Graph.t -> int
+type verify_hook = string -> Cdfg.Graph.t -> Cdfg.Graph.Id_set.t -> unit
+(** [hook rule g touched] checks the graph right after [rule] fired;
+    [touched] is the set of node ids that firing dirtied (defs and lost
+    uses, possibly referencing since-removed nodes — filter with
+    {!Cdfg.Graph.mem}). Raise to reject the graph; the engine re-raises
+    as {!Verification_failed} blaming [rule]. *)
+
+exception Verification_failed of { rule : string; error : exn }
+(** A [~verify] hook rejected the graph right after [rule] fired. *)
+
+val run_fixpoint :
+  ?max_rounds:int -> ?verify:verify_hook -> t list -> Cdfg.Graph.t -> int
 (** Runs the pass list repeatedly until one full round changes nothing.
     Returns the number of rounds executed. [max_rounds] (default 100)
-    guards against non-terminating rewrite interactions.
-    @raise Failure when the bound is hit. *)
+    guards against non-terminating rewrite interactions. [~verify] runs
+    after every pass that changed the graph, with the full node set as the
+    touched batch (whole-graph passes have no narrower footprint).
+    @raise Failure when the bound is hit.
+    @raise Verification_failed when [~verify] rejects the graph. *)
 
 val checked : t -> t
 (** Wraps a pass so that the graph is validated after it runs (used by the
@@ -59,7 +73,12 @@ type worklist_report = {
 }
 
 val run_worklist :
-  ?debug:bool -> ?max_steps:int -> rule list -> Cdfg.Graph.t -> worklist_report
+  ?debug:bool ->
+  ?max_steps:int ->
+  ?verify:verify_hook ->
+  rule list ->
+  Cdfg.Graph.t ->
+  worklist_report
 (** Node-level fixpoint: every node is visited at least once (in
     topological order); a rewrite re-enqueues only the affected
     neighbourhood — the rewritten nodes, their consumers (data and order),
@@ -67,7 +86,9 @@ val run_worklist :
     list order on each visit; settled rules run in a lower-priority tier
     drained only when the eager tier is empty. [~debug] validates the
     graph after every visited node (slow; for debugging
-    invariant-breaking rules). [max_steps] (default
-    [100 + 100 * node_count] per tier in use) guards against diverging
-    rule sets.
-    @raise Failure when the step budget is hit. *)
+    invariant-breaking rules). [~verify] runs after every individual rule
+    firing with exactly the nodes that firing dirtied, enabling O(degree)
+    incremental checks. [max_steps] (default [100 + 100 * node_count] per
+    tier in use) guards against diverging rule sets.
+    @raise Failure when the step budget is hit.
+    @raise Verification_failed when [~verify] rejects the graph. *)

@@ -31,7 +31,7 @@ type report = {
   after : Cdfg.Graph.stats;
 }
 
-let minimize ?passes ?rules ?(validate = true) ?(debug = false) g =
+let minimize ?passes ?rules ?(validate = true) ?(debug = false) ?verify g =
   let before = Cdfg.Graph.stats g in
   let rounds, steps =
     match passes with
@@ -40,11 +40,11 @@ let minimize ?passes ?rules ?(validate = true) ?(debug = false) g =
          keeps its historical meaning — check invariants after every
          pass. *)
       let passes = if validate then List.map Pass.checked passes else passes in
-      let rounds = Pass.run_fixpoint passes g in
+      let rounds = Pass.run_fixpoint ?verify passes g in
       (rounds, rounds * List.length passes)
     | None ->
       let rules = match rules with Some r -> r | None -> default_rules in
-      let wr = Pass.run_worklist ~debug rules g in
+      let wr = Pass.run_worklist ~debug ?verify rules g in
       if validate && not debug then Cdfg.Graph.validate g;
       (1, wr.Pass.steps)
   in

@@ -40,6 +40,7 @@ val minimize :
   ?rules:Pass.rule list ->
   ?validate:bool ->
   ?debug:bool ->
+  ?verify:Pass.verify_hook ->
   Cdfg.Graph.t ->
   report
 (** Mutates the graph to its minimised form and reports the shrinkage.
@@ -49,6 +50,10 @@ val minimize :
     every pass, default true). Without [~passes] the worklist engine runs
     over [rules] (default {!default_rules}); [validate] checks invariants
     once at the end, and [~debug:true] re-validates after every visited
-    node instead (slow; for pinpointing an invariant-breaking rule). *)
+    node instead (slow; for pinpointing an invariant-breaking rule).
+    [~verify] is forwarded to the engine ({!Pass.run_worklist} /
+    {!Pass.run_fixpoint}): it runs after each rule firing (worklist) or
+    changed pass (fixpoint) and blames the responsible rule via
+    {!Pass.Verification_failed} — the `--verify-each-pass` mode. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,530 @@
+(* Tests for the verifier / lint / mapping-validator subsystem: clean
+   artefacts produce no diagnostics, and a battery of seeded corruptions
+   each trips its specific rule id. *)
+
+module G = Cdfg.Graph
+module D = Fpfa_diag.Diag
+module T = Transform
+module Verify = Fpfa_analysis.Verify
+module Lint = Fpfa_analysis.Lint
+module Mapcheck = Fpfa_analysis.Mapcheck
+module Dataflow = Fpfa_analysis.Dataflow
+module Cluster = Mapping.Cluster
+module Sched = Mapping.Sched
+module Job = Mapping.Job
+
+let kernel name =
+  (Fpfa_kernels.Kernels.find name).Fpfa_kernels.Kernels.source
+
+let map_kernel name = Fpfa_core.Flow.map_source (kernel name)
+
+let flags what rule diags =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s flags %s" what rule)
+    true (D.has_rule rule diags)
+
+let rules diags = List.sort_uniq compare (List.map (fun d -> d.D.rule) diags)
+
+(* {2 Clean artefacts produce no error diagnostics} *)
+
+let test_clean_corpus () =
+  List.iter
+    (fun name ->
+      let result = map_kernel name in
+      let graph = result.Fpfa_core.Flow.graph in
+      Alcotest.(check (list string))
+        (name ^ " raw structure") []
+        (rules (Verify.structure result.Fpfa_core.Flow.raw_graph));
+      Alcotest.(check (list string))
+        (name ^ " minimised verifier") []
+        (rules (Verify.all graph));
+      Alcotest.(check (list string))
+        (name ^ " lint errors") []
+        (rules (D.errors (Lint.run graph)));
+      Alcotest.(check (list string))
+        (name ^ " cluster") []
+        (rules (Mapcheck.cluster result.Fpfa_core.Flow.clustering));
+      Alcotest.(check (list string))
+        (name ^ " sched") []
+        (rules (Mapcheck.sched result.Fpfa_core.Flow.schedule));
+      Alcotest.(check (list string))
+        (name ^ " alloc") []
+        (rules (Mapcheck.alloc result.Fpfa_core.Flow.job)))
+    [ "fir-paper"; "dot-8"; "iir-6" ]
+
+let test_index_errors_exported () =
+  let result = map_kernel "fir-paper" in
+  Alcotest.(check (list string))
+    "incremental index consistent after minimisation" []
+    (G.index_errors result.Fpfa_core.Flow.graph)
+
+(* {2 Seeded CDFG corruptions, one per structure rule} *)
+
+(* set_inputs/add/remove guard arity and references at mutation time, so
+   those two corruptions use fabricated node records against the per-node
+   checker; everything else corrupts a real graph through the public API. *)
+
+let test_corrupt_arity () =
+  let g = G.create "c" in
+  let a = G.add g (G.Const 1) [] in
+  let fake = { G.id = 99; kind = G.Mux; inputs = [| a |]; order_after = [] } in
+  flags "1-input Mux" "cdfg.arity" (Verify.node g fake)
+
+let test_corrupt_dangling () =
+  let g = G.create "c" in
+  let a = G.add g (G.Const 1) [] in
+  let fake =
+    { G.id = 99; kind = G.Unop Cdfg.Op.Neg; inputs = [| a + 77 |];
+      order_after = [ a + 78 ] }
+  in
+  let diags = Verify.node g fake in
+  flags "unknown input id" "cdfg.dangling-ref" diags;
+  Alcotest.(check int) "both references reported" 2 (List.length diags)
+
+let test_corrupt_port_type () =
+  let g = G.create "c" in
+  G.declare_region g "a" { G.size = Some 1; implicit = true };
+  let tok = G.add g (G.Ss_in "a") [] in
+  let c = G.add g (G.Const 1) [] in
+  (* add checks arity, not port typing: a token flows into an adder. *)
+  let _bad = G.add g (G.Binop Cdfg.Op.Add) [ tok; c ] in
+  flags "token into Binop" "cdfg.port-type" (Verify.structure g)
+
+let test_corrupt_token_region () =
+  let g = G.create "c" in
+  G.declare_region g "a" { G.size = Some 1; implicit = true };
+  G.declare_region g "b" { G.size = Some 1; implicit = true };
+  let tok_a = G.add g (G.Ss_in "a") [] in
+  let off = G.add g (G.Const 0) [] in
+  let _bad = G.add g (G.Fe "b") [ tok_a; off ] in
+  flags "region-a token into region-b fetch" "cdfg.token-region"
+    (Verify.structure g)
+
+let test_corrupt_region_undeclared () =
+  let g = G.create "c" in
+  let _bad = G.add g (G.Ss_in "ghost") [] in
+  flags "undeclared region" "cdfg.region-undeclared" (Verify.structure g)
+
+let test_corrupt_duplicate_ss () =
+  let g = G.create "c" in
+  G.declare_region g "a" { G.size = Some 1; implicit = true };
+  let _t1 = G.add g (G.Ss_in "a") [] in
+  let _t2 = G.add g (G.Ss_in "a") [] in
+  flags "two Ss_in" "cdfg.region-duplicate-ss" (Verify.structure g)
+
+let test_corrupt_output_invalid () =
+  let g = G.create "c" in
+  G.declare_region g "a" { G.size = Some 1; implicit = false };
+  let tok = G.add g (G.Ss_in "a") [] in
+  let off = G.add g (G.Const 0) [] in
+  let v = G.add g (G.Const 7) [] in
+  let st = G.add g (G.St "a") [ tok; off; v ] in
+  (* set_output checks existence, not valueness: bind a token producer. *)
+  G.set_output g "x" st;
+  flags "token as named output" "cdfg.output-invalid" (Verify.structure g)
+
+let test_corrupt_cycle () =
+  let g = G.create "c" in
+  let a = G.add g (G.Const 1) [] in
+  let b = G.add g (G.Const 2) [] in
+  G.add_order g a ~after:b;
+  G.add_order g b ~after:a;
+  flags "order-edge 2-cycle" "cdfg.cycle" (Verify.structure g)
+
+(* {2 Mappability corruptions} *)
+
+let ss_graph ~offset_kind =
+  let g = G.create "m" in
+  G.declare_region g "a" { G.size = Some 4; implicit = true };
+  let tok = G.add g (G.Ss_in "a") [] in
+  let off =
+    match offset_kind with
+    | `Dynamic ->
+      let z = G.add g (G.Const 0) [] in
+      G.add g (G.Unop Cdfg.Op.Neg) [ z ]
+    | `Negative -> G.add g (G.Const (-2)) []
+  in
+  let _fe = G.add g (G.Fe "a") [ tok; off ] in
+  g
+
+let test_corrupt_offset_dynamic () =
+  let g = ss_graph ~offset_kind:`Dynamic in
+  flags "computed offset" "ss.offset-dynamic" (Verify.mappability g);
+  Alcotest.check_raises "check still raises"
+    (Mapping.Legalize.Unmappable
+       "node 3 has a dynamic statespace offset (unroll and simplify first)")
+    (fun () -> Mapping.Legalize.check g)
+
+let test_corrupt_offset_negative () =
+  flags "negative offset" "ss.offset-negative"
+    (Verify.mappability (ss_graph ~offset_kind:`Negative))
+
+let test_corrupt_output_not_stored () =
+  let g = G.create "m" in
+  let v = G.add g (G.Const 3) [] in
+  G.set_output g "x" v;
+  flags "unstored output" "ss.output-not-stored" (Verify.mappability g)
+
+(* {2 Lints} *)
+
+let test_lint_dead_node () =
+  let g = G.create "l" in
+  G.declare_region g "x" { G.size = Some 1; implicit = false };
+  let tok = G.add g (G.Ss_in "x") [] in
+  let off = G.add g (G.Const 0) [] in
+  let v = G.add g (G.Const 4) [] in
+  let _st = G.add g (G.St "x") [ tok; off; v ] in
+  let a = G.add g (G.Const 2) [] in
+  let _dead = G.add g (G.Binop Cdfg.Op.Add) [ a; a ] in
+  let diags = Lint.run g in
+  flags "unconsumed adder" "lint.dead-node" diags;
+  Alcotest.(check bool) "the store is not dead" false
+    (D.has_rule "lint.dead-store" diags)
+
+let test_lint_dead_store () =
+  let g = G.create "l" in
+  G.declare_region g "x" { G.size = Some 1; implicit = false };
+  let tok = G.add g (G.Ss_in "x") [] in
+  let off = G.add g (G.Const 0) [] in
+  let v1 = G.add g (G.Const 4) [] in
+  let v2 = G.add g (G.Const 5) [] in
+  let st1 = G.add g (G.St "x") [ tok; off; v1 ] in
+  let _st2 = G.add g (G.St "x") [ st1; off; v2 ] in
+  let diags = Lint.run g in
+  flags "overwritten-unread store" "lint.dead-store" diags;
+  Alcotest.(check int) "exactly one dead store" 1
+    (List.length
+       (List.filter (fun d -> String.equal d.D.rule "lint.dead-store") diags))
+
+let test_lint_dead_store_read_between () =
+  let g = G.create "l" in
+  G.declare_region g "x" { G.size = Some 1; implicit = false };
+  G.declare_region g "y" { G.size = Some 1; implicit = false };
+  let tok = G.add g (G.Ss_in "x") [] in
+  let ytok = G.add g (G.Ss_in "y") [] in
+  let off = G.add g (G.Const 0) [] in
+  let v1 = G.add g (G.Const 4) [] in
+  let v2 = G.add g (G.Const 5) [] in
+  let st1 = G.add g (G.St "x") [ tok; off; v1 ] in
+  let fe = G.add g (G.Fe "x") [ st1; off ] in
+  let st2 = G.add g (G.St "x") [ st1; off; v2 ] in
+  G.add_order g st2 ~after:fe;
+  let _sty = G.add g (G.St "y") [ ytok; off; fe ] in
+  Alcotest.(check bool) "intervening fetch keeps the store" false
+    (D.has_rule "lint.dead-store" (Lint.run g))
+
+let test_lint_fetch_uninit () =
+  let g = G.create "l" in
+  G.declare_region g "loc" { G.size = Some 2; implicit = false };
+  G.declare_region g "inp" { G.size = Some 2; implicit = true };
+  let t1 = G.add g (G.Ss_in "loc") [] in
+  let t2 = G.add g (G.Ss_in "inp") [] in
+  let off = G.add g (G.Const 0) [] in
+  let f1 = G.add g (G.Fe "loc") [ t1; off ] in
+  let _f2 = G.add g (G.Fe "inp") [ t2; off ] in
+  G.set_output g "x" f1;
+  let diags = Lint.run g in
+  flags "read of uninitialised local" "lint.fetch-uninit" diags;
+  Alcotest.(check int) "implicit (input) region exempt" 1
+    (List.length
+       (List.filter (fun d -> String.equal d.D.rule "lint.fetch-uninit") diags))
+
+let test_lint_range_overflow () =
+  let g = Cdfg.Builder.build_program "void main() { x = a * b; }" in
+  flags "16-bit product" "lint.range-overflow" (Lint.run g)
+
+let test_reaching_stores () =
+  let g = G.create "l" in
+  G.declare_region g "x" { G.size = Some 1; implicit = false };
+  let tok = G.add g (G.Ss_in "x") [] in
+  let off = G.add g (G.Const 0) [] in
+  let v = G.add g (G.Const 4) [] in
+  let st = G.add g (G.St "x") [ tok; off; v ] in
+  let fe = G.add g (G.Fe "x") [ st; off ] in
+  G.set_output g "r" fe;
+  let reaching = Lint.reaching_stores g in
+  Alcotest.(check (list int)) "the store reaches its fetch" [ st ]
+    (G.Id_set.elements (reaching fe));
+  Alcotest.(check (list int)) "non-fetch nodes have no reaching set" []
+    (G.Id_set.elements (reaching st))
+
+let test_liveness () =
+  let g = G.create "l" in
+  G.declare_region g "x" { G.size = Some 1; implicit = false };
+  let tok = G.add g (G.Ss_in "x") [] in
+  let off = G.add g (G.Const 0) [] in
+  let a = G.add g (G.Const 2) [] in
+  let kept = G.add g (G.Binop Cdfg.Op.Add) [ a; a ] in
+  let _st = G.add g (G.St "x") [ tok; off; kept ] in
+  let dead = G.add g (G.Binop Cdfg.Op.Mul) [ a; kept ] in
+  let live = Lint.liveness g in
+  Alcotest.(check bool) "stored sum is live" true (live kept);
+  Alcotest.(check bool) "its constant is live" true (live a);
+  Alcotest.(check bool) "unconsumed product is dead" false (live dead)
+
+(* {2 Mapping-phase corruptions} *)
+
+let test_corrupt_cluster_datapath () =
+  let result = map_kernel "fir-paper" in
+  let c = result.Fpfa_core.Flow.clustering in
+  let cl = c.Cluster.clusters.(0) in
+  let fat =
+    match cl.Cluster.cinputs with
+    | i :: _ -> [ i; i; i; i; i ]
+    | [] -> List.init 5 (fun _ -> Option.get cl.Cluster.root)
+  in
+  c.Cluster.clusters.(0) <- { cl with Cluster.cinputs = fat };
+  flags "5-operand cluster" "cluster.datapath" (Mapcheck.cluster c)
+
+let test_corrupt_cluster_empty () =
+  let result = map_kernel "fir-paper" in
+  let c = result.Fpfa_core.Flow.clustering in
+  let cl = c.Cluster.clusters.(0) in
+  c.Cluster.clusters.(0) <-
+    { cl with Cluster.ops = []; root = None; stores = []; deletes = [];
+      cinputs = [] };
+  flags "hollowed-out cluster" "cluster.empty" (Mapcheck.cluster c)
+
+let test_corrupt_cluster_coverage () =
+  let result = map_kernel "fir-paper" in
+  let c = result.Fpfa_core.Flow.clustering in
+  let victim =
+    Hashtbl.fold (fun id _ acc -> max acc id) c.Cluster.cluster_of (-1)
+  in
+  Hashtbl.remove c.Cluster.cluster_of victim;
+  flags "unmapped node" "cluster.coverage" (Mapcheck.cluster c)
+
+let test_corrupt_cluster_cycle () =
+  let result = map_kernel "fir-paper" in
+  let c = result.Fpfa_core.Flow.clustering in
+  let c =
+    { c with
+      Cluster.edges =
+        { Cluster.src = 0; dst = 1; weight = 1 }
+        :: { Cluster.src = 1; dst = 0; weight = 1 }
+        :: c.Cluster.edges }
+  in
+  flags "two-cluster cycle" "cluster.cycle" (Mapcheck.cluster c)
+
+let test_corrupt_sched_unplaced () =
+  let result = map_kernel "fir-paper" in
+  let s = result.Fpfa_core.Flow.schedule in
+  s.Sched.level_of.(0) <- -1;
+  flags "negative level" "sched.unplaced" (Mapcheck.sched s)
+
+let test_corrupt_sched_dependence_and_capacity () =
+  let result = map_kernel "fir-paper" in
+  let s = result.Fpfa_core.Flow.schedule in
+  (* Flatten the whole schedule into level 0: every weight-1 edge now
+     violates its dependence and level 0 exceeds the 5-ALU capacity. *)
+  let all = Array.to_list (Array.mapi (fun cid _ -> cid) s.Sched.level_of) in
+  Array.iteri (fun cid _ -> s.Sched.level_of.(cid) <- 0) s.Sched.level_of;
+  Array.iteri (fun lvl _ -> s.Sched.levels.(lvl) <- []) s.Sched.levels;
+  s.Sched.levels.(0) <- all;
+  let diags = Mapcheck.sched s in
+  flags "flattened schedule" "sched.dependence" diags;
+  flags "flattened schedule" "sched.capacity" diags
+
+let test_corrupt_sched_asap () =
+  let result = map_kernel "fir-paper" in
+  let s = result.Fpfa_core.Flow.schedule in
+  let cid =
+    let found = ref None in
+    Array.iteri
+      (fun cid a -> if !found = None && a > 0 then found := Some cid)
+      s.Sched.asap;
+    Option.get !found
+  in
+  let old = s.Sched.level_of.(cid) in
+  s.Sched.level_of.(cid) <- 0;
+  s.Sched.levels.(old) <- List.filter (fun c -> c <> cid) s.Sched.levels.(old);
+  s.Sched.levels.(0) <- cid :: s.Sched.levels.(0);
+  flags "cluster before its ASAP level" "sched.asap" (Mapcheck.sched s)
+
+let cycle_with ~pred job =
+  let found = ref None in
+  Array.iteri
+    (fun i cyc -> if !found = None && pred cyc then found := Some i)
+    job.Job.cycles;
+  Option.get !found
+
+let test_corrupt_alloc_pp_conflict () =
+  let job = (map_kernel "fir-paper").Fpfa_core.Flow.job in
+  let i = cycle_with job ~pred:(fun c -> c.Job.alu <> []) in
+  let cyc = job.Job.cycles.(i) in
+  job.Job.cycles.(i) <-
+    { cyc with Job.alu = List.hd cyc.Job.alu :: cyc.Job.alu };
+  flags "doubled ALU bundle" "alloc.pp-conflict" (Mapcheck.alloc job)
+
+let test_corrupt_alloc_bus_capacity () =
+  let job = (map_kernel "fir-paper").Fpfa_core.Flow.job in
+  let i = cycle_with job ~pred:(fun c -> c.Job.moves <> []) in
+  let cyc = job.Job.cycles.(i) in
+  let mv = List.hd cyc.Job.moves in
+  let flood =
+    List.init (job.Job.tile.Fpfa_arch.Arch.buses + 1) (fun _ -> mv)
+  in
+  job.Job.cycles.(i) <- { cyc with Job.moves = flood };
+  flags "flooded crossbar" "alloc.bus-capacity" (Mapcheck.alloc job)
+
+let test_corrupt_alloc_reg_bounds () =
+  let job = (map_kernel "fir-paper").Fpfa_core.Flow.job in
+  let i = cycle_with job ~pred:(fun c -> c.Job.moves <> []) in
+  let cyc = job.Job.cycles.(i) in
+  let mv = List.hd cyc.Job.moves in
+  let bad = { mv with Job.dst = { mv.Job.dst with Job.index = 999 } } in
+  job.Job.cycles.(i) <- { cyc with Job.moves = bad :: List.tl cyc.Job.moves };
+  flags "register index 999" "alloc.reg-bounds" (Mapcheck.alloc job)
+
+let test_corrupt_alloc_mem_bounds () =
+  let job = (map_kernel "fir-paper").Fpfa_core.Flow.job in
+  let i = cycle_with job ~pred:(fun c -> c.Job.moves <> []) in
+  let cyc = job.Job.cycles.(i) in
+  let mv = List.hd cyc.Job.moves in
+  let bad = { mv with Job.src = { mv.Job.src with Job.addr = 99_999 } } in
+  job.Job.cycles.(i) <- { cyc with Job.moves = bad :: List.tl cyc.Job.moves };
+  flags "memory address 99999" "alloc.mem-bounds" (Mapcheck.alloc job)
+
+let test_corrupt_alloc_conflicts () =
+  let job = (map_kernel "fir-paper").Fpfa_core.Flow.job in
+  let i = cycle_with job ~pred:(fun c -> c.Job.moves <> []) in
+  let cyc = job.Job.cycles.(i) in
+  let mv = List.hd cyc.Job.moves in
+  job.Job.cycles.(i) <- { cyc with Job.moves = [ mv; mv ] };
+  let diags = Mapcheck.alloc job in
+  flags "duplicated move (bank port)" "alloc.write-conflict" diags;
+  flags "duplicated move (memory port)" "alloc.read-conflict" diags
+
+(* {2 The verify-each-pass hook} *)
+
+let test_verification_blames_rule () =
+  let g = Cdfg.Builder.build_program "void main() { x = a + b; }" in
+  let binop =
+    G.fold g ~init:None ~f:(fun acc n ->
+        match n.G.kind with G.Binop _ -> Some n.G.id | _ -> acc)
+    |> Option.get
+  in
+  let token =
+    G.fold g ~init:None ~f:(fun acc n ->
+        match n.G.kind with G.Ss_in _ -> Some n.G.id | _ -> acc)
+    |> Option.get
+  in
+  (* set_inputs preserves arity and reference validity but not port
+     typing: this "rewrite" feeds a statespace token into the adder. *)
+  let sabotage =
+    T.Pass.local "sabotage" (fun g id ->
+        if id = binop && G.mem g binop then begin
+          let other = List.nth (G.inputs g binop) 1 in
+          G.set_inputs g binop [ token; other ];
+          true
+        end
+        else false)
+  in
+  match
+    T.Pass.run_worklist ~verify:(Verify.pass_hook ()) [ sabotage ] g
+  with
+  | (_ : T.Pass.worklist_report) ->
+    Alcotest.fail "sabotage rule escaped verification"
+  | exception T.Pass.Verification_failed { rule; error } ->
+    Alcotest.(check string) "blamed rule" "sabotage" rule;
+    (match error with
+    | D.Failed diags -> flags "hook payload" "cdfg.port-type" diags
+    | e -> raise e)
+
+let test_verify_each_clean_flow () =
+  let config =
+    { Fpfa_core.Flow.default_config with Fpfa_core.Flow.verify_each = true }
+  in
+  let result = Fpfa_core.Flow.map_source ~config (kernel "fir-paper") in
+  Alcotest.(check bool) "flow verifies end to end" true
+    (Fpfa_core.Flow.verify
+       ~memory_init:(Fpfa_kernels.Kernels.find "fir-paper").Fpfa_kernels.Kernels.inputs
+       result)
+
+(* {2 Properties} *)
+
+let worklist_rules_stay_clean =
+  QCheck.Test.make ~name:"worklist rules keep random DAGs verifier-clean"
+    ~count:120
+    (QCheck.make QCheck.Gen.(int_range 0 10_000))
+    (fun seed ->
+      let g = Fpfa_kernels.Random_graph.generate ~seed ~ops:60 () in
+      ignore
+        (T.Simplify.minimize ~rules:T.Simplify.extended_rules ~validate:false
+           ~verify:(Verify.pass_hook ()) g);
+      Verify.structure g = [])
+
+let fixpoint_passes_stay_clean =
+  QCheck.Test.make ~name:"fixpoint passes keep random DAGs verifier-clean"
+    ~count:40
+    (QCheck.make QCheck.Gen.(int_range 0 10_000))
+    (fun seed ->
+      let g = Fpfa_kernels.Random_graph.generate ~seed ~ops:40 () in
+      ignore
+        (T.Simplify.minimize ~passes:T.Simplify.extended_passes
+           ~validate:false ~verify:(Verify.pass_hook ()) g);
+      Verify.structure g = [])
+
+let suite =
+  [
+    Alcotest.test_case "clean corpus has no diagnostics" `Quick
+      test_clean_corpus;
+    Alcotest.test_case "index_errors exported and empty" `Quick
+      test_index_errors_exported;
+    Alcotest.test_case "corrupt: arity" `Quick test_corrupt_arity;
+    Alcotest.test_case "corrupt: dangling ref" `Quick test_corrupt_dangling;
+    Alcotest.test_case "corrupt: port type" `Quick test_corrupt_port_type;
+    Alcotest.test_case "corrupt: token region" `Quick
+      test_corrupt_token_region;
+    Alcotest.test_case "corrupt: undeclared region" `Quick
+      test_corrupt_region_undeclared;
+    Alcotest.test_case "corrupt: duplicate Ss_in" `Quick
+      test_corrupt_duplicate_ss;
+    Alcotest.test_case "corrupt: non-value output" `Quick
+      test_corrupt_output_invalid;
+    Alcotest.test_case "corrupt: order cycle" `Quick test_corrupt_cycle;
+    Alcotest.test_case "corrupt: dynamic offset" `Quick
+      test_corrupt_offset_dynamic;
+    Alcotest.test_case "corrupt: negative offset" `Quick
+      test_corrupt_offset_negative;
+    Alcotest.test_case "corrupt: unstored output" `Quick
+      test_corrupt_output_not_stored;
+    Alcotest.test_case "lint: dead node" `Quick test_lint_dead_node;
+    Alcotest.test_case "lint: dead store" `Quick test_lint_dead_store;
+    Alcotest.test_case "lint: store kept by fetch" `Quick
+      test_lint_dead_store_read_between;
+    Alcotest.test_case "lint: fetch uninitialised" `Quick
+      test_lint_fetch_uninit;
+    Alcotest.test_case "lint: range overflow" `Quick test_lint_range_overflow;
+    Alcotest.test_case "dataflow: reaching stores" `Quick test_reaching_stores;
+    Alcotest.test_case "dataflow: liveness" `Quick test_liveness;
+    Alcotest.test_case "corrupt: cluster datapath" `Quick
+      test_corrupt_cluster_datapath;
+    Alcotest.test_case "corrupt: cluster empty" `Quick
+      test_corrupt_cluster_empty;
+    Alcotest.test_case "corrupt: cluster coverage" `Quick
+      test_corrupt_cluster_coverage;
+    Alcotest.test_case "corrupt: cluster cycle" `Quick
+      test_corrupt_cluster_cycle;
+    Alcotest.test_case "corrupt: sched unplaced" `Quick
+      test_corrupt_sched_unplaced;
+    Alcotest.test_case "corrupt: sched dependence+capacity" `Quick
+      test_corrupt_sched_dependence_and_capacity;
+    Alcotest.test_case "corrupt: sched asap" `Quick test_corrupt_sched_asap;
+    Alcotest.test_case "corrupt: alloc pp conflict" `Quick
+      test_corrupt_alloc_pp_conflict;
+    Alcotest.test_case "corrupt: alloc bus capacity" `Quick
+      test_corrupt_alloc_bus_capacity;
+    Alcotest.test_case "corrupt: alloc reg bounds" `Quick
+      test_corrupt_alloc_reg_bounds;
+    Alcotest.test_case "corrupt: alloc mem bounds" `Quick
+      test_corrupt_alloc_mem_bounds;
+    Alcotest.test_case "corrupt: alloc port conflicts" `Quick
+      test_corrupt_alloc_conflicts;
+    Alcotest.test_case "verify-each blames the firing rule" `Quick
+      test_verification_blames_rule;
+    Alcotest.test_case "verify-each flow stays correct" `Quick
+      test_verify_each_clean_flow;
+    QCheck_alcotest.to_alcotest worklist_rules_stay_clean;
+    QCheck_alcotest.to_alcotest fixpoint_passes_stay_clean;
+  ]

@@ -28,4 +28,5 @@ let () =
       ("pipeline", Test_pipeline.suite);
       ("loop", Test_loop.suite);
       ("obs", Test_obs.suite);
+      ("analysis", Test_analysis.suite);
     ]
