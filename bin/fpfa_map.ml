@@ -1,19 +1,28 @@
 (* fpfa_map — command-line front end of the FPFA mapping flow.
 
    Subcommands:
-     compile  map a C file (or a named built-in kernel) and print the
-              per-stage report, optionally the full per-cycle job;
-              this is the default command (`fpfa_map fir --trace t.json`)
+     compile  map one or more C files (or named built-in kernels) and
+              print the per-stage report, optionally the full per-cycle
+              job; this is the default command
+              (`fpfa_map fir --trace t.json`)
      dot      emit the minimised CDFG as Graphviz
      kernels  list the built-in kernel corpus
      suite    map every built-in kernel under a flow variant and print the
               metrics table
+     sweep    map one kernel across a design-space grid (ALU count,
+              crossbar lanes, move window)
+
+   Batch subcommands (compile with several inputs, suite, sweep,
+   check --all, pipeline) accept `-j N` and distribute the per-item
+   mapping flow over N domains through Fpfa_exec.Pool; output is
+   byte-identical to `-j 1`.
 
    `--trace FILE` (Chrome-trace JSON timeline) and `--stats` (counter and
    span report) hook the whole run into the lib/obs observability
    subsystem; both compose with compile and pipeline. *)
 
 module Obs = Fpfa_obs.Obs
+module Pool = Fpfa_exec.Pool
 
 let obs_setup ~trace ~stats =
   if trace <> None || stats then begin
@@ -107,6 +116,22 @@ let input_arg =
     & pos 0 (some string) None
     & info [] ~docv:"INPUT" ~doc:"C source file or built-in kernel name.")
 
+let inputs_arg =
+  Arg.(
+    non_empty & pos_all string []
+    & info [] ~docv:"INPUT"
+        ~doc:"C source files or built-in kernel names (one or more).")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Distribute batch work over N domains (default 1: sequential; \
+           0: one per core). Output is byte-identical to -j 1.")
+
+let resolve_jobs j = if j <= 0 then Pool.default_jobs () else j
+
 let variant_arg =
   Arg.(
     value & opt string "paper"
@@ -156,53 +181,69 @@ let stats_arg =
            counts, queue depths, allocator and simulator tallies, and \
            per-stage time.")
 
-let compile input variant func show_job show_schedule show_gantt check_width
-    obs_trace obs_stats =
+let compile inputs variant func show_job show_schedule show_gantt check_width
+    obs_trace obs_stats jobs =
   obs_setup ~trace:obs_trace ~stats:obs_stats;
   let finish () = obs_finish ~trace:obs_trace ~stats:obs_stats in
-  let source = load_source input in
   let v = variant_of_name variant in
-  match Baseline.map_source v ~func source with
-  | result ->
-    Format.printf "%a@." Fpfa_core.Flow.pp_summary result;
-    Format.printf "simplification:@.%a@." Transform.Simplify.pp_report
-      result.Fpfa_core.Flow.simplify_report;
-    if show_schedule then
-      Format.printf "schedule:@.%a@." Mapping.Sched.pp
-        result.Fpfa_core.Flow.schedule;
-    if show_job then
-      Format.printf "%a@." Mapping.Job.pp result.Fpfa_core.Flow.job;
-    if show_gantt then
-      Format.printf "%a@." Mapping.Job.pp_gantt result.Fpfa_core.Flow.job;
-    (match check_width with
-    | Some width ->
-      let report =
-        Transform.Range.analyze ~width result.Fpfa_core.Flow.graph
-      in
-      Format.printf "%a@."
-        (Transform.Range.pp_report result.Fpfa_core.Flow.graph)
-        report
-    | None -> ());
-    let memory_init = inputs_for input in
-    let ok = Fpfa_core.Flow.verify ~memory_init result in
-    Format.printf "verification (interp = eval = simulator): %s@."
-      (if ok then "PASS" else "FAIL");
-    finish ();
-    if not ok then exit 1
-  | exception Fpfa_core.Flow.Flow_error msg ->
-    Printf.eprintf "flow error: %s\n" msg;
-    finish ();
-    exit 1
+  let targets = List.map (fun input -> (input, load_source input)) inputs in
+  let jobs = resolve_jobs jobs in
+  (* Workers only map and verify; every print below runs on the main
+     domain, in input order, so -j N output matches -j 1. *)
+  let compile_one (input, source) =
+    match Baseline.map_source v ~func source with
+    | result ->
+      let ok = Fpfa_core.Flow.verify ~memory_init:(inputs_for input) result in
+      Ok (result, ok)
+    | exception Fpfa_core.Flow.Flow_error msg -> Error msg
+  in
+  let outcomes = Pool.map_ordered ~jobs compile_one targets in
+  let many = List.length targets > 1 in
+  let failed = ref false in
+  List.iter2
+    (fun (input, _) outcome ->
+      if many then Format.printf "=== %s ===@." input;
+      match outcome with
+      | Error msg ->
+        Printf.eprintf "flow error: %s\n" msg;
+        failed := true
+      | Ok (result, ok) ->
+        Format.printf "%a@." Fpfa_core.Flow.pp_summary result;
+        Format.printf "simplification:@.%a@." Transform.Simplify.pp_report
+          result.Fpfa_core.Flow.simplify_report;
+        if show_schedule then
+          Format.printf "schedule:@.%a@." Mapping.Sched.pp
+            result.Fpfa_core.Flow.schedule;
+        if show_job then
+          Format.printf "%a@." Mapping.Job.pp result.Fpfa_core.Flow.job;
+        if show_gantt then
+          Format.printf "%a@." Mapping.Job.pp_gantt result.Fpfa_core.Flow.job;
+        (match check_width with
+        | Some width ->
+          let report =
+            Transform.Range.analyze ~width result.Fpfa_core.Flow.graph
+          in
+          Format.printf "%a@."
+            (Transform.Range.pp_report result.Fpfa_core.Flow.graph)
+            report
+        | None -> ());
+        Format.printf "verification (interp = eval = simulator): %s@."
+          (if ok then "PASS" else "FAIL");
+        if not ok then failed := true)
+    targets outcomes;
+  finish ();
+  if !failed then exit 1
 
 let compile_term =
   Term.(
-    const compile $ input_arg $ variant_arg $ func_arg $ show_job_arg
+    const compile $ inputs_arg $ variant_arg $ func_arg $ show_job_arg
     $ show_schedule_arg $ show_gantt_arg $ check_width_arg $ obs_trace_arg
-    $ stats_arg)
+    $ stats_arg $ jobs_arg)
 
 let compile_cmd =
   Cmd.v
-    (Cmd.info "compile" ~doc:"Map a C program onto one FPFA tile.")
+    (Cmd.info "compile"
+       ~doc:"Map one or more C programs onto one FPFA tile.")
     compile_term
 
 let dot input func out show_clusters =
@@ -256,10 +297,10 @@ let kernels_cmd =
     (Cmd.info "kernels" ~doc:"List the built-in kernel corpus.")
     Term.(const kernels $ const ())
 
-let suite variant =
+let suite variant jobs =
   let v = variant_of_name variant in
   let rows =
-    List.map
+    Pool.map_ordered ~jobs:(resolve_jobs jobs)
       (fun (k : Fpfa_kernels.Kernels.t) ->
         let result =
           Baseline.map_source v k.Fpfa_kernels.Kernels.source
@@ -273,7 +314,131 @@ let suite variant =
 let suite_cmd =
   Cmd.v
     (Cmd.info "suite" ~doc:"Map the whole kernel corpus; print metrics.")
-    Term.(const suite $ variant_arg)
+    Term.(const suite $ variant_arg $ jobs_arg)
+
+(* {2 sweep — design-space grids over the tile parameters} *)
+
+module Sweep = Fpfa_core.Sweep
+
+let values_arg name doc =
+  Arg.(
+    value
+    & opt (some (list int)) None
+    & info [ name ] ~docv:"N,N,..." ~doc)
+
+let alus_arg = values_arg "alus" "ALU counts to sweep."
+let buses_arg = values_arg "buses" "Crossbar lane counts to sweep."
+let windows_arg = values_arg "windows" "Move-window depths to sweep."
+
+let sweep_verify_arg =
+  Arg.(
+    value & flag
+    & info [ "verify" ]
+        ~doc:"Verify every point against the reference interpreter; any \
+              FAIL exits non-zero.")
+
+let sweep_json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit the rows as a JSON array.")
+
+let sweep input func alus buses windows verify json jobs obs_trace obs_stats =
+  obs_setup ~trace:obs_trace ~stats:obs_stats;
+  let finish () = obs_finish ~trace:obs_trace ~stats:obs_stats in
+  let source = load_source input in
+  let points =
+    match (alus, buses, windows) with
+    | None, None, None -> Sweep.default_points ()
+    | _ ->
+      let expand axis = function
+        | Some values -> Sweep.points axis values
+        | None -> []
+      in
+      expand Sweep.Alu_count alus
+      @ expand Sweep.Buses buses
+      @ expand Sweep.Move_window windows
+  in
+  let jobs = resolve_jobs jobs in
+  let memory_init = inputs_for input in
+  let run pool =
+    Sweep.run ?pool ~func ~verify ~memory_init ~source points
+  in
+  match
+    if jobs <= 1 then run None
+    else Pool.with_pool ~jobs (fun pool -> run (Some pool))
+  with
+  | rows ->
+    let cell_strings (r : Sweep.row) =
+      let m = r.Sweep.metrics in
+      [
+        Sweep.axis_name r.Sweep.point.Sweep.axis;
+        string_of_int r.Sweep.point.Sweep.value;
+        string_of_int m.Mapping.Metrics.cycles;
+        string_of_int m.Mapping.Metrics.levels;
+        string_of_int m.Mapping.Metrics.moves;
+        string_of_int m.Mapping.Metrics.inserted_cycles;
+        Printf.sprintf "%.2f" m.Mapping.Metrics.alu_utilisation;
+        Printf.sprintf "%.1f" m.Mapping.Metrics.energy;
+      ]
+      @
+      if verify then
+        [
+          (match r.Sweep.verified with
+          | Some true -> "PASS"
+          | Some false -> "FAIL"
+          | None -> "-");
+        ]
+      else []
+    in
+    if json then begin
+      let objects =
+        List.map
+          (fun (r : Sweep.row) ->
+            let m = r.Sweep.metrics in
+            Printf.sprintf
+              "{\"axis\": \"%s\", \"value\": %d, \"cycles\": %d, \
+               \"levels\": %d, \"moves\": %d, \"stalls\": %d, \
+               \"utilisation\": %.4f, \"energy\": %.2f%s}"
+              (Sweep.axis_name r.Sweep.point.Sweep.axis)
+              r.Sweep.point.Sweep.value m.Mapping.Metrics.cycles
+              m.Mapping.Metrics.levels m.Mapping.Metrics.moves
+              m.Mapping.Metrics.inserted_cycles
+              m.Mapping.Metrics.alu_utilisation m.Mapping.Metrics.energy
+              (match r.Sweep.verified with
+              | Some ok -> Printf.sprintf ", \"verified\": %b" ok
+              | None -> ""))
+          rows
+      in
+      print_string ("[" ^ String.concat ", " objects ^ "]\n")
+    end
+    else begin
+      let header =
+        [ "axis"; "value"; "cycles"; "levels"; "moves"; "stalls"; "util";
+          "energy" ]
+        @ if verify then [ "verify" ] else []
+      in
+      Fpfa_util.Tablefmt.print ~header (List.map cell_strings rows)
+    end;
+    finish ();
+    if
+      verify
+      && List.exists (fun r -> r.Sweep.verified = Some false) rows
+    then exit 1
+  | exception Sweep.Sweep_error msg ->
+    Printf.eprintf "sweep error: %s\n" msg;
+    finish ();
+    exit 1
+
+let sweep_cmd =
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Map one kernel across a design-space grid (ALU count, crossbar \
+          lanes, move window); defaults to the classic three-axis study.")
+    Term.(
+      const sweep $ input_arg $ func_arg $ alus_arg $ buses_arg
+      $ windows_arg $ sweep_verify_arg $ sweep_json_arg $ jobs_arg
+      $ obs_trace_arg $ stats_arg)
 
 let encode input func out =
   let source = load_source input in
@@ -334,21 +499,27 @@ let run_config_cmd =
              (zero-initialised inputs).")
     Term.(const run_config $ config_path_arg $ trace_arg)
 
-let pipeline input stages reuse obs_trace obs_stats =
+let pipeline input stages reuse jobs obs_trace obs_stats =
   obs_setup ~trace:obs_trace ~stats:obs_stats;
   let finish () = obs_finish ~trace:obs_trace ~stats:obs_stats in
   let source = load_source input in
   let funcs = String.split_on_char ',' stages in
+  let jobs = resolve_jobs jobs in
+  let with_pool f =
+    if jobs <= 1 then f None
+    else Pool.with_pool ~jobs (fun pool -> f (Some pool))
+  in
   match
+    with_pool @@ fun pool ->
     if reuse then begin
-      let p = Fpfa_core.Pipeline.map_reuse source ~funcs in
+      let p = Fpfa_core.Pipeline.map_reuse ?pool source ~funcs in
       Format.printf "%a@." Fpfa_core.Pipeline.pp_reuse p;
-      Fpfa_core.Pipeline.verify_reuse source ~funcs
+      Fpfa_core.Pipeline.verify_reuse ?pool source ~funcs
     end
     else begin
-      let p = Fpfa_core.Pipeline.map source ~funcs in
+      let p = Fpfa_core.Pipeline.map ?pool source ~funcs in
       Format.printf "%a@." Fpfa_core.Pipeline.pp p;
-      Fpfa_core.Pipeline.verify source ~funcs
+      Fpfa_core.Pipeline.verify ?pool source ~funcs
     end
   with
   | ok ->
@@ -383,8 +554,8 @@ let pipeline_cmd =
     (Cmd.info "pipeline"
        ~doc:"Map a multi-kernel application as successive configurations.")
     Term.(
-      const pipeline $ input_arg $ stages_arg $ reuse_arg $ obs_trace_arg
-      $ stats_arg)
+      const pipeline $ input_arg $ stages_arg $ reuse_arg $ jobs_arg
+      $ obs_trace_arg $ stats_arg)
 
 let loop input func =
   let source = load_source input in
@@ -505,7 +676,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let check input func json verify_each no_lint all obs_trace obs_stats =
+let check input func json verify_each no_lint all jobs obs_trace obs_stats =
   obs_setup ~trace:obs_trace ~stats:obs_stats;
   let targets =
     if all then
@@ -524,7 +695,7 @@ let check input func json verify_each no_lint all obs_trace obs_stats =
     { Fpfa_core.Flow.default_config with Fpfa_core.Flow.verify_each }
   in
   let checked =
-    List.map
+    Pool.map_ordered ~jobs:(resolve_jobs jobs)
       (fun (name, source, func) ->
         let diags = check_one ~config source ~func in
         let diags =
@@ -608,7 +779,7 @@ let check_cmd =
           diagnostic.")
     Term.(
       const check $ check_input_arg $ func_arg $ json_arg $ verify_each_arg
-      $ no_lint_arg $ all_arg $ obs_trace_arg $ stats_arg)
+      $ no_lint_arg $ all_arg $ jobs_arg $ obs_trace_arg $ stats_arg)
 
 let () =
   let info =
@@ -622,7 +793,7 @@ let () =
      injected in front of it. *)
   let command_names =
     [
-      "compile"; "dot"; "kernels"; "suite"; "encode"; "run-config";
+      "compile"; "dot"; "kernels"; "suite"; "sweep"; "encode"; "run-config";
       "pipeline"; "loop"; "simplify"; "check";
     ]
   in
@@ -648,6 +819,7 @@ let () =
     (Cmd.eval ~argv
        (Cmd.group ~default:compile_term info
           [
-            compile_cmd; dot_cmd; kernels_cmd; suite_cmd; encode_cmd;
-            run_config_cmd; pipeline_cmd; loop_cmd; simplify_cmd; check_cmd;
+            compile_cmd; dot_cmd; kernels_cmd; suite_cmd; sweep_cmd;
+            encode_cmd; run_config_cmd; pipeline_cmd; loop_cmd; simplify_cmd;
+            check_cmd;
           ]))

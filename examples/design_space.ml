@@ -1,32 +1,32 @@
 (* Design-space exploration with the architecture model: how do cycle
    count and energy respond to the tile's ALU count, crossbar width and
-   move window? The paper fixes these at 5 / 10 / 4; the library lets a
-   user sweep them.
+   move window? The paper fixes these at 5 / 10 / 4; Fpfa_core.Sweep
+   names the axes and maps the kernel over every point — over several
+   domains when a pool is supplied (the results are identical either
+   way, so this example keeps the default sequential run).
 
    Run with: dune exec examples/design_space.exe *)
 
-module Arch = Fpfa_arch.Arch
+module Sweep = Fpfa_core.Sweep
 
 let kernel = Fpfa_kernels.Kernels.fir ~taps:16
 
-let map_with tile =
-  let config = { Fpfa_core.Flow.default_config with Fpfa_core.Flow.tile } in
-  let result =
-    Fpfa_core.Flow.map_source ~config kernel.Fpfa_kernels.Kernels.source
-  in
-  assert
-    (Fpfa_core.Flow.verify ~memory_init:kernel.Fpfa_kernels.Kernels.inputs
-       result);
-  result.Fpfa_core.Flow.metrics
+let rows_for axis values =
+  let points = Sweep.points axis values in
+  Sweep.run ~verify:true
+    ~memory_init:kernel.Fpfa_kernels.Kernels.inputs
+    ~source:kernel.Fpfa_kernels.Kernels.source points
+  |> List.map (fun (r : Sweep.row) ->
+         assert (r.Sweep.verified = Some true);
+         r.Sweep.metrics)
 
 let () =
   Format.printf "kernel: %s@.@." kernel.Fpfa_kernels.Kernels.description;
 
   Format.printf "--- ALU count sweep (paper tile has 5) ---@.";
   let rows =
-    List.map
-      (fun alus ->
-        let m = map_with (Arch.with_alu_count alus Arch.paper_tile) in
+    List.map2
+      (fun alus (m : Mapping.Metrics.t) ->
         [
           string_of_int alus;
           string_of_int m.Mapping.Metrics.cycles;
@@ -34,7 +34,8 @@ let () =
           Printf.sprintf "%.2f" m.Mapping.Metrics.alu_utilisation;
           Printf.sprintf "%.0f" m.Mapping.Metrics.energy;
         ])
-      [ 1; 2; 3; 4; 5; 8 ]
+      Sweep.default_alus
+      (rows_for Sweep.Alu_count Sweep.default_alus)
   in
   Fpfa_util.Tablefmt.print
     ~header:[ "ALUs"; "cycles"; "levels"; "util"; "energy" ]
@@ -42,28 +43,28 @@ let () =
 
   Format.printf "@.--- crossbar width sweep (paper tile has 10 lanes) ---@.";
   let rows =
-    List.map
-      (fun buses ->
-        let m = map_with (Arch.with_buses buses Arch.paper_tile) in
+    List.map2
+      (fun buses (m : Mapping.Metrics.t) ->
         [
           string_of_int buses;
           string_of_int m.Mapping.Metrics.cycles;
           string_of_int m.Mapping.Metrics.moves;
         ])
-      [ 2; 4; 6; 10; 16 ]
+      Sweep.default_buses
+      (rows_for Sweep.Buses Sweep.default_buses)
   in
   Fpfa_util.Tablefmt.print ~header:[ "lanes"; "cycles"; "moves" ] rows;
 
   Format.printf "@.--- move window sweep (paper Fig. 5 uses 4) ---@.";
   let rows =
-    List.map
-      (fun window ->
-        let m = map_with (Arch.with_move_window window Arch.paper_tile) in
+    List.map2
+      (fun window (m : Mapping.Metrics.t) ->
         [
           string_of_int window;
           string_of_int m.Mapping.Metrics.cycles;
           string_of_int m.Mapping.Metrics.inserted_cycles;
         ])
-      [ 1; 2; 3; 4; 6 ]
+      Sweep.default_windows
+      (rows_for Sweep.Move_window Sweep.default_windows)
   in
   Fpfa_util.Tablefmt.print ~header:[ "window"; "cycles"; "stalls" ] rows

@@ -238,8 +238,11 @@ let aliasing_hazard loop body =
   scan accesses
 
 (* Maps one counted loop parametrically. [Error reason] sends it back to
-   the unrolled straight segment. *)
-let map_loop config loop =
+   the unrolled straight segment. With a pool the candidate base pairs
+   (two whole-flow mappings each) are tried in parallel; the outcome is
+   identical to the sequential first-success scan because candidates are
+   still consulted in order. *)
+let map_loop ?pool config loop =
   let extents = array_extents loop in
   (* Base iterations away from 0/1 so constant folding treats them like any
      other iteration; a literal in the source can still collide with one
@@ -266,14 +269,29 @@ let map_loop config loop =
           Error "iteration accesses may alias across the trip range"
         else Ok body)
   in
-  let rec first_ok errors = function
-    | [] -> Error (String.concat "; " (List.rev errors))
-    | kb :: rest -> (
-      match try_pair kb with
-      | Ok body -> Ok body
-      | Error e -> first_ok (e :: errors) rest)
+  let scan =
+    match pool with
+    | None ->
+      (* lazy: stop mapping at the first success *)
+      let rec first_ok errors = function
+        | [] -> Error (String.concat "; " (List.rev errors))
+        | kb :: rest -> (
+          match try_pair kb with
+          | Ok body -> Ok body
+          | Error e -> first_ok (e :: errors) rest)
+      in
+      first_ok [] candidate_bases
+    | Some pool ->
+      (* eager: map every candidate in parallel, pick in candidate
+         order — same winner, same combined error message *)
+      let rec first_ok errors = function
+        | [] -> Error (String.concat "; " (List.rev errors))
+        | Ok body :: _ -> Ok body
+        | Error e :: rest -> first_ok (e :: errors) rest
+      in
+      first_ok [] (Fpfa_exec.Pool.map pool try_pair candidate_bases)
   in
-  match first_ok [] candidate_bases with
+  match scan with
   | Ok body -> Ok { body; k_first = loop.k0; trips = loop.bound - loop.k0 }
   | Error reason -> Error reason
 
@@ -386,7 +404,7 @@ let validate staged f =
       memory_matches ~golden ~actual ~memory_init)
     [ []; seeded ]
 
-let map_source ?(config = Flow.default_config) ?(func = "main") source =
+let map_source ?pool ?(config = Flow.default_config) ?(func = "main") source =
   let f = prepare_func ~func source in
   let fallback reason = Unrolled (Flow.map_func ~config f, reason) in
   let raw = segment_body f.Ast.body in
@@ -397,7 +415,7 @@ let map_source ?(config = Flow.default_config) ?(func = "main") source =
       (function
         | Chunk stmts -> `Chunk stmts
         | Counted loop -> (
-          match map_loop config loop with
+          match map_loop ?pool config loop with
           | Ok l -> `Loop (loop, l)
           | Error reason -> `Demoted (loop, reason)))
       raw
@@ -501,8 +519,8 @@ let staged_costs staged =
           cycles + (l.trips * Mapping.Job.cycle_count body_job) ))
     (0, 0) staged.segments
 
-let compare_costs ?(config = Flow.default_config) ?(func = "main") source =
-  match map_source ~config ~func source with
+let compare_costs ?pool ?(config = Flow.default_config) ?(func = "main") source =
+  match map_source ?pool ~config ~func source with
   | Unrolled _ -> None
   | Looped staged ->
     let f = prepare_func ~func source in

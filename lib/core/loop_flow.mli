@@ -44,7 +44,11 @@ exception Loop_error of string
 val loops : staged -> loop_segment list
 val straights : staged -> Flow.result list
 
-val map_source : ?config:Flow.config -> ?func:string -> string -> outcome
+val map_source :
+  ?pool:Fpfa_exec.Pool.t -> ?config:Flow.config -> ?func:string -> string -> outcome
+(** With [?pool], the candidate base-iteration pairs of each counted
+    loop (two whole-flow mappings per candidate) are mapped in
+    parallel; the outcome is identical to the sequential scan. *)
 
 val run :
   ?memory_init:(string * int array) list ->
@@ -66,7 +70,8 @@ type costs = {
   unrolled_cycles : int;
 }
 
-val compare_costs : ?config:Flow.config -> ?func:string -> string -> costs option
+val compare_costs :
+  ?pool:Fpfa_exec.Pool.t -> ?config:Flow.config -> ?func:string -> string -> costs option
 (** [None] when nothing loop-maps (fallback). *)
 
 val staged_costs : staged -> int * int

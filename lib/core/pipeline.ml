@@ -35,11 +35,11 @@ let prepare source =
     errorf "syntax error at %d:%d: %s" pos.Cfront.Token.line
       pos.Cfront.Token.col msg
 
-let map ?(config = Flow.default_config) source ~funcs =
+let map ?pool ?(config = Flow.default_config) source ~funcs =
   if funcs = [] then errorf "a pipeline needs at least one stage";
   let program = prepare source in
   let stages =
-    List.map
+    Fpfa_exec.Pool.maybe pool
       (fun name ->
         Obs.span ~cat:"pipeline" ("map:" ^ name) @@ fun () ->
         let f =
@@ -149,8 +149,8 @@ let pad_equal a b =
   let rec loop i = i >= len || (get a i = get b i && loop (i + 1)) in
   loop 0
 
-let verify ?(memory_init = []) source ~funcs =
-  let pipeline = map source ~funcs in
+let verify ?pool ?(memory_init = []) source ~funcs =
+  let pipeline = map ?pool source ~funcs in
   let mapped = run ~memory_init pipeline in
   let golden = reference ~memory_init source ~funcs in
   List.for_all
@@ -186,10 +186,10 @@ type reuse = {
   rtotal_reconfig_cycles : int;
 }
 
-let map_reuse ?(config = Flow.default_config) source ~funcs =
+let map_reuse ?pool ?(config = Flow.default_config) source ~funcs =
   if funcs = [] then errorf "a pipeline needs at least one stage";
   let rstages =
-    List.map
+    Fpfa_exec.Pool.maybe pool
       (fun name ->
         Obs.span ~cat:"pipeline" ("map-reuse:" ^ name) @@ fun () ->
         let outcome =
@@ -237,8 +237,8 @@ let run_reuse ?(memory_init = []) reuse =
     (List.sort compare memory_init)
     reuse.rstages
 
-let verify_reuse ?(memory_init = []) source ~funcs =
-  let reuse = map_reuse source ~funcs in
+let verify_reuse ?pool ?(memory_init = []) source ~funcs =
+  let reuse = map_reuse ?pool source ~funcs in
   let mapped = run_reuse ~memory_init reuse in
   let golden = reference ~memory_init source ~funcs in
   List.for_all

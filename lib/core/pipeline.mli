@@ -30,10 +30,13 @@ exception Pipeline_error of string
 val config_words_per_cycle : int
 (** Width of the modelled configuration port (words per cycle). *)
 
-val map : ?config:Flow.config -> string -> funcs:string list -> t
+val map : ?pool:Fpfa_exec.Pool.t -> ?config:Flow.config -> string -> funcs:string list -> t
 (** [map source ~funcs] maps each named function of [source] (calls
-    inlined first) as one pipeline stage, in order.
-    @raise Pipeline_error wrapping per-stage flow failures. *)
+    inlined first) as one pipeline stage, in order. Stages are mapped
+    independently, so a [?pool] maps them in parallel with identical
+    results (stage order, metrics, obs counters).
+    @raise Pipeline_error wrapping per-stage flow failures (with a pool,
+    the first failing stage in [funcs] order). *)
 
 val run :
   ?memory_init:(string * int array) list ->
@@ -52,9 +55,10 @@ val reference :
     mapping): the golden result {!verify} compares against. *)
 
 val verify :
+  ?pool:Fpfa_exec.Pool.t ->
   ?memory_init:(string * int array) list -> string -> funcs:string list -> bool
-(** Maps, runs, and compares against {!reference} (zero-padded per
-    region). *)
+(** Maps (in parallel when [?pool] is given), runs, and compares against
+    {!reference} (zero-padded per region). *)
 
 val pp : Format.formatter -> t -> unit
 (** Per-stage table: compute cycles, configuration words, reconfiguration
@@ -81,7 +85,8 @@ type reuse = {
   rtotal_reconfig_cycles : int;
 }
 
-val map_reuse : ?config:Flow.config -> string -> funcs:string list -> reuse
+val map_reuse :
+  ?pool:Fpfa_exec.Pool.t -> ?config:Flow.config -> string -> funcs:string list -> reuse
 
 val run_reuse :
   ?memory_init:(string * int array) list ->
@@ -89,6 +94,7 @@ val run_reuse :
   (string * int array) list
 
 val verify_reuse :
+  ?pool:Fpfa_exec.Pool.t ->
   ?memory_init:(string * int array) list -> string -> funcs:string list -> bool
 (** Maps with loop reuse, runs, and compares against {!reference}. *)
 

@@ -1,0 +1,70 @@
+module Arch = Fpfa_arch.Arch
+module Pool = Fpfa_exec.Pool
+module Obs = Fpfa_obs.Obs
+
+let c_points = Obs.counter "sweep.points"
+
+type axis = Alu_count | Buses | Move_window
+
+let axis_name = function
+  | Alu_count -> "alus"
+  | Buses -> "buses"
+  | Move_window -> "window"
+
+let axis_of_string = function
+  | "alus" | "alu" -> Some Alu_count
+  | "buses" | "bus" | "lanes" -> Some Buses
+  | "window" | "move-window" -> Some Move_window
+  | _ -> None
+
+type point = { axis : axis; value : int }
+
+let points axis values = List.map (fun value -> { axis; value }) values
+
+(* The classic study of examples/design_space.ml: the paper's values in
+   the middle of each list, bracketed by smaller and larger tiles. *)
+let default_alus = [ 1; 2; 3; 4; 5; 8 ]
+let default_buses = [ 2; 4; 6; 10; 16 ]
+let default_windows = [ 1; 2; 3; 4; 6 ]
+
+let default_points () =
+  points Alu_count default_alus
+  @ points Buses default_buses
+  @ points Move_window default_windows
+
+let tile_of ?(base = Arch.paper_tile) point =
+  match point.axis with
+  | Alu_count -> Arch.with_alu_count point.value base
+  | Buses -> Arch.with_buses point.value base
+  | Move_window -> Arch.with_move_window point.value base
+
+type row = {
+  point : point;
+  metrics : Mapping.Metrics.t;
+  verified : bool option;
+}
+
+exception Sweep_error of string
+
+let errorf fmt = Format.kasprintf (fun msg -> raise (Sweep_error msg)) fmt
+
+let run ?pool ?(config = Flow.default_config) ?base ?func ?(verify = false)
+    ?(memory_init = []) ~source points =
+  let map_point point =
+    Obs.span ~cat:"sweep"
+      (Printf.sprintf "point:%s=%d" (axis_name point.axis) point.value)
+    @@ fun () ->
+    let config = { config with Flow.tile = tile_of ?base point } in
+    let result =
+      match Flow.map_source ~config ?func source with
+      | result -> result
+      | exception Flow.Flow_error msg ->
+        errorf "point %s=%d: %s" (axis_name point.axis) point.value msg
+    in
+    let verified =
+      if verify then Some (Flow.verify ~memory_init result) else None
+    in
+    Obs.incr c_points;
+    { point; metrics = result.Flow.metrics; verified }
+  in
+  Pool.maybe pool map_point points

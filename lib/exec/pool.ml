@@ -1,0 +1,148 @@
+(* The pool is a single shared task queue drained by [njobs - 1] resident
+   worker domains plus, per batch, the submitting caller. Tasks are
+   closures that record their own result, so the queue itself is
+   monomorphic and one pool serves batches of any type.
+
+   Memory-safety of the result hand-off: a worker writes result slot [i]
+   before incrementing the batch's completion count under the batch
+   mutex, and the caller only reads the slots after observing the full
+   count under the same mutex — every slot write happens-before the
+   corresponding read. *)
+
+type t = {
+  njobs : int;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  tasks : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let jobs t = t.njobs
+
+let worker pool =
+  let rec loop () =
+    Mutex.lock pool.lock;
+    while Queue.is_empty pool.tasks && not pool.stop do
+      Condition.wait pool.nonempty pool.lock
+    done;
+    if Queue.is_empty pool.tasks then Mutex.unlock pool.lock (* stop *)
+    else begin
+      let task = Queue.pop pool.tasks in
+      Mutex.unlock pool.lock;
+      task ();
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~jobs =
+  let njobs = max 1 jobs in
+  let pool =
+    {
+      njobs;
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      tasks = Queue.create ();
+      stop = false;
+      workers = [];
+    }
+  in
+  pool.workers <-
+    List.init (njobs - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  pool.stop <- true;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.lock;
+  let workers = pool.workers in
+  pool.workers <- [];
+  List.iter Domain.join workers
+
+let with_pool ~jobs f =
+  let pool = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* A worker function may raise: the slot records either the value or the
+   exception (with its backtrace), and the batch always runs every item
+   so the pool never carries stale tasks into the next batch. *)
+type 'b slot = Empty | Value of 'b | Raised of exn * Printexc.raw_backtrace
+
+let map pool f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs when pool.njobs = 1 -> List.map f xs
+  | xs ->
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    let slots = Array.make n Empty in
+    let bm = Mutex.create () in
+    let bc = Condition.create () in
+    let finished = ref 0 in
+    let run_one i =
+      let outcome =
+        match f arr.(i) with
+        | v -> Value v
+        | exception e -> Raised (e, Printexc.get_raw_backtrace ())
+      in
+      slots.(i) <- outcome;
+      Mutex.lock bm;
+      incr finished;
+      if !finished = n then Condition.signal bc;
+      Mutex.unlock bm
+    in
+    Mutex.lock pool.lock;
+    for i = 0 to n - 1 do
+      Queue.add (fun () -> run_one i) pool.tasks
+    done;
+    Condition.broadcast pool.nonempty;
+    Mutex.unlock pool.lock;
+    (* The caller helps drain the queue instead of blocking idle — the
+       pool's [njobs] counts it as one of the workers. *)
+    let rec help () =
+      Mutex.lock pool.lock;
+      let task =
+        if Queue.is_empty pool.tasks then None else Some (Queue.pop pool.tasks)
+      in
+      Mutex.unlock pool.lock;
+      match task with
+      | Some task ->
+        task ();
+        help ()
+      | None -> ()
+    in
+    help ();
+    Mutex.lock bm;
+    while !finished < n do
+      Condition.wait bc bm
+    done;
+    Mutex.unlock bm;
+    (* Deterministic failure: the lowest-index exception is the one a
+       sequential List.map would have raised first. *)
+    let first_error = ref None in
+    for i = n - 1 downto 0 do
+      match slots.(i) with
+      | Raised (e, bt) -> first_error := Some (e, bt)
+      | Empty | Value _ -> ()
+    done;
+    (match !first_error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.to_list
+      (Array.map
+         (function
+           | Value v -> v
+           | Empty | Raised _ -> assert false (* all finished, none raised *))
+         slots)
+
+let map_ordered ~jobs f xs =
+  if jobs <= 1 then List.map f xs
+  else with_pool ~jobs (fun pool -> map pool f xs)
+
+let maybe pool f xs =
+  match pool with Some pool -> map pool f xs | None -> List.map f xs
+
+let default_jobs () = Domain.recommended_domain_count ()

@@ -1,0 +1,61 @@
+(** A fixed-size work pool on stdlib [Domain] for the batch surfaces of
+    the flow: corpus compiles, design-space sweeps and [check --all] are
+    embarrassingly parallel, so the pool runs the per-item mapping flow
+    on several domains while keeping the {e observable} output exactly
+    equal to a sequential run.
+
+    Determinism contract: {!map} returns results in input order, and an
+    exception raised by the worker function is captured per item and
+    re-raised for the {e lowest-index} failing item — exactly the item a
+    sequential [List.map] would have failed on first. Results of items
+    that survived a failing batch are dropped cleanly and the pool
+    remains usable for further batches.
+
+    Worker functions must be self-contained up to domain-safe shared
+    state: the mapping flow qualifies because its only cross-item state
+    is {!Fpfa_obs.Obs}, which is domain-safe (atomic counters, per-domain
+    span buffers). Do not drain observability sinks while a batch is in
+    flight.
+
+    With [jobs = 1] no domain is ever spawned and every entry point is a
+    plain [List.map] in the calling domain — the default everywhere, so
+    parallelism is strictly opt-in ([-j N] on the CLI). *)
+
+type t
+(** A pool handle. A pool with [jobs = n] uses [n] domains per batch:
+    [n - 1] resident worker domains plus the caller, which participates
+    in draining its own batch. *)
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [max 0 (jobs - 1)] worker domains that block
+    until work arrives. [jobs] is clamped to at least 1. *)
+
+val jobs : t -> int
+(** The configured parallelism (including the calling domain). *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] applies [f] to every element of [xs], in parallel on
+    the pool's domains, and returns the results in input order. If one or
+    more applications raise, the whole batch still runs to completion
+    (the pool stays consistent), then the exception of the lowest-index
+    failing item is re-raised with its original backtrace. *)
+
+val shutdown : t -> unit
+(** Terminates and joins the worker domains. Idempotent. Outstanding
+    batches must have completed. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool and shuts it down
+    afterwards, also on exceptions. *)
+
+val map_ordered : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** One-shot convenience: [with_pool ~jobs @@ fun p -> map p f xs]. *)
+
+val maybe : t option -> ('a -> 'b) -> 'a list -> 'b list
+(** [maybe pool f xs] is [map p f xs] when [pool = Some p] and
+    [List.map f xs] otherwise — the shape every [?pool] entry point of
+    the library uses. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — what [-j 0] resolves to on
+    the CLI. *)

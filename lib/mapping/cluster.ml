@@ -38,10 +38,12 @@ let is_mult_class g id =
    order (scanning members in ascending topo position, ports left to
    right). *)
 let external_inputs g topo_pos members =
+  (* Look the topo position up once per member, not twice per comparison;
+     positions are unique, so sorting the pairs needs no id tie-break. *)
   let member_list =
-    List.sort
-      (fun a b -> compare (Hashtbl.find topo_pos a) (Hashtbl.find topo_pos b))
-      (G.Id_set.elements members)
+    G.Id_set.elements members
+    |> List.map (fun id -> (Hashtbl.find topo_pos id, id))
+    |> List.sort compare |> List.map snd
   in
   let seen = Hashtbl.create 8 in
   let acc = ref [] in

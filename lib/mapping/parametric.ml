@@ -21,7 +21,7 @@ let strided ctx what a b =
   a + (ctx.t * (b - a))
 
 let zip_list (_ : ctx) what f xs ys =
-  if List.length xs <> List.length ys then
+  if List.compare_lengths xs ys <> 0 then
     failf "%s: length %d vs %d" what (List.length xs) (List.length ys);
   List.map2 f xs ys
 

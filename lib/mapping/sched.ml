@@ -171,7 +171,10 @@ let run ?(alu_count = 5) ?(priority = Mobility) (clustering : Cluster.t) =
     in
     trim levels
   in
-  Obs.set c_levels (List.length levels);
+  (* record_max, not set: a parallel corpus batch must report the same
+     value as a sequential one, and last-writer-wins is not
+     deterministic across domains. *)
+  Obs.record_max c_levels (List.length levels);
   Obs.add c_levels_inserted (max 0 (List.length levels - (horizon + 1)));
   { clustering; level_of; levels = Array.of_list levels; asap; alap }
 

@@ -1,8 +1,25 @@
 type attr = Str of string | Int of int | Float of float | Bool of bool
 
-(* ------------------------------ state ------------------------------ *)
+(* ------------------------------ state ------------------------------
 
-let enabled_flag = ref false
+   Domain-safety layout (the pool in lib/exec runs the whole mapping
+   flow on several domains at once):
+
+   - [enabled_flag] and the span id source are Atomics — the disabled
+     fast path is one atomic load plus a branch, allocation-free.
+   - Counters hold an [int Atomic.t]; updates are lock-free and
+     commutative (incr/add/record_max), so parallel batch totals equal
+     sequential ones. The name->counter registry is the only shared
+     table and is guarded by [state_lock] (registration is rare).
+   - Spans accumulate in per-domain buffers reached through
+     [Domain.DLS]: a domain only ever touches its own open-span stack
+     and finished list, so recording needs no lock at all. Buffers
+     register themselves (under [state_lock]) when a domain first
+     records, and the drain entry points ([spans], sinks, [reset])
+     merge/clear all of them — they must only run while no batch is in
+     flight. *)
+
+let enabled_flag = Atomic.make false
 let clock = ref Sys.time
 
 type finished_span = {
@@ -24,28 +41,68 @@ type open_span = {
   oargs : (string * attr) list;
 }
 
-let next_id = ref 0
-let stack : open_span list ref = ref []
-let finished : finished_span list ref = ref []  (* newest first *)
+let next_id = Atomic.make 0
+let state_lock = Mutex.create ()
 
-type counter = { cname : string; mutable cvalue : int }
+type dbuf = {
+  dom : int;  (** Domain.self at creation *)
+  seq : int;  (** registration order; the [dom] tiebreak after id reuse *)
+  mutable stack : open_span list;
+  mutable finished : finished_span list;  (* newest first *)
+}
+
+let bufs : dbuf list ref = ref [] (* under state_lock *)
+let next_seq = Atomic.make 0
+
+let buf_key : dbuf Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        {
+          dom = (Domain.self () :> int);
+          seq = Atomic.fetch_and_add next_seq 1;
+          stack = [];
+          finished = [];
+        }
+      in
+      Mutex.lock state_lock;
+      bufs := b :: !bufs;
+      Mutex.unlock state_lock;
+      b)
+
+let my_buf () = Domain.DLS.get buf_key
+
+(* Deterministic merge order: the initial domain (id 0) first, then by
+   domain id and registration order. *)
+let all_bufs () =
+  Mutex.lock state_lock;
+  let all = !bufs in
+  Mutex.unlock state_lock;
+  List.sort (fun a b -> compare (a.dom, a.seq) (b.dom, b.seq)) all
+
+type counter = { cname : string; cvalue : int Atomic.t }
 
 let registry : (string, counter) Hashtbl.t = Hashtbl.create 64
+(* under state_lock *)
 
-let enabled () = !enabled_flag
-let enable () = enabled_flag := true
-let disable () = enabled_flag := false
+let enabled () = Atomic.get enabled_flag
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
 let set_clock f = clock := f
 
 let reset () =
-  stack := [];
-  finished := [];
-  next_id := 0;
-  Hashtbl.iter (fun _ c -> c.cvalue <- 0) registry
+  Mutex.lock state_lock;
+  List.iter
+    (fun b ->
+      b.stack <- [];
+      b.finished <- [])
+    !bufs;
+  Hashtbl.iter (fun _ c -> Atomic.set c.cvalue 0) registry;
+  Mutex.unlock state_lock;
+  Atomic.set next_id 0
 
 (* ------------------------------ spans ------------------------------ *)
 
-let close o t1 =
+let close b o t1 =
   (* Physical-equality pop: tolerates a thunk that enabled/disabled the
      subsystem mid-span by dropping any deeper strays. *)
   let rec drop = function
@@ -53,9 +110,9 @@ let close o t1 =
     | _ :: rest -> drop rest
     | [] -> []
   in
-  stack := drop !stack;
+  b.stack <- drop b.stack;
   let dur = t1 -. o.ostart in
-  finished :=
+  b.finished <-
     {
       sid = o.oid;
       sparent = o.oparent;
@@ -65,38 +122,34 @@ let close o t1 =
       sdur = (if dur > 0.0 then dur else 0.0);
       sargs = o.oargs;
     }
-    :: !finished
+    :: b.finished
 
 let span ?(cat = "flow") ?(args = []) name f =
-  if not !enabled_flag then f ()
+  if not (Atomic.get enabled_flag) then f ()
   else begin
-    let oid = !next_id in
-    Stdlib.incr next_id;
-    let oparent =
-      match !stack with [] -> None | top :: _ -> Some top.oid
-    in
+    let b = my_buf () in
+    let oid = Atomic.fetch_and_add next_id 1 in
+    let oparent = match b.stack with [] -> None | top :: _ -> Some top.oid in
     let o =
       { oid; oparent; oname = name; ocat = cat; ostart = !clock (); oargs = args }
     in
-    stack := o :: !stack;
+    b.stack <- o :: b.stack;
     match f () with
     | v ->
-      close o (!clock ());
+      close b o (!clock ());
       v
     | exception e ->
-      close o (!clock ());
+      close b o (!clock ());
       raise e
   end
 
 let instant ?(cat = "flow") ?(args = []) name =
-  if !enabled_flag then begin
-    let oid = !next_id in
-    Stdlib.incr next_id;
-    let sparent =
-      match !stack with [] -> None | top :: _ -> Some top.oid
-    in
+  if Atomic.get enabled_flag then begin
+    let b = my_buf () in
+    let oid = Atomic.fetch_and_add next_id 1 in
+    let sparent = match b.stack with [] -> None | top :: _ -> Some top.oid in
     let now = !clock () in
-    finished :=
+    b.finished <-
       {
         sid = oid;
         sparent;
@@ -106,33 +159,59 @@ let instant ?(cat = "flow") ?(args = []) name =
         sdur = 0.0;
         sargs = args;
       }
-      :: !finished
+      :: b.finished
   end
 
-let spans () = List.rev !finished
+let spans () =
+  List.concat_map (fun b -> List.rev b.finished) (all_bufs ())
 
 (* ----------------------------- counters ---------------------------- *)
 
 let counter cname =
-  match Hashtbl.find_opt registry cname with
-  | Some c -> c
-  | None ->
-    let c = { cname; cvalue = 0 } in
-    Hashtbl.replace registry cname c;
-    c
+  Mutex.lock state_lock;
+  let c =
+    match Hashtbl.find_opt registry cname with
+    | Some c -> c
+    | None ->
+      let c = { cname; cvalue = Atomic.make 0 } in
+      Hashtbl.replace registry cname c;
+      c
+  in
+  Mutex.unlock state_lock;
+  c
 
-let incr c = if !enabled_flag then c.cvalue <- c.cvalue + 1
-let add c n = if !enabled_flag then c.cvalue <- c.cvalue + n
-let set c n = if !enabled_flag then c.cvalue <- n
-let record_max c n = if !enabled_flag && n > c.cvalue then c.cvalue <- n
-let value c = c.cvalue
+let incr c =
+  if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c.cvalue 1)
+
+let add c n =
+  if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c.cvalue n)
+
+let set c n = if Atomic.get enabled_flag then Atomic.set c.cvalue n
+
+let record_max c n =
+  if Atomic.get enabled_flag then begin
+    let rec raise_to () =
+      let cur = Atomic.get c.cvalue in
+      if n > cur && not (Atomic.compare_and_set c.cvalue cur n) then raise_to ()
+    in
+    raise_to ()
+  end
+
+let value c = Atomic.get c.cvalue
 
 let counters () =
-  Hashtbl.fold (fun _ c acc -> (c.cname, c.cvalue) :: acc) registry []
-  |> List.sort compare
+  Mutex.lock state_lock;
+  let rows =
+    Hashtbl.fold (fun _ c acc -> (c.cname, Atomic.get c.cvalue) :: acc) registry []
+  in
+  Mutex.unlock state_lock;
+  List.sort compare rows
 
 let find_counter name =
-  Option.map (fun c -> c.cvalue) (Hashtbl.find_opt registry name)
+  Mutex.lock state_lock;
+  let c = Hashtbl.find_opt registry name in
+  Mutex.unlock state_lock;
+  Option.map (fun c -> Atomic.get c.cvalue) c
 
 (* --------------------------- Chrome trace --------------------------- *)
 
@@ -173,31 +252,41 @@ let add_json_args buf args =
     args;
   Buffer.add_char buf '}'
 
+(* The per-domain buffers become Chrome-trace threads: spans carry the
+   tid of the domain that recorded them, so a parallel batch renders as
+   one lane per domain in the viewer. *)
 let chrome_trace () =
-  let all = spans () in
-  let ordered =
-    List.stable_sort
-      (fun a b -> compare (a.sstart, a.sid) (b.sstart, b.sid))
-      all
-  in
-  let t0 = match ordered with [] -> 0.0 | s :: _ -> s.sstart in
-  let us t = (t -. t0) *. 1e6 in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"traceEvents\":[\n";
   Buffer.add_string buf
     "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"fpfa_map\"}}";
+  let tagged =
+    List.concat_map
+      (fun b -> List.rev_map (fun s -> (b.dom, s)) b.finished)
+      (all_bufs ())
+  in
+  let ordered =
+    List.stable_sort
+      (fun (_, a) (_, b) -> compare (a.sstart, a.sid) (b.sstart, b.sid))
+      tagged
+  in
+  let t0 = match ordered with [] -> 0.0 | (_, s) :: _ -> s.sstart in
+  let us t = (t -. t0) *. 1e6 in
   let t_end =
-    List.fold_left (fun acc s -> Float.max acc (s.sstart +. s.sdur)) t0 all
+    List.fold_left
+      (fun acc (_, s) -> Float.max acc (s.sstart +. s.sdur))
+      t0 tagged
   in
   List.iter
-    (fun s ->
+    (fun (tid, s) ->
       Buffer.add_string buf ",\n{\"name\":";
       add_json_string buf s.sname;
       Buffer.add_string buf ",\"cat\":";
       add_json_string buf s.scat;
       Buffer.add_string buf
-        (Printf.sprintf ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":0"
-           (us s.sstart) (s.sdur *. 1e6));
+        (Printf.sprintf
+           ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d"
+           (us s.sstart) (s.sdur *. 1e6) tid);
       if s.sargs <> [] then begin
         Buffer.add_string buf ",\"args\":";
         add_json_args buf s.sargs

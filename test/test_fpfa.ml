@@ -29,4 +29,5 @@ let () =
       ("loop", Test_loop.suite);
       ("obs", Test_obs.suite);
       ("analysis", Test_analysis.suite);
+      ("exec", Test_exec.suite);
     ]
