@@ -211,6 +211,8 @@ let compile inputs variant func show_job show_schedule show_gantt check_width
         Format.printf "%a@." Fpfa_core.Flow.pp_summary result;
         Format.printf "simplification:@.%a@." Transform.Simplify.pp_report
           result.Fpfa_core.Flow.simplify_report;
+        Format.printf "disambiguation:@.%a@." Transform.Disambig.pp_report
+          result.Fpfa_core.Flow.disambig_report;
         if show_schedule then
           Format.printf "schedule:@.%a@." Mapping.Sched.pp
             result.Fpfa_core.Flow.schedule;
@@ -640,8 +642,10 @@ let simplify_cmd =
 module Diag = Fpfa_diag.Diag
 
 (* All diagnostics for one program: structural verifier on the raw and
-   minimised graphs, mappability + lints on the minimised graph, and the
-   mapping validators replaying cluster/schedule/allocation legality. *)
+   minimised graphs, mappability + statespace legality + lints on the
+   minimised graph, and the mapping validators replaying
+   cluster/schedule/allocation legality. One address analysis is shared
+   by the verifier, the lints, and the JSON facts dump. *)
 let check_one ~config source ~func =
   match Fpfa_core.Flow.map_source ~config ~func source with
   | result ->
@@ -651,16 +655,27 @@ let check_one ~config source ~func =
       | Some caps -> caps
       | None -> config.tile.Fpfa_arch.Arch.alu
     in
-    Diag.sort
-      (Fpfa_analysis.Verify.structure result.raw_graph
-      @ Fpfa_analysis.Verify.all result.graph
-      @ Fpfa_analysis.Lint.run result.graph
-      @ Fpfa_analysis.Mapcheck.cluster ~caps result.clustering
-      @ Fpfa_analysis.Mapcheck.sched
-          ~alu_count:config.tile.Fpfa_arch.Arch.alu_count result.schedule
-      @ Fpfa_analysis.Mapcheck.alloc result.job)
+    let structure = Fpfa_analysis.Verify.structure result.graph in
+    let facts =
+      if Diag.errors structure = [] then
+        Some (Fpfa_analysis.Addr.analyze result.graph)
+      else None
+    in
+    let diags =
+      Diag.sort
+        (Fpfa_analysis.Verify.structure result.raw_graph
+        @ Fpfa_analysis.Verify.all ?facts result.graph
+        @ (match facts with
+          | Some facts -> Fpfa_analysis.Lint.run ~facts result.graph
+          | None -> [])
+        @ Fpfa_analysis.Mapcheck.cluster ~caps result.clustering
+        @ Fpfa_analysis.Mapcheck.sched
+            ~alu_count:config.tile.Fpfa_arch.Arch.alu_count result.schedule
+        @ Fpfa_analysis.Mapcheck.alloc result.job)
+    in
+    (diags, Option.map Fpfa_analysis.Addr.facts_to_json facts)
   | exception Fpfa_core.Flow.Flow_error msg ->
-    [ Diag.error "flow.error" "%s" msg ]
+    ([ Diag.error "flow.error" "%s" msg ], None)
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 2) in
@@ -697,7 +712,7 @@ let check input func json verify_each no_lint all jobs obs_trace obs_stats =
   let checked =
     Pool.map_ordered ~jobs:(resolve_jobs jobs)
       (fun (name, source, func) ->
-        let diags = check_one ~config source ~func in
+        let diags, facts = check_one ~config source ~func in
         let diags =
           if no_lint then
             List.filter
@@ -708,22 +723,24 @@ let check input func json verify_each no_lint all jobs obs_trace obs_stats =
               diags
           else diags
         in
-        (name, diags))
+        (name, diags, facts))
       targets
   in
   if json then begin
     let objects =
       List.map
-        (fun (name, diags) ->
-          Printf.sprintf "{\"input\": \"%s\", \"diagnostics\": %s}"
-            (json_escape name) (Diag.list_to_json diags))
+        (fun (name, diags, facts) ->
+          Printf.sprintf
+            "{\"input\": \"%s\", \"diagnostics\": %s, \"address_facts\": %s}"
+            (json_escape name) (Diag.list_to_json diags)
+            (match facts with Some j -> j | None -> "null"))
         checked
     in
     print_string ("[" ^ String.concat ", " objects ^ "]\n")
   end
   else
     List.iter
-      (fun (name, diags) ->
+      (fun (name, diags, _) ->
         let errors = Diag.count Diag.Error diags in
         let warnings = Diag.count Diag.Warning diags in
         if diags = [] then Printf.printf "%s: clean\n" name
@@ -736,7 +753,8 @@ let check input func json verify_each no_lint all jobs obs_trace obs_stats =
         end)
       checked;
   obs_finish ~trace:obs_trace ~stats:obs_stats;
-  if List.exists (fun (_, diags) -> Diag.has_errors diags) checked then exit 1
+  if List.exists (fun (_, diags, _) -> Diag.has_errors diags) checked then
+    exit 1
 
 let check_input_arg =
   Arg.(

@@ -1,0 +1,5 @@
+(* Re-export of the shared saturating interval arithmetic under the
+   analysis library's namespace: clients of Fpfa_analysis.Addr can speak
+   Fpfa_analysis.Interval without also depending on fpfa_util. *)
+
+include Fpfa_util.Interval

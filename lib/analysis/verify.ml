@@ -181,7 +181,55 @@ let mappability g =
   Obs.span ~cat:"analysis" "verify-mappability" @@ fun () ->
   record (Mapping.Legalize.check_diags g)
 
-let all g = D.sort (structure g @ mappability g)
+(* {2 Statespace order legality} *)
+
+let statespace ?facts g =
+  Obs.span ~cat:"analysis" "verify-statespace" @@ fun () ->
+  let facts = match facts with Some f -> f | None -> Addr.analyze g in
+  let oracle = Addr.oracle facts in
+  let index = Transform.Disambig.writer_index g in
+  (* Memoized ancestor sets over data + order edges: the fetch must reach
+     the writer through *some* path for the anti-dependence to hold. *)
+  let cache : (G.id, G.Id_set.t) Hashtbl.t = Hashtbl.create 32 in
+  let rec ancestors id =
+    match Hashtbl.find_opt cache id with
+    | Some s -> s
+    | None ->
+      let n = G.node g id in
+      let preds = Array.to_list n.G.inputs @ n.G.order_after in
+      let s =
+        List.fold_left
+          (fun acc p -> G.Id_set.union (G.Id_set.add p (ancestors p)) acc)
+          G.Id_set.empty preds
+      in
+      Hashtbl.replace cache id s;
+      s
+  in
+  let diags = ref [] in
+  G.iter g (fun n ->
+      match n.G.kind with
+      | G.Fe region ->
+        List.iter
+          (fun (w, _) ->
+            if not (G.Id_set.mem n.G.id (ancestors w)) then
+              diags :=
+                D.error ~node:n.G.id "cdfg.statespace-order"
+                  "fetch node %d of region %s may read a cell also written \
+                   by node %d, but no data or order path keeps the fetch \
+                   before the writer"
+                  n.G.id region w
+                :: !diags)
+          (Transform.Disambig.needed_writers ~index ~oracle g n.G.id)
+      | _ -> ());
+  record (List.rev !diags)
+
+let all ?facts g =
+  let s = structure g in
+  (* The statespace replay needs a structurally sound graph (the address
+     analysis walks data edges and topological order); skip it rather
+     than crash on top of structure errors. *)
+  let ss = if D.errors s = [] then statespace ?facts g else [] in
+  D.sort (s @ mappability g @ ss)
 
 (* {2 Incremental checks for the pass-engine hook} *)
 

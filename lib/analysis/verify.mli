@@ -37,9 +37,23 @@ val mappability : Cdfg.Graph.t -> Fpfa_diag.Diag.t list
 (** {!Mapping.Legalize.check_diags}: constant non-negative statespace
     offsets, every named output stored to a region. *)
 
-val all : Cdfg.Graph.t -> Fpfa_diag.Diag.t list
-(** [structure] followed by [mappability], sorted with
-    {!Fpfa_diag.Diag.sort}. *)
+val statespace : ?facts:Addr.t -> Cdfg.Graph.t -> Fpfa_diag.Diag.t list
+(** Replays statespace-order legality against the address analysis: for
+    every fetch, each possibly-aliasing writer downstream of the fetch's
+    token version ({!Transform.Disambig.needed_writers} under the
+    {!Addr.oracle}) must be reachable from the fetch through data or
+    order edges — otherwise an ["cdfg.statespace-order"] error blames the
+    fetch. This is the audit that catches an illegally removed
+    anti-dependence edge (e.g. a buggy {!Transform.Disambig} oracle).
+    Requires a structurally sound, acyclic graph; [facts] defaults to a
+    fresh {!Addr.analyze}. Sound on settled graphs (after simplification
+    has collected forwarded fetches), which is when anti-dependences are
+    meaningful. *)
+
+val all : ?facts:Addr.t -> Cdfg.Graph.t -> Fpfa_diag.Diag.t list
+(** [structure] followed by [mappability] and — when [structure] found no
+    errors — {!statespace}, sorted with {!Fpfa_diag.Diag.sort}. [facts]
+    is forwarded to {!statespace}. *)
 
 val local : Cdfg.Graph.t -> Cdfg.Graph.Id_set.t -> Fpfa_diag.Diag.t list
 (** {!node} on the still-live members of a touched set, plus validity of

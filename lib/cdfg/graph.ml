@@ -201,6 +201,19 @@ let add_order g id ~after =
     mark_def g id
   end
 
+let remove_order g id ~after =
+  let n = node g id in
+  if List.mem after n.order_after then begin
+    Hashtbl.replace g.nodes id
+      { n with order_after = List.filter (fun x -> x <> after) n.order_after };
+    unindex_order_edge g ~producer:after ~consumer:id;
+    touch g;
+    mark_def g id
+  end
+
+let remove_order_all g id ~after =
+  List.iter (fun a -> remove_order g id ~after:a) after
+
 let set_output g output_name id =
   check_ref g id;
   (match List.assoc_opt output_name g.named_outputs with

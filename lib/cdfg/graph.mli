@@ -79,6 +79,17 @@ val replace_uses : t -> id -> by:id -> unit
 val remove : t -> id -> unit
 (** Removes a node. @raise Invalid if the node still has uses. *)
 
+val remove_order : t -> id -> after:id -> unit
+(** [remove_order g n ~after:m] deletes the order-only edge that makes [n]
+    execute after [m]; a no-op when no such edge exists (the graph is not
+    touched and the topo-order cache stays valid). Stamps the generation
+    counter and the dirty journal exactly like {!add_order}. The caller is
+    responsible for the edge being semantically removable — see
+    {!Transform.Disambig}. *)
+
+val remove_order_all : t -> id -> after:id list -> unit
+(** {!remove_order} over a batch of predecessors. *)
+
 val clear_order : t -> id -> unit
 (** Drops all order-only edges of a node. *)
 

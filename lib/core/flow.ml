@@ -16,6 +16,7 @@ type config = {
   max_unroll : int;
   delete_locals : bool;
   verify_each : bool;
+  disambiguate : bool;
 }
 
 let default_config =
@@ -28,6 +29,7 @@ let default_config =
     max_unroll = 4096;
     delete_locals = false;
     verify_each = false;
+    disambiguate = true;
   }
 
 type result = {
@@ -36,6 +38,7 @@ type result = {
   raw_graph : Cdfg.Graph.t;
   graph : Cdfg.Graph.t;
   simplify_report : Transform.Simplify.report;
+  disambig_report : Transform.Disambig.report;
   clustering : Mapping.Cluster.t;
   schedule : Mapping.Sched.t;
   job : Mapping.Job.t;
@@ -105,6 +108,29 @@ let map_prepared ~config ~source ~func raw_graph =
           Transform.Simplify.minimize ~passes ~validate:false ?verify graph)
   in
   stage "simplify-validate" (fun () -> Cdfg.Graph.validate graph);
+  let disambig_report =
+    stage "disambig" (fun () ->
+        if config.disambiguate then begin
+          (* Address-analysis pruning of conservative anti-dependence
+             edges. Under verify_each the structural hook is augmented
+             with the whole-graph statespace-legality replay: an illegal
+             edge removal fails the flow blaming rule "disambig". *)
+          let verify =
+            if config.verify_each then
+              Some
+                (fun rule g touched ->
+                  Fpfa_analysis.Verify.pass_hook () rule g touched;
+                  match
+                    Fpfa_diag.Diag.errors (Fpfa_analysis.Verify.statespace g)
+                  with
+                  | [] -> ()
+                  | errs -> raise (Fpfa_diag.Diag.Failed errs))
+            else None
+          in
+          Fpfa_analysis.Addr.prune ?verify graph
+        end
+        else Transform.Disambig.empty_report)
+  in
   let caps = match config.caps with Some caps -> caps | None -> config.tile.Arch.alu in
   let clustering = stage "cluster" (fun () -> config.cluster_with ~caps graph) in
   stage "cluster-validate" (fun () -> Mapping.Cluster.validate clustering caps);
@@ -126,6 +152,7 @@ let map_prepared ~config ~source ~func raw_graph =
     raw_graph;
     graph;
     simplify_report;
+    disambig_report;
     clustering;
     schedule;
     job;

@@ -31,6 +31,11 @@ type config = {
           after every simplification rule firing; an invariant-breaking
           rule surfaces as a [Flow_error] naming the rule (default
           false — the `--verify-each-pass` CLI mode) *)
+  disambiguate : bool;
+      (** prune provably-false anti-dependence order edges after
+          simplification ({!Fpfa_analysis.Addr.prune}; default true).
+          Under [verify_each] every edit batch is additionally audited by
+          the {!Fpfa_analysis.Verify.statespace} replay. *)
 }
 
 val default_config : config
@@ -42,6 +47,9 @@ type result = {
   raw_graph : Cdfg.Graph.t;  (** CDFG before minimisation *)
   graph : Cdfg.Graph.t;  (** minimised CDFG *)
   simplify_report : Transform.Simplify.report;
+  disambig_report : Transform.Disambig.report;
+      (** order-edge pruning tallies (all zero when [disambiguate] was
+          off) *)
   clustering : Mapping.Cluster.t;
   schedule : Mapping.Sched.t;
   job : Mapping.Job.t;

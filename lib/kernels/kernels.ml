@@ -333,10 +333,42 @@ void main() {
     inputs = [ ("p", test_vector ~seed:24 n); ("q", test_vector ~seed:25 n) ];
   }
 
+let fir_delay ~taps =
+  (* In-place delay-line FIR: the state shift stores into cells adjacent
+     to the ones still being read, so the builder's conservative
+     anti-dependence order edges survive simplification — the workload
+     that exercises the address-analysis disambiguation pass. *)
+  {
+    name = Printf.sprintf "fir-dl-%d" taps;
+    description =
+      Printf.sprintf "%d-tap FIR with an in-place delay-line shift" taps;
+    source =
+      Printf.sprintf
+        {|void main() {
+  acc = 0;
+  for (k = %d; k > 0; k = k - 1) {
+    state[k] = state[k - 1];
+  }
+  state[0] = x[0];
+  for (k = 0; k < %d; k = k + 1) {
+    acc += state[k] * coef[k];
+  }
+  y = acc;
+}|}
+        (taps - 1) taps;
+    inputs =
+      [
+        ("state", test_vector ~seed:26 taps);
+        ("coef", test_vector ~seed:27 taps);
+        ("x", test_vector ~seed:28 1);
+      ];
+  }
+
 let all =
   [
     fir_paper;
     fir ~taps:16;
+    fir_delay ~taps:8;
     dot_product ~n:8;
     vector_scale ~n:8;
     saxpy ~n:8;

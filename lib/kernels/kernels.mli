@@ -22,6 +22,11 @@ val fir_paper : t
 val fir : taps:int -> t
 (** FIR with a configurable tap count (paper's loop bound generalised). *)
 
+val fir_delay : taps:int -> t
+(** FIR with an in-place delay-line shift: stores land next to cells
+    still being read, so conservative anti-dependence order edges survive
+    simplification — the disambiguation pass's workload. *)
+
 val dot_product : n:int -> t
 val vector_scale : n:int -> t
 val saxpy : n:int -> t

@@ -1,68 +1,27 @@
 module G = Cdfg.Graph
 module Op = Cdfg.Op
+module I = Fpfa_util.Interval
 
-type interval = { lo : int; hi : int }
+(* The saturating interval arithmetic lives in Fpfa_util.Interval (shared
+   with the address analysis); this module keeps the Op-indexed transfer
+   functions and the CDFG fixpoint. The type equation keeps [interval]
+   interchangeable with [Interval.t] for clients on either side. *)
+type interval = I.t = { lo : int; hi : int }
 
-let pp_interval fmt { lo; hi } = Format.fprintf fmt "[%d, %d]" lo hi
-
-(* Bounds saturate to the full OCaml int range: [min_int] and [max_int]
-   act as minus/plus infinity, so the top interval contains every runtime
-   value — including results of operations that wrap the 63-bit machine
-   integer (e.g. huge shifts). All arithmetic on bounds detects overflow
-   (via floats, exact enough at this magnitude) and saturates instead of
-   wrapping, which keeps the analysis sound. *)
-let neg_inf = min_int
-let pos_inf = max_int
-let finite_limit = 1 lsl 59
-
-let is_inf v = v = neg_inf || v = pos_inf
-
-let sat v = if v >= finite_limit then pos_inf else if v <= -finite_limit then neg_inf else v
-
-let sat_add a b =
-  if a = neg_inf || b = neg_inf then neg_inf
-  else if a = pos_inf || b = pos_inf then pos_inf
-  else sat (a + b)
-
-let sat_neg a =
-  if a = neg_inf then pos_inf else if a = pos_inf then neg_inf else -a
-
-let sat_sub a b = sat_add a (sat_neg b)
-
-let sat_mul a b =
-  if a = 0 || b = 0 then 0
-  else
-    let sign = (a > 0) = (b > 0) in
-    if is_inf a || is_inf b then if sign then pos_inf else neg_inf
-    else if Float.abs (float_of_int a *. float_of_int b) >= float_of_int finite_limit
-    then if sign then pos_inf else neg_inf
-    else sat (a * b)
-
-let make lo hi =
-  assert (lo <= hi);
-  { lo; hi }
-
-let const v = make (sat v) (sat v)
-let hull a b = make (min a.lo b.lo) (max a.hi b.hi)
-let top = make neg_inf pos_inf
-let bool_interval = make 0 1
-
-let full_width width =
-  assert (width > 1);
-  make (-(1 lsl (width - 1))) ((1 lsl (width - 1)) - 1)
-
-(* pos_inf when any bound is infinite *)
-let magnitude a =
-  if is_inf a.lo || is_inf a.hi then pos_inf else max (abs a.lo) (abs a.hi)
-
-(* Smallest k such that the interval fits in a signed (k+1)-bit word; used
-   for the conservative bitwise bound. *)
-let bits_for a =
-  let m = magnitude a in
-  if m = pos_inf then 62
-  else
-    let rec loop k = if k >= 62 || 1 lsl k > m then k else loop (k + 1) in
-    loop 1
+let pp_interval = I.pp
+let is_inf = I.is_inf
+let sat_add = I.sat_add
+let sat_neg = I.sat_neg
+let sat_sub = I.sat_sub
+let sat_mul = I.sat_mul
+let make = I.make
+let const = I.const
+let hull = I.hull
+let top = I.top
+let bool_interval = I.bool_interval
+let full_width = I.full_width
+let magnitude = I.magnitude
+let bits_for = I.bits_for
 
 let binop_interval op a b =
   match op with
@@ -73,8 +32,8 @@ let binop_interval op a b =
       [ sat_mul a.lo b.lo; sat_mul a.lo b.hi; sat_mul a.hi b.lo; sat_mul a.hi b.hi ]
     in
     make
-      (List.fold_left min pos_inf products)
-      (List.fold_left max neg_inf products)
+      (List.fold_left min I.pos_inf products)
+      (List.fold_left max I.neg_inf products)
   | Op.Div ->
     (* |a / b| <= |a| for any b (and a/0 = 0 in our total semantics) *)
     let m = magnitude a in
@@ -83,7 +42,7 @@ let binop_interval op a b =
     (* |a mod b| < |b| and |a mod b| <= |a|; a mod 0 = 0 *)
     let m =
       let ma = magnitude a
-      and mb = if magnitude b = pos_inf then pos_inf else max 0 (magnitude b - 1) in
+      and mb = if magnitude b = I.pos_inf then I.pos_inf else max 0 (magnitude b - 1) in
       min ma mb
     in
     let lo = if a.lo < 0 then sat_neg m else 0 in
@@ -105,6 +64,12 @@ let binop_interval op a b =
     else
       (* arithmetic shift never grows magnitude; out-of-range yields 0 *)
       make (min a.lo 0) (max a.hi 0)
+  | Op.Band when b.lo = b.hi && b.lo >= 0 && not (is_inf b.hi) ->
+    (* AND with a non-negative constant mask lands in [0, mask] whatever
+       the other operand is (two's complement) — the fact that keeps
+       masked dynamic addresses like a[i & 7] bounded. *)
+    make 0 b.lo
+  | Op.Band when a.lo = a.hi && a.lo >= 0 && not (is_inf a.hi) -> make 0 a.lo
   | Op.Band | Op.Bor | Op.Bxor ->
     let k = max (bits_for a) (bits_for b) in
     if k >= 62 then top
@@ -129,6 +94,9 @@ type report = {
   iterations : int;
 }
 
+(* Spans wider than this are tracked as whole-region, not cell-by-cell. *)
+let max_cell_span = 64
+
 let analyze ?(width = 16) ?(input_ranges = []) g =
   let input_range region =
     match List.assoc_opt region input_ranges with
@@ -142,8 +110,32 @@ let analyze ?(width = 16) ?(input_ranges = []) g =
   List.iter
     (fun (region, _) -> Hashtbl.replace region_range region (input_range region))
     (G.regions g);
-  let order = G.topo_order g in
   let changed = ref true in
+  (* Cell-precise refinement: constant- and narrowly-bounded-offset stores
+     widen only the cells they can touch, and fetches with such offsets
+     read the join of just those cells. A store whose offset is unbounded
+     (or wider than [max_cell_span]) poisons the whole region back to the
+     region-level join. Cells only widen and [imprecise] only flips on, so
+     convergence is unaffected. *)
+  let cell_range : (string * int, interval) Hashtbl.t = Hashtbl.create 32 in
+  let imprecise : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  let cell region k =
+    match Hashtbl.find_opt cell_range (region, k) with
+    | Some r -> r
+    | None -> input_range region
+  in
+  let widen_cell region k r =
+    let old = cell region k in
+    let joined = hull old r in
+    if joined <> old then begin
+      Hashtbl.replace cell_range (region, k) joined;
+      changed := true
+    end
+  in
+  let narrow_span (off : interval) =
+    (not (is_inf off.lo || is_inf off.hi)) && off.hi - off.lo <= max_cell_span
+  in
+  let order = G.topo_order g in
   let iterations = ref 0 in
   let max_iterations = 8 in
   while !changed && !iterations < max_iterations do
@@ -168,7 +160,23 @@ let analyze ?(width = 16) ?(input_ranges = []) g =
         | G.Binop op -> update (binop_interval op (value 0) (value 1))
         | G.Unop op -> update (unop_interval op (value 0))
         | G.Mux -> update (hull (value 1) (value 2))
-        | G.Fe region -> update (Hashtbl.find region_range region)
+        | G.Fe region ->
+          let whole = Hashtbl.find region_range region in
+          let r =
+            if Hashtbl.mem imprecise region then whole
+            else
+              let off = value 1 in
+              if off.lo = off.hi && not (is_inf off.lo) then cell region off.lo
+              else if narrow_span off then begin
+                let acc = ref (cell region off.lo) in
+                for k = off.lo + 1 to off.hi do
+                  acc := hull !acc (cell region k)
+                done;
+                !acc
+              end
+              else whole
+          in
+          update r
         | G.St region ->
           let stored = value 2 in
           let old = Hashtbl.find region_range region in
@@ -176,16 +184,46 @@ let analyze ?(width = 16) ?(input_ranges = []) g =
           if joined <> old then begin
             Hashtbl.replace region_range region joined;
             changed := true
+          end;
+          if not (Hashtbl.mem imprecise region) then begin
+            let off = value 1 in
+            if off.lo = off.hi && not (is_inf off.lo) then
+              widen_cell region off.lo stored
+            else if narrow_span off then
+              for k = off.lo to off.hi do
+                widen_cell region k stored
+              done
+            else begin
+              Hashtbl.replace imprecise region ();
+              changed := true
+            end
           end
         | G.Ss_in _ | G.Ss_out _ | G.Del _ -> ())
       order
   done;
-  (* If the fixpoint did not settle, widen everything that was still in
-     motion to the unbounded interval (sound, maximally conservative). *)
+  (* If the fixpoint did not settle, the region feedback was still in
+     motion. Rather than widening every value to the unbounded interval
+     (which would lose even constants), pin all region contents at [top]
+     and recompute in one feed-forward sweep: with memory fixed the
+     transfer is pure dataflow over a DAG, so a single topological pass
+     is the exact fixpoint. Constants and arithmetic over them stay
+     precise; only memory-derived values degrade. *)
   if !changed then begin
     List.iter
+      (fun (region, _) -> Hashtbl.replace region_range region top)
+      (G.regions g);
+    List.iter
       (fun id ->
-        if Hashtbl.mem value_range id then Hashtbl.replace value_range id top)
+        let n = G.node g id in
+        let value i = Hashtbl.find value_range n.G.inputs.(i) in
+        let set r = Hashtbl.replace value_range id r in
+        match n.G.kind with
+        | G.Const v -> set (const v)
+        | G.Binop op -> set (binop_interval op (value 0) (value 1))
+        | G.Unop op -> set (unop_interval op (value 0))
+        | G.Mux -> set (hull (value 1) (value 2))
+        | G.Fe _ -> set top
+        | G.St _ | G.Ss_in _ | G.Ss_out _ | G.Del _ -> ())
       order
   end;
   let limit = full_width width in

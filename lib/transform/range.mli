@@ -8,19 +8,31 @@
     may fall outside a signed [width]-bit word.
 
     Fetches join the region's input interval with the intervals of every
-    store to the region (reads may observe stored values); the analysis
-    iterates to a fixpoint, widening to the unbounded interval when it does
-    not stabilise quickly. All interval arithmetic saturates, so the
-    analysis itself cannot overflow. *)
+    store that may alias them: constant- and narrowly-bounded-offset
+    stores are tracked cell by cell, wider dynamic stores fall back to the
+    whole-region join. The analysis iterates to a fixpoint, widening to
+    the unbounded interval when it does not stabilise quickly.
 
-type interval = { lo : int; hi : int }
+    The interval type and its saturating arithmetic are
+    {!Fpfa_util.Interval} (shared with {!Fpfa_analysis.Addr}); the
+    equation below keeps the two interchangeable. *)
+
+type interval = Fpfa_util.Interval.t = { lo : int; hi : int }
 
 val pp_interval : Format.formatter -> interval -> unit
 
 val const : int -> interval
 val hull : interval -> interval -> interval
+val top : interval
+val bool_interval : interval
 val full_width : int -> interval
 (** The signed [width]-bit interval, e.g. [full_width 16 = [-32768, 32767]]. *)
+
+val binop_interval : Cdfg.Op.binop -> interval -> interval -> interval
+(** Sound interval transfer function of a binary operator (under the
+    evaluator's total semantics: division and modulo by zero yield 0). *)
+
+val unop_interval : Cdfg.Op.unop -> interval -> interval
 
 type violation = {
   node : Cdfg.Graph.id;

@@ -151,6 +151,54 @@ let program_gen st =
 let program =
   Q.make ~print:(fun p -> Cfront.Ast.program_to_string p) program_gen
 
+(* Programs with masked dynamic array indices: [arr[s & (arr_len - 1)]]
+   stays in bounds at runtime but defeats store forwarding and constant
+   offset reasoning, so conservative anti-dependence order edges survive
+   simplification — the disambiguation pass's input family. The mask
+   keeps the address analysis interval bounded. *)
+let dyn_index_gen st =
+  let open Q.Gen in
+  map
+    (fun v ->
+      Cfront.Ast.Binop
+        (Cfront.Ast.Band, Cfront.Ast.Var v, Cfront.Ast.Int_lit (arr_len - 1)))
+    (oneofl scalar_names)
+    st
+
+let dyn_expr_gen ~depth st =
+  let open Q.Gen in
+  oneof
+    [
+      expr_gen ~depth;
+      map2
+        (fun a i -> Cfront.Ast.Index (a, i))
+        (oneofl array_names) dyn_index_gen;
+    ]
+    st
+
+let dyn_stmt_gen st =
+  let open Q.Gen in
+  oneof
+    [
+      map2
+        (fun v e -> Cfront.Ast.Assign (Cfront.Ast.Lvar v, e))
+        (oneofl scalar_names) (dyn_expr_gen ~depth:2);
+      map3
+        (fun a i e -> Cfront.Ast.Assign (Cfront.Ast.Lindex (a, i), e))
+        (oneofl array_names)
+        (oneof [ dyn_index_gen; index_gen ~loop_var:None ])
+        (dyn_expr_gen ~depth:2);
+    ]
+    st
+
+let dyn_program_gen st =
+  let open Q.Gen in
+  let body = list_size (int_range 2 8) dyn_stmt_gen st in
+  [ { Cfront.Ast.name = "main"; params = []; body; returns_value = false } ]
+
+let dyn_program =
+  Q.make ~print:(fun p -> Cfront.Ast.program_to_string p) dyn_program_gen
+
 (* Deterministic inputs for the generated programs. *)
 let array_inputs =
   List.map

@@ -233,6 +233,141 @@ let test_lint_range_overflow () =
   let g = Cdfg.Builder.build_program "void main() { x = a * b; }" in
   flags "16-bit product" "lint.range-overflow" (Lint.run g)
 
+(* An opaque-but-masked index: Fe of an implicit region, & with a
+   constant. The address analysis bounds it to [0, mask]. *)
+let masked_index g tok_inp mask =
+  let c0 = G.add g (G.Const 0) [] in
+  let cm = G.add g (G.Const mask) [] in
+  let raw = G.add g (G.Fe "inp") [ tok_inp; c0 ] in
+  G.add g (G.Binop Cdfg.Op.Band) [ raw; cm ]
+
+let test_lint_band_fetch_uninit () =
+  let g = G.create "l" in
+  G.declare_region g "loc" { G.size = Some 8; implicit = false };
+  G.declare_region g "inp" { G.size = Some 1; implicit = true };
+  let tl = G.add g (G.Ss_in "loc") [] in
+  let ti = G.add g (G.Ss_in "inp") [] in
+  let idx = masked_index g ti 7 in
+  let f1 = G.add g (G.Fe "loc") [ tl; idx ] in
+  let c3 = G.add g (G.Const 3) [] in
+  let v = G.add g (G.Const 9) [] in
+  let st = G.add g (G.St "loc") [ tl; c3; v ] in
+  let f2 = G.add g (G.Fe "loc") [ st; idx ] in
+  G.set_output g "a" f1;
+  G.set_output g "b" f2;
+  let diags = Lint.run g in
+  flags "band fetch of a never-written region" "lint.fetch-uninit" diags;
+  Alcotest.(check int)
+    "only the pre-store band fetch is flagged (one touched cell suffices)" 1
+    (List.length
+       (List.filter (fun d -> String.equal d.D.rule "lint.fetch-uninit") diags));
+  Alcotest.(check bool) "no suppression: the band is bounded" false
+    (D.has_rule "lint.suppressed" diags)
+
+let test_lint_band_store_not_dead () =
+  let g = G.create "l" in
+  G.declare_region g "loc" { G.size = Some 8; implicit = false };
+  G.declare_region g "inp" { G.size = Some 1; implicit = true };
+  let tl = G.add g (G.Ss_in "loc") [] in
+  let ti = G.add g (G.Ss_in "inp") [] in
+  let idx = masked_index g ti 7 in
+  let c0 = G.add g (G.Const 0) [] in
+  let v1 = G.add g (G.Const 4) [] in
+  let v2 = G.add g (G.Const 5) [] in
+  let st1 = G.add g (G.St "loc") [ tl; c0; v1 ] in
+  (* the band store may or may not overwrite loc[0] — a weak update, so
+     st1 stays observable *)
+  let _st2 = G.add g (G.St "loc") [ st1; idx; v2 ] in
+  Alcotest.(check bool) "weak update keeps the earlier store" false
+    (D.has_rule "lint.dead-store" (Lint.run g))
+
+let test_lint_suppressed () =
+  let g = G.create "l" in
+  G.declare_region g "loc" { G.size = Some 8; implicit = false };
+  G.declare_region g "inp" { G.size = Some 1; implicit = true };
+  let tl = G.add g (G.Ss_in "loc") [] in
+  let ti = G.add g (G.Ss_in "inp") [] in
+  let c0 = G.add g (G.Const 0) [] in
+  let v = G.add g (G.Const 9) [] in
+  (* unmasked Fe: the analysis only knows the full datapath width, far
+     wider than the cell-tracking span — Cell_unknown *)
+  let raw = G.add g (G.Fe "inp") [ ti; c0 ] in
+  let st = G.add g (G.St "loc") [ tl; raw; v ] in
+  let f = G.add g (G.Fe "loc") [ st; c0 ] in
+  G.set_output g "r" f;
+  let diags = Lint.run g in
+  flags "unbounded store offset announces itself" "lint.suppressed" diags;
+  Alcotest.(check bool)
+    "fetch-uninit is off for the region (the store may init any cell)" false
+    (D.has_rule "lint.fetch-uninit" diags);
+  Alcotest.(check bool) "suppression is informational" true
+    (List.for_all
+       (fun d -> d.D.severity = D.Info)
+       (List.filter (fun d -> String.equal d.D.rule "lint.suppressed") diags))
+
+let test_lint_suppressed_dead_store () =
+  let g = G.create "l" in
+  G.declare_region g "loc" { G.size = Some 8; implicit = false };
+  G.declare_region g "inp" { G.size = Some 1; implicit = true };
+  let tl = G.add g (G.Ss_in "loc") [] in
+  let ti = G.add g (G.Ss_in "inp") [] in
+  let c0 = G.add g (G.Const 0) [] in
+  let v1 = G.add g (G.Const 4) [] in
+  let v2 = G.add g (G.Const 5) [] in
+  let raw = G.add g (G.Fe "inp") [ ti; c0 ] in
+  let st1 = G.add g (G.St "loc") [ tl; c0; v1 ] in
+  let st2 = G.add g (G.St "loc") [ st1; c0; v2 ] in
+  (* an unbounded fetch may read loc[0] between the two stores *)
+  let f = G.add g (G.Fe "loc") [ st1; raw ] in
+  G.add_order g st2 ~after:f;
+  G.set_output g "r" f;
+  let diags = Lint.run g in
+  flags "unbounded fetch offset announces itself" "lint.suppressed" diags;
+  Alcotest.(check bool) "dead-store is off for the region" false
+    (D.has_rule "lint.dead-store" diags)
+
+let test_lint_out_of_region () =
+  let g = G.create "l" in
+  G.declare_region g "loc" { G.size = Some 4; implicit = false };
+  G.declare_region g "inp" { G.size = Some 1; implicit = true };
+  let tl = G.add g (G.Ss_in "loc") [] in
+  let ti = G.add g (G.Ss_in "inp") [] in
+  let idx = masked_index g ti 7 in
+  let v = G.add g (G.Const 9) [] in
+  (* offset in [0, 7] against a 4-cell region *)
+  let st = G.add g (G.St "loc") [ tl; idx; v ] in
+  let c2 = G.add g (G.Const 2) [] in
+  let f = G.add g (G.Fe "loc") [ st; c2 ] in
+  G.set_output g "r" f;
+  let diags = Lint.run g in
+  flags "bounded offset escaping the size" "addr.out-of-region" diags;
+  Alcotest.(check int) "the in-bounds constant fetch is not flagged" 1
+    (List.length
+       (List.filter (fun d -> String.equal d.D.rule "addr.out-of-region") diags))
+
+let test_lint_overlap_unknown () =
+  let g = G.create "l" in
+  G.declare_region g "a" { G.size = Some 8; implicit = true };
+  G.declare_region g "inp" { G.size = Some 1; implicit = true };
+  let ta = G.add g (G.Ss_in "a") [] in
+  let ti = G.add g (G.Ss_in "inp") [] in
+  let idx = masked_index g ti 7 in
+  let c3 = G.add g (G.Const 3) [] in
+  let v = G.add g (G.Const 9) [] in
+  let fe_dyn = G.add g (G.Fe "a") [ ta; idx ] in
+  let st = G.add g (G.St "a") [ ta; c3; v ] in
+  G.add_order g st ~after:fe_dyn;
+  G.set_output g "r" fe_dyn;
+  let diags = Lint.run g in
+  flags "undecidable fetch/store pair is reported" "addr.overlap-unknown"
+    diags;
+  Alcotest.(check bool) "as information, not a warning" true
+    (List.for_all
+       (fun d -> d.D.severity = D.Info)
+       (List.filter
+          (fun d -> String.equal d.D.rule "addr.overlap-unknown")
+          diags))
+
 let test_reaching_stores () =
   let g = G.create "l" in
   G.declare_region g "x" { G.size = Some 1; implicit = false };
@@ -496,6 +631,18 @@ let suite =
     Alcotest.test_case "lint: fetch uninitialised" `Quick
       test_lint_fetch_uninit;
     Alcotest.test_case "lint: range overflow" `Quick test_lint_range_overflow;
+    Alcotest.test_case "lint: band fetch uninitialised" `Quick
+      test_lint_band_fetch_uninit;
+    Alcotest.test_case "lint: band store not dead" `Quick
+      test_lint_band_store_not_dead;
+    Alcotest.test_case "lint: unbounded store suppresses uninit" `Quick
+      test_lint_suppressed;
+    Alcotest.test_case "lint: unbounded fetch suppresses dead-store" `Quick
+      test_lint_suppressed_dead_store;
+    Alcotest.test_case "lint: out-of-region offset" `Quick
+      test_lint_out_of_region;
+    Alcotest.test_case "lint: undecidable overlap reported" `Quick
+      test_lint_overlap_unknown;
     Alcotest.test_case "dataflow: reaching stores" `Quick test_reaching_stores;
     Alcotest.test_case "dataflow: liveness" `Quick test_liveness;
     Alcotest.test_case "corrupt: cluster datapath" `Quick

@@ -29,5 +29,6 @@ let () =
       ("loop", Test_loop.suite);
       ("obs", Test_obs.suite);
       ("analysis", Test_analysis.suite);
+      ("disambig", Test_disambig.suite);
       ("exec", Test_exec.suite);
     ]

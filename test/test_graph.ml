@@ -75,6 +75,48 @@ let test_order_edges () =
   G.remove g fe;
   Alcotest.(check (list int)) "order edge dropped" [] (G.order_after g st)
 
+let test_remove_order () =
+  let g = G.create "t" in
+  make_region g "r" 4;
+  let ss = G.add g (G.Ss_in "r") [] in
+  let zero = G.add g (G.Const 0) [] in
+  let one = G.add g (G.Const 1) [] in
+  let fe0 = G.add g (G.Fe "r") [ ss; zero ] in
+  let fe1 = G.add g (G.Fe "r") [ ss; one ] in
+  let v = G.add g (G.Const 7) [] in
+  let st = G.add g (G.St "r") [ ss; zero; v ] in
+  G.add_order g st ~after:fe0;
+  G.add_order g st ~after:fe1;
+  Alcotest.(check (list int)) "successors indexed" [ st ]
+    (G.order_successors g fe0);
+  ignore (G.drain_dirty g);
+  let g0 = G.generation g in
+  let t0 = G.topo_order g in
+  (* removing an absent edge is a no-op: no generation bump, cache valid *)
+  G.remove_order g st ~after:v;
+  Alcotest.(check int) "absent edge: generation unchanged" g0 (G.generation g);
+  Alcotest.(check bool) "absent edge: topo cache kept" true
+    (t0 == G.topo_order g);
+  (* removing a real edge stamps the cache and the journal like add_order *)
+  G.remove_order g st ~after:fe0;
+  Alcotest.(check bool) "generation bumped" true (G.generation g > g0);
+  Alcotest.(check bool) "topo recomputed" true (not (t0 == G.topo_order g));
+  let def, _ = G.drain_dirty g in
+  Alcotest.(check bool) "consumer def-dirty" true (G.Id_set.mem st def);
+  Alcotest.(check (list int)) "edge gone" [ fe1 ] (G.order_after g st);
+  Alcotest.(check (list int)) "reverse index consistent" []
+    (G.order_successors g fe0);
+  Alcotest.(check (list int)) "other edge indexed" [ st ]
+    (G.order_successors g fe1);
+  Alcotest.(check (list string)) "use/def index clean" [] (G.index_errors g);
+  G.remove_order_all g st ~after:(G.order_after g st);
+  Alcotest.(check (list int)) "all edges gone" [] (G.order_after g st);
+  Alcotest.(check (list int)) "fe1 successors empty" []
+    (G.order_successors g fe1);
+  Alcotest.(check (list string)) "index clean after batch" []
+    (G.index_errors g);
+  G.validate g
+
 let test_topo_deterministic_and_cycle () =
   let g = G.create "t" in
   let c1 = G.add g (G.Const 1) [] in
@@ -329,6 +371,7 @@ let suite =
     Alcotest.test_case "replace_uses" `Quick test_replace_uses;
     Alcotest.test_case "remove" `Quick test_remove;
     Alcotest.test_case "order edges" `Quick test_order_edges;
+    Alcotest.test_case "remove_order" `Quick test_remove_order;
     Alcotest.test_case "topo + cycle" `Quick test_topo_deterministic_and_cycle;
     Alcotest.test_case "token typing" `Quick test_validate_token_typing;
     Alcotest.test_case "region crossing" `Quick test_validate_region_crossing;

@@ -118,6 +118,46 @@ let test_table_align () =
      | Some line -> String.length line >= 4 && String.sub line 0 4 = "long"
      | None -> false)
 
+let test_interval_basics () =
+  let module I = Fpfa_util.Interval in
+  Alcotest.(check (option int)) "singleton" (Some 7) (I.is_const (I.const 7));
+  Alcotest.(check (option int)) "non-singleton" None (I.is_const (I.make 1 2));
+  Alcotest.(check bool) "top unbounded" false (I.is_bounded I.top);
+  Alcotest.(check bool) "finite bounded" true (I.is_bounded (I.make (-4) 9));
+  Alcotest.(check bool) "mem inside" true (I.mem 3 (I.make 1 5));
+  Alcotest.(check bool) "mem outside" false (I.mem 6 (I.make 1 5));
+  Alcotest.(check bool) "disjoint" true
+    (I.disjoint (I.make 0 3) (I.make 4 9));
+  Alcotest.(check bool) "touching not disjoint" false
+    (I.disjoint (I.make 0 4) (I.make 4 9));
+  let h = I.hull (I.make (-2) 1) (I.make 5 7) in
+  Alcotest.(check (pair int int)) "hull" (-2, 7) (h.I.lo, h.I.hi);
+  let fw = I.full_width 16 in
+  Alcotest.(check (pair int int)) "full_width 16" (-32768, 32767)
+    (fw.I.lo, fw.I.hi)
+
+let test_interval_arith () =
+  let module I = Fpfa_util.Interval in
+  let a = I.add (I.make 1 2) (I.make 10 20) in
+  Alcotest.(check (pair int int)) "add" (11, 22) (a.I.lo, a.I.hi);
+  let s = I.sub (I.make 1 2) (I.make 10 20) in
+  Alcotest.(check (pair int int)) "sub" (-19, -8) (s.I.lo, s.I.hi);
+  let n = I.neg (I.make (-3) 5) in
+  Alcotest.(check (pair int int)) "neg" (-5, 3) (n.I.lo, n.I.hi);
+  let sc = I.scale (-2) (I.make 1 4) in
+  Alcotest.(check (pair int int)) "negative scale flips" (-8, -2)
+    (sc.I.lo, sc.I.hi);
+  let sh = I.shift 3 (I.make 0 2) in
+  Alcotest.(check (pair int int)) "shift" (3, 5) (sh.I.lo, sh.I.hi);
+  (* infinities are absorbing under saturation *)
+  let t = I.add I.top (I.const 1) in
+  Alcotest.(check (pair int int)) "top + 1 = top" (I.neg_inf, I.pos_inf)
+    (t.I.lo, t.I.hi);
+  Alcotest.(check int) "sat_add saturates" I.pos_inf
+    (I.sat_add I.pos_inf 1);
+  Alcotest.(check int) "sat_mul saturates" I.neg_inf
+    (I.sat_mul I.pos_inf (-2))
+
 let suite =
   [
     Alcotest.test_case "listx take/drop" `Quick test_take_drop;
@@ -134,4 +174,6 @@ let suite =
     Alcotest.test_case "prng float" `Quick test_prng_float;
     Alcotest.test_case "table render" `Quick test_table_render;
     Alcotest.test_case "table align" `Quick test_table_align;
+    Alcotest.test_case "interval basics" `Quick test_interval_basics;
+    Alcotest.test_case "interval arithmetic" `Quick test_interval_arith;
   ]
