@@ -29,6 +29,7 @@ let obs_setup ~trace ~stats =
     (* Wall-clock time for real timelines; the library default (Sys.time)
        stays in force when observability is off. *)
     Obs.set_clock Unix.gettimeofday;
+    Obs.enable_gc ();
     Obs.enable ()
   end
 
@@ -190,14 +191,22 @@ let compile inputs variant func show_job show_schedule show_gantt check_width
   let jobs = resolve_jobs jobs in
   (* Workers only map and verify; every print below runs on the main
      domain, in input order, so -j N output matches -j 1. *)
-  let compile_one (input, source) =
-    match Baseline.map_source v ~func source with
+  let compile_one ?pool (input, source) =
+    match Baseline.map_source ?pool v ~func source with
     | result ->
       let ok = Fpfa_core.Flow.verify ~memory_init:(inputs_for input) result in
       Ok (result, ok)
     | exception Fpfa_core.Flow.Flow_error msg -> Error msg
   in
-  let outcomes = Pool.map_ordered ~jobs compile_one targets in
+  let outcomes =
+    match targets with
+    | [ one ] when jobs > 1 ->
+      (* A single input cannot be parallelised across items, so spend the
+         domains inside the compile: overlapped validate/advance stages
+         (Flow.map_prepared with ?pool). *)
+      Pool.with_pool ~jobs (fun pool -> [ compile_one ~pool one ])
+    | _ -> Pool.map_ordered ~jobs (fun t -> compile_one t) targets
+  in
   let many = List.length targets > 1 in
   let failed = ref false in
   List.iter2
@@ -641,38 +650,15 @@ let simplify_cmd =
 
 module Diag = Fpfa_diag.Diag
 
-(* All diagnostics for one program: structural verifier on the raw and
-   minimised graphs, mappability + statespace legality + lints on the
-   minimised graph, and the mapping validators replaying
-   cluster/schedule/allocation legality. One address analysis is shared
-   by the verifier, the lints, and the JSON facts dump. *)
-let check_one ~config source ~func =
-  match Fpfa_core.Flow.map_source ~config ~func source with
+(* All diagnostics for one program, via Fpfa_core.Flow.audit (structural
+   verifier on raw and minimised graphs, mappability + statespace
+   legality + lints, mapping validators; one shared address analysis).
+   With ?pool both the compile stages and the diagnostic families run on
+   the pool's domains. *)
+let check_one ?pool ~config source ~func =
+  match Fpfa_core.Flow.map_source ?pool ~config ~func source with
   | result ->
-    let open Fpfa_core.Flow in
-    let caps =
-      match config.caps with
-      | Some caps -> caps
-      | None -> config.tile.Fpfa_arch.Arch.alu
-    in
-    let structure = Fpfa_analysis.Verify.structure result.graph in
-    let facts =
-      if Diag.errors structure = [] then
-        Some (Fpfa_analysis.Addr.analyze result.graph)
-      else None
-    in
-    let diags =
-      Diag.sort
-        (Fpfa_analysis.Verify.structure result.raw_graph
-        @ Fpfa_analysis.Verify.all ?facts result.graph
-        @ (match facts with
-          | Some facts -> Fpfa_analysis.Lint.run ~facts result.graph
-          | None -> [])
-        @ Fpfa_analysis.Mapcheck.cluster ~caps result.clustering
-        @ Fpfa_analysis.Mapcheck.sched
-            ~alu_count:config.tile.Fpfa_arch.Arch.alu_count result.schedule
-        @ Fpfa_analysis.Mapcheck.alloc result.job)
-    in
+    let diags, facts = Fpfa_core.Flow.audit ?pool ~config result in
     (diags, Option.map Fpfa_analysis.Addr.facts_to_json facts)
   | exception Fpfa_core.Flow.Flow_error msg ->
     ([ Diag.error "flow.error" "%s" msg ], None)
@@ -709,22 +695,28 @@ let check input func json verify_each no_lint all jobs obs_trace obs_stats =
   let config =
     { Fpfa_core.Flow.default_config with Fpfa_core.Flow.verify_each }
   in
+  let jobs = resolve_jobs jobs in
+  let process ?pool (name, source, func) =
+    let diags, facts = check_one ?pool ~config source ~func in
+    let diags =
+      if no_lint then
+        List.filter
+          (fun d ->
+            not
+              (String.length d.Diag.rule >= 5
+              && String.equal (String.sub d.Diag.rule 0 5) "lint."))
+          diags
+      else diags
+    in
+    (name, diags, facts)
+  in
   let checked =
-    Pool.map_ordered ~jobs:(resolve_jobs jobs)
-      (fun (name, source, func) ->
-        let diags, facts = check_one ~config source ~func in
-        let diags =
-          if no_lint then
-            List.filter
-              (fun d ->
-                not
-                  (String.length d.Diag.rule >= 5
-                  && String.equal (String.sub d.Diag.rule 0 5) "lint."))
-              diags
-          else diags
-        in
-        (name, diags, facts))
-      targets
+    match targets with
+    | [ one ] when jobs > 1 ->
+      (* One target: run the diagnostic families (and the compile's
+         overlappable stages) on the pool instead of a one-item batch. *)
+      Pool.with_pool ~jobs (fun pool -> [ process ~pool one ])
+    | _ -> Pool.map_ordered ~jobs (fun t -> process t) targets
   in
   if json then begin
     let objects =

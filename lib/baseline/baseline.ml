@@ -68,6 +68,7 @@ let all =
   [ paper; sequential; unit_ops; sarkar; no_locality; with_forwarding;
     interleaved ]
 
-let map_source v ?func source = Flow.map_source ~config:v.config ?func source
+let map_source ?pool v ?func source =
+  Flow.map_source ?pool ~config:v.config ?func source
 
 let map_graph v g = Flow.map_graph ~config:v.config g

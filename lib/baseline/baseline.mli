@@ -35,5 +35,14 @@ val interleaved : variant
 val all : variant list
 (** All variants, [paper] first. *)
 
-val map_source : variant -> ?func:string -> string -> Fpfa_core.Flow.result
+val map_source :
+  ?pool:Fpfa_exec.Pool.t ->
+  variant ->
+  ?func:string ->
+  string ->
+  Fpfa_core.Flow.result
+(** [?pool] is forwarded to {!Fpfa_core.Flow.map_source} (intra-compile
+    stage overlap; the result graphs come back frozen). *)
+
+
 val map_graph : variant -> Cdfg.Graph.t -> Fpfa_core.Flow.result

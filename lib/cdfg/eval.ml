@@ -45,7 +45,9 @@ let fetch_store region store offset =
     if offset < Array.length store.initial then store.initial.(offset) else 0
 
 let run ?(memory_init = []) g =
-  let values : (Graph.id, value) Hashtbl.t = Hashtbl.create 64 in
+  (* Ids are dense and never reused, so values live in a flat array keyed
+     by id; topo order guarantees every input is written before read. *)
+  let values : value array = Array.make (max 1 (Graph.id_bound g)) (Int 0) in
   let initial_of region =
     match List.assoc_opt region memory_init with
     | Some arr -> arr
@@ -56,10 +58,10 @@ let run ?(memory_init = []) g =
     | Some info -> info.Graph.size
     | None -> errorf "undeclared region %s" region
   in
-  let eval_node (n : Graph.node) =
-    let input i = Hashtbl.find values n.Graph.inputs.(i) in
+  let eval_node id =
+    let input i = values.(Graph.input g id i) in
     let value =
-      match n.Graph.kind with
+      match Graph.kind g id with
       | Graph.Const c -> Int c
       | Graph.Binop op -> Int (Op.eval_binop op (as_int (input 0)) (as_int (input 1)))
       | Graph.Unop op -> Int (Op.eval_unop op (as_int (input 0)))
@@ -103,9 +105,9 @@ let run ?(memory_init = []) g =
             high = max store.high offset;
           }
     in
-    Hashtbl.replace values n.Graph.id value
+    values.(id) <- value
   in
-  List.iter (fun id -> eval_node (Graph.node g id)) (Graph.topo_order g);
+  List.iter eval_node (Graph.topo_order g);
   let materialize region store =
     let size =
       match size_of region with
@@ -126,14 +128,13 @@ let run ?(memory_init = []) g =
       (fun (region, (_ : Graph.region_info)) ->
         match Graph.ss_out_of g region with
         | Some out ->
-          let store = as_token (Hashtbl.find values out) in
+          let store = as_token values.(out) in
           Some (region, materialize region store)
         | None -> None)
       (Graph.regions g)
   in
   let named =
-    List.map (fun (name, id) -> (name, as_int (Hashtbl.find values id)))
-      (Graph.outputs g)
+    List.map (fun (name, id) -> (name, as_int values.(id))) (Graph.outputs g)
   in
   { memory; named }
 

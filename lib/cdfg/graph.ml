@@ -23,24 +23,41 @@ type node = {
 
 type region_info = { size : int option; implicit : bool }
 
-(* The use/def index. Every data edge (producer -> consumer input port) is a
-   key of the producer's inner table, so adding or dropping one edge is O(1)
-   regardless of the producer's fan-out (constants feeding thousands of
-   fetches would otherwise make every rewrite O(fan-out)). Order-only edges
-   get the same treatment in [order_uses]. [output_uses] counts named-output
-   references per node, so [use_count] is a pair of table lookups. *)
+(* Arena representation. Nodes live in growable flat arrays indexed by id:
+   [kinds.(id)], a liveness byte in [alive], and up to three packed input
+   ids at [ins.(3*id + port)] (every kind has arity <= 3). Removal
+   tombstones the slot — ids are never reused, because the dirty journal
+   and the pass engine hold ids across mutations and a recycled id would
+   alias a dead node's journal entries.
+
+   The use/def index is id-indexed adjacency: [duse.(p)] holds the data
+   edges leaving producer [p] as packed ints [(consumer lsl 2) lor port]
+   (arity <= 3 so the port fits in two bits), [ouse.(p)] the consumers
+   whose [order_after] lists [p], and [out_uses.(id)] counts named-output
+   references. [ord.(id)] stores the node's own order-after list oldest
+   first; the public [order_after] view reverses it, preserving the
+   newest-first order of the previous representation. Each adjacency array
+   has a separate length ([*_len]); spare capacity is recycled through
+   [pool], a free list of power-of-two int arrays, so the rewrite-heavy
+   passes stop churning the major heap. *)
 type t = {
   fname : string;
-  nodes : (id, node) Hashtbl.t;
   region_tbl : (string, region_info) Hashtbl.t;
-  mutable next_id : id;
+  mutable next_id : id;  (** one past the largest id ever allocated *)
+  mutable live : int;
   mutable named_outputs : (string * id) list;
-  data_uses : (id, (id * int, unit) Hashtbl.t) Hashtbl.t;
-      (** producer -> set of (consumer, input port) *)
-  order_uses : (id, (id, unit) Hashtbl.t) Hashtbl.t;
-      (** producer -> set of nodes whose [order_after] lists it *)
-  output_uses : (id, int) Hashtbl.t;
-      (** node -> number of named outputs referencing it *)
+  mutable kinds : kind array;
+  mutable alive : Bytes.t;
+  mutable ins : int array;  (** 3 cells per slot, [arity kind] in use *)
+  mutable ord : int array array;
+  mutable ord_len : int array;
+  mutable duse : int array array;
+  mutable duse_len : int array;
+  mutable ouse : int array array;
+  mutable ouse_len : int array;
+  mutable out_uses : int array;
+  pool : int array list array;  (** bucket [b]: spare arrays of length [4 lsl b] *)
+  mutable frozen : bool;
   mutable generation : int;
       (** bumped by every structural mutation; stamps the topo cache *)
   mutable topo_cache : (int * id list) option;
@@ -54,16 +71,28 @@ exception Invalid of string
 
 let invalidf fmt = Format.kasprintf (fun msg -> raise (Invalid msg)) fmt
 
+let no_ints : int array = [||]
+let pool_buckets = 16
+
 let create fname =
   {
     fname;
-    nodes = Hashtbl.create 64;
     region_tbl = Hashtbl.create 8;
     next_id = 0;
+    live = 0;
     named_outputs = [];
-    data_uses = Hashtbl.create 64;
-    order_uses = Hashtbl.create 16;
-    output_uses = Hashtbl.create 8;
+    kinds = [||];
+    alive = Bytes.empty;
+    ins = [||];
+    ord = [||];
+    ord_len = [||];
+    duse = [||];
+    duse_len = [||];
+    ouse = [||];
+    ouse_len = [||];
+    out_uses = [||];
+    pool = Array.make pool_buckets [];
+    frozen = false;
     generation = 0;
     topo_cache = None;
     dirty_def = Id_set.empty;
@@ -72,7 +101,12 @@ let create fname =
 
 let name g = g.fname
 
-let declare_region g region info = Hashtbl.replace g.region_tbl region info
+let check_mutable g =
+  if g.frozen then invalidf "graph %s is frozen" g.fname
+
+let declare_region g region info =
+  check_mutable g;
+  Hashtbl.replace g.region_tbl region info
 
 let region_info g region = Hashtbl.find_opt g.region_tbl region
 
@@ -87,24 +121,189 @@ let arity = function
   | Mux | St _ -> 3
   | Del _ -> 2
 
-let mem g id = Hashtbl.mem g.nodes id
+(* {2 Slot storage} *)
+
+let is_alive g id =
+  id >= 0 && id < g.next_id && Bytes.unsafe_get g.alive id = '\001'
+
+let mem g id = is_alive g id
+
+let grow g cap' =
+  let cap = Array.length g.kinds in
+  let kinds' = Array.make cap' Mux in
+  Array.blit g.kinds 0 kinds' 0 cap;
+  g.kinds <- kinds';
+  let alive' = Bytes.make cap' '\000' in
+  Bytes.blit g.alive 0 alive' 0 cap;
+  g.alive <- alive';
+  let ins' = Array.make (3 * cap') 0 in
+  Array.blit g.ins 0 ins' 0 (3 * cap);
+  g.ins <- ins';
+  let copy_adj arrs =
+    let a' = Array.make cap' no_ints in
+    Array.blit arrs 0 a' 0 cap;
+    a'
+  in
+  let copy_len lens =
+    let a' = Array.make cap' 0 in
+    Array.blit lens 0 a' 0 cap;
+    a'
+  in
+  g.ord <- copy_adj g.ord;
+  g.ord_len <- copy_len g.ord_len;
+  g.duse <- copy_adj g.duse;
+  g.duse_len <- copy_len g.duse_len;
+  g.ouse <- copy_adj g.ouse;
+  g.ouse_len <- copy_len g.ouse_len;
+  g.out_uses <- copy_len g.out_uses
+
+let ensure_capacity g n =
+  let cap = Array.length g.kinds in
+  if n > cap then grow g (max 8 (max n (2 * cap)))
+
+(* {2 Adjacency arrays and their free pool} *)
+
+let bucket_of_len len =
+  let rec go b l = if l <= 4 then b else go (b + 1) (l lsr 1) in
+  go 0 len
+
+let round_pow2 n =
+  let r = ref 4 in
+  while !r < n do
+    r := !r lsl 1
+  done;
+  !r
+
+let alloc_adj g n =
+  let len = round_pow2 n in
+  let b = bucket_of_len len in
+  if b < pool_buckets then
+    match g.pool.(b) with
+    | a :: rest ->
+      g.pool.(b) <- rest;
+      a
+    | [] -> Array.make len 0
+  else Array.make len 0
+
+let release_adj g a =
+  let len = Array.length a in
+  if len >= 4 && len land (len - 1) = 0 then begin
+    let b = bucket_of_len len in
+    if b < pool_buckets then g.pool.(b) <- a :: g.pool.(b)
+  end
+
+let adj_push g arrs lens i v =
+  let a = arrs.(i) in
+  let len = lens.(i) in
+  let a =
+    if len = Array.length a then begin
+      let a' = alloc_adj g (max 4 (2 * len)) in
+      Array.blit a 0 a' 0 len;
+      release_adj g a;
+      arrs.(i) <- a';
+      a'
+    end
+    else a
+  in
+  a.(len) <- v;
+  lens.(i) <- len + 1
+
+let adj_index arrs lens i v =
+  let a = arrs.(i) in
+  let len = lens.(i) in
+  let rec find j = if j >= len then -1 else if a.(j) = v then j else find (j + 1) in
+  find 0
+
+let adj_mem arrs lens i v = adj_index arrs lens i v >= 0
+
+(* Unordered delete (the index is sorted on read). No-op when absent. *)
+let adj_remove_swap arrs lens i v =
+  let j = adj_index arrs lens i v in
+  if j >= 0 then begin
+    let a = arrs.(i) in
+    let len = lens.(i) in
+    a.(j) <- a.(len - 1);
+    lens.(i) <- len - 1
+  end
+
+(* Order-preserving delete (for [ord], whose order is observable). *)
+let adj_remove_shift arrs lens i v =
+  let j = adj_index arrs lens i v in
+  if j >= 0 then begin
+    let a = arrs.(i) in
+    let len = lens.(i) in
+    Array.blit a (j + 1) a j (len - 1 - j);
+    lens.(i) <- len - 1
+  end
+
+let adj_clear g arrs lens i =
+  release_adj g arrs.(i);
+  arrs.(i) <- no_ints;
+  lens.(i) <- 0
+
+(* {2 Access} *)
+
+let node_exn g id =
+  if not (is_alive g id) then invalidf "node %d does not exist" id
+
+let kind g id =
+  node_exn g id;
+  g.kinds.(id)
+
+let arity_of g id = arity (kind g id)
+
+let input g id port =
+  node_exn g id;
+  if port < 0 || port >= arity g.kinds.(id) then
+    invalidf "node %d has no input port %d" id port;
+  g.ins.((3 * id) + port)
+
+let inputs g id =
+  node_exn g id;
+  let a = arity g.kinds.(id) in
+  let base = 3 * id in
+  let rec build p acc =
+    if p < 0 then acc else build (p - 1) (g.ins.(base + p) :: acc)
+  in
+  build (a - 1) []
+
+(* Newest edge first, matching the prepend order of the old record-based
+   representation ([ord] stores oldest first). *)
+let order_after g id =
+  node_exn g id;
+  let a = g.ord.(id) in
+  let len = g.ord_len.(id) in
+  let rec build j acc = if j >= len then acc else build (j + 1) (a.(j) :: acc) in
+  build 0 []
+
+let preds g id = inputs g id @ order_after g id
+
+let iter_preds g id f =
+  node_exn g id;
+  let a = arity g.kinds.(id) in
+  let base = 3 * id in
+  for p = 0 to a - 1 do
+    f g.ins.(base + p)
+  done;
+  let oa = g.ord.(id) in
+  for j = 0 to g.ord_len.(id) - 1 do
+    f oa.(j)
+  done
 
 let node g id =
-  match Hashtbl.find_opt g.nodes id with
-  | Some n -> n
-  | None -> invalidf "node %d does not exist" id
-
-let kind g id = (node g id).kind
-let inputs g id = Array.to_list (node g id).inputs
-let order_after g id = (node g id).order_after
-let preds g id =
-  let n = node g id in
-  Array.to_list n.inputs @ n.order_after
+  node_exn g id;
+  let k = g.kinds.(id) in
+  let a = arity k in
+  let base = 3 * id in
+  { id; kind = k; inputs = Array.init a (fun p -> g.ins.(base + p));
+    order_after = order_after g id }
 
 let check_ref g id =
-  if not (Hashtbl.mem g.nodes id) then invalidf "dangling node reference %d" id
+  if not (is_alive g id) then invalidf "dangling node reference %d" id
 
-(* {2 Index plumbing} *)
+let id_bound g = g.next_id
+
+(* {2 Journal plumbing} *)
 
 let touch g = g.generation <- g.generation + 1
 let mark_def g id = g.dirty_def <- Id_set.add id g.dirty_def
@@ -118,74 +317,48 @@ let drain_dirty g =
 
 let generation g = g.generation
 
-let data_tbl g producer =
-  match Hashtbl.find_opt g.data_uses producer with
-  | Some tbl -> tbl
-  | None ->
-    let tbl = Hashtbl.create 4 in
-    Hashtbl.replace g.data_uses producer tbl;
-    tbl
-
-let order_tbl g producer =
-  match Hashtbl.find_opt g.order_uses producer with
-  | Some tbl -> tbl
-  | None ->
-    let tbl = Hashtbl.create 4 in
-    Hashtbl.replace g.order_uses producer tbl;
-    tbl
-
-let index_data_edge g ~producer ~consumer ~port =
-  Hashtbl.replace (data_tbl g producer) (consumer, port) ()
-
-let unindex_data_edge g ~producer ~consumer ~port =
-  match Hashtbl.find_opt g.data_uses producer with
-  | Some tbl -> Hashtbl.remove tbl (consumer, port)
-  | None -> ()
-
-let index_order_edge g ~producer ~consumer =
-  Hashtbl.replace (order_tbl g producer) consumer ()
-
-let unindex_order_edge g ~producer ~consumer =
-  match Hashtbl.find_opt g.order_uses producer with
-  | Some tbl -> Hashtbl.remove tbl consumer
-  | None -> ()
-
 let consumers_of g id =
-  match Hashtbl.find_opt g.data_uses id with
-  | None -> []
-  | Some tbl ->
-    Hashtbl.fold (fun edge () acc -> edge :: acc) tbl [] |> List.sort compare
+  if id < 0 || id >= g.next_id then []
+  else begin
+    let a = g.duse.(id) in
+    let len = g.duse_len.(id) in
+    let entries = Array.sub a 0 len in
+    Array.sort Int.compare entries;
+    Array.fold_right (fun e acc -> (e lsr 2, e land 3) :: acc) entries []
+  end
 
 let order_successors g id =
-  match Hashtbl.find_opt g.order_uses id with
-  | None -> []
-  | Some tbl ->
-    Hashtbl.fold (fun succ () acc -> succ :: acc) tbl [] |> List.sort compare
+  if id < 0 || id >= g.next_id then []
+  else begin
+    let a = g.ouse.(id) in
+    let len = g.ouse_len.(id) in
+    let entries = Array.sub a 0 len in
+    Array.sort Int.compare entries;
+    Array.to_list entries
+  end
 
 let use_count g id =
-  let data =
-    match Hashtbl.find_opt g.data_uses id with
-    | Some tbl -> Hashtbl.length tbl
-    | None -> 0
-  in
-  let outputs =
-    match Hashtbl.find_opt g.output_uses id with Some c -> c | None -> 0
-  in
-  data + outputs
+  if id < 0 || id >= g.next_id then 0
+  else g.duse_len.(id) + g.out_uses.(id)
 
 (* {2 Construction} *)
 
 let add g kind inputs =
+  check_mutable g;
   if List.length inputs <> arity kind then
     invalidf "wrong input arity for node (expected %d, got %d)" (arity kind)
       (List.length inputs);
   List.iter (check_ref g) inputs;
+  ensure_capacity g (g.next_id + 1);
   let id = g.next_id in
   g.next_id <- id + 1;
-  Hashtbl.replace g.nodes id
-    { id; kind; inputs = Array.of_list inputs; order_after = [] };
+  g.live <- g.live + 1;
+  Bytes.set g.alive id '\001';
+  g.kinds.(id) <- kind;
   List.iteri
-    (fun port producer -> index_data_edge g ~producer ~consumer:id ~port)
+    (fun port producer ->
+      g.ins.((3 * id) + port) <- producer;
+      adj_push g g.duse g.duse_len producer ((id lsl 2) lor port))
     inputs;
   touch g;
   mark_def g id;
@@ -193,20 +366,24 @@ let add g kind inputs =
 
 let add_order g id ~after =
   check_ref g after;
-  let n = node g id in
-  if after <> id && not (List.mem after n.order_after) then begin
-    Hashtbl.replace g.nodes id { n with order_after = after :: n.order_after };
-    index_order_edge g ~producer:after ~consumer:id;
+  node_exn g id;
+  if after <> id && not (adj_mem g.ord g.ord_len id after) then begin
+    check_mutable g;
+    adj_push g g.ord g.ord_len id after;
+    (* Set semantics on the reverse side, mirroring the Hashtbl.replace of
+       the old index: never index the same order edge twice. *)
+    if not (adj_mem g.ouse g.ouse_len after id) then
+      adj_push g g.ouse g.ouse_len after id;
     touch g;
     mark_def g id
   end
 
 let remove_order g id ~after =
-  let n = node g id in
-  if List.mem after n.order_after then begin
-    Hashtbl.replace g.nodes id
-      { n with order_after = List.filter (fun x -> x <> after) n.order_after };
-    unindex_order_edge g ~producer:after ~consumer:id;
+  node_exn g id;
+  if adj_mem g.ord g.ord_len id after then begin
+    check_mutable g;
+    adj_remove_shift g.ord g.ord_len id after;
+    adj_remove_swap g.ouse g.ouse_len after id;
     touch g;
     mark_def g id
   end
@@ -215,16 +392,14 @@ let remove_order_all g id ~after =
   List.iter (fun a -> remove_order g id ~after:a) after
 
 let set_output g output_name id =
+  check_mutable g;
   check_ref g id;
   (match List.assoc_opt output_name g.named_outputs with
   | Some old ->
-    let c = match Hashtbl.find_opt g.output_uses old with Some c -> c | None -> 0 in
-    if c <= 1 then Hashtbl.remove g.output_uses old
-    else Hashtbl.replace g.output_uses old (c - 1);
+    if g.out_uses.(old) > 0 then g.out_uses.(old) <- g.out_uses.(old) - 1;
     mark_use g old
   | None -> ());
-  Hashtbl.replace g.output_uses id
-    (1 + match Hashtbl.find_opt g.output_uses id with Some c -> c | None -> 0);
+  g.out_uses.(id) <- g.out_uses.(id) + 1;
   g.named_outputs <-
     (output_name, id) :: List.remove_assoc output_name g.named_outputs
 
@@ -234,137 +409,182 @@ let outputs g =
 (* {2 Mutation} *)
 
 let set_inputs g id inputs =
-  let n = node g id in
-  if List.length inputs <> Array.length n.inputs then
+  check_mutable g;
+  node_exn g id;
+  let a = arity g.kinds.(id) in
+  if List.length inputs <> a then
     invalidf "set_inputs: arity change on node %d" id;
   List.iter (check_ref g) inputs;
-  Array.iteri
-    (fun port producer ->
-      unindex_data_edge g ~producer ~consumer:id ~port;
-      mark_use g producer)
-    n.inputs;
+  let base = 3 * id in
+  for port = 0 to a - 1 do
+    let old = g.ins.(base + port) in
+    adj_remove_swap g.duse g.duse_len old ((id lsl 2) lor port);
+    mark_use g old
+  done;
   List.iteri
-    (fun port producer -> index_data_edge g ~producer ~consumer:id ~port)
+    (fun port producer ->
+      g.ins.(base + port) <- producer;
+      adj_push g g.duse g.duse_len producer ((id lsl 2) lor port))
     inputs;
-  Hashtbl.replace g.nodes id { n with inputs = Array.of_list inputs };
   touch g;
   mark_def g id
 
 let replace_uses g old ~by =
+  check_mutable g;
   check_ref g by;
-  (* Data edges: the index lists exactly the affected (consumer, port)
-     pairs, so this is O(degree of [old]), not O(graph). *)
-  List.iter
-    (fun (cid, port) ->
-      let n = node g cid in
-      let inputs = Array.copy n.inputs in
-      inputs.(port) <- by;
-      Hashtbl.replace g.nodes cid { n with inputs };
-      unindex_data_edge g ~producer:old ~consumer:cid ~port;
-      index_data_edge g ~producer:by ~consumer:cid ~port;
-      mark_def g cid)
-    (consumers_of g old);
-  (* Order edges: re-point, deduplicate, and never create a self edge. *)
-  List.iter
-    (fun cid ->
-      let n = node g cid in
-      let without = List.filter (fun x -> x <> old) n.order_after in
-      let order_after =
-        if by <> cid && not (List.mem by without) then by :: without
-        else without
-      in
-      Hashtbl.replace g.nodes cid { n with order_after };
-      unindex_order_edge g ~producer:old ~consumer:cid;
-      if List.mem by order_after then
-        index_order_edge g ~producer:by ~consumer:cid;
-      mark_def g cid)
-    (order_successors g old);
-  (match Hashtbl.find_opt g.output_uses old with
-  | Some c ->
-    g.named_outputs <-
-      List.map (fun (k, v) -> (k, if v = old then by else v)) g.named_outputs;
-    Hashtbl.remove g.output_uses old;
-    Hashtbl.replace g.output_uses by
-      (c + match Hashtbl.find_opt g.output_uses by with Some c' -> c' | None -> 0)
-  | None -> ());
-  touch g;
-  mark_use g old
+  if by = old then begin
+    (* Degenerate self-replacement: no structural change, but journal and
+       generation behave exactly like the general case. *)
+    List.iter (fun (cid, _) -> mark_def g cid) (consumers_of g old);
+    List.iter (fun cid -> mark_def g cid) (order_successors g old);
+    touch g;
+    mark_use g old
+  end
+  else begin
+    (* Data edges: the index lists exactly the affected (consumer, port)
+       pairs, so this is O(degree of [old]), not O(graph). The whole
+       [duse.(old)] bucket moves, entry by entry, to [duse.(by)]. *)
+    (if old >= 0 && old < g.next_id then begin
+       let a = g.duse.(old) in
+       let len = g.duse_len.(old) in
+       for j = 0 to len - 1 do
+         let e = a.(j) in
+         let cid = e lsr 2 and port = e land 3 in
+         g.ins.((3 * cid) + port) <- by;
+         adj_push g g.duse g.duse_len by e;
+         mark_def g cid
+       done;
+       if len > 0 then adj_clear g g.duse g.duse_len old
+     end);
+    (* Order edges: re-point, deduplicate, and never create a self edge. *)
+    (if old >= 0 && old < g.next_id then begin
+       let a = g.ouse.(old) in
+       let len = g.ouse_len.(old) in
+       for j = 0 to len - 1 do
+         let cid = a.(j) in
+         adj_remove_shift g.ord g.ord_len cid old;
+         if by <> cid && not (adj_mem g.ord g.ord_len cid by) then begin
+           adj_push g g.ord g.ord_len cid by;
+           if not (adj_mem g.ouse g.ouse_len by cid) then
+             adj_push g g.ouse g.ouse_len by cid
+         end;
+         mark_def g cid
+       done;
+       if len > 0 then adj_clear g g.ouse g.ouse_len old
+     end);
+    (if old >= 0 && old < g.next_id && g.out_uses.(old) > 0 then begin
+       g.named_outputs <-
+         List.map
+           (fun (k, v) -> (k, if v = old then by else v))
+           g.named_outputs;
+       g.out_uses.(by) <- g.out_uses.(by) + g.out_uses.(old);
+       g.out_uses.(old) <- 0
+     end);
+    touch g;
+    mark_use g old
+  end
 
 let clear_order g id =
-  let n = node g id in
-  if n.order_after <> [] then begin
-    List.iter
-      (fun producer -> unindex_order_edge g ~producer ~consumer:id)
-      n.order_after;
-    Hashtbl.replace g.nodes id { n with order_after = [] };
+  node_exn g id;
+  if g.ord_len.(id) > 0 then begin
+    check_mutable g;
+    let a = g.ord.(id) in
+    for j = 0 to g.ord_len.(id) - 1 do
+      adj_remove_swap g.ouse g.ouse_len a.(j) id
+    done;
+    adj_clear g g.ord g.ord_len id;
     touch g;
     mark_def g id
   end
 
 let drop_order_references g id =
-  match order_successors g id with
-  | [] -> ()
-  | succs ->
-    List.iter
-      (fun sid ->
-        let n = node g sid in
-        Hashtbl.replace g.nodes sid
-          { n with order_after = List.filter (fun x -> x <> id) n.order_after };
-        unindex_order_edge g ~producer:id ~consumer:sid;
-        mark_def g sid)
-      succs;
+  if id >= 0 && id < g.next_id && g.ouse_len.(id) > 0 then begin
+    check_mutable g;
+    let a = g.ouse.(id) in
+    for j = 0 to g.ouse_len.(id) - 1 do
+      let sid = a.(j) in
+      adj_remove_shift g.ord g.ord_len sid id;
+      mark_def g sid
+    done;
+    adj_clear g g.ouse g.ouse_len id;
     touch g
+  end
 
 let remove g id =
+  check_mutable g;
   if use_count g id > 0 then invalidf "removing node %d which still has uses" id;
-  let n = node g id in
+  node_exn g id;
   (* Drop order edges pointing at the removed node. *)
   drop_order_references g id;
-  Array.iteri
-    (fun port producer ->
-      unindex_data_edge g ~producer ~consumer:id ~port;
-      mark_use g producer)
-    n.inputs;
-  List.iter
-    (fun producer -> unindex_order_edge g ~producer ~consumer:id)
-    n.order_after;
-  Hashtbl.remove g.data_uses id;
-  Hashtbl.remove g.order_uses id;
-  Hashtbl.remove g.nodes id;
+  let a = arity g.kinds.(id) in
+  let base = 3 * id in
+  for port = 0 to a - 1 do
+    let producer = g.ins.(base + port) in
+    adj_remove_swap g.duse g.duse_len producer ((id lsl 2) lor port);
+    mark_use g producer
+  done;
+  let oa = g.ord.(id) in
+  for j = 0 to g.ord_len.(id) - 1 do
+    adj_remove_swap g.ouse g.ouse_len oa.(j) id
+  done;
+  adj_clear g g.ord g.ord_len id;
+  adj_clear g g.duse g.duse_len id;
+  adj_clear g g.ouse g.ouse_len id;
+  Bytes.set g.alive id '\000';
+  g.live <- g.live - 1;
   touch g
+
+(* {2 Freezing} *)
+
+let frozen g = g.frozen
 
 (* {2 Traversal} *)
 
+let iter_ids g f =
+  for id = 0 to g.next_id - 1 do
+    if Bytes.unsafe_get g.alive id = '\001' then f id
+  done
+
 let node_ids g =
-  Hashtbl.fold (fun id _ acc -> id :: acc) g.nodes [] |> List.sort compare
+  let acc = ref [] in
+  for id = g.next_id - 1 downto 0 do
+    if Bytes.unsafe_get g.alive id = '\001' then acc := id :: !acc
+  done;
+  !acc
 
-let node_count g = Hashtbl.length g.nodes
+let node_count g = g.live
 
-let iter g f = List.iter (fun id -> f (node g id)) (node_ids g)
+let iter g f = iter_ids g (fun id -> f (node g id))
 
 let fold g ~init ~f =
-  List.fold_left (fun acc id -> f acc (node g id)) init (node_ids g)
+  let acc = ref init in
+  iter_ids g (fun id -> acc := f !acc (node g id));
+  !acc
 
 let consumers g =
-  let tbl = Hashtbl.create (Hashtbl.length g.nodes) in
-  iter g (fun n ->
-      Array.iteri
-        (fun port producer ->
-          let old =
-            match Hashtbl.find_opt tbl producer with Some l -> l | None -> []
-          in
-          Hashtbl.replace tbl producer ((n.id, port) :: old))
-        n.inputs);
+  let tbl = Hashtbl.create (max 16 g.live) in
+  iter_ids g (fun cid ->
+      let a = arity g.kinds.(cid) in
+      let base = 3 * cid in
+      for port = 0 to a - 1 do
+        let producer = g.ins.(base + port) in
+        let old =
+          match Hashtbl.find_opt tbl producer with Some l -> l | None -> []
+        in
+        Hashtbl.replace tbl producer ((cid, port) :: old)
+      done);
   tbl
 
 let find_region_node g region ~test =
-  let found =
-    fold g ~init:None ~f:(fun acc n ->
-        match acc with
-        | Some _ -> acc
-        | None -> if test n.kind region then Some n.id else None)
-  in
-  found
+  let found = ref None in
+  (try
+     iter_ids g (fun id ->
+         if test g.kinds.(id) region then begin
+           found := Some id;
+           raise Exit
+         end)
+   with Exit -> ());
+  !found
 
 let ss_in_of g region =
   find_region_node g region ~test:(fun kind r ->
@@ -374,48 +594,120 @@ let ss_out_of g region =
   find_region_node g region ~test:(fun kind r ->
       match kind with Ss_out r' -> String.equal r r' | _ -> false)
 
-(* Kahn's algorithm with a min-heap on ids (a sorted module Set) so the
-   resulting order is deterministic. The result is cached and stamped with
-   the generation counter: read-only phases (evaluation, clustering,
-   serialisation, range analysis) reuse one order instead of re-running
-   Kahn's algorithm per call. *)
+(* {2 Topological order} *)
+
+(* Kahn's algorithm over the flat arrays: indegrees and a duplicate-edge
+   stamp in id-indexed int arrays, successors read straight from the
+   use/def adjacency, and a binary min-heap on ids so the resulting order
+   is deterministic (ascending-id tie-break, as before). The result is
+   cached and stamped with the generation counter: read-only phases
+   (evaluation, clustering, serialisation, range analysis) reuse one order
+   instead of re-running Kahn's algorithm per call. *)
 let compute_topo_order g =
-  let succ = Hashtbl.create (Hashtbl.length g.nodes) in
-  let indegree = Hashtbl.create (Hashtbl.length g.nodes) in
-  iter g (fun n -> Hashtbl.replace indegree n.id 0);
-  iter g (fun n ->
-      let unique_preds = Fpfa_util.Listx.uniq compare (preds g n.id) in
-      Hashtbl.replace indegree n.id (List.length unique_preds);
-      List.iter
-        (fun p ->
-          let old = match Hashtbl.find_opt succ p with Some l -> l | None -> [] in
-          Hashtbl.replace succ p (n.id :: old))
-        unique_preds);
-  let ready =
-    Hashtbl.fold
-      (fun id deg acc -> if deg = 0 then Id_set.add id acc else acc)
-      indegree Id_set.empty
-  in
-  let rec loop ready acc count =
-    match Id_set.min_elt_opt ready with
-    | None ->
-      if count <> Hashtbl.length g.nodes then
-        invalidf "graph %s has a cycle" g.fname;
-      List.rev acc
-    | Some id ->
-      let ready = Id_set.remove id ready in
-      let ready =
-        List.fold_left
-          (fun ready s ->
-            let deg = Hashtbl.find indegree s - 1 in
-            Hashtbl.replace indegree s deg;
-            if deg = 0 then Id_set.add s ready else ready)
-          ready
-          (match Hashtbl.find_opt succ id with Some l -> l | None -> [])
-      in
-      loop ready (id :: acc) (count + 1)
-  in
-  loop ready [] 0
+  if g.live = 0 then []
+  else begin
+    let n = g.next_id in
+    let indeg = Array.make n 0 in
+    (* stamp.(p) = consumer currently being counted: dedups parallel edges
+       (same producer on two ports, or a data edge doubled by an order
+       edge) so each unique predecessor contributes one indegree. *)
+    let stamp = Array.make n (-1) in
+    for cid = 0 to n - 1 do
+      if Bytes.unsafe_get g.alive cid = '\001' then begin
+        let a = arity (Array.unsafe_get g.kinds cid) in
+        let base = 3 * cid in
+        for port = 0 to a - 1 do
+          let p = Array.unsafe_get g.ins (base + port) in
+          if Array.unsafe_get stamp p <> cid then begin
+            Array.unsafe_set stamp p cid;
+            Array.unsafe_set indeg cid (Array.unsafe_get indeg cid + 1)
+          end
+        done;
+        let oa = Array.unsafe_get g.ord cid in
+        for j = 0 to Array.unsafe_get g.ord_len cid - 1 do
+          let p = Array.unsafe_get oa j in
+          if Array.unsafe_get stamp p <> cid then begin
+            Array.unsafe_set stamp p cid;
+            Array.unsafe_set indeg cid (Array.unsafe_get indeg cid + 1)
+          end
+        done
+      end
+    done;
+    let heap = Array.make g.live 0 in
+    let hlen = ref 0 in
+    let push v =
+      let i = ref !hlen in
+      incr hlen;
+      heap.(!i) <- v;
+      let continue = ref true in
+      while !continue && !i > 0 do
+        let p = (!i - 1) / 2 in
+        if heap.(p) > heap.(!i) then begin
+          let tmp = heap.(p) in
+          heap.(p) <- heap.(!i);
+          heap.(!i) <- tmp;
+          i := p
+        end
+        else continue := false
+      done
+    in
+    let pop () =
+      let top = heap.(0) in
+      decr hlen;
+      heap.(0) <- heap.(!hlen);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let s = ref !i in
+        if l < !hlen && heap.(l) < heap.(!s) then s := l;
+        if r < !hlen && heap.(r) < heap.(!s) then s := r;
+        if !s = !i then continue := false
+        else begin
+          let tmp = heap.(!s) in
+          heap.(!s) <- heap.(!i);
+          heap.(!i) <- tmp;
+          i := !s
+        end
+      done;
+      top
+    in
+    for id = 0 to n - 1 do
+      if Bytes.unsafe_get g.alive id = '\001' && indeg.(id) = 0 then push id
+    done;
+    (* Second stamp pass: decrement each unique successor exactly once per
+       popped producer. *)
+    let stamp2 = Array.make n (-1) in
+    let out = ref [] in
+    let count = ref 0 in
+    while !hlen > 0 do
+      let id = pop () in
+      out := id :: !out;
+      incr count;
+      let da = g.duse.(id) in
+      for j = 0 to g.duse_len.(id) - 1 do
+        let c = Array.unsafe_get da j lsr 2 in
+        if Array.unsafe_get stamp2 c <> id then begin
+          Array.unsafe_set stamp2 c id;
+          let deg = Array.unsafe_get indeg c - 1 in
+          Array.unsafe_set indeg c deg;
+          if deg = 0 then push c
+        end
+      done;
+      let oa = g.ouse.(id) in
+      for j = 0 to g.ouse_len.(id) - 1 do
+        let c = Array.unsafe_get oa j in
+        if Array.unsafe_get stamp2 c <> id then begin
+          Array.unsafe_set stamp2 c id;
+          let deg = Array.unsafe_get indeg c - 1 in
+          Array.unsafe_set indeg c deg;
+          if deg = 0 then push c
+        end
+      done
+    done;
+    if !count <> g.live then invalidf "graph %s has a cycle" g.fname;
+    List.rev !out
+  end
 
 let topo_order g =
   match g.topo_cache with
@@ -425,22 +717,25 @@ let topo_order g =
     g.topo_cache <- Some (g.generation, order);
     order
 
+let freeze g =
+  if not g.frozen then begin
+    (* Fill the topo cache first: frozen readers on other domains then
+       share one precomputed order and never write to the cache. *)
+    ignore (topo_order g);
+    g.frozen <- true
+  end
+
 let depth g =
   let order = topo_order g in
-  let depth_tbl = Hashtbl.create (List.length order) in
+  let d = Array.make (max 1 g.next_id) 0 in
   List.iter
     (fun id ->
-      let d =
-        List.fold_left
-          (fun acc p -> max acc (Hashtbl.find depth_tbl p + 1))
-          0 (preds g id)
-      in
-      Hashtbl.replace depth_tbl id d)
+      let m = ref 0 in
+      iter_preds g id (fun p -> if d.(p) + 1 > !m then m := d.(p) + 1);
+      d.(id) <- !m)
     order;
   fun id ->
-    match Hashtbl.find_opt depth_tbl id with
-    | Some d -> d
-    | None -> invalidf "depth: unknown node %d" id
+    if is_alive g id then d.(id) else invalidf "depth: unknown node %d" id
 
 let produces_token = function
   | Ss_in _ | St _ | Del _ -> true
@@ -455,46 +750,51 @@ let token_region g id =
   | Ss_in r | St r | Del r -> Some r
   | Const _ | Binop _ | Unop _ | Mux | Ss_out _ | Fe _ -> None
 
-(* Recomputes the use/def index from scratch and compares it with the
-   maintained one. O(V + E); used by [validate], the verifier in
-   lib/analysis and the index-invariant tests to catch any mutation path
-   that forgets an index update. Accumulates every divergence so the
-   diagnostic-producing callers report them all in one run. *)
+(* Recomputes the use/def index from the forward structure and compares it
+   with the maintained adjacency. O(V + E); used by [validate], the
+   verifier in lib/analysis and the index-invariant tests to catch any
+   mutation path that forgets an index update. Accumulates every
+   divergence so the diagnostic-producing callers report them all in one
+   run. *)
 let index_errors g =
   let errs = ref [] in
   let errf fmt = Format.kasprintf (fun msg -> errs := msg :: !errs) fmt in
-  let expect_data : (id * (id * int), unit) Hashtbl.t = Hashtbl.create 64 in
-  let expect_order : (id * id, unit) Hashtbl.t = Hashtbl.create 16 in
-  iter g (fun n ->
-      Array.iteri
-        (fun port producer -> Hashtbl.replace expect_data (producer, (n.id, port)) ())
-        n.inputs;
-      List.iter
-        (fun producer -> Hashtbl.replace expect_order (producer, n.id) ())
-        n.order_after);
-  let count_indexed tbls =
-    Hashtbl.fold (fun _ inner acc -> acc + Hashtbl.length inner) tbls 0
-  in
-  Hashtbl.iter
-    (fun (producer, (cid, port)) () ->
-      match Hashtbl.find_opt g.data_uses producer with
-      | Some tbl when Hashtbl.mem tbl (cid, port) -> ()
-      | _ ->
-        errf "use/def index misses data edge %d -> (%d, port %d)" producer
-          cid port)
-    expect_data;
-  if count_indexed g.data_uses <> Hashtbl.length expect_data then
-    errf "use/def index has stale data edges (%d indexed, %d real)"
-      (count_indexed g.data_uses) (Hashtbl.length expect_data);
-  Hashtbl.iter
-    (fun (producer, cid) () ->
-      match Hashtbl.find_opt g.order_uses producer with
-      | Some tbl when Hashtbl.mem tbl cid -> ()
-      | _ -> errf "use/def index misses order edge %d -> %d" producer cid)
-    expect_order;
-  if count_indexed g.order_uses <> Hashtbl.length expect_order then
+  let n = g.next_id in
+  let exp_data = ref 0 and exp_order = ref 0 in
+  for cid = 0 to n - 1 do
+    if is_alive g cid then begin
+      let a = arity g.kinds.(cid) in
+      let base = 3 * cid in
+      for port = 0 to a - 1 do
+        incr exp_data;
+        let p = g.ins.(base + port) in
+        if not (adj_mem g.duse g.duse_len p ((cid lsl 2) lor port)) then
+          errf "use/def index misses data edge %d -> (%d, port %d)" p cid port
+      done
+    end
+  done;
+  let idx_data = ref 0 and idx_order = ref 0 in
+  for i = 0 to n - 1 do
+    idx_data := !idx_data + g.duse_len.(i);
+    idx_order := !idx_order + g.ouse_len.(i)
+  done;
+  if !idx_data <> !exp_data then
+    errf "use/def index has stale data edges (%d indexed, %d real)" !idx_data
+      !exp_data;
+  for cid = 0 to n - 1 do
+    if is_alive g cid then begin
+      let oa = g.ord.(cid) in
+      for j = 0 to g.ord_len.(cid) - 1 do
+        incr exp_order;
+        let p = oa.(j) in
+        if not (adj_mem g.ouse g.ouse_len p cid) then
+          errf "use/def index misses order edge %d -> %d" p cid
+      done
+    end
+  done;
+  if !idx_order <> !exp_order then
     errf "use/def index has stale order edges (%d indexed, %d real)"
-      (count_indexed g.order_uses) (Hashtbl.length expect_order);
+      !idx_order !exp_order;
   let expect_outputs = Hashtbl.create 8 in
   List.iter
     (fun (_, v) ->
@@ -503,14 +803,15 @@ let index_errors g =
     g.named_outputs;
   Hashtbl.iter
     (fun id c ->
-      if Hashtbl.find_opt g.output_uses id <> Some c then
+      let counted = if id >= 0 && id < n then g.out_uses.(id) else 0 in
+      if counted <> c then
         errf "use/def index miscounts named-output references of node %d" id)
     expect_outputs;
-  Hashtbl.iter
-    (fun id c ->
-      if Hashtbl.find_opt expect_outputs id <> Some c then
-        errf "use/def index has stale named-output count for node %d" id)
-    g.output_uses;
+  for id = 0 to n - 1 do
+    if g.out_uses.(id) <> 0
+       && Hashtbl.find_opt expect_outputs id <> Some g.out_uses.(id)
+    then errf "use/def index has stale named-output count for node %d" id
+  done;
   List.rev !errs
 
 let check_index g =
@@ -615,30 +916,37 @@ let validate g =
   ignore (topo_order g)
 
 let copy g =
-  let g' = create g.fname in
-  (* Node records are immutable (mutators install fresh records with fresh
-     input arrays), so sharing them across copies is safe. *)
-  Hashtbl.iter (fun id n -> Hashtbl.replace g'.nodes id n) g.nodes;
-  Hashtbl.iter (fun r info -> Hashtbl.replace g'.region_tbl r info) g.region_tbl;
-  g'.next_id <- g.next_id;
-  g'.named_outputs <- g.named_outputs;
-  iter g' (fun n ->
-      Array.iteri
-        (fun port producer -> index_data_edge g' ~producer ~consumer:n.id ~port)
-        n.inputs;
-      List.iter
-        (fun producer -> index_order_edge g' ~producer ~consumer:n.id)
-        n.order_after);
-  List.iter
-    (fun (_, v) ->
-      Hashtbl.replace g'.output_uses v
-        (1 + match Hashtbl.find_opt g'.output_uses v with Some c -> c | None -> 0))
-    g.named_outputs;
-  (match g.topo_cache with
-  | Some (gen, order) when gen = g.generation ->
-    g'.topo_cache <- Some (g'.generation, order)
-  | Some _ | None -> ());
-  g'
+  let n = g.next_id in
+  let copy_adj arrs lens =
+    Array.init n (fun i ->
+        if lens.(i) = 0 then no_ints else Array.sub arrs.(i) 0 lens.(i))
+  in
+  {
+    fname = g.fname;
+    region_tbl = Hashtbl.copy g.region_tbl;
+    next_id = n;
+    live = g.live;
+    named_outputs = g.named_outputs;
+    kinds = Array.sub g.kinds 0 n;
+    alive = Bytes.sub g.alive 0 n;
+    ins = Array.sub g.ins 0 (3 * n);
+    ord = copy_adj g.ord g.ord_len;
+    ord_len = Array.sub g.ord_len 0 n;
+    duse = copy_adj g.duse g.duse_len;
+    duse_len = Array.sub g.duse_len 0 n;
+    ouse = copy_adj g.ouse g.ouse_len;
+    ouse_len = Array.sub g.ouse_len 0 n;
+    out_uses = Array.sub g.out_uses 0 n;
+    pool = Array.make pool_buckets [];
+    frozen = false;
+    generation = 0;
+    topo_cache =
+      (match g.topo_cache with
+      | Some (gen, order) when gen = g.generation -> Some (0, order)
+      | Some _ | None -> None);
+    dirty_def = Id_set.empty;
+    dirty_use = Id_set.empty;
+  }
 
 type stats = {
   total : int;

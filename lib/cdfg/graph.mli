@@ -109,6 +109,28 @@ val order_after : t -> id -> id list
 val preds : t -> id -> id list
 (** Data inputs followed by order-only predecessors (with duplicates). *)
 
+val arity_of : t -> id -> int
+(** [arity (kind g id)] without materialising the kind twice. O(1). *)
+
+val input : t -> id -> int -> id
+(** [input g id port] is the producer read by input [port] — the
+    allocation-free point query behind {!inputs}.
+    @raise Invalid when [port >= arity_of g id]. *)
+
+val iter_preds : t -> id -> (id -> unit) -> unit
+(** Applies the callback to every predecessor (data inputs in port order,
+    then order-only edges, duplicates included) without building the
+    {!preds} list. *)
+
+val iter_ids : t -> (id -> unit) -> unit
+(** Iterates live ids in ascending order without materialising {!node}
+    records or the {!node_ids} list. *)
+
+val id_bound : t -> id
+(** One past the largest id ever allocated. Ids are never reused (removed
+    slots are tombstoned), so an array of size [id_bound g] can be indexed
+    by any id the graph or its journal has ever handed out. *)
+
 val node_ids : t -> id list
 (** All node ids, ascending. *)
 
@@ -181,7 +203,19 @@ val validate : t -> unit
     region referenced by a primitive is declared.
     @raise Invalid with a diagnostic otherwise. *)
 
+val freeze : t -> unit
+(** Makes the graph immutable: every subsequent mutation raises {!Invalid}.
+    Freezing first fills the topo-order cache, so on a frozen graph every
+    accessor — including {!topo_order} — is a pure read. That is the
+    cross-domain sharing contract: a frozen graph may be read from several
+    domains concurrently without copying. Idempotent.
+    @raise Invalid on a cyclic graph (the cache cannot be filled). *)
+
+val frozen : t -> bool
+
 val copy : t -> t
+(** Independent mutable copy (never frozen, journal empty, generation 0;
+    a valid topo cache is carried over). *)
 
 (** {2 Statistics} *)
 

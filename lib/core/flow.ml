@@ -79,7 +79,26 @@ let stage name f =
          (Printf.sprintf "%s: rule %s broke an invariant: %s" name rule
             (Printexc.to_string error)))
 
-let map_prepared ~config ~source ~func raw_graph =
+(* Runs [a] and [b], overlapped on the pool when one is supplied. The
+   sequential observable behaviour is preserved: results come back in
+   order and, when both raise, [a]'s exception wins (the pool re-raises
+   the lowest-index failure, which is exactly what [a (); b ()] would
+   surface). *)
+let par2 pool a b =
+  match pool with
+  | None ->
+    let ra = a () in
+    (ra, b ())
+  | Some p -> (
+    match
+      Fpfa_exec.Pool.map p
+        (fun f -> f ())
+        [ (fun () -> `A (a ())); (fun () -> `B (b ())) ]
+    with
+    | [ `A ra; `B rb ] -> (ra, rb)
+    | _ -> assert false)
+
+let map_prepared ?pool ~config ~source ~func raw_graph =
   Obs.incr c_maps;
   Obs.span ~cat:"flow" "map"
     ~args:
@@ -131,19 +150,37 @@ let map_prepared ~config ~source ~func raw_graph =
         end
         else Transform.Disambig.empty_report)
   in
+  (* With a pool, no pass mutates the graph beyond this point: freeze it
+     so the overlapped validate/advance stages below (and any later
+     {!audit}) can read it from several domains without copying. Without
+     a pool the graph stays mutable — callers such as the disambig
+     idempotence tests re-run passes on [result.graph]. *)
+  (match pool with Some _ -> Cdfg.Graph.freeze graph | None -> ());
   let caps = match config.caps with Some caps -> caps | None -> config.tile.Arch.alu in
   let clustering = stage "cluster" (fun () -> config.cluster_with ~caps graph) in
-  stage "cluster-validate" (fun () -> Mapping.Cluster.validate clustering caps);
-  let schedule =
-    stage "schedule" (fun () ->
-        Mapping.Sched.run ~alu_count:config.tile.Arch.alu_count clustering)
+  (* Each validator only reads the artifact the preceding stage produced,
+     so it can run concurrently with the stage that consumes the same
+     artifact: cluster-validate with schedule, schedule-validate with
+     allocate. *)
+  let (), schedule =
+    par2 pool
+      (fun () ->
+        stage "cluster-validate" (fun () ->
+            Mapping.Cluster.validate clustering caps))
+      (fun () ->
+        stage "schedule" (fun () ->
+            Mapping.Sched.run ~alu_count:config.tile.Arch.alu_count clustering))
   in
-  stage "schedule-validate" (fun () ->
-      Mapping.Sched.validate schedule ~alu_count:config.tile.Arch.alu_count);
-  let job =
-    stage "allocate" (fun () ->
-        Mapping.Alloc.run ~options:config.alloc_options ~tile:config.tile
-          schedule)
+  let (), job =
+    par2 pool
+      (fun () ->
+        stage "schedule-validate" (fun () ->
+            Mapping.Sched.validate schedule
+              ~alu_count:config.tile.Arch.alu_count))
+      (fun () ->
+        stage "allocate" (fun () ->
+            Mapping.Alloc.run ~options:config.alloc_options ~tile:config.tile
+              schedule))
   in
   let metrics = Mapping.Metrics.of_job job in
   {
@@ -159,7 +196,7 @@ let map_prepared ~config ~source ~func raw_graph =
     metrics;
   }
 
-let map_func ?(config = default_config) func =
+let map_func ?pool ?(config = default_config) func =
   let func =
     stage "unroll" (fun () ->
         Cfront.Unroll.unroll_func ~max_iterations:config.max_unroll func)
@@ -169,9 +206,9 @@ let map_func ?(config = default_config) func =
         Cdfg.Builder.build_func ~delete_locals:config.delete_locals func)
   in
   let source = Cfront.Ast.program_to_string [ func ] in
-  map_prepared ~config ~source ~func raw_graph
+  map_prepared ?pool ~config ~source ~func raw_graph
 
-let map_source ?(config = default_config) ?(func = "main") source =
+let map_source ?pool ?(config = default_config) ?(func = "main") source =
   let program = stage "parse" (fun () -> Cfront.Parser.parse_program source) in
   let program = stage "inline" (fun () -> Cfront.Inline.program program) in
   let f =
@@ -183,10 +220,10 @@ let map_source ?(config = default_config) ?(func = "main") source =
     | Some f -> f
     | None -> raise (Flow_error (Printf.sprintf "no function %s in source" func))
   in
-  let result = map_func ~config f in
+  let result = map_func ?pool ~config f in
   { result with source }
 
-let map_graph ?(config = default_config) g =
+let map_graph ?pool ?(config = default_config) g =
   let placeholder =
     {
       Cfront.Ast.name = Cdfg.Graph.name g;
@@ -195,7 +232,51 @@ let map_graph ?(config = default_config) g =
       returns_value = false;
     }
   in
-  map_prepared ~config ~source:"" ~func:placeholder (Cdfg.Graph.copy g)
+  map_prepared ?pool ~config ~source:"" ~func:placeholder (Cdfg.Graph.copy g)
+
+(* All diagnostics for one mapped program: structural verifier on the raw
+   and minimised graphs, mappability + statespace legality + lints on the
+   minimised graph, and the mapping validators replaying cluster /
+   schedule / allocation legality. One address analysis is shared by the
+   verifier and the lints. The six diagnostic families are independent
+   reads of the (frozen) result, so with a pool they run concurrently;
+   [Diag.sort] makes the merged output order-independent. *)
+let audit ?pool ~config result =
+  Obs.span ~cat:"flow" "audit" @@ fun () ->
+  let caps =
+    match config.caps with Some caps -> caps | None -> config.tile.Arch.alu
+  in
+  (match pool with
+  | Some _ ->
+    Cdfg.Graph.freeze result.raw_graph;
+    Cdfg.Graph.freeze result.graph
+  | None -> ());
+  let structure = Fpfa_analysis.Verify.structure result.graph in
+  let facts =
+    if Fpfa_diag.Diag.errors structure = [] then
+      Some (Fpfa_analysis.Addr.analyze result.graph)
+    else None
+  in
+  let families : (unit -> Fpfa_diag.Diag.t list) list =
+    [
+      (fun () -> Fpfa_analysis.Verify.structure result.raw_graph);
+      (fun () -> Fpfa_analysis.Verify.all ?facts result.graph);
+      (fun () ->
+        match facts with
+        | Some facts -> Fpfa_analysis.Lint.run ~facts result.graph
+        | None -> []);
+      (fun () -> Fpfa_analysis.Mapcheck.cluster ~caps result.clustering);
+      (fun () ->
+        Fpfa_analysis.Mapcheck.sched ~alu_count:config.tile.Arch.alu_count
+          result.schedule);
+      (fun () -> Fpfa_analysis.Mapcheck.alloc result.job);
+    ]
+  in
+  let diags =
+    Fpfa_exec.Pool.maybe pool (fun f -> f ()) families
+    |> List.concat |> Fpfa_diag.Diag.sort
+  in
+  (diags, facts)
 
 let verify ?(memory_init = []) result =
   Obs.span ~cat:"flow" "verify" @@ fun () ->

@@ -58,18 +58,42 @@ type result = {
 
 exception Flow_error of string
 
-val map_source : ?config:config -> ?func:string -> string -> result
+val map_source :
+  ?pool:Fpfa_exec.Pool.t -> ?config:config -> ?func:string -> string -> result
 (** Runs the full flow on C source text: user-defined function calls are
     inlined first, then the (call-free) function [func] (default ["main"])
     is mapped.
+
+    With [?pool], independent stages of {e this one compile} overlap on
+    the pool's domains (each validator runs concurrently with the stage
+    consuming the same artifact), and the minimised graph is
+    {!Cdfg.Graph.freeze}d after disambiguation so domains share it
+    without copying — [result.graph] is then immutable. Results and
+    raised exceptions are identical to the sequential run. Without a pool
+    nothing is frozen and behaviour is exactly as before.
     @raise Flow_error wrapping any stage failure with stage context. *)
 
-val map_func : ?config:config -> Cfront.Ast.func -> result
+val map_func : ?pool:Fpfa_exec.Pool.t -> ?config:config -> Cfront.Ast.func -> result
 
-val map_graph : ?config:config -> Cdfg.Graph.t -> result
+val map_graph : ?pool:Fpfa_exec.Pool.t -> ?config:config -> Cdfg.Graph.t -> result
 (** Entry point for callers that build CDFGs directly (e.g. random-DAG
     benchmarks). The graph is copied, minimised, and mapped; [source] and
     [func] hold placeholders. *)
+
+val audit :
+  ?pool:Fpfa_exec.Pool.t ->
+  config:config ->
+  result ->
+  Fpfa_diag.Diag.t list * Fpfa_analysis.Addr.t option
+(** Every static diagnostic for a mapped result in one sorted list:
+    structural verifier on the raw and minimised graphs, mappability +
+    statespace legality + lints on the minimised graph (sharing one
+    address analysis, returned as the second component when structure is
+    sound), and the {!Fpfa_analysis.Mapcheck} validators replaying
+    cluster/schedule/allocation legality. The diagnostic families are
+    independent, so with [?pool] they run concurrently — the result
+    graphs are frozen first (see {!map_source}); output is identical to
+    the sequential run. *)
 
 val verify :
   ?memory_init:(string * int array) list -> result -> bool

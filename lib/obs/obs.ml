@@ -100,9 +100,29 @@ let reset () =
   Mutex.unlock state_lock;
   Atomic.set next_id 0
 
+(* ------------------------------- GC -------------------------------- *)
+
+(* Optional allocation tracking: when on, every span captures
+   [Gc.quick_stat] deltas (minor/major words, major collections) of its
+   own domain and appends them to the span's args — so allocation
+   regressions show up per flow stage in traces and in the stats report,
+   not just as wall-clock. Top-level spans additionally fold their deltas
+   into the global [gc.*] counters (nested spans don't, or the totals
+   would double-count). [quick_stat] reads the calling domain's local
+   counters, so parallel batches stay well-defined: each span charges the
+   allocation of the domain that ran it. *)
+let gc_flag = Atomic.make false
+let enable_gc () = Atomic.set gc_flag true
+let disable_gc () = Atomic.set gc_flag false
+let gc_enabled () = Atomic.get gc_flag
+
+(* Counter handles are created below (the registry is defined after the
+   span machinery); this sink is installed once at module init. *)
+let gc_sink : (int -> int -> int -> unit) ref = ref (fun _ _ _ -> ())
+
 (* ------------------------------ spans ------------------------------ *)
 
-let close b o t1 =
+let close b o t1 sargs =
   (* Physical-equality pop: tolerates a thunk that enabled/disabled the
      subsystem mid-span by dropping any deeper strays. *)
   let rec drop = function
@@ -120,7 +140,7 @@ let close b o t1 =
       scat = o.ocat;
       sstart = o.ostart;
       sdur = (if dur > 0.0 then dur else 0.0);
-      sargs = o.oargs;
+      sargs;
     }
     :: b.finished
 
@@ -130,16 +150,42 @@ let span ?(cat = "flow") ?(args = []) name f =
     let b = my_buf () in
     let oid = Atomic.fetch_and_add next_id 1 in
     let oparent = match b.stack with [] -> None | top :: _ -> Some top.oid in
+    let track_gc = Atomic.get gc_flag in
+    (* [Gc.minor_words ()] reads the domain's allocation pointer exactly;
+       quick_stat's [minor_words] only refreshes at collection points (it
+       reads 0 deltas for spans that don't trigger a minor GC). *)
+    let g0 =
+      if track_gc then Some (Gc.minor_words (), Gc.quick_stat ()) else None
+    in
     let o =
       { oid; oparent; oname = name; ocat = cat; ostart = !clock (); oargs = args }
     in
     b.stack <- o :: b.stack;
+    let final_args () =
+      match g0 with
+      | None -> o.oargs
+      | Some (m0, g0) ->
+        let m1 = Gc.minor_words () in
+        let g1 = Gc.quick_stat () in
+        let minor = int_of_float (m1 -. m0) in
+        let major = int_of_float (g1.Gc.major_words -. g0.Gc.major_words) in
+        let majcol = g1.Gc.major_collections - g0.Gc.major_collections in
+        if oparent = None then !gc_sink minor major majcol;
+        o.oargs
+        @ [
+            ("gc.minor_words", Int minor);
+            ("gc.major_words", Int major);
+            ("gc.major_collections", Int majcol);
+          ]
+    in
     match f () with
     | v ->
-      close b o (!clock ());
+      let sargs = final_args () in
+      close b o (!clock ()) sargs;
       v
     | exception e ->
-      close b o (!clock ());
+      let sargs = final_args () in
+      close b o (!clock ()) sargs;
       raise e
   end
 
@@ -198,6 +244,19 @@ let record_max c n =
   end
 
 let value c = Atomic.get c.cvalue
+
+(* Global allocation tallies, fed by top-level spans when GC tracking is
+   on (see gc_sink above). *)
+let c_gc_minor = counter "gc.minor_words"
+let c_gc_major = counter "gc.major_words"
+let c_gc_majcol = counter "gc.major_collections"
+
+let () =
+  gc_sink :=
+    fun minor major majcol ->
+      add c_gc_minor minor;
+      add c_gc_major major;
+      add c_gc_majcol majcol
 
 let counters () =
   Mutex.lock state_lock;
@@ -325,26 +384,47 @@ let stats_report () =
       (fun (name, v) ->
         Buffer.add_string buf (Printf.sprintf "  %-36s %12d\n" name v))
       nonzero;
-  let groups : (string * string, int * float) Hashtbl.t = Hashtbl.create 32 in
+  let groups : (string * string, int * float * int * int) Hashtbl.t =
+    Hashtbl.create 32
+  in
   List.iter
     (fun s ->
       let key = (s.scat, s.sname) in
-      let n, t =
-        match Hashtbl.find_opt groups key with Some x -> x | None -> (0, 0.0)
+      let arg k =
+        List.fold_left
+          (fun acc (k', v) ->
+            match v with Int n when String.equal k k' -> acc + n | _ -> acc)
+          0 s.sargs
       in
-      Hashtbl.replace groups key (n + 1, t +. s.sdur))
+      let n, t, mi, ma =
+        match Hashtbl.find_opt groups key with
+        | Some x -> x
+        | None -> (0, 0.0, 0, 0)
+      in
+      Hashtbl.replace groups key
+        ( n + 1,
+          t +. s.sdur,
+          mi + arg "gc.minor_words",
+          ma + arg "gc.major_words" ))
     (spans ());
   let rows =
-    Hashtbl.fold (fun (cat, name) (n, t) acc -> (cat, name, n, t) :: acc) groups []
-    |> List.sort (fun (c1, n1, _, _) (c2, n2, _, _) -> compare (c1, n1) (c2, n2))
+    Hashtbl.fold
+      (fun (cat, name) (n, t, mi, ma) acc -> (cat, name, n, t, mi, ma) :: acc)
+      groups []
+    |> List.sort (fun (c1, n1, _, _, _, _) (c2, n2, _, _, _, _) ->
+           compare (c1, n1) (c2, n2))
   in
   Buffer.add_string buf "spans (cat/name, count, total):\n";
   if rows = [] then Buffer.add_string buf "  (none)\n"
   else
     List.iter
-      (fun (cat, name, n, t) ->
+      (fun (cat, name, n, t, mi, ma) ->
+        let gc =
+          if mi = 0 && ma = 0 then ""
+          else Printf.sprintf "  gc minor=%d major=%d" mi ma
+        in
         Buffer.add_string buf
-          (Printf.sprintf "  %-36s %8d %10.3f ms\n" (cat ^ "/" ^ name) n
-             (t *. 1e3)))
+          (Printf.sprintf "  %-36s %8d %10.3f ms%s\n" (cat ^ "/" ^ name) n
+             (t *. 1e3) gc))
       rows;
   Buffer.contents buf

@@ -39,6 +39,22 @@ val enabled : unit -> bool
 val enable : unit -> unit
 val disable : unit -> unit
 
+(** {2 GC tracking} *)
+
+val enable_gc : unit -> unit
+(** Adds [Gc.quick_stat] deltas — minor words, major words, major
+    collections, always of the recording domain — to every subsequently
+    recorded span as [gc.*] args (rendered in traces; aggregated
+    per-stage by {!stats_report}). Top-level spans (no enclosing span in
+    their domain) also fold their deltas into the global counters
+    [gc.minor_words] / [gc.major_words] / [gc.major_collections]; nested
+    spans don't, so the totals never double-count. Off by default: the
+    two [quick_stat] calls per span are cheap but not free, and the
+    E14 null-sink bound only covers the disabled path. *)
+
+val disable_gc : unit -> unit
+val gc_enabled : unit -> bool
+
 val set_clock : (unit -> float) -> unit
 (** Replaces the time source (seconds as a float). The default is
     {!Sys.time} (processor time, no extra dependencies); binaries that

@@ -12,6 +12,7 @@ let () =
       ("unroll", Test_unroll.suite);
       ("op", Test_op.suite);
       ("graph", Test_graph.suite);
+      ("graph-model", Test_graph_model.suite);
       ("builder", Test_builder.suite);
       ("eval", Test_eval.suite);
       ("transform", Test_transform.suite);
