@@ -43,6 +43,17 @@
                                               schedule never deepens,
                                               analysis cost <15% of flow
 
+     E19 serve                  (infrastructure) compile-as-a-service:
+                                              cold vs warm latency through
+                                              the daemon's content-addressed
+                                              cache on a repeated-corpus
+                                              workload (target: warm >=100x
+                                              cold, byte-identical results
+                                              cache-on vs cache-off), plus
+                                              the E16/E18 multi-core
+                                              re-check through the batch
+                                              admission path
+
    Absolute numbers are ours (the substrate is a simulator, not the
    CHAMELEON testbed); the shapes are what EXPERIMENTS.md compares. *)
 
@@ -1482,6 +1493,234 @@ let alias_prune () =
   close_out oc;
   Printf.printf "\nwrote BENCH_alias_prune.json\n"
 
+(* ------------------------------------------------------------------ *)
+(* E19 - serve: compile-as-a-service latency through the daemon's       *)
+(* content-addressed cache. A repeated-corpus workload measures the     *)
+(* cold path (every request a full compile) against the warm path       *)
+(* (every request a cache hit); results must be byte-identical with     *)
+(* the cache off, near-miss requests must resume mid-flow, and the      *)
+(* batch admission path re-checks the E16/E18 multi-core gates.         *)
+(* ------------------------------------------------------------------ *)
+
+let serve_bench () =
+  section "E19 serve (compile-as-a-service cache)";
+  let module Serve = Fpfa_serve.Serve in
+  let module Json = Fpfa_util.Json in
+  let cores = Domain.recommended_domain_count () in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let compile_req (k : Kernels.t) =
+    Json.parse
+      (Printf.sprintf {|{"op":"compile","kernel":"%s"}|} k.Kernels.name)
+  in
+  let result_bytes resp =
+    match Json.member "result" resp with
+    | Some v -> Json.to_string v
+    | None -> failwith ("serve response without result: " ^ Json.to_string resp)
+  in
+  let expect_ok resp =
+    (match Json.member "ok" resp with
+    | Some (Json.Bool true) -> ()
+    | _ -> failwith ("serve request failed: " ^ Json.to_string resp));
+    resp
+  in
+  let n_kernels = List.length Kernels.all in
+  (* Cold pass: a fresh daemon, every request is a full compile. *)
+  let daemon = Serve.create ~cache_size:256 () in
+  let cold_results, cold_s =
+    time (fun () ->
+        List.map
+          (fun k -> result_bytes (expect_ok (Serve.handle daemon (compile_req k))))
+          Kernels.all)
+  in
+  (* Warm passes: same daemon, same requests, answered from the cache. *)
+  let warm_passes = 50 in
+  let warm_results = ref [] in
+  let _, warm_s =
+    time (fun () ->
+        for _ = 1 to warm_passes do
+          warm_results :=
+            List.map
+              (fun k ->
+                result_bytes (expect_ok (Serve.handle daemon (compile_req k))))
+              Kernels.all
+        done)
+  in
+  let cold_per_req = cold_s /. float_of_int n_kernels in
+  let warm_per_req = warm_s /. float_of_int (n_kernels * warm_passes) in
+  let warm_speedup = cold_per_req /. warm_per_req in
+  (* Byte identity: warm hits and a cache-off daemon must agree with the
+     cold pass on every kernel. *)
+  let uncached = Serve.create ~cache_size:0 () in
+  let off_results =
+    List.map
+      (fun k -> result_bytes (expect_ok (Serve.handle uncached (compile_req k))))
+      Kernels.all
+  in
+  let identical =
+    cold_results = !warm_results && cold_results = off_results
+  in
+  Printf.printf
+    "corpus (%d kernels): cold %.2f ms/req, warm %.4f ms/req, %.0fx; \
+     identity %s\n"
+    n_kernels (cold_per_req *. 1000.0) (warm_per_req *. 1000.0) warm_speedup
+    (if identical then "holds" else "BROKEN");
+  (* Near-miss resumption: a config tweak after the corpus is cached
+     re-enters the staged flow instead of recompiling from source. *)
+  let resumed_count = ref 0 in
+  let resume_reqs =
+    List.map
+      (fun (k : Kernels.t) ->
+        Json.parse
+          (Printf.sprintf {|{"op":"compile","kernel":"%s","alus":3}|}
+             k.Kernels.name))
+      Kernels.all
+  in
+  let resumed_responses, resume_s =
+    time (fun () ->
+        List.map
+          (fun r ->
+            let resumed = expect_ok (Serve.handle daemon r) in
+            (match Json.member "resumed_from" resumed with
+            | Some (Json.Str _) -> incr resumed_count
+            | _ -> ());
+            resumed)
+          resume_reqs)
+  in
+  let resume_results_match =
+    ref
+      (List.for_all2
+         (fun r resumed ->
+           let fresh = expect_ok (Serve.handle uncached r) in
+           result_bytes resumed = result_bytes fresh)
+         resume_reqs resumed_responses)
+  in
+  let resume_per_req = resume_s /. float_of_int n_kernels in
+  Printf.printf
+    "near-miss (alus:3 after default): %d/%d resumed mid-flow, %.2f ms/req; \
+     results %s fresh compiles\n"
+    !resumed_count n_kernels
+    (resume_per_req *. 1000.0)
+    (if !resume_results_match then "match" else "DIVERGE from");
+  (* Cache bookkeeping straight from the daemon's stats endpoint. *)
+  let stats = expect_ok (Serve.handle daemon (Json.parse {|{"op":"stats"}|})) in
+  let cache_int level name =
+    match
+      Option.bind (Json.member "result" stats) (fun r ->
+          Option.bind (Json.member "cache" r) (fun c ->
+              Option.bind (Json.member level c) (Json.member name)))
+    with
+    | Some (Json.Int n) -> n
+    | _ -> 0
+  in
+  let req_hits = cache_int "request" "hits" in
+  let req_misses = cache_int "request" "misses" in
+  let hit_rate =
+    if req_hits + req_misses = 0 then 0.0
+    else float_of_int req_hits /. float_of_int (req_hits + req_misses)
+  in
+  Printf.printf "request cache: %d hits / %d misses (%.1f%% hit rate)\n"
+    req_hits req_misses (hit_rate *. 100.0);
+  Serve.shutdown daemon;
+  Serve.shutdown uncached;
+  (* E16/E18 re-check through the batch admission path: a cold batch of
+     the whole corpus fanned over the pool must match the sequential
+     daemon byte for byte, and still be worth it on a multi-core host. *)
+  let batch_req =
+    Json.parse
+      (Printf.sprintf {|{"op":"batch","requests":[%s]}|}
+         (String.concat ","
+            (List.map
+               (fun (k : Kernels.t) ->
+                 Printf.sprintf {|{"op":"compile","kernel":"%s"}|}
+                   k.Kernels.name)
+               Kernels.all)))
+  in
+  let batch_results jobs =
+    (* fresh daemon per run so every batch is a cold one *)
+    let s = Serve.create ~jobs ~cache_size:256 () in
+    let r, t = time (fun () -> expect_ok (Serve.handle s batch_req)) in
+    Serve.shutdown s;
+    let rows =
+      match Option.bind (Json.member "result" r) (Json.member "responses") with
+      | Some (Json.List rs) -> List.map (fun r -> result_bytes (expect_ok r)) rs
+      | _ -> failwith "batch result has no responses"
+    in
+    (rows, t)
+  in
+  let rows4, _ = batch_results 4 in
+  let rows1, _ = batch_results 1 in
+  let batch_identical = rows4 = rows1 && rows4 = cold_results in
+  let batch_assessed = cores >= 4 in
+  let batch_speedup_4 =
+    if not batch_assessed then None
+    else begin
+      let measure jobs =
+        let best = ref infinity in
+        for _ = 1 to 3 do
+          let _, t = batch_results jobs in
+          best := Float.min !best t
+        done;
+        !best
+      in
+      let t1 = measure 1 in
+      let t4 = measure 4 in
+      Some (t1 /. t4)
+    end
+  in
+  (match batch_speedup_4 with
+  | Some s ->
+    Printf.printf "cold batch -j4: %.2fx vs -j1 (%d cores); identity %s\n" s
+      cores
+      (if batch_identical then "holds" else "BROKEN")
+  | None ->
+    Printf.printf
+      "cold batch speedup not assessable (%d core%s < 4); identity %s\n" cores
+      (if cores = 1 then "" else "s")
+      (if batch_identical then "holds" else "BROKEN"));
+  let target = 100.0 in
+  let pass =
+    identical && !resume_results_match && batch_identical
+    && warm_speedup >= target
+    && (match batch_speedup_4 with Some s -> s > 1.0 | None -> true)
+  in
+  Printf.printf "warm/cold gate (>=%.0fx): %s\n" target
+    (if pass then "PASS" else "FAIL");
+  let json = Buffer.create 1024 in
+  Buffer.add_string json "{\n  \"experiment\": \"serve\",\n";
+  Buffer.add_string json
+    (Printf.sprintf
+       "  \"kernels\": %d,\n  \"warm_passes\": %d,\n\
+       \  \"cold_s_per_req\": %.6f,\n  \"warm_s_per_req\": %.8f,\n\
+       \  \"warm_speedup\": %.1f,\n  \"target_speedup\": %.1f,\n"
+       n_kernels warm_passes cold_per_req warm_per_req warm_speedup target);
+  Buffer.add_string json
+    (Printf.sprintf
+       "  \"identical_cache_on_off\": %b,\n\
+       \  \"resumed\": %d,\n  \"resume_results_match\": %b,\n\
+       \  \"resume_s_per_req\": %.6f,\n\
+       \  \"request_cache_hits\": %d,\n  \"request_cache_misses\": %d,\n\
+       \  \"hit_rate\": %.4f,\n"
+       identical !resumed_count !resume_results_match resume_per_req req_hits
+       req_misses hit_rate);
+  Buffer.add_string json
+    (Printf.sprintf
+       "  \"multicore\": {\"cores_detected\": %d, \"assessed\": %b, \
+        \"identical\": %b, %s},\n"
+       cores batch_assessed batch_identical
+       (match batch_speedup_4 with
+       | Some s -> Printf.sprintf "\"batch_speedup_j4\": %.3f" s
+       | None ->
+         "\"skipped_reason\": \"needs >= 4 cores; identity still asserted\""));
+  Buffer.add_string json (Printf.sprintf "  \"pass\": %b\n}\n" pass);
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc (Buffer.contents json);
+  close_out oc;
+  Printf.printf "\nwrote BENCH_serve.json\n"
+
 let () =
   let only =
     match Array.to_list Sys.argv with
@@ -1512,6 +1751,7 @@ let () =
   run "corpus" corpus_bench;
   run "arena" arena;
   run "alias" alias_prune;
+  run "serve" serve_bench;
   (* E13 is opt-in: it times multi-second fixpoint runs, so the default
      no-argument sweep (and anything scripted on top of it) stays fast. *)
   (match only with

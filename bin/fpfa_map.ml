@@ -646,6 +646,71 @@ let simplify_cmd =
        ~doc:"Show the graph minimisation pass by pass (paper Fig. 3).")
     Term.(const simplify $ input_arg $ func_arg)
 
+(* {2 serve — the compile-as-a-service daemon} *)
+
+let serve socket cache_size cache_dir observe jobs =
+  if observe then begin
+    Obs.set_clock Unix.gettimeofday;
+    Obs.enable ()
+  end;
+  let server =
+    Fpfa_serve.Serve.create ~jobs:(resolve_jobs jobs) ~cache_size ?cache_dir
+      ~observe ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Fpfa_serve.Serve.shutdown server)
+    (fun () ->
+      match socket with
+      | Some path ->
+        Printf.eprintf "fpfa_map serve: listening on %s\n%!" path;
+        Fpfa_serve.Serve.serve_socket server ~path
+      | None -> Fpfa_serve.Serve.serve_channel server stdin stdout)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Listen on a Unix domain socket at PATH instead of stdin/stdout \
+           (an existing socket file is replaced; removed on exit).")
+
+let cache_size_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "cache-size" ] ~docv:"N"
+        ~doc:
+          "Entries per cache level (request and mapping). 0 disables \
+           caching.")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persist computed mapping payloads as JSON files under DIR \
+           (created if missing), surviving restarts.")
+
+let observe_arg =
+  Arg.(
+    value & flag
+    & info [ "observe" ]
+        ~doc:
+          "Enable the observability subsystem; the stats operation then \
+           reports drained counters and per-stage span aggregates.")
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the mapping flow as a persistent daemon: newline-delimited \
+          JSON requests (compile/check/sweep/stats/cache) on stdin or a \
+          Unix socket, answered through a content-addressed mapping cache.")
+    Term.(
+      const serve $ socket_arg $ cache_size_arg $ cache_dir_arg $ observe_arg
+      $ jobs_arg)
+
 (* {2 check — the static verifier / lint front end} *)
 
 module Diag = Fpfa_diag.Diag
@@ -662,20 +727,6 @@ let check_one ?pool ~config source ~func =
     (diags, Option.map Fpfa_analysis.Addr.facts_to_json facts)
   | exception Fpfa_core.Flow.Flow_error msg ->
     ([ Diag.error "flow.error" "%s" msg ], None)
-
-let json_escape s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
 
 let check input func json verify_each no_lint all jobs obs_trace obs_stats =
   obs_setup ~trace:obs_trace ~stats:obs_stats;
@@ -719,16 +770,23 @@ let check input func json verify_each no_lint all jobs obs_trace obs_stats =
     | _ -> Pool.map_ordered ~jobs (fun t -> process t) targets
   in
   if json then begin
+    (* Built as a Fpfa_util.Json value and emitted through its
+       deterministic printer: field order is fixed by construction, so
+       golden tests and serve-cache keys never churn on it. *)
+    let module Json = Fpfa_util.Json in
     let objects =
       List.map
         (fun (name, diags, facts) ->
-          Printf.sprintf
-            "{\"input\": \"%s\", \"diagnostics\": %s, \"address_facts\": %s}"
-            (json_escape name) (Diag.list_to_json diags)
-            (match facts with Some j -> j | None -> "null"))
+          Json.Obj
+            [
+              ("input", Json.Str name);
+              ("diagnostics", Json.parse (Diag.list_to_json diags));
+              ( "address_facts",
+                match facts with Some j -> Json.parse j | None -> Json.Null );
+            ])
         checked
     in
-    print_string ("[" ^ String.concat ", " objects ^ "]\n")
+    print_string (Json.to_string (Json.List objects) ^ "\n")
   end
   else
     List.iter
@@ -804,7 +862,7 @@ let () =
   let command_names =
     [
       "compile"; "dot"; "kernels"; "suite"; "sweep"; "encode"; "run-config";
-      "pipeline"; "loop"; "simplify"; "check";
+      "pipeline"; "loop"; "simplify"; "check"; "serve";
     ]
   in
   let argv =
@@ -831,5 +889,5 @@ let () =
           [
             compile_cmd; dot_cmd; kernels_cmd; suite_cmd; sweep_cmd;
             encode_cmd; run_config_cmd; pipeline_cmd; loop_cmd; simplify_cmd;
-            check_cmd;
+            check_cmd; serve_cmd;
           ]))

@@ -101,6 +101,133 @@ let to_string_mapped g =
 
 let to_string g = fst (to_string_mapped g)
 
+(* ------------------------------------------------------------------ *)
+(* Canonical form and digest.                                          *)
+(*                                                                     *)
+(* [to_string] renumbers nodes along [topo_order], which breaks ties   *)
+(* by ascending id — so two graphs equal up to id renaming can encode  *)
+(* differently. The canonical form instead orders ready nodes by a     *)
+(* structural key: the MD5 of a node's input cone (computed forward)   *)
+(* concatenated with the MD5 of its use cone (computed backward).      *)
+(* Nodes that tie on both cones are interchangeable for the encoding   *)
+(* (swapping them is an automorphism of everything the bytes record),  *)
+(* so the residual id tie-break cannot leak renaming into the output.  *)
+(* The mapping cache keys on this digest: equal bytes imply the graphs *)
+(* are equal up to renaming, so a cache hit returns a mapping of the   *)
+(* very same graph.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let canonical_magic = "FCDC"
+
+let kind_bytes kind =
+  let w = B.writer () in
+  write_kind w kind;
+  B.contents w
+
+let canonical_order g =
+  let bound = Graph.id_bound g in
+  let topo = Graph.topo_order g in
+  (* forward pass: hash of the input cone *)
+  let down = Array.make bound "" in
+  List.iter
+    (fun id ->
+      let n = Graph.node g id in
+      let buf = Buffer.create 64 in
+      Buffer.add_string buf (kind_bytes n.Graph.kind);
+      Array.iter (fun i -> Buffer.add_string buf down.(i)) n.Graph.inputs;
+      List.iter (Buffer.add_string buf)
+        (List.sort String.compare
+           (List.map (fun i -> down.(i)) n.Graph.order_after));
+      down.(id) <- Digest.string (Buffer.contents buf))
+    topo;
+  (* backward pass: hash of the use cone (ports distinguish operand
+     positions; named outputs anchor the sinks) *)
+  let out_names = Array.make bound [] in
+  List.iter
+    (fun (name, id) -> out_names.(id) <- name :: out_names.(id))
+    (Graph.outputs g);
+  let up = Array.make bound "" in
+  List.iter
+    (fun id ->
+      let n = Graph.node g id in
+      let buf = Buffer.create 64 in
+      Buffer.add_string buf (kind_bytes n.Graph.kind);
+      List.iter (Buffer.add_string buf)
+        (List.sort String.compare
+           (List.map
+              (fun (cid, port) -> string_of_int port ^ ":" ^ up.(cid))
+              (Graph.consumers_of g id)));
+      Buffer.add_char buf '|';
+      List.iter (Buffer.add_string buf)
+        (List.sort String.compare
+           (List.map (fun s -> up.(s)) (Graph.order_successors g id)));
+      Buffer.add_char buf '|';
+      List.iter
+        (fun name ->
+          Buffer.add_string buf name;
+          Buffer.add_char buf ';')
+        (List.sort String.compare out_names.(id));
+      up.(id) <- Digest.string (Buffer.contents buf))
+    (List.rev topo);
+  (* Kahn's algorithm popping the smallest (key, id); every pop is a
+     ready node, so the result is a valid topological order. *)
+  let key = Array.make bound "" in
+  Graph.iter_ids g (fun id -> key.(id) <- down.(id) ^ up.(id));
+  let module Ready = Set.Make (struct
+    type t = string * int
+
+    let compare (ka, ia) (kb, ib) =
+      match String.compare ka kb with 0 -> Int.compare ia ib | c -> c
+  end) in
+  let indeg = Array.make bound 0 in
+  Graph.iter_ids g (fun id ->
+      indeg.(id) <-
+        Graph.arity_of g id + List.length (Graph.order_after g id));
+  let ready = ref Ready.empty in
+  Graph.iter_ids g (fun id ->
+      if indeg.(id) = 0 then ready := Ready.add (key.(id), id) !ready);
+  let order = ref [] in
+  let release id =
+    indeg.(id) <- indeg.(id) - 1;
+    if indeg.(id) = 0 then ready := Ready.add (key.(id), id) !ready
+  in
+  while not (Ready.is_empty !ready) do
+    let ((_, id) as elt) = Ready.min_elt !ready in
+    ready := Ready.remove elt !ready;
+    order := id :: !order;
+    List.iter (fun (cid, _port) -> release cid) (Graph.consumers_of g id);
+    List.iter release (Graph.order_successors g id)
+  done;
+  List.rev !order
+
+let canonical g =
+  let w = B.writer () in
+  B.str w canonical_magic;
+  B.u8 w version;
+  B.str w (Graph.name g);
+  B.list w (Graph.regions g) (fun w (region, (info : Graph.region_info)) ->
+      B.str w region;
+      B.option w info.Graph.size B.i32;
+      B.u8 w (if info.Graph.implicit then 1 else 0));
+  let order = canonical_order g in
+  let position = Hashtbl.create 64 in
+  List.iteri (fun i id -> Hashtbl.replace position id i) order;
+  let pos id = Hashtbl.find position id in
+  B.list w (List.map (Graph.node g) order) (fun w (n : Graph.node) ->
+      write_kind w n.Graph.kind;
+      B.list w (Array.to_list n.Graph.inputs) (fun w id -> B.i32 w (pos id));
+      (* order_after lists carry insertion order; positions sorted so the
+         bytes only depend on the edge set *)
+      B.list w
+        (List.sort Int.compare (List.map pos n.Graph.order_after))
+        B.i32);
+  B.list w (Graph.outputs g) (fun w (name, id) ->
+      B.str w name;
+      B.i32 w (pos id));
+  B.contents w
+
+let digest g = Digest.to_hex (Digest.string (canonical g))
+
 let of_string_mapped data =
   try
     let r = B.reader data in

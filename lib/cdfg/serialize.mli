@@ -16,6 +16,29 @@ val of_string : string -> Graph.t
 val to_file : Graph.t -> string -> unit
 val of_file : string -> Graph.t
 
+(** {2 Canonical form and content digest}
+
+    The mapping cache of the serve daemon keys on graph {e content}:
+    two graphs that differ only in node ids (insertion order, journal
+    history, serialisation round-trips) must produce the same key, and
+    any structural difference — a node, an edge, a constant, a region
+    size, an output name — must change it. *)
+
+val canonical : Graph.t -> string
+(** A canonical byte encoding: nodes are renumbered along a Kahn order
+    whose ties are broken by structural cone hashes (not ids), and
+    order-edge lists are position-sorted. Equal bytes imply the graphs
+    are equal up to id renaming; graphs built in different orders (or
+    decoded from {!of_string}, which renumbers) encode identically.
+    Pathologically symmetric graphs whose automorphism a one-round cone
+    hash cannot certify may canonicalise differently — that direction
+    only costs a cache miss, never a wrong hit. Not decodable; use
+    {!to_string} for persistence. *)
+
+val digest : Graph.t -> string
+(** Hex MD5 of {!canonical} — the content-addressed cache key
+    (32 lowercase hex characters). *)
+
 (** {2 Id-stable variants}
 
     Encoding renumbers nodes topologically, so callers that embed node ids

@@ -98,141 +98,291 @@ let par2 pool a b =
     | [ `A ra; `B rb ] -> (ra, rb)
     | _ -> assert false)
 
-let map_prepared ?pool ~config ~source ~func raw_graph =
-  Obs.incr c_maps;
-  Obs.span ~cat:"flow" "map"
-    ~args:
-      [
-        ("graph", Obs.Str (Cdfg.Graph.name raw_graph));
-        ("nodes", Obs.Int (Cdfg.Graph.node_count raw_graph));
-      ]
-  @@ fun () ->
-  let graph = stage "validate" (fun () ->
-      Cdfg.Graph.validate raw_graph;
-      Cdfg.Graph.copy raw_graph)
-  in
-  let simplify_report =
-    stage "simplify" (fun () ->
-        (* Under verify_each the structural verifier audits the touched
-           neighbourhood after every rule firing; whole-graph invariants
-           are still covered once by "simplify-validate" below. *)
-        let verify =
-          if config.verify_each then Some (Fpfa_analysis.Verify.pass_hook ())
-          else None
-        in
-        match config.simplify with
-        | Worklist rules ->
-          Transform.Simplify.minimize ~rules ~validate:false ?verify graph
-        | Fixpoint passes ->
-          Transform.Simplify.minimize ~passes ~validate:false ?verify graph)
-  in
-  stage "simplify-validate" (fun () -> Cdfg.Graph.validate graph);
-  let disambig_report =
-    stage "disambig" (fun () ->
-        if config.disambiguate then begin
-          (* Address-analysis pruning of conservative anti-dependence
-             edges. Under verify_each the structural hook is augmented
-             with the whole-graph statespace-legality replay: an illegal
-             edge removal fails the flow blaming rule "disambig". *)
+let caps_of config =
+  match config.caps with Some caps -> caps | None -> config.tile.Arch.alu
+
+(* A compilation as a value: the flow's checkpoints (minimised graph,
+   clustering, schedule, allocation) held alongside the config that
+   produced them, so a caller can stop between phases, hand the value to
+   another domain, or re-enter at the first phase a config change
+   actually dirties (the serve daemon's near-miss path). The phase
+   bodies below are the same stage spans map_source always ran — the
+   one-shot entry points are now [run] to completion over this record. *)
+module Staged = struct
+  type phase = Built | Minimised | Clustered | Scheduled | Allocated
+
+  let phase_name = function
+    | Built -> "built"
+    | Minimised -> "minimised"
+    | Clustered -> "clustered"
+    | Scheduled -> "scheduled"
+    | Allocated -> "allocated"
+
+  type t = {
+    s_config : config;
+    s_source : string;
+    s_func : Cfront.Ast.func;
+    s_raw : Cdfg.Graph.t;  (** validated at minimise; never mutated *)
+    s_min :
+      (Cdfg.Graph.t * Transform.Simplify.report * Transform.Disambig.report)
+      option;
+    s_clustering : Mapping.Cluster.t option;
+    s_schedule : Mapping.Sched.t option;
+    s_alloc : (Mapping.Job.t * Mapping.Metrics.t) option;
+  }
+
+  let phase s =
+    match (s.s_alloc, s.s_schedule, s.s_clustering, s.s_min) with
+    | Some _, _, _, _ -> Allocated
+    | None, Some _, _, _ -> Scheduled
+    | None, None, Some _, _ -> Clustered
+    | None, None, None, Some _ -> Minimised
+    | None, None, None, None -> Built
+
+  let config s = s.s_config
+  let raw_graph s = s.s_raw
+
+  let of_func ~config func =
+    let func =
+      stage "unroll" (fun () ->
+          Cfront.Unroll.unroll_func ~max_iterations:config.max_unroll func)
+    in
+    let raw =
+      stage "build" (fun () ->
+          Cdfg.Builder.build_func ~delete_locals:config.delete_locals func)
+    in
+    {
+      s_config = config;
+      s_source = Cfront.Ast.program_to_string [ func ];
+      s_func = func;
+      s_raw = raw;
+      s_min = None;
+      s_clustering = None;
+      s_schedule = None;
+      s_alloc = None;
+    }
+
+  let of_source ~config ?(func = "main") source =
+    let program = stage "parse" (fun () -> Cfront.Parser.parse_program source) in
+    let program = stage "inline" (fun () -> Cfront.Inline.program program) in
+    let f =
+      match
+        List.find_opt
+          (fun (f : Cfront.Ast.func) -> String.equal f.Cfront.Ast.name func)
+          program
+      with
+      | Some f -> f
+      | None ->
+        raise (Flow_error (Printf.sprintf "no function %s in source" func))
+    in
+    { (of_func ~config f) with s_source = source }
+
+  let of_graph ~config g =
+    let placeholder =
+      {
+        Cfront.Ast.name = Cdfg.Graph.name g;
+        params = [];
+        body = [];
+        returns_value = false;
+      }
+    in
+    {
+      s_config = config;
+      s_source = "";
+      s_func = placeholder;
+      s_raw = Cdfg.Graph.copy g;
+      s_min = None;
+      s_clustering = None;
+      s_schedule = None;
+      s_alloc = None;
+    }
+
+  let minimise ?pool s =
+    let config = s.s_config in
+    let graph =
+      stage "validate" (fun () ->
+          Cdfg.Graph.validate s.s_raw;
+          Cdfg.Graph.copy s.s_raw)
+    in
+    let simplify_report =
+      stage "simplify" (fun () ->
+          (* Under verify_each the structural verifier audits the touched
+             neighbourhood after every rule firing; whole-graph invariants
+             are still covered once by "simplify-validate" below. *)
           let verify =
-            if config.verify_each then
-              Some
-                (fun rule g touched ->
-                  Fpfa_analysis.Verify.pass_hook () rule g touched;
-                  match
-                    Fpfa_diag.Diag.errors (Fpfa_analysis.Verify.statespace g)
-                  with
-                  | [] -> ()
-                  | errs -> raise (Fpfa_diag.Diag.Failed errs))
+            if config.verify_each then Some (Fpfa_analysis.Verify.pass_hook ())
             else None
           in
-          Fpfa_analysis.Addr.prune ?verify graph
-        end
-        else Transform.Disambig.empty_report)
-  in
-  (* With a pool, no pass mutates the graph beyond this point: freeze it
-     so the overlapped validate/advance stages below (and any later
-     {!audit}) can read it from several domains without copying. Without
-     a pool the graph stays mutable — callers such as the disambig
-     idempotence tests re-run passes on [result.graph]. *)
-  (match pool with Some _ -> Cdfg.Graph.freeze graph | None -> ());
-  let caps = match config.caps with Some caps -> caps | None -> config.tile.Arch.alu in
-  let clustering = stage "cluster" (fun () -> config.cluster_with ~caps graph) in
+          match config.simplify with
+          | Worklist rules ->
+            Transform.Simplify.minimize ~rules ~validate:false ?verify graph
+          | Fixpoint passes ->
+            Transform.Simplify.minimize ~passes ~validate:false ?verify graph)
+    in
+    stage "simplify-validate" (fun () -> Cdfg.Graph.validate graph);
+    let disambig_report =
+      stage "disambig" (fun () ->
+          if config.disambiguate then begin
+            (* Address-analysis pruning of conservative anti-dependence
+               edges. Under verify_each the structural hook is augmented
+               with the whole-graph statespace-legality replay: an illegal
+               edge removal fails the flow blaming rule "disambig". *)
+            let verify =
+              if config.verify_each then
+                Some
+                  (fun rule g touched ->
+                    Fpfa_analysis.Verify.pass_hook () rule g touched;
+                    match
+                      Fpfa_diag.Diag.errors (Fpfa_analysis.Verify.statespace g)
+                    with
+                    | [] -> ()
+                    | errs -> raise (Fpfa_diag.Diag.Failed errs))
+              else None
+            in
+            Fpfa_analysis.Addr.prune ?verify graph
+          end
+          else Transform.Disambig.empty_report)
+    in
+    (* With a pool, no pass mutates the graph beyond this point: freeze it
+       so the overlapped validate/advance stages below (and any later
+       {!audit}) can read it from several domains without copying. Without
+       a pool the graph stays mutable — callers such as the disambig
+       idempotence tests re-run passes on [result.graph]. *)
+    (match pool with Some _ -> Cdfg.Graph.freeze graph | None -> ());
+    { s with s_min = Some (graph, simplify_report, disambig_report) }
+
   (* Each validator only reads the artifact the preceding stage produced,
      so it can run concurrently with the stage that consumes the same
      artifact: cluster-validate with schedule, schedule-validate with
      allocate. *)
-  let (), schedule =
-    par2 pool
-      (fun () ->
-        stage "cluster-validate" (fun () ->
-            Mapping.Cluster.validate clustering caps))
-      (fun () ->
-        stage "schedule" (fun () ->
-            Mapping.Sched.run ~alu_count:config.tile.Arch.alu_count clustering))
-  in
-  let (), job =
-    par2 pool
-      (fun () ->
-        stage "schedule-validate" (fun () ->
-            Mapping.Sched.validate schedule
-              ~alu_count:config.tile.Arch.alu_count))
-      (fun () ->
-        stage "allocate" (fun () ->
-            Mapping.Alloc.run ~options:config.alloc_options ~tile:config.tile
-              schedule))
-  in
-  let metrics = Mapping.Metrics.of_job job in
-  {
-    source;
-    func;
-    raw_graph;
-    graph;
-    simplify_report;
-    disambig_report;
-    clustering;
-    schedule;
-    job;
-    metrics;
-  }
+  let advance ?pool s =
+    match phase s with
+    | Built -> minimise ?pool s
+    | Minimised ->
+      let graph, _, _ = Option.get s.s_min in
+      let caps = caps_of s.s_config in
+      let clustering =
+        stage "cluster" (fun () -> s.s_config.cluster_with ~caps graph)
+      in
+      { s with s_clustering = Some clustering }
+    | Clustered ->
+      let clustering = Option.get s.s_clustering in
+      let caps = caps_of s.s_config in
+      let (), schedule =
+        par2 pool
+          (fun () ->
+            stage "cluster-validate" (fun () ->
+                Mapping.Cluster.validate clustering caps))
+          (fun () ->
+            stage "schedule" (fun () ->
+                Mapping.Sched.run ~alu_count:s.s_config.tile.Arch.alu_count
+                  clustering))
+      in
+      { s with s_schedule = Some schedule }
+    | Scheduled ->
+      let schedule = Option.get s.s_schedule in
+      let (), job =
+        par2 pool
+          (fun () ->
+            stage "schedule-validate" (fun () ->
+                Mapping.Sched.validate schedule
+                  ~alu_count:s.s_config.tile.Arch.alu_count))
+          (fun () ->
+            stage "allocate" (fun () ->
+                Mapping.Alloc.run ~options:s.s_config.alloc_options
+                  ~tile:s.s_config.tile schedule))
+      in
+      { s with s_alloc = Some (job, Mapping.Metrics.of_job job) }
+    | Allocated -> s
+
+  let run ?pool s =
+    if phase s = Allocated then s
+    else begin
+      Obs.incr c_maps;
+      Obs.span ~cat:"flow" "map"
+        ~args:
+          [
+            ("graph", Obs.Str (Cdfg.Graph.name s.s_raw));
+            ("nodes", Obs.Int (Cdfg.Graph.node_count s.s_raw));
+          ]
+      @@ fun () ->
+      let rec go s = if phase s = Allocated then s else go (advance ?pool s) in
+      go s
+    end
+
+  let to_result s =
+    match (s.s_min, s.s_clustering, s.s_schedule, s.s_alloc) with
+    | ( Some (graph, simplify_report, disambig_report),
+        Some clustering,
+        Some schedule,
+        Some (job, metrics) ) ->
+      {
+        source = s.s_source;
+        func = s.s_func;
+        raw_graph = s.s_raw;
+        graph;
+        simplify_report;
+        disambig_report;
+        clustering;
+        schedule;
+        job;
+        metrics;
+      }
+    | _ ->
+      raise
+        (Flow_error
+           (Printf.sprintf "staged compilation is only %s; run it to \
+                            completion first"
+              (phase_name (phase s))))
+
+  (* What each phase reads from the config. [simplify] and [cluster_with]
+     carry closures, so those compare physically: configs that share the
+     field value (variant records, [{c with tile = ...}] updates) rewind
+     precisely, a freshly built closure conservatively re-runs. *)
+  let same_frontend a b =
+    a.max_unroll = b.max_unroll && a.delete_locals = b.delete_locals
+
+  let same_minimise a b =
+    a.simplify == b.simplify
+    && a.verify_each = b.verify_each
+    && a.disambiguate = b.disambiguate
+
+  let same_cluster a b = a.cluster_with == b.cluster_with && caps_of a = caps_of b
+  let same_schedule a b = a.tile.Arch.alu_count = b.tile.Arch.alu_count
+  let same_alloc a b = a.alloc_options = b.alloc_options && a.tile = b.tile
+
+  let rewind s ~config =
+    let old = s.s_config in
+    if not (same_frontend old config) then None
+    else begin
+      let keep_min = same_minimise old config in
+      let keep_clu = keep_min && same_cluster old config in
+      let keep_sched = keep_clu && same_schedule old config in
+      let keep_alloc = keep_sched && same_alloc old config in
+      Some
+        {
+          s with
+          s_config = config;
+          s_min = (if keep_min then s.s_min else None);
+          s_clustering = (if keep_clu then s.s_clustering else None);
+          s_schedule = (if keep_sched then s.s_schedule else None);
+          s_alloc = (if keep_alloc then s.s_alloc else None);
+        }
+    end
+
+  let freeze s =
+    Cdfg.Graph.freeze s.s_raw;
+    match s.s_min with Some (g, _, _) -> Cdfg.Graph.freeze g | None -> ()
+end
 
 let map_func ?pool ?(config = default_config) func =
-  let func =
-    stage "unroll" (fun () ->
-        Cfront.Unroll.unroll_func ~max_iterations:config.max_unroll func)
-  in
-  let raw_graph =
-    stage "build" (fun () ->
-        Cdfg.Builder.build_func ~delete_locals:config.delete_locals func)
-  in
-  let source = Cfront.Ast.program_to_string [ func ] in
-  map_prepared ?pool ~config ~source ~func raw_graph
+  Staged.to_result (Staged.run ?pool (Staged.of_func ~config func))
 
 let map_source ?pool ?(config = default_config) ?(func = "main") source =
-  let program = stage "parse" (fun () -> Cfront.Parser.parse_program source) in
-  let program = stage "inline" (fun () -> Cfront.Inline.program program) in
-  let f =
-    match
-      List.find_opt
-        (fun (f : Cfront.Ast.func) -> String.equal f.Cfront.Ast.name func)
-        program
-    with
-    | Some f -> f
-    | None -> raise (Flow_error (Printf.sprintf "no function %s in source" func))
-  in
-  let result = map_func ?pool ~config f in
-  { result with source }
+  Staged.to_result (Staged.run ?pool (Staged.of_source ~config ~func source))
 
 let map_graph ?pool ?(config = default_config) g =
-  let placeholder =
-    {
-      Cfront.Ast.name = Cdfg.Graph.name g;
-      params = [];
-      body = [];
-      returns_value = false;
-    }
-  in
-  map_prepared ?pool ~config ~source:"" ~func:placeholder (Cdfg.Graph.copy g)
+  Staged.to_result (Staged.run ?pool (Staged.of_graph ~config g))
 
 (* All diagnostics for one mapped program: structural verifier on the raw
    and minimised graphs, mappability + statespace legality + lints on the

@@ -80,6 +80,76 @@ val map_graph : ?pool:Fpfa_exec.Pool.t -> ?config:config -> Cdfg.Graph.t -> resu
     benchmarks). The graph is copied, minimised, and mapped; [source] and
     [func] hold placeholders. *)
 
+(** {2 Resumable staged compilation}
+
+    A compilation as a {e value} rather than a one-shot call: the flow's
+    checkpoints (minimised graph, clustering, schedule, allocation) are
+    held alongside the config that produced them. {!map_source},
+    {!map_func} and {!map_graph} are now [of_* |> run |> to_result] over
+    this representation — same stages, same spans, same exceptions — and
+    callers that compile near-identical requests repeatedly (the serve
+    daemon, design-space sweeps) {!Staged.rewind} a finished value to the
+    first phase a config change dirties instead of recompiling from
+    scratch: a new allocator option re-enters at [allocate], a new ALU
+    count at [schedule], everything before is reused as-is. *)
+module Staged : sig
+  type t
+
+  type phase = Built | Minimised | Clustered | Scheduled | Allocated
+  (** [Built] is the frontend checkpoint (parsed, inlined, unrolled,
+      CDFG built); each later constructor names the last completed
+      mapping phase. *)
+
+  val phase_name : phase -> string
+  (** ["built"], ["minimised"], ["clustered"], ["scheduled"],
+      ["allocated"]. *)
+
+  val of_source : config:config -> ?func:string -> string -> t
+  (** Runs the front end (parse, inline, unroll, build) only.
+      @raise Flow_error as {!map_source} would. *)
+
+  val of_func : config:config -> Cfront.Ast.func -> t
+  val of_graph : config:config -> Cdfg.Graph.t -> t
+
+  val phase : t -> phase
+  (** Last completed phase. *)
+
+  val config : t -> config
+
+  val raw_graph : t -> Cdfg.Graph.t
+  (** The CDFG the mapping phases start from — what
+      {!Cdfg.Serialize.digest} keys the content-addressed cache on. *)
+
+  val advance : ?pool:Fpfa_exec.Pool.t -> t -> t
+  (** Runs exactly the next phase (no-op at [Allocated]). *)
+
+  val run : ?pool:Fpfa_exec.Pool.t -> t -> t
+  (** Advances to [Allocated]. Starting from [Built] this is precisely
+      the mapping pipeline of {!map_source} (one ["map"] span wrapping
+      the remaining stages); resuming later re-runs only what is
+      missing. *)
+
+  val to_result : t -> result
+  (** @raise Flow_error unless the phase is [Allocated]. *)
+
+  val rewind : t -> config:config -> t option
+  (** [rewind s ~config] is a staged value under the new config that
+      keeps the longest prefix of checkpoints whose phase inputs are
+      unchanged — compare {!phase} before and after to see where a
+      subsequent {!run} re-enters. [None] when the front-end inputs
+      ([max_unroll], [delete_locals]) changed: the raw graph itself is
+      stale, start over with [of_source]. Fields holding closures
+      ([simplify], [cluster_with]) compare physically, so sharing the
+      field value rewinds precisely and a fresh closure conservatively
+      re-runs from that phase. *)
+
+  val freeze : t -> unit
+  (** Freezes the raw and minimised graphs ({!Cdfg.Graph.freeze}) so the
+      value can be shared read-only across domains — what the serve
+      daemon does before caching. Later rewinds still work: re-run
+      phases copy the raw graph, never mutate it. *)
+end
+
 val audit :
   ?pool:Fpfa_exec.Pool.t ->
   config:config ->

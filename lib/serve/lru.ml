@@ -1,0 +1,122 @@
+type 'a node = {
+  nkey : string;
+  mutable nvalue : 'a;
+  mutable prev : 'a node option;  (* toward the MRU end *)
+  mutable next : 'a node option;  (* toward the LRU end *)
+}
+
+type 'a t = {
+  mutable cap : int;
+  tbl : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option;  (* MRU *)
+  mutable tail : 'a node option;  (* LRU *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = { hits : int; misses : int; evictions : int }
+
+let create ~capacity =
+  {
+    cap = max 0 capacity;
+    tbl = Hashtbl.create 64;
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.tbl
+
+let unlink t n =
+  (match n.prev with
+  | Some p -> p.next <- n.next
+  | None -> t.head <- n.next);
+  (match n.next with
+  | Some s -> s.prev <- n.prev
+  | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.prev <- None;
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let touch t n =
+  if t.head != Some n then begin
+    unlink t n;
+    push_front t n
+  end
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+    t.hits <- t.hits + 1;
+    touch t n;
+    Some n.nvalue
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let peek t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some n -> Some n.nvalue
+  | None -> None
+
+let evict_to_capacity t =
+  let evicted = ref [] in
+  while Hashtbl.length t.tbl > t.cap do
+    match t.tail with
+    | None -> assert false
+    | Some lru ->
+      unlink t lru;
+      Hashtbl.remove t.tbl lru.nkey;
+      t.evictions <- t.evictions + 1;
+      evicted := (lru.nkey, lru.nvalue) :: !evicted
+  done;
+  List.rev !evicted
+
+let add t key value =
+  match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+    n.nvalue <- value;
+    touch t n;
+    []
+  | None ->
+    let n = { nkey = key; nvalue = value; prev = None; next = None } in
+    Hashtbl.replace t.tbl key n;
+    push_front t n;
+    evict_to_capacity t
+
+let set_capacity t cap =
+  t.cap <- max 0 cap;
+  (* resizing down evicts; the eviction counter reflects it like any
+     other capacity-driven drop *)
+  evict_to_capacity t
+
+let remove t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.tbl key
+  | None -> ()
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.head <- None;
+  t.tail <- None
+
+let keys t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (n.nkey :: acc) n.next
+  in
+  go [] t.head
+
+let stats (t : 'a t) =
+  { hits = t.hits; misses = t.misses; evictions = t.evictions }

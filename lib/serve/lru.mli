@@ -1,0 +1,45 @@
+(** A string-keyed LRU cache with hit/miss/eviction accounting — the
+    storage behind both levels of the serve daemon's mapping cache.
+
+    Operations are O(1) (hash table + intrusive doubly-linked recency
+    list). Not domain-safe: the daemon mutates its caches only from the
+    admission domain. A capacity of 0 is a valid always-miss cache (the
+    cache-off mode the byte-identity bench compares against). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity] is clamped to at least 0 (entries, not bytes). *)
+
+val capacity : 'a t -> int
+
+val set_capacity : 'a t -> int -> (string * 'a) list
+(** Changes the capacity, returning the entries evicted to fit (least
+    recently used first). *)
+
+val length : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** Lookup; a hit makes the entry most-recently-used. Counts one hit or
+    one miss in {!stats}. *)
+
+val peek : 'a t -> string -> 'a option
+(** Lookup without touching recency or stats. *)
+
+val add : 'a t -> string -> 'a -> (string * 'a) list
+(** Inserts (or replaces, making the key most-recently-used) and returns
+    the entries evicted to respect capacity, least recently used first.
+    Replacement never evicts. *)
+
+val remove : 'a t -> string -> unit
+(** Drops the key if present (not counted as an eviction). *)
+
+val clear : 'a t -> unit
+(** Drops every entry (stats counters are kept). *)
+
+val keys : 'a t -> string list
+(** Most recently used first. *)
+
+type stats = { hits : int; misses : int; evictions : int }
+
+val stats : 'a t -> stats

@@ -1,0 +1,48 @@
+(** Minimal JSON, stdlib-only: a value type with {e ordered} object
+    fields, a strict recursive-descent parser, and a deterministic
+    compact emitter.
+
+    The serve daemon speaks newline-delimited JSON, and its cache keys
+    and golden tests hash response bytes — so emission must be a pure
+    function of the value: object fields print exactly in list order,
+    strings escape the same way every time, and floats use one fixed
+    format ([%.6g]). Builders that want canonical bytes sort their
+    fields once at construction ({!sort_fields}) instead of relying on
+    emitter magic. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list  (** fields emit in list order *)
+
+exception Parse_error of string
+(** Parse failures carry a byte offset and a reason. *)
+
+val parse : string -> t
+(** Strict parse of one JSON document (surrounding whitespace allowed).
+    Numbers without [.], [e] or [E] become [Int]; duplicate object
+    fields are rejected. @raise Parse_error on malformed input. *)
+
+val to_string : t -> string
+(** Compact (no whitespace), deterministic: equal values always produce
+    equal bytes. Non-finite floats emit as [null] (JSON has no inf/nan);
+    strings escape quotes, backslashes and control characters. *)
+
+val sort_fields : t -> t
+(** Recursively sorts every object's fields by name — the canonical form
+    used for cache keys, where two requests differing only in field
+    order must hash identically. *)
+
+(** {2 Accessors} (shallow, total) *)
+
+val member : string -> t -> t option
+(** Field of an object; [None] on missing field or non-object. *)
+
+val to_int : t -> int option
+val to_string_opt : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option

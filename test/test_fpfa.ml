@@ -32,4 +32,6 @@ let () =
       ("analysis", Test_analysis.suite);
       ("disambig", Test_disambig.suite);
       ("exec", Test_exec.suite);
+      ("json", Test_json.suite);
+      ("serve", Test_serve.suite);
     ]

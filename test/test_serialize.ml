@@ -137,6 +137,112 @@ let config_roundtrip_random =
       let memory_init = Fpfa_kernels.Random_graph.random_inputs g in
       Fpfa_sim.Sim.conforms ~memory_init job')
 
+(* {2 Canonical digest — the serve daemon's content-addressed cache key} *)
+
+let test_digest_shape () =
+  let d = Serialize.digest (graph_of Fpfa_kernels.Kernels.dct4) in
+  Alcotest.(check int) "32 chars" 32 (String.length d);
+  String.iter
+    (fun c ->
+      Alcotest.(check bool)
+        "lowercase hex" true
+        ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+    d
+
+(* of_string renumbers node ids topologically, so a round-trip is an id
+   renaming of the same graph: the digest must not move (on the whole
+   corpus), even where the raw to_string bytes do. *)
+let test_digest_renaming_invariant () =
+  List.iter
+    (fun (k : Fpfa_kernels.Kernels.t) ->
+      let g = graph_of k in
+      let g' = Serialize.of_string (Serialize.to_string g) in
+      Alcotest.(check string)
+        (k.Fpfa_kernels.Kernels.name ^ " digest stable")
+        (Serialize.digest g) (Serialize.digest g'))
+    Fpfa_kernels.Kernels.all
+
+(* The same dataflow built in two different insertion orders gets the
+   same digest: ids differ, content does not. *)
+let test_digest_insertion_order_invariant () =
+  let chain_x g =
+    let a = G.add g (Const 1) [] in
+    let b = G.add g (Const 2) [] in
+    let s = G.add g (Binop Cdfg.Op.Add) [ a; b ] in
+    G.set_output g "x" s
+  in
+  let chain_y g =
+    let a = G.add g (Const 3) [] in
+    let b = G.add g (Const 4) [] in
+    let m = G.add g (Binop Cdfg.Op.Mul) [ a; b ] in
+    G.set_output g "y" m
+  in
+  let g1 = G.create "main" in
+  chain_x g1;
+  chain_y g1;
+  let g2 = G.create "main" in
+  chain_y g2;
+  chain_x g2;
+  Alcotest.(check string)
+    "insertion order irrelevant" (Serialize.digest g1) (Serialize.digest g2)
+
+(* Any structural mutation must change the digest. *)
+let test_digest_mutation_changes () =
+  let base () =
+    let g = G.create "main" in
+    let a = G.add g (Const 1) [] in
+    let b = G.add g (Const 2) [] in
+    let s = G.add g (Binop Cdfg.Op.Add) [ a; b ] in
+    G.set_output g "x" s;
+    g
+  in
+  let d0 = Serialize.digest (base ()) in
+  (* repeatable *)
+  Alcotest.(check string) "deterministic" d0 (Serialize.digest (base ()));
+  (* a different constant *)
+  let g = G.create "main" in
+  let a = G.add g (Const 1) [] in
+  let b = G.add g (Const 5) [] in
+  let s = G.add g (Binop Cdfg.Op.Add) [ a; b ] in
+  G.set_output g "x" s;
+  Alcotest.(check bool) "constant" true (Serialize.digest g <> d0);
+  (* a different operation *)
+  let g = G.create "main" in
+  let a = G.add g (Const 1) [] in
+  let b = G.add g (Const 2) [] in
+  let s = G.add g (Binop Cdfg.Op.Sub) [ a; b ] in
+  G.set_output g "x" s;
+  Alcotest.(check bool) "operation" true (Serialize.digest g <> d0);
+  (* an extra node *)
+  let g = base () in
+  ignore (G.add g (Const 9) []);
+  Alcotest.(check bool) "extra node" true (Serialize.digest g <> d0);
+  (* a different output name *)
+  let g = G.create "main" in
+  let a = G.add g (Const 1) [] in
+  let b = G.add g (Const 2) [] in
+  let s = G.add g (Binop Cdfg.Op.Add) [ a; b ] in
+  G.set_output g "y" s;
+  Alcotest.(check bool) "output name" true (Serialize.digest g <> d0)
+
+let test_digest_distinguishes_kernels () =
+  let digest k = Serialize.digest (graph_of k) in
+  Alcotest.(check bool)
+    "fir <> dot" true
+    (digest Fpfa_kernels.Kernels.fir_paper
+    <> digest (Fpfa_kernels.Kernels.dot_product ~n:8))
+
+(* Property: the digest never moves across a serialize round-trip (which
+   renumbers every id) on random DAGs. *)
+let digest_roundtrip_random =
+  QCheck.Test.make ~name:"digest stable under round-trip on random graphs"
+    ~count:50
+    (QCheck.make QCheck.Gen.(int_range 0 5_000))
+    (fun seed ->
+      let g = Fpfa_kernels.Random_graph.generate ~seed ~ops:30 () in
+      String.equal (Serialize.digest g)
+        (Serialize.digest (Serialize.of_string (Serialize.to_string g))))
+
 let suite =
   [
     Alcotest.test_case "graph roundtrip kernels" `Quick test_graph_roundtrip_kernels;
@@ -148,6 +254,15 @@ let suite =
     Alcotest.test_case "config sim identical" `Quick test_config_sim_identical;
     Alcotest.test_case "config size" `Quick test_config_size;
     Alcotest.test_case "config corrupt" `Quick test_config_corrupt_rejected;
+    Alcotest.test_case "digest shape" `Quick test_digest_shape;
+    Alcotest.test_case "digest renaming invariant" `Quick
+      test_digest_renaming_invariant;
+    Alcotest.test_case "digest insertion order" `Quick
+      test_digest_insertion_order_invariant;
+    Alcotest.test_case "digest mutation" `Quick test_digest_mutation_changes;
+    Alcotest.test_case "digest kernels distinct" `Quick
+      test_digest_distinguishes_kernels;
     QCheck_alcotest.to_alcotest graph_roundtrip_random;
     QCheck_alcotest.to_alcotest config_roundtrip_random;
+    QCheck_alcotest.to_alcotest digest_roundtrip_random;
   ]

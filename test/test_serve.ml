@@ -1,0 +1,431 @@
+(* The serve daemon: LRU mechanics, cache-hit/miss result identity over
+   the whole kernel corpus, near-miss resumption, batch admission
+   through the pool, cache control, disk persistence, and the socket
+   loop end to end. *)
+
+module Serve = Fpfa_serve.Serve
+module Lru = Fpfa_serve.Lru
+module Json = Fpfa_util.Json
+module Kernels = Fpfa_kernels.Kernels
+
+(* {2 LRU} *)
+
+let test_lru_basics () =
+  let c = Lru.create ~capacity:3 in
+  Alcotest.(check int) "capacity" 3 (Lru.capacity c);
+  Alcotest.(check (list (pair string int))) "no evictions" []
+    (Lru.add c "a" 1);
+  ignore (Lru.add c "b" 2);
+  ignore (Lru.add c "c" 3);
+  Alcotest.(check int) "length" 3 (Lru.length c);
+  Alcotest.(check (option int)) "find" (Some 1) (Lru.find c "a");
+  Alcotest.(check (option int)) "miss" None (Lru.find c "zz");
+  Alcotest.(check (list string)) "mru first" [ "a"; "c"; "b" ] (Lru.keys c)
+
+let test_lru_eviction_order () =
+  let c = Lru.create ~capacity:3 in
+  ignore (Lru.add c "a" 1);
+  ignore (Lru.add c "b" 2);
+  ignore (Lru.add c "c" 3);
+  (* bump a: LRU is now b *)
+  ignore (Lru.find c "a");
+  Alcotest.(check (list (pair string int)))
+    "b evicted first" [ ("b", 2) ] (Lru.add c "d" 4);
+  Alcotest.(check (list string)) "keys" [ "d"; "a"; "c" ] (Lru.keys c);
+  (* replacement bumps but never evicts *)
+  Alcotest.(check (list (pair string int))) "replace" [] (Lru.add c "c" 30);
+  Alcotest.(check (list string)) "after replace" [ "c"; "d"; "a" ] (Lru.keys c);
+  Alcotest.(check (option int)) "new value" (Some 30) (Lru.peek c "c");
+  let s = Lru.stats c in
+  Alcotest.(check int) "evictions" 1 s.Lru.evictions;
+  Alcotest.(check int) "hits" 1 s.Lru.hits;
+  Alcotest.(check int) "misses" 0 s.Lru.misses
+
+let test_lru_capacity_zero () =
+  let c = Lru.create ~capacity:0 in
+  Alcotest.(check (list (pair string int)))
+    "fresh insert evicted" [ ("a", 1) ] (Lru.add c "a" 1);
+  Alcotest.(check int) "empty" 0 (Lru.length c);
+  Alcotest.(check (option int)) "always miss" None (Lru.find c "a")
+
+let test_lru_set_capacity () =
+  let c = Lru.create ~capacity:4 in
+  List.iter (fun (k, v) -> ignore (Lru.add c k v))
+    [ ("a", 1); ("b", 2); ("c", 3); ("d", 4) ];
+  (* LRU first: a then b *)
+  Alcotest.(check (list (pair string int)))
+    "shrink evicts lru first" [ ("a", 1); ("b", 2) ] (Lru.set_capacity c 2);
+  Alcotest.(check int) "new capacity" 2 (Lru.capacity c);
+  Alcotest.(check (list string)) "survivors" [ "d"; "c" ] (Lru.keys c);
+  Lru.clear c;
+  Alcotest.(check int) "cleared" 0 (Lru.length c)
+
+(* {2 Protocol helpers} *)
+
+let req fmt = Format.kasprintf Json.parse fmt
+
+let field name resp =
+  match Json.member name resp with
+  | Some v -> v
+  | None -> Alcotest.fail ("response missing field " ^ name)
+
+let is_ok resp =
+  match field "ok" resp with Json.Bool b -> b | _ -> false
+
+let result_bytes resp = Json.to_string (field "result" resp)
+
+let cached_of resp =
+  match field "cached" resp with Json.Str s -> Some s | _ -> None
+
+let resumed_of resp =
+  match field "resumed_from" resp with Json.Str s -> Some s | _ -> None
+
+let expect_ok resp =
+  if not (is_ok resp) then
+    Alcotest.fail ("request failed: " ^ Json.to_string resp);
+  resp
+
+(* {2 Protocol basics} *)
+
+let test_serve_ping_and_errors () =
+  let s = Serve.create () in
+  let pong = expect_ok (Serve.handle s (req {|{"op":"ping","id":7}|})) in
+  Alcotest.(check bool) "id echoed" true (field "id" pong = Json.Int 7);
+  Alcotest.(check bool)
+    "unknown op rejected" false
+    (is_ok (Serve.handle s (req {|{"op":"frobnicate"}|})));
+  Alcotest.(check bool)
+    "unknown kernel rejected" false
+    (is_ok (Serve.handle s (req {|{"op":"compile","kernel":"nope-nope"}|})));
+  Alcotest.(check bool)
+    "bad source is an error envelope, not an exception" false
+    (is_ok (Serve.handle s (req {|{"op":"compile","source":"int main( {"}|})));
+  (* malformed JSON still answers with an envelope *)
+  let resp = Json.parse (Serve.handle_line s "{nope") in
+  Alcotest.(check bool) "parse error envelope" false (is_ok resp);
+  Alcotest.(check bool) "still running" true (Serve.running s);
+  ignore (expect_ok (Serve.handle s (req {|{"op":"shutdown"}|})));
+  Alcotest.(check bool) "stopped" false (Serve.running s);
+  Serve.shutdown s
+
+(* {2 Cache semantics: hit equals miss, byte for byte, whole corpus} *)
+
+let test_corpus_hit_equals_miss () =
+  let cached = Serve.create ~cache_size:256 () in
+  let uncached = Serve.create ~cache_size:0 () in
+  List.iter
+    (fun (k : Kernels.t) ->
+      let r = req {|{"op":"compile","kernel":"%s"}|} k.Kernels.name in
+      let cold = expect_ok (Serve.handle cached r) in
+      let warm = expect_ok (Serve.handle cached r) in
+      let off = expect_ok (Serve.handle uncached r) in
+      Alcotest.(check (option string))
+        (k.Kernels.name ^ " cold not cached")
+        None (cached_of cold);
+      Alcotest.(check (option string))
+        (k.Kernels.name ^ " warm is a request hit")
+        (Some "request") (cached_of warm);
+      Alcotest.(check string)
+        (k.Kernels.name ^ " warm result identical")
+        (result_bytes cold) (result_bytes warm);
+      Alcotest.(check string)
+        (k.Kernels.name ^ " cache-off result identical")
+        (result_bytes cold) (result_bytes off);
+      Alcotest.(check string)
+        (k.Kernels.name ^ " digest stable")
+        (Json.to_string (field "digest" cold))
+        (Json.to_string (field "digest" off)))
+    Kernels.all;
+  Serve.shutdown cached;
+  Serve.shutdown uncached
+
+(* A mapping-level hit: same CDFG+config reached through a different
+   request spelling (explicit tile values = the variant's defaults). *)
+let test_mapping_level_hit () =
+  let s = Serve.create () in
+  let r1 = expect_ok (Serve.handle s (req {|{"op":"compile","kernel":"dct4"}|})) in
+  let r2 =
+    expect_ok
+      (Serve.handle s
+         (req {|{"op":"compile","kernel":"dct4","alus":5,"buses":10}|}))
+  in
+  Alcotest.(check (option string)) "request-level miss, mapping-level hit"
+    (Some "mapping") (cached_of r2);
+  Alcotest.(check string) "same payload" (result_bytes r1) (result_bytes r2);
+  Serve.shutdown s
+
+let test_near_miss_resumes () =
+  let s = Serve.create () in
+  let uncached = Serve.create ~cache_size:0 () in
+  ignore (expect_ok (Serve.handle s (req {|{"op":"compile","kernel":"fir-paper"}|})));
+  let resumed =
+    expect_ok
+      (Serve.handle s (req {|{"op":"compile","kernel":"fir-paper","alus":3}|}))
+  in
+  let fresh =
+    expect_ok
+      (Serve.handle uncached
+         (req {|{"op":"compile","kernel":"fir-paper","alus":3}|}))
+  in
+  Alcotest.(check bool)
+    "resumed from a later phase" true
+    (resumed_of resumed <> None);
+  Alcotest.(check string)
+    "resumed result equals fresh compile"
+    (result_bytes fresh) (result_bytes resumed);
+  (* Changing only the allocator-facing window resumes even later. The
+     digest index tracks the most recent entry, so use a fresh daemon
+     whose cached checkpoint has the same ALU count. *)
+  let s2 = Serve.create () in
+  ignore
+    (expect_ok (Serve.handle s2 (req {|{"op":"compile","kernel":"fir-paper"}|})));
+  let resumed2 =
+    expect_ok
+      (Serve.handle s2 (req {|{"op":"compile","kernel":"fir-paper","window":3}|}))
+  in
+  let fresh2 =
+    expect_ok
+      (Serve.handle uncached
+         (req {|{"op":"compile","kernel":"fir-paper","window":3}|}))
+  in
+  Alcotest.(check (option string))
+    "window change resumes at scheduled" (Some "scheduled")
+    (resumed_of resumed2);
+  Alcotest.(check string)
+    "window resume result equals fresh"
+    (result_bytes fresh2) (result_bytes resumed2);
+  Serve.shutdown s;
+  Serve.shutdown s2;
+  Serve.shutdown uncached
+
+(* {2 Batch admission through the pool: the concurrent-clients hammer} *)
+
+let test_batch_hammer_matches_sequential () =
+  let names =
+    List.filteri (fun i _ -> i < 6)
+      (List.map (fun (k : Kernels.t) -> k.Kernels.name) Kernels.all)
+  in
+  (* every kernel twice, interleaved, like impatient clients re-asking *)
+  let hammer = names @ names in
+  let sub name = Printf.sprintf {|{"op":"compile","kernel":"%s"}|} name in
+  let batch_req =
+    req {|{"op":"batch","requests":[%s]}|}
+      (String.concat "," (List.map sub hammer))
+  in
+  let parallel = Serve.create ~jobs:4 () in
+  let sequential = Serve.create ~jobs:1 () in
+  let presp = expect_ok (Serve.handle parallel batch_req) in
+  let responses =
+    match Json.member "responses" (field "result" presp) with
+    | Some (Json.List rs) -> rs
+    | _ -> Alcotest.fail "batch result has no responses"
+  in
+  Alcotest.(check int) "one response per request" (List.length hammer)
+    (List.length responses);
+  List.iter2
+    (fun name resp ->
+      let resp = expect_ok resp in
+      let direct =
+        expect_ok (Serve.handle sequential (req "%s" (sub name)))
+      in
+      Alcotest.(check string)
+        (name ^ " batch equals sequential")
+        (result_bytes direct) (result_bytes resp))
+    hammer responses;
+  (* second round of the same batch is answered from the request cache *)
+  let again = expect_ok (Serve.handle parallel batch_req) in
+  (match Json.member "responses" (field "result" again) with
+  | Some (Json.List rs) ->
+    List.iter
+      (fun r ->
+        Alcotest.(check (option string))
+          "warm batch hit" (Some "request")
+          (cached_of (expect_ok r)))
+      rs
+  | _ -> Alcotest.fail "batch result has no responses");
+  Serve.shutdown parallel;
+  Serve.shutdown sequential
+
+(* {2 Sweep via rewind matches the reference Sweep.run} *)
+
+let test_sweep_matches_reference () =
+  let s = Serve.create () in
+  let resp =
+    expect_ok
+      (Serve.handle s
+         (req {|{"op":"sweep","kernel":"dot-8","axis":"alus","values":[2,3,5]}|}))
+  in
+  let source =
+    (List.find (fun (k : Kernels.t) -> k.Kernels.name = "dot-8") Kernels.all)
+      .Kernels.source
+  in
+  let expected =
+    Fpfa_core.Sweep.run ~source
+      (Fpfa_core.Sweep.points Fpfa_core.Sweep.Alu_count [ 2; 3; 5 ])
+  in
+  let rows =
+    match Json.member "rows" (field "result" resp) with
+    | Some (Json.List rows) -> rows
+    | _ -> Alcotest.fail "sweep result has no rows"
+  in
+  Alcotest.(check int) "row count" (List.length expected) (List.length rows);
+  List.iter2
+    (fun (row : Fpfa_core.Sweep.row) json ->
+      let get name =
+        match Json.member name json with
+        | Some (Json.Int n) -> n
+        | _ -> Alcotest.fail ("row missing " ^ name)
+      in
+      Alcotest.(check int) "cycles" row.Fpfa_core.Sweep.metrics.Mapping.Metrics.cycles
+        (get "cycles");
+      Alcotest.(check int) "levels" row.Fpfa_core.Sweep.metrics.Mapping.Metrics.levels
+        (get "levels");
+      Alcotest.(check int) "moves" row.Fpfa_core.Sweep.metrics.Mapping.Metrics.moves
+        (get "moves"))
+    expected rows;
+  Serve.shutdown s
+
+(* {2 Check through the daemon} *)
+
+let test_check_clean_kernel () =
+  let s = Serve.create () in
+  let resp =
+    expect_ok (Serve.handle s (req {|{"op":"check","kernel":"dct4"}|}))
+  in
+  (match Json.member "errors" (field "result" resp) with
+  | Some (Json.Int 0) -> ()
+  | other ->
+    Alcotest.fail
+      ("expected 0 errors, got "
+      ^ match other with Some v -> Json.to_string v | None -> "nothing"));
+  (* identical request: request-level hit with the same bytes *)
+  let warm = expect_ok (Serve.handle s (req {|{"op":"check","kernel":"dct4"}|})) in
+  Alcotest.(check (option string)) "check cached" (Some "request")
+    (cached_of warm);
+  Alcotest.(check string) "check bytes stable" (result_bytes resp)
+    (result_bytes warm);
+  Serve.shutdown s
+
+(* {2 Cache control and stats} *)
+
+let test_cache_control () =
+  let s = Serve.create ~cache_size:8 () in
+  ignore (expect_ok (Serve.handle s (req {|{"op":"compile","kernel":"dct4"}|})));
+  let stats1 = expect_ok (Serve.handle s (req {|{"op":"stats"}|})) in
+  let entries resp level =
+    match
+      Option.bind
+        (Json.member "cache" (field "result" resp))
+        (fun c -> Option.bind (Json.member level c) (Json.member "entries"))
+    with
+    | Some (Json.Int n) -> n
+    | _ -> Alcotest.fail "stats missing cache entries"
+  in
+  Alcotest.(check int) "request entry cached" 1 (entries stats1 "request");
+  Alcotest.(check int) "mapping entry cached" 1 (entries stats1 "mapping");
+  ignore (expect_ok (Serve.handle s (req {|{"op":"cache","action":"clear"}|})));
+  let stats2 = expect_ok (Serve.handle s (req {|{"op":"stats"}|})) in
+  Alcotest.(check int) "cleared request" 0 (entries stats2 "request");
+  Alcotest.(check int) "cleared mapping" 0 (entries stats2 "mapping");
+  let resized =
+    expect_ok
+      (Serve.handle s (req {|{"op":"cache","action":"resize","capacity":2}|}))
+  in
+  Alcotest.(check bool)
+    "resize acknowledged" true
+    (Json.member "capacity" (field "result" resized) = Some (Json.Int 2));
+  Alcotest.(check bool)
+    "bad action rejected" false
+    (is_ok (Serve.handle s (req {|{"op":"cache","action":"defrost"}|})));
+  Serve.shutdown s
+
+let test_disk_cache_survives_restart () =
+  let dir = Filename.temp_file "fpfa_serve" "" in
+  Sys.remove dir;
+  let cleanup () =
+    if Sys.file_exists dir then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir
+    end
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      let a = Serve.create ~cache_dir:dir () in
+      let cold =
+        expect_ok (Serve.handle a (req {|{"op":"compile","kernel":"dct4"}|}))
+      in
+      Serve.shutdown a;
+      (* a fresh daemon with an empty memory cache hits the disk store *)
+      let b = Serve.create ~cache_dir:dir () in
+      let warm =
+        expect_ok (Serve.handle b (req {|{"op":"compile","kernel":"dct4"}|}))
+      in
+      Alcotest.(check (option string)) "disk hit" (Some "disk")
+        (cached_of warm);
+      Alcotest.(check string) "disk result identical" (result_bytes cold)
+        (result_bytes warm);
+      Serve.shutdown b)
+
+(* {2 The socket loop, end to end} *)
+
+let test_socket_roundtrip () =
+  let path = Filename.temp_file "fpfa_serve" ".sock" in
+  Sys.remove path;
+  (* The server loop runs on its own domain (fork is off-limits once
+     pools have spawned domains); this domain plays the client. The
+     daemon's state is only ever touched from the serving domain. *)
+  let s = Serve.create () in
+  let server =
+    Domain.spawn (fun () ->
+        try Serve.serve_socket s ~path with _ -> ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Domain.join server;
+      Serve.shutdown s;
+      if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      (* wait for the listener *)
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let rec connect tries =
+        match Unix.connect fd (Unix.ADDR_UNIX path) with
+        | () -> ()
+        | exception Unix.Unix_error _ when tries > 0 ->
+          Unix.sleepf 0.05;
+          connect (tries - 1)
+      in
+      connect 100;
+      let ic = Unix.in_channel_of_descr fd in
+      let send line =
+        let line = line ^ "\n" in
+        ignore (Unix.write_substring fd line 0 (String.length line))
+      in
+      send {|{"op":"ping","id":1}|};
+      send {|{"op":"compile","kernel":"dct4","id":2}|};
+      send {|{"op":"shutdown","id":3}|};
+      let l1 = Json.parse (input_line ic) in
+      let l2 = Json.parse (input_line ic) in
+      let l3 = Json.parse (input_line ic) in
+      Alcotest.(check bool) "ping ok" true (is_ok l1);
+      Alcotest.(check bool) "compile ok" true (is_ok l2);
+      Alcotest.(check bool) "shutdown ok" true (is_ok l3);
+      Unix.close fd)
+
+let suite =
+  [
+    Alcotest.test_case "lru basics" `Quick test_lru_basics;
+    Alcotest.test_case "lru eviction order" `Quick test_lru_eviction_order;
+    Alcotest.test_case "lru capacity zero" `Quick test_lru_capacity_zero;
+    Alcotest.test_case "lru set capacity" `Quick test_lru_set_capacity;
+    Alcotest.test_case "ping and errors" `Quick test_serve_ping_and_errors;
+    Alcotest.test_case "corpus hit equals miss" `Quick
+      test_corpus_hit_equals_miss;
+    Alcotest.test_case "mapping-level hit" `Quick test_mapping_level_hit;
+    Alcotest.test_case "near-miss resumes" `Quick test_near_miss_resumes;
+    Alcotest.test_case "batch hammer" `Quick test_batch_hammer_matches_sequential;
+    Alcotest.test_case "sweep matches reference" `Quick
+      test_sweep_matches_reference;
+    Alcotest.test_case "check via daemon" `Quick test_check_clean_kernel;
+    Alcotest.test_case "cache control" `Quick test_cache_control;
+    Alcotest.test_case "disk cache" `Quick test_disk_cache_survives_restart;
+    Alcotest.test_case "socket roundtrip" `Quick test_socket_roundtrip;
+  ]
