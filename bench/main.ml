@@ -54,6 +54,14 @@
                                               re-check through the batch
                                               admission path
 
+     E20 depend                 (infrastructure) loop-carried dependence
+                                              analysis / II lower bounds:
+                                              every corpus loop bounded,
+                                              zero validator refutations,
+                                              the recurrence kernels at
+                                              their exact RecMII, analysis
+                                              cost <15% of compile
+
    Absolute numbers are ours (the substrate is a simulator, not the
    CHAMELEON testbed); the shapes are what EXPERIMENTS.md compares. *)
 
@@ -1721,6 +1729,163 @@ let serve_bench () =
   close_out oc;
   Printf.printf "\nwrote BENCH_serve.json\n"
 
+(* ------------------------------------------------------------------ *)
+(* E20 - depend: loop-carried dependence analysis and II lower bounds. *)
+(* Over the whole corpus: every analysed loop gets an II lower bound,  *)
+(* the differential validator refutes zero must-independent verdicts,  *)
+(* the recurrence kernels report their exact RecMII with a named       *)
+(* cycle, and the analysis costs <15% of the compile it annotates.     *)
+(* ------------------------------------------------------------------ *)
+
+let depend_bench () =
+  section "E20 depend (loop-carried dependence / II lower bounds)";
+  let module Dep = Fpfa_analysis.Depend in
+  let reps = 5 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let kernels = Kernels.all in
+  let loops_total = ref 0
+  and skipped_total = ref 0
+  and refuted_total = ref 0
+  and unchecked_total = ref 0
+  and pairs_total = ref 0
+  and all_bounded = ref true
+  and analysis_total = ref 0.0
+  and compile_total = ref 0.0
+  and worst_overhead = ref 0.0 in
+  let json = Buffer.create 1024 in
+  Buffer.add_string json "{\n  \"experiment\": \"depend\",\n";
+  Buffer.add_string json
+    (Printf.sprintf "  \"reps\": %d,\n  \"kernels\": [\n" reps);
+  let rows =
+    List.mapi
+      (fun i (k : Kernels.t) ->
+        let analysis_s = ref infinity and compile_s = ref infinity in
+        let report = ref None in
+        for _ = 1 to reps do
+          let r, t = time (fun () -> Dep.analyze_source k.Kernels.source) in
+          analysis_s := Float.min !analysis_s t;
+          report := Some r;
+          let _, t = time (fun () -> Flow.map_source k.Kernels.source) in
+          compile_s := Float.min !compile_s t
+        done;
+        let report = Option.get !report in
+        (* the validator is a heavyweight differential check (it re-unrolls
+           and re-minimises every loop), so it is timed apart from the
+           analysis whose cost the 15% gate bounds *)
+        let validation, validate_s = time (fun () -> Dep.validate report) in
+        let loops = List.length report.Dep.loops in
+        let max_ii =
+          List.fold_left
+            (fun acc (lr : Dep.loop_report) ->
+              if lr.Dep.ii_lower_bound < 1 then all_bounded := false;
+              max acc lr.Dep.ii_lower_bound)
+            0 report.Dep.loops
+        in
+        let overhead_pct = !analysis_s /. !compile_s *. 100.0 in
+        loops_total := !loops_total + loops;
+        skipped_total := !skipped_total + List.length report.Dep.skipped;
+        refuted_total := !refuted_total + List.length validation.Dep.refuted;
+        unchecked_total :=
+          !unchecked_total + List.length validation.Dep.unchecked;
+        pairs_total := !pairs_total + validation.Dep.pairs;
+        analysis_total := !analysis_total +. !analysis_s;
+        compile_total := !compile_total +. !compile_s;
+        worst_overhead := Float.max !worst_overhead overhead_pct;
+        Buffer.add_string json
+          (Printf.sprintf
+             "    {\"kernel\": \"%s\", \"loops\": %d, \"skipped\": %d, \
+              \"max_ii\": %d, \"validated\": %d, \"unchecked\": %d, \
+              \"refuted\": %d, \"pairs\": %d, \"analysis_s\": %.6f, \
+              \"compile_s\": %.6f, \"validate_s\": %.6f, \
+              \"overhead_pct\": %.2f}%s\n"
+             k.Kernels.name loops
+             (List.length report.Dep.skipped)
+             max_ii validation.Dep.checked
+             (List.length validation.Dep.unchecked)
+             (List.length validation.Dep.refuted)
+             validation.Dep.pairs !analysis_s !compile_s validate_s
+             overhead_pct
+             (if i = List.length kernels - 1 then "" else ","));
+        [
+          k.Kernels.name;
+          string_of_int loops;
+          string_of_int max_ii;
+          Printf.sprintf "%d/%d" validation.Dep.checked loops;
+          string_of_int (List.length validation.Dep.refuted);
+          Printf.sprintf "%.1f %%" overhead_pct;
+        ])
+      kernels
+  in
+  Fpfa_util.Tablefmt.print
+    ~header:[ "kernel"; "loops"; "max II"; "validated"; "refuted"; "cost" ]
+    rows;
+  (* the recurrence kernels must hit their exact RecMII with a named cycle *)
+  let expected_recurrences =
+    [ ("cumsum-8", 3); ("iir1-8", 5); ("mavg-acc-4-8", 2) ]
+  in
+  let recurrences_exact = ref true in
+  let rec_json =
+    List.map
+      (fun (name, expected) ->
+        let k = Kernels.find name in
+        let r = Dep.analyze_source k.Kernels.source in
+        let rec_mii =
+          List.fold_left
+            (fun acc (lr : Dep.loop_report) -> max acc lr.Dep.rec_mii)
+            0 r.Dep.loops
+        in
+        let cycle =
+          List.fold_left
+            (fun acc (lr : Dep.loop_report) ->
+              match lr.Dep.recurrences with
+              | (r0 : Dep.recurrence) :: _ when lr.Dep.rec_mii = rec_mii ->
+                String.concat " -> " r0.Dep.cycle
+              | _ -> acc)
+            "" r.Dep.loops
+        in
+        if rec_mii <> expected || cycle = "" then recurrences_exact := false;
+        Printf.printf "%-14s RecMII %d (expected %d), cycle: %s\n" name
+          rec_mii expected cycle;
+        Printf.sprintf
+          "    {\"kernel\": \"%s\", \"rec_mii\": %d, \"expected\": %d, \
+           \"cycle\": \"%s\"}"
+          name rec_mii expected cycle)
+      expected_recurrences
+  in
+  let overall_pct = !analysis_total /. !compile_total *. 100.0 in
+  let pass =
+    !all_bounded && !refuted_total = 0 && !recurrences_exact
+    && overall_pct < 15.0
+  in
+  Printf.printf
+    "%d loop(s) over %d kernels, %d skipped; %d collision(s) validated, %d \
+     unchecked loop(s), %d refutation(s).\n\
+     analysis cost: %.1f%% of compile overall, %.1f%% worst kernel (target \
+     <15%% overall).\n"
+    !loops_total (List.length kernels) !skipped_total !pairs_total
+    !unchecked_total !refuted_total overall_pct !worst_overhead;
+  Buffer.add_string json
+    (Printf.sprintf
+       "  ],\n  \"recurrence_kernels\": [\n%s\n  ],\n\
+       \  \"loops_total\": %d,\n  \"skipped_total\": %d,\n\
+       \  \"refuted_total\": %d,\n  \"unchecked_total\": %d,\n\
+       \  \"pairs_total\": %d,\n  \"all_loops_bounded\": %b,\n\
+       \  \"recurrences_exact\": %b,\n  \"overall_overhead_pct\": %.2f,\n\
+       \  \"worst_overhead_pct\": %.2f,\n  \"target_pct\": 15.0,\n\
+       \  \"pass\": %b\n}\n"
+       (String.concat ",\n" rec_json)
+       !loops_total !skipped_total !refuted_total !unchecked_total
+       !pairs_total !all_bounded !recurrences_exact overall_pct
+       !worst_overhead pass);
+  let oc = open_out "BENCH_depend.json" in
+  output_string oc (Buffer.contents json);
+  close_out oc;
+  Printf.printf "\nwrote BENCH_depend.json\n"
+
 let () =
   let only =
     match Array.to_list Sys.argv with
@@ -1752,6 +1917,7 @@ let () =
   run "arena" arena;
   run "alias" alias_prune;
   run "serve" serve_bench;
+  run "depend" depend_bench;
   (* E13 is opt-in: it times multi-second fixpoint runs, so the default
      no-argument sweep (and anything scripted on top of it) stays fast. *)
   (match only with

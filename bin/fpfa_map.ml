@@ -728,7 +728,8 @@ let check_one ?pool ~config source ~func =
   | exception Fpfa_core.Flow.Flow_error msg ->
     ([ Diag.error "flow.error" "%s" msg ], None)
 
-let check input func json verify_each no_lint all jobs obs_trace obs_stats =
+let check input func json verify_each no_lint loops all jobs obs_trace
+    obs_stats =
   obs_setup ~trace:obs_trace ~stats:obs_stats;
   let targets =
     if all then
@@ -749,6 +750,37 @@ let check input func json verify_each no_lint all jobs obs_trace obs_stats =
   let jobs = resolve_jobs jobs in
   let process ?pool (name, source, func) =
     let diags, facts = check_one ?pool ~config source ~func in
+    let loop_out =
+      (* The dependence report with its differential validation. Front-end
+         failures are already surfaced as flow.error by check_one. *)
+      if not loops then None
+      else
+        match
+          Fpfa_analysis.Depend.analyze_source
+            ~tile:config.Fpfa_core.Flow.tile
+            ~max_iterations:config.Fpfa_core.Flow.max_unroll ~func source
+        with
+        | report ->
+          Some
+            ( report,
+              Fpfa_analysis.Depend.validate
+                ~max_iterations:config.Fpfa_core.Flow.max_unroll report )
+        | exception _ -> None
+    in
+    let diags =
+      (* The audit already carries the Depend analysis family; only the
+         validator's refutations are new — and they must fail the run. *)
+      match loop_out with
+      | Some (report, validation)
+        when validation.Fpfa_analysis.Depend.refuted <> [] ->
+        Diag.sort
+          (diags
+          @ List.filter
+              (fun d ->
+                String.equal d.Diag.rule Fpfa_analysis.Depend.rule_refuted)
+              (Fpfa_analysis.Depend.diagnostics ~validation report))
+      | _ -> diags
+    in
     let diags =
       if no_lint then
         List.filter
@@ -759,7 +791,7 @@ let check input func json verify_each no_lint all jobs obs_trace obs_stats =
           diags
       else diags
     in
-    (name, diags, facts)
+    (name, diags, facts, loop_out)
   in
   let checked =
     match targets with
@@ -776,21 +808,44 @@ let check input func json verify_each no_lint all jobs obs_trace obs_stats =
     let module Json = Fpfa_util.Json in
     let objects =
       List.map
-        (fun (name, diags, facts) ->
+        (fun (name, diags, facts, loop_out) ->
+          let suppressed =
+            List.length
+              (List.filter
+                 (fun d -> String.equal d.Diag.rule "lint.suppressed")
+                 diags)
+          in
           Json.Obj
-            [
-              ("input", Json.Str name);
-              ("diagnostics", Json.parse (Diag.list_to_json diags));
-              ( "address_facts",
-                match facts with Some j -> Json.parse j | None -> Json.Null );
-            ])
+            ([
+               ("input", Json.Str name);
+               ("diagnostics", Json.parse (Diag.list_to_json diags));
+               ( "summary",
+                 Json.Obj
+                   [
+                     ("errors", Json.Int (Diag.count Diag.Error diags));
+                     ("warnings", Json.Int (Diag.count Diag.Warning diags));
+                     ("infos", Json.Int (Diag.count Diag.Info diags));
+                     ("suppressed", Json.Int suppressed);
+                   ] );
+               ( "address_facts",
+                 match facts with Some j -> Json.parse j | None -> Json.Null
+               );
+             ]
+            @
+            match loop_out with
+            | Some (report, validation) ->
+              [
+                ( "loops",
+                  Fpfa_analysis.Depend.report_to_json ~validation report );
+              ]
+            | None -> []))
         checked
     in
     print_string (Json.to_string (Json.List objects) ^ "\n")
   end
   else
     List.iter
-      (fun (name, diags, _) ->
+      (fun (name, diags, _, loop_out) ->
         let errors = Diag.count Diag.Error diags in
         let warnings = Diag.count Diag.Warning diags in
         if diags = [] then Printf.printf "%s: clean\n" name
@@ -800,10 +855,21 @@ let check input func json verify_each no_lint all jobs obs_trace obs_stats =
             warnings
             (if warnings = 1 then "" else "s");
           List.iter (fun d -> Format.printf "  %a@." Diag.pp d) diags
-        end)
+        end;
+        match loop_out with
+        | Some (report, validation) ->
+          Format.printf "%a" Fpfa_analysis.Depend.pp_report report;
+          Printf.printf
+            "  validator: %d loop(s) checked, %d unchecked, %d refuted, %d \
+             collision(s) examined\n"
+            validation.Fpfa_analysis.Depend.checked
+            (List.length validation.Fpfa_analysis.Depend.unchecked)
+            (List.length validation.Fpfa_analysis.Depend.refuted)
+            validation.Fpfa_analysis.Depend.pairs
+        | None -> ())
       checked;
   obs_finish ~trace:obs_trace ~stats:obs_stats;
-  if List.exists (fun (_, diags, _) -> Diag.has_errors diags) checked then
+  if List.exists (fun (_, diags, _, _) -> Diag.has_errors diags) checked then
     exit 1
 
 let check_input_arg =
@@ -833,6 +899,17 @@ let no_lint_arg =
     value & flag
     & info [ "no-lint" ] ~doc:"Drop lint.* findings, keep verifier rules.")
 
+let loops_arg =
+  Arg.(
+    value & flag
+    & info [ "loops" ]
+        ~doc:
+          "Analyse loop-carried dependences on the pre-unroll loops: \
+           per-loop II lower bounds (RecMII/ResMII), recurrence cycles and \
+           ranked pipelinability blockers, cross-checked against the \
+           fully-unrolled CDFG by the differential validator (a refutation \
+           is an error).")
+
 let all_arg =
   Arg.(
     value & flag
@@ -847,7 +924,8 @@ let check_cmd =
           diagnostic.")
     Term.(
       const check $ check_input_arg $ func_arg $ json_arg $ verify_each_arg
-      $ no_lint_arg $ all_arg $ jobs_arg $ obs_trace_arg $ stats_arg)
+      $ no_lint_arg $ loops_arg $ all_arg $ jobs_arg $ obs_trace_arg
+      $ stats_arg)
 
 let () =
   let info =

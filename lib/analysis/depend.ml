@@ -1,0 +1,787 @@
+(* Loop-carried dependence analysis over Cfront.Loop_info records.
+
+   Every pair of memory accesses in a loop body is classified into a
+   distance/direction verdict from its affine iteration-number forms; a
+   dependence graph over the body's statements (memory deps + scalar
+   carries) is searched for recurrence cycles, giving RecMII; the tile
+   model gives ResMII; their max is a sound lower bound on the initiation
+   interval of any modulo schedule of the loop.
+
+   The delay model matches the CDFG execution model: one cycle per ALU
+   operation on the dependence path, one per Fe on a consumed memory
+   read, one per St on a produced memory write. Conditional statements
+   are if-converted (MUX), so predicated work still occupies resources
+   and conditional definitions do not kill prior values. All bounds are
+   lower bounds: unknown pairs never enter a cycle, a bounded-distance
+   edge contributes its smallest distance (the binding constraint), and
+   nested-loop accesses count once. *)
+
+module L = Cfront.Loop_info
+module D = Fpfa_diag.Diag
+module J = Fpfa_util.Json
+module Arch = Fpfa_arch.Arch
+
+type dist = Exact of int | Bounded of int * int
+
+type pair_rel = {
+  fwd : dist option;  (** first collides with second, d iterations later *)
+  bwd : dist option;  (** second collides with first, d iterations later *)
+  same_iter : bool;  (** collision within one iteration (d = 0) *)
+  unknown : bool;  (** undecidable: may collide at any distance *)
+}
+
+let independent_rel = { fwd = None; bwd = None; same_iter = false; unknown = false }
+let unknown_rel = { fwd = None; bwd = None; same_iter = false; unknown = true }
+
+let is_independent r =
+  (not r.unknown) && r.fwd = None && r.bwd = None && not r.same_iter
+
+let ctx_equal a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> Cfront.Ast.equal_expr x y
+  | _ -> false
+
+let dist_of_list = function
+  | [] -> None
+  | [ d ] -> Some (Exact d)
+  | ds -> Some (Bounded (List.fold_left min max_int ds, List.fold_left max 0 ds))
+
+let classify_pair ~trip (a : L.access) (b : L.access) =
+  let rel =
+    match (a.offset, b.offset) with
+    | L.Opaque, _ | _, L.Opaque -> unknown_rel
+    | L.Affine fa, L.Affine fb ->
+      if not (ctx_equal fa.ctx fb.ctx) then unknown_rel
+      else if fa.stride = fb.stride then
+        let s = fa.stride in
+        if s = 0 then
+          if fa.base = fb.base then
+            { fwd = Some (Exact 1); bwd = Some (Exact 1); same_iter = true;
+              unknown = false }
+          else independent_rel
+        else
+          let delta = fa.base - fb.base in
+          if delta mod s <> 0 then independent_rel
+          else
+            let d = delta / s in
+            if d = 0 then { independent_rel with same_iter = true }
+            else if d >= trip || d <= -trip then independent_rel
+            else if d > 0 then { independent_rel with fwd = Some (Exact d) }
+            else { independent_rel with bwd = Some (Exact (-d)) }
+      else
+        (* differing strides: O(trip) exact enumeration of distances *)
+        let ds = fa.stride - fb.stride in
+        let fwd = ref [] and bwd = ref [] and same = ref false in
+        for d = 0 to trip - 1 do
+          (* a@k meets b@(k+d):  k·(sa−sb) = bb − ba + sb·d *)
+          let num = fb.base - fa.base + (fb.stride * d) in
+          (if num mod ds = 0 then
+             let k = num / ds in
+             if k >= 0 && k + d <= trip - 1 then
+               if d = 0 then same := true else fwd := d :: !fwd);
+          (* b@k meets a@(k+d):  k·(sb−sa) = ba − bb + sa·d *)
+          if d > 0 then
+            let num = fa.base - fb.base + (fa.stride * d) in
+            if num mod ds = 0 then
+              let k = num / -ds in
+              if k >= 0 && k + d <= trip - 1 then bwd := d :: !bwd
+        done;
+        { fwd = dist_of_list !fwd; bwd = dist_of_list !bwd; same_iter = !same;
+          unknown = false }
+  in
+  if trip <= 1 then { rel with fwd = None; bwd = None } else rel
+
+(* ------------------------------------------------------------------ *)
+
+type kind = Flow | Anti | Output
+
+let kind_of ~src_store ~dst_store =
+  match (src_store, dst_store) with
+  | true, false -> Flow
+  | false, true -> Anti
+  | true, true -> Output
+  | false, false -> invalid_arg "kind_of: read-read"
+
+let kind_to_string = function
+  | Flow -> "flow"
+  | Anti -> "anti"
+  | Output -> "output"
+
+type dep = {
+  src : int;
+  dst : int;
+  src_label : string;
+  dst_label : string;
+  subject : string;  (** region name, or scalar name for carries *)
+  memory : bool;
+  kind : kind;
+  dist : dist;  (** [Exact 0] = within one iteration *)
+  delay : int;
+}
+
+type recurrence = {
+  cycle : string list;  (** statement labels around the cycle *)
+  delay : int;
+  distance : int;
+  mii : int;
+}
+
+type loop_report = {
+  loop : L.t;
+  deps : dep list;
+  unknown_pairs : (L.access * L.access) list;
+  recurrences : recurrence list;  (** sorted by [mii] descending *)
+  rec_mii : int;
+  res_mii : int;
+  ii_lower_bound : int;
+  alu_ops : int;
+  mem_accesses : int;
+  capped : bool;  (** cycle enumeration hit its cap; RecMII may be loose *)
+  blockers : string list;  (** ranked pipelinability blockers *)
+}
+
+type report = {
+  func : string;
+  loops : loop_report list;
+  skipped : (int * string) list;
+}
+
+let min_dist = function Exact d -> d | Bounded (lo, _) -> lo
+
+let dist_to_string = function
+  | Exact d -> string_of_int d
+  | Bounded (lo, hi) -> Printf.sprintf "%d..%d" lo hi
+
+(* ---------------- dependence graph construction ------------------- *)
+
+let snode_table (loop : L.t) =
+  let n = List.length loop.stmts in
+  let arr = Array.make (max n 1) (List.hd loop.stmts) in
+  List.iter (fun (s : L.snode) -> arr.(s.sid) <- s) loop.stmts;
+  arr
+
+let st_cost (snodes : L.snode array) sid =
+  match snodes.(sid).writes_mem with Some _ -> 1 | None -> 0
+
+let memory_deps ~trip (snodes : L.snode array) (accesses : L.access list) =
+  let deps = ref [] and unknown = ref [] in
+  let arr = Array.of_list accesses in
+  let n = Array.length arr in
+  let mk (src : L.access) (dst : L.access) dist =
+    let kind = kind_of ~src_store:src.store ~dst_store:dst.store in
+    let delay =
+      match kind with
+      | Flow -> 1 + dst.depth + st_cost snodes dst.sid
+      | Anti -> 0
+      | Output -> 1
+    in
+    deps :=
+      {
+        src = src.sid;
+        dst = dst.sid;
+        src_label = snodes.(src.sid).label;
+        dst_label = snodes.(dst.sid).label;
+        subject = src.region;
+        memory = true;
+        kind;
+        dist;
+        delay;
+      }
+      :: !deps
+  in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      let a = arr.(i) and b = arr.(j) in
+      if a.region = b.region && (a.store || b.store) && (i < j || a.store) then begin
+        let rel = classify_pair ~trip a b in
+        if rel.unknown then unknown := (a, b) :: !unknown
+        else begin
+          (match rel.fwd with
+          | Some d when i <> j || min_dist d > 0 -> mk a b d
+          | _ -> ());
+          (match rel.bwd with Some d when i <> j -> mk b a d | _ -> ());
+          if rel.same_iter && a.sid <> b.sid then
+            if a.sid < b.sid then mk a b (Exact 0) else mk b a (Exact 0)
+        end
+      end
+    done
+  done;
+  (List.rev !deps, List.rev !unknown)
+
+let scalar_deps (loop : L.t) (snodes : L.snode array) =
+  let deps = ref [] in
+  let nearest_def x sid =
+    let best = ref None in
+    Array.iter
+      (fun (s : L.snode) ->
+        if s.sid < sid && s.writes_scalar = Some x then
+          match !best with
+          | Some (b : L.snode) when b.sid > s.sid -> ()
+          | _ -> best := Some s)
+      snodes;
+    !best
+  in
+  let mk src (dst : L.snode) x depth dist =
+    deps :=
+      {
+        src;
+        dst = dst.sid;
+        src_label = snodes.(src).label;
+        dst_label = dst.label;
+        subject = x;
+        memory = false;
+        kind = Flow;
+        dist;
+        delay = depth + st_cost snodes dst.sid;
+      }
+      :: !deps
+  in
+  Array.iter
+    (fun (v : L.snode) ->
+      List.iter
+        (fun (x, depth) ->
+          if x <> loop.iv then
+            match nearest_def x v.sid with
+            | Some u -> mk u.sid v x depth (Exact 0)
+            | None -> (
+              match List.assoc_opt x loop.live_out with
+              | Some defs -> List.iter (fun u -> mk u v x depth (Exact 1)) defs
+              | None -> ()))
+        v.reads)
+    snodes;
+  List.rev !deps
+
+(* ---------------- recurrence cycles (SCC walk) -------------------- *)
+
+(* Tarjan's SCC over the dep edges, then simple-cycle enumeration inside
+   each non-trivial SCC (a Johnson-style bounded DFS: loop bodies are a
+   handful of statements, so exhaustive enumeration is cheap; a step cap
+   keeps adversarial inputs safe and is reported as [capped]). *)
+
+let sccs n edges =
+  let adj = Array.make n [] in
+  List.iter (fun (d : dep) -> adj.(d.src) <- d.dst :: adj.(d.src)) edges;
+  let index = Array.make n (-1) and low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] and counter = ref 0 and comps = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    low.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) < 0 then begin
+          strongconnect w;
+          low.(v) <- min low.(v) low.(w)
+        end
+        else if on_stack.(w) then low.(v) <- min low.(v) index.(w))
+      adj.(v);
+    if low.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      comps := pop [] :: !comps
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then strongconnect v
+  done;
+  !comps
+
+let find_cycles n edges ~cap =
+  let comps = sccs n edges in
+  let comp_of = Array.make n (-1) in
+  List.iteri (fun i comp -> List.iter (fun v -> comp_of.(v) <- i) comp) comps;
+  let adj = Array.make n [] in
+  List.iter
+    (fun (d : dep) ->
+      if comp_of.(d.src) = comp_of.(d.dst) then
+        adj.(d.src) <- d :: adj.(d.src))
+    edges;
+  let cycles = ref [] and steps = ref 0 and capped = ref false in
+  let on_path = Array.make n false in
+  let rec dfs start path v =
+    List.iter
+      (fun (d : dep) ->
+        incr steps;
+        if !steps > cap then capped := true
+        else if d.dst = start then cycles := List.rev (d :: path) :: !cycles
+        else if d.dst > start && not on_path.(d.dst) then begin
+          on_path.(d.dst) <- true;
+          dfs start (d :: path) d.dst;
+          on_path.(d.dst) <- false
+        end)
+      adj.(v)
+  in
+  for s = 0 to n - 1 do
+    if not !capped then begin
+      on_path.(s) <- true;
+      dfs s [] s;
+      on_path.(s) <- false
+    end
+  done;
+  (List.rev !cycles, !capped)
+
+let ceil_div a b = (a + b - 1) / b
+
+let recurrences_of loop_len deps =
+  let cycles, capped = find_cycles loop_len deps ~cap:20000 in
+  let recs =
+    List.filter_map
+      (fun cycle ->
+        let delay = List.fold_left (fun a (d : dep) -> a + d.delay) 0 cycle in
+        let distance =
+          List.fold_left (fun a (d : dep) -> a + min_dist d.dist) 0 cycle
+        in
+        if distance <= 0 then None
+        else
+          Some
+            {
+              cycle = List.map (fun (d : dep) -> d.src_label) cycle;
+              delay;
+              distance;
+              mii = max 1 (ceil_div delay distance);
+            })
+      cycles
+  in
+  let recs = List.sort (fun a b -> compare b.mii a.mii) recs in
+  (recs, capped)
+
+(* ------------------------------------------------------------------ *)
+
+let analyze_loop ~tile (loop : L.t) =
+  let snodes = snode_table loop in
+  let mem_deps, unknown_pairs =
+    memory_deps ~trip:loop.trip snodes loop.accesses
+  in
+  let deps = mem_deps @ scalar_deps loop snodes in
+  let recurrences, capped = recurrences_of (Array.length snodes) deps in
+  let rec_mii =
+    List.fold_left (fun acc (r : recurrence) -> max acc r.mii) 1 recurrences
+  in
+  let alu_ops = List.fold_left (fun a (s : L.snode) -> a + s.ops) 0 loop.stmts in
+  let mem_accesses = List.length loop.accesses in
+  let res_mii =
+    max 1
+      (max
+         (ceil_div alu_ops (Arch.peak_alu_ops tile))
+         (ceil_div mem_accesses (Arch.memory_ports tile)))
+  in
+  let blockers =
+    List.map
+      (fun ((a : L.access), (b : L.access)) ->
+        Printf.sprintf "unknown-alias: %s (sid %d vs %d)" a.region a.sid b.sid)
+      unknown_pairs
+    @ List.filter_map
+        (fun (r : recurrence) ->
+          if r.mii > 1 then
+            Some
+              (Printf.sprintf "recurrence: %s (delay %d / distance %d, II >= %d)"
+                 (String.concat " -> " r.cycle)
+                 r.delay r.distance r.mii)
+          else None)
+        recurrences
+    @
+    if res_mii > 1 then
+      [ Printf.sprintf
+          "resources: %d ALU ops, %d memory accesses per iteration (II >= %d)"
+          alu_ops mem_accesses res_mii ]
+    else []
+  in
+  {
+    loop;
+    deps;
+    unknown_pairs;
+    recurrences;
+    rec_mii;
+    res_mii;
+    ii_lower_bound = max rec_mii res_mii;
+    alu_ops;
+    mem_accesses;
+    capped;
+    blockers;
+  }
+
+let analyze ?(tile = Arch.paper_tile) ?max_iterations (f : Cfront.Ast.func) =
+  let info = L.scan ?max_iterations f in
+  {
+    func = f.Cfront.Ast.name;
+    loops = List.map (analyze_loop ~tile) info.L.loops;
+    skipped = info.L.skipped;
+  }
+
+let analyze_source ?tile ?max_iterations ?(func = "main") source =
+  let program = Cfront.Parser.parse_program source in
+  let f = Cfront.Inline.entry ~func program in
+  analyze ?tile ?max_iterations f
+
+(* ---------------- differential validator -------------------------- *)
+
+type refutation = {
+  loop_id : int;
+  region : string;
+  cell : int;
+  fetch : int;  (** CDFG node in the re-unrolled loop graph *)
+  writer : int;  (** equal to [fetch] for a store outside the predicted set *)
+}
+
+type validation = {
+  checked : int;
+  unchecked : (int * string) list;  (** loop id, reason *)
+  refuted : refutation list;
+  pairs : int;  (** fetch/writer collisions examined *)
+  indeterminate : int;  (** collisions with non-constant offsets (none expected) *)
+}
+
+module Cells = Set.Make (Int)
+
+let access_cells (loop : L.t) (a : L.access) =
+  let cells = ref Cells.empty in
+  for k = 0 to loop.trip - 1 do
+    match L.cell_at loop a k with
+    | Some c -> cells := Cells.add c !cells
+    | None -> ()
+  done;
+  !cells
+
+let synthesize_loop (loop : L.t) =
+  let open Cfront.Ast in
+  let body =
+    List.filter_map
+      (fun (x, v) ->
+        if x = loop.L.iv then None
+        else Some (Assign (Lvar x, Int_lit v)))
+      loop.L.entry_env
+    @ [ Assign (Lvar loop.L.iv, Int_lit loop.L.init);
+        While (loop.L.cond, loop.L.body) ]
+  in
+  { name = "depend_validate"; params = []; body; returns_value = false }
+
+let validate_loop ~max_iterations (lr : loop_report) =
+  let loop = lr.loop in
+  if List.exists (fun (a : L.access) -> a.nested) loop.accesses then
+    Error "nested accesses"
+  else if
+    List.exists (fun (a : L.access) -> L.cell_at loop a 0 = None) loop.accesses
+  then Error "non-constant access offsets"
+  else
+    match
+      Cfront.Unroll.unroll_func ~max_iterations (synthesize_loop loop)
+    with
+    | exception Cfront.Unroll.Too_many_iterations _ ->
+      Error "unrolling budget exceeded"
+    | unrolled ->
+      let g = Cdfg.Builder.build_func unrolled in
+      ignore (Transform.Simplify.minimize g);
+      let facts = Addr.analyze g in
+      let regions =
+        List.sort_uniq compare
+          (List.map (fun (a : L.access) -> a.region) loop.accesses)
+      in
+      (* predicted collision cells, from the verdicts: a pair we classified
+         as independent contributes nothing, so any observed collision at a
+         cell no non-independent pair covers refutes the analysis *)
+      let rw_cells = Hashtbl.create 8 and st_cells = Hashtbl.create 8 in
+      let add tbl region cells =
+        let prev =
+          Option.value ~default:Cells.empty (Hashtbl.find_opt tbl region)
+        in
+        Hashtbl.replace tbl region (Cells.union prev cells)
+      in
+      let accs = Array.of_list loop.accesses in
+      Array.iter
+        (fun (a : L.access) ->
+          if a.store then add st_cells a.region (access_cells loop a))
+        accs;
+      Array.iter
+        (fun (a : L.access) ->
+          Array.iter
+            (fun (b : L.access) ->
+              if a.store && (not b.store) && a.region = b.region then
+                let rel = classify_pair ~trip:loop.trip a b
+                and rel' = classify_pair ~trip:loop.trip b a in
+                if not (is_independent rel && is_independent rel') then
+                  add rw_cells a.region
+                    (Cells.inter (access_cells loop a) (access_cells loop b)))
+            accs)
+        accs;
+      let refuted = ref [] and pairs = ref 0 and indeterminate = ref 0 in
+      let index = Transform.Disambig.writer_index g in
+      let oracle = Addr.oracle facts in
+      let predicted tbl region cell =
+        match Hashtbl.find_opt tbl region with
+        | Some cells -> Cells.mem cell cells
+        | None -> false
+      in
+      List.iter
+        (fun (acc : Addr.access) ->
+          if List.mem acc.region regions then
+            let cell = Fpfa_util.Interval.is_const acc.offset.itv in
+            match acc.access_kind with
+            | "ST" -> (
+              match cell with
+              | Some c when not (predicted st_cells acc.region c) ->
+                refuted :=
+                  {
+                    loop_id = loop.id;
+                    region = acc.region;
+                    cell = c;
+                    fetch = acc.node;
+                    writer = acc.node;
+                  }
+                  :: !refuted
+              | Some _ -> ()
+              | None -> incr indeterminate)
+            | "FE" ->
+              List.iter
+                (fun (writer, rel) ->
+                  match rel with
+                  | Transform.Disambig.Must_alias -> (
+                    incr pairs;
+                    match cell with
+                    | Some c when not (predicted rw_cells acc.region c) ->
+                      refuted :=
+                        {
+                          loop_id = loop.id;
+                          region = acc.region;
+                          cell = c;
+                          fetch = acc.node;
+                          writer;
+                        }
+                        :: !refuted
+                    | Some _ -> ()
+                    | None -> incr indeterminate)
+                  | Transform.Disambig.May_alias -> incr indeterminate
+                  | Transform.Disambig.Disjoint -> ())
+                (Transform.Disambig.needed_writers ~index ~oracle g acc.node)
+            | _ -> ())
+        (Addr.accesses facts);
+      Ok (List.rev !refuted, !pairs, !indeterminate)
+
+let validate ?(max_iterations = 4096) (r : report) =
+  List.fold_left
+    (fun v lr ->
+      match validate_loop ~max_iterations lr with
+      | Error reason ->
+        { v with unchecked = v.unchecked @ [ (lr.loop.L.id, reason) ] }
+      | Ok (refuted, pairs, indeterminate) ->
+        {
+          v with
+          checked = v.checked + 1;
+          refuted = v.refuted @ refuted;
+          pairs = v.pairs + pairs;
+          indeterminate = v.indeterminate + indeterminate;
+        })
+    { checked = 0; unchecked = []; refuted = []; pairs = 0; indeterminate = 0 }
+    r.loops
+
+(* ---------------- diagnostics ------------------------------------- *)
+
+let rule_loop_carried = "depend.loop-carried"
+let rule_recurrence = "depend.recurrence"
+let rule_unknown_alias = "depend.unknown-alias"
+let rule_refuted = "depend.refuted"
+
+let diagnostics ?validation (r : report) =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  List.iter
+    (fun lr ->
+      let id = lr.loop.L.id in
+      List.iter
+        (fun (d : dep) ->
+          if d.memory && min_dist d.dist >= 1 then
+            emit
+              (D.info ~node:id rule_loop_carried
+                 "loop %d (iv %s): loop-carried %s dependence on %s, distance \
+                  %s (%s -> %s)"
+                 id lr.loop.L.iv (kind_to_string d.kind) d.subject
+                 (dist_to_string d.dist) d.src_label d.dst_label))
+        lr.deps;
+      List.iter
+        (fun ((a : L.access), (b : L.access)) ->
+          emit
+            (D.warning ~node:id rule_unknown_alias
+               "loop %d (iv %s): cannot bound the distance of the %s access \
+                pair at sid %d / sid %d; assuming it may alias"
+               id lr.loop.L.iv a.region a.sid b.sid))
+        lr.unknown_pairs;
+      if lr.rec_mii > 1 then
+        match lr.recurrences with
+        | r0 :: _ ->
+          emit
+            (D.warning ~node:id rule_recurrence
+               "loop %d (iv %s): recurrence cycle %s (delay %d over distance \
+                %d) forces II >= %d"
+               id lr.loop.L.iv
+               (String.concat " -> " r0.cycle)
+               r0.delay r0.distance lr.rec_mii)
+        | [] -> ())
+    r.loops;
+  (match validation with
+  | None -> ()
+  | Some v ->
+    List.iter
+      (fun (ref_ : refutation) ->
+        if ref_.fetch = ref_.writer then
+          emit
+            (D.error ~node:ref_.fetch rule_refuted
+               "loop %d: unrolled graph stores %s[%d] (node %d) but the loop \
+                model predicted no store to that cell"
+               ref_.loop_id ref_.region ref_.cell ref_.fetch)
+        else
+          emit
+            (D.error ~node:ref_.fetch rule_refuted
+               "loop %d: unrolled graph orders fetch %d against writer %d on \
+                %s[%d], but the analysis claimed the pair independent"
+               ref_.loop_id ref_.fetch ref_.writer ref_.region ref_.cell))
+      v.refuted);
+  D.sort (List.rev !diags)
+
+(* ---------------- rendering --------------------------------------- *)
+
+let dist_to_json = function
+  | Exact d -> J.Obj [ ("kind", J.Str "exact"); ("d", J.Int d) ]
+  | Bounded (lo, hi) ->
+    J.Obj [ ("kind", J.Str "bounded"); ("lo", J.Int lo); ("hi", J.Int hi) ]
+
+let dep_to_json (d : dep) =
+  J.Obj
+    [
+      ("src", J.Int d.src);
+      ("dst", J.Int d.dst);
+      ("subject", J.Str d.subject);
+      ("memory", J.Bool d.memory);
+      ("kind", J.Str (kind_to_string d.kind));
+      ("distance", dist_to_json d.dist);
+      ("delay", J.Int d.delay);
+    ]
+
+let loop_to_json lr =
+  let l = lr.loop in
+  J.Obj
+    [
+      ("id", J.Int l.L.id);
+      ("nest", J.Int l.L.nest);
+      ("iv", J.Str l.L.iv);
+      ("init", J.Int l.L.init);
+      ("step", J.Int l.L.step);
+      ("trip", J.Int l.L.trip);
+      ("ii_lower_bound", J.Int lr.ii_lower_bound);
+      ("rec_mii", J.Int lr.rec_mii);
+      ("res_mii", J.Int lr.res_mii);
+      ("alu_ops", J.Int lr.alu_ops);
+      ("mem_accesses", J.Int lr.mem_accesses);
+      ("carries", J.List (List.map (fun c -> J.Str c) l.L.carries));
+      ("deps", J.List (List.map dep_to_json lr.deps));
+      ( "unknown_pairs",
+        J.List
+          (List.map
+             (fun ((a : L.access), (b : L.access)) ->
+               J.Obj
+                 [
+                   ("region", J.Str a.region);
+                   ("a", J.Int a.sid);
+                   ("b", J.Int b.sid);
+                 ])
+             lr.unknown_pairs) );
+      ( "recurrences",
+        J.List
+          (List.map
+             (fun (r : recurrence) ->
+               J.Obj
+                 [
+                   ("cycle", J.List (List.map (fun s -> J.Str s) r.cycle));
+                   ("delay", J.Int r.delay);
+                   ("distance", J.Int r.distance);
+                   ("ii", J.Int r.mii);
+                 ])
+             lr.recurrences) );
+      ("blockers", J.List (List.map (fun b -> J.Str b) lr.blockers));
+    ]
+
+let validation_to_json (v : validation) =
+  J.Obj
+    [
+      ("checked", J.Int v.checked);
+      ( "unchecked",
+        J.List
+          (List.map
+             (fun (id, reason) ->
+               J.Obj [ ("loop", J.Int id); ("reason", J.Str reason) ])
+             v.unchecked) );
+      ("pairs", J.Int v.pairs);
+      ("indeterminate", J.Int v.indeterminate);
+      ( "refuted",
+        J.List
+          (List.map
+             (fun (r : refutation) ->
+               J.Obj
+                 [
+                   ("loop", J.Int r.loop_id);
+                   ("region", J.Str r.region);
+                   ("cell", J.Int r.cell);
+                   ("fetch", J.Int r.fetch);
+                   ("writer", J.Int r.writer);
+                 ])
+             v.refuted) );
+    ]
+
+let report_to_json ?validation (r : report) =
+  J.Obj
+    ([
+       ("func", J.Str r.func);
+       ("loops", J.List (List.map loop_to_json r.loops));
+       ( "skipped",
+         J.List
+           (List.map
+              (fun (nest, reason) ->
+                J.Obj [ ("nest", J.Int nest); ("reason", J.Str reason) ])
+              r.skipped) );
+     ]
+    @
+    match validation with
+    | None -> []
+    | Some v -> [ ("validation", validation_to_json v) ])
+
+let pp_loop fmt lr =
+  let l = lr.loop in
+  Format.fprintf fmt "loop %d (iv %s, init %d, step %d, trip %d): II >= %d \
+                      (RecMII %d, ResMII %d)@."
+    l.L.id l.L.iv l.L.init l.L.step l.L.trip lr.ii_lower_bound lr.rec_mii
+    lr.res_mii;
+  List.iter
+    (fun (d : dep) ->
+      if min_dist d.dist >= 1 then
+        Format.fprintf fmt "  carried %s %s on %s: %s -> %s, distance %s@."
+          (if d.memory then "memory" else "scalar")
+          (kind_to_string d.kind) d.subject d.src_label d.dst_label
+          (dist_to_string d.dist))
+    lr.deps;
+  List.iter
+    (fun (r : recurrence) ->
+      Format.fprintf fmt "  recurrence %s: delay %d / distance %d (II >= %d)@."
+        (String.concat " -> " r.cycle)
+        r.delay r.distance r.mii)
+    lr.recurrences;
+  List.iter (fun b -> Format.fprintf fmt "  blocker: %s@." b) lr.blockers;
+  if lr.blockers = [] then Format.fprintf fmt "  pipelinable at II = %d@."
+      lr.ii_lower_bound
+
+let pp_report fmt r =
+  Format.fprintf fmt "%s: %d loop(s) analysed, %d skipped@." r.func
+    (List.length r.loops)
+    (List.length r.skipped);
+  List.iter (pp_loop fmt) r.loops;
+  List.iter
+    (fun (nest, reason) ->
+      Format.fprintf fmt "skipped (nest %d): %s@." nest reason)
+    r.skipped

@@ -1,0 +1,160 @@
+(** Loop-carried dependence analysis and initiation-interval lower bounds.
+
+    Consumes the {!Cfront.Loop_info} sidecar (loop structure recorded
+    before unrolling) and, per loop:
+
+    - classifies every same-region access pair into a distance/direction
+      verdict from the affine iteration-number forms — exact distance,
+      bounded distance set, or unknown;
+    - builds a dependence graph over the body statements (memory
+      dependences plus scalar carries), walks its SCCs for recurrence
+      cycles and computes {b RecMII} = max over cycles of
+      ⌈Σdelay / Σdistance⌉;
+    - computes {b ResMII} from the tile model
+      (⌈ops / {!Arch.peak_alu_ops}⌉ and
+      ⌈accesses / {!Arch.memory_ports}⌉);
+    - reports II ≥ max(RecMII, ResMII) and a ranked list of
+      pipelinability blockers.
+
+    The delay model is the CDFG execution model: one cycle per ALU
+    operation on the dependence path, plus the Fe of a consumed memory
+    read and the St of a produced memory write. Conditionals are
+    if-converted, so predicated work occupies resources and a conditional
+    definition MUXes over (rather than kills) the prior value. Every
+    reported II is a {e lower} bound: unknown pairs never enter a cycle
+    and bounded-distance edges contribute their smallest distance.
+
+    The {!validate} differential validator re-unrolls each loop, rebuilds
+    and minimises its CDFG, and replays {!Transform.Disambig.needed_writers}
+    under the {!Addr} oracle (the checking core of {!Verify.statespace}):
+    after full unrolling every offset is a constant, so the graph-level
+    oracle is complete, and any fetch/writer collision the graph keeps at
+    a cell that no non-independent pair verdict covers refutes the
+    analysis — as does any store to an unpredicted cell. Scalar carries
+    and store/store ordering (structural in the token-threaded graph) are
+    outside the contract. *)
+
+type dist =
+  | Exact of int  (** collisions at exactly this iteration distance *)
+  | Bounded of int * int  (** collisions at distances within [lo..hi] *)
+
+type pair_rel = {
+  fwd : dist option;  (** first collides with second, d iterations later *)
+  bwd : dist option;  (** second collides with first, d iterations later *)
+  same_iter : bool;  (** collision within one iteration (d = 0) *)
+  unknown : bool;  (** undecidable: may collide at any distance *)
+}
+
+val classify_pair :
+  trip:int -> Cfront.Loop_info.access -> Cfront.Loop_info.access -> pair_rel
+(** Distance/direction verdict for one access pair over iterations
+    [0..trip-1]. Sound: verdicts with [unknown = false] are exact
+    (property-tested against brute-force address enumeration). *)
+
+val is_independent : pair_rel -> bool
+(** No collision at any iteration distance, and not unknown — the
+    must-independent verdict the validator cross-checks. *)
+
+type kind = Flow | Anti | Output
+
+type dep = {
+  src : int;  (** statement id ({!Cfront.Loop_info.snode.sid}) *)
+  dst : int;
+  src_label : string;
+  dst_label : string;
+  subject : string;  (** region name, or scalar name for carries *)
+  memory : bool;
+  kind : kind;
+  dist : dist;  (** [Exact 0] = within one iteration *)
+  delay : int;  (** cycles on the dependence path *)
+}
+
+type recurrence = {
+  cycle : string list;  (** statement labels around the cycle *)
+  delay : int;
+  distance : int;
+  mii : int;  (** ⌈delay / distance⌉ *)
+}
+
+type loop_report = {
+  loop : Cfront.Loop_info.t;
+  deps : dep list;
+  unknown_pairs : (Cfront.Loop_info.access * Cfront.Loop_info.access) list;
+  recurrences : recurrence list;  (** sorted by [mii] descending *)
+  rec_mii : int;
+  res_mii : int;
+  ii_lower_bound : int;  (** max(rec_mii, res_mii) *)
+  alu_ops : int;  (** operations per iteration (if-converted) *)
+  mem_accesses : int;  (** Fe/St per iteration *)
+  capped : bool;  (** cycle enumeration hit its cap; RecMII may be loose *)
+  blockers : string list;  (** ranked pipelinability blockers *)
+}
+
+type report = {
+  func : string;
+  loops : loop_report list;
+  skipped : (int * string) list;  (** (nesting depth, reason) *)
+}
+
+val analyze :
+  ?tile:Fpfa_arch.Arch.tile -> ?max_iterations:int -> Cfront.Ast.func -> report
+(** Scan the (pre-unroll) function for loops and analyse each. [tile]
+    (default {!Fpfa_arch.Arch.paper_tile}) feeds ResMII. *)
+
+val analyze_source :
+  ?tile:Fpfa_arch.Arch.tile ->
+  ?max_iterations:int ->
+  ?func:string ->
+  string ->
+  report
+(** Parse, inline and {!analyze} the entry function (default ["main"]).
+    @raise Cfront.Parser.Error / [Cfront.Inline.Error] as the front end
+    does. *)
+
+type refutation = {
+  loop_id : int;
+  region : string;
+  cell : int;
+  fetch : int;  (** CDFG node in the re-unrolled loop graph *)
+  writer : int;  (** equal to [fetch] for a store outside the predicted set *)
+}
+
+type validation = {
+  checked : int;  (** loops fully validated *)
+  unchecked : (int * string) list;  (** loop id, reason *)
+  refuted : refutation list;  (** must be empty; gated by CI (E20) *)
+  pairs : int;  (** fetch/writer collisions examined *)
+  indeterminate : int;  (** collisions with non-constant offsets (0 expected) *)
+}
+
+val validate : ?max_iterations:int -> report -> validation
+(** The differential validator described above. Loops with opaque offsets
+    or nested accesses are reported [unchecked], never silently passed. *)
+
+val rule_loop_carried : string  (** ["depend.loop-carried"] (info) *)
+
+val rule_recurrence : string  (** ["depend.recurrence"] (warning) *)
+
+val rule_unknown_alias : string  (** ["depend.unknown-alias"] (warning) *)
+
+val rule_refuted : string  (** ["depend.refuted"] (error) *)
+
+val diagnostics :
+  ?validation:validation -> report -> Fpfa_diag.Diag.t list
+(** The report as diagnostics: one [depend.loop-carried] info per carried
+    memory dependence, one [depend.unknown-alias] warning per undecided
+    pair, one [depend.recurrence] warning per loop whose RecMII exceeds 1
+    (naming the critical cycle), and one [depend.refuted] error per
+    validator refutation. Diagnostic [node] is the loop id (the CDFG no
+    longer exists at this level), except [depend.refuted] which anchors
+    to the offending node of the re-unrolled graph. *)
+
+val report_to_json : ?validation:validation -> report -> Fpfa_util.Json.t
+(** Deterministic JSON for [fpfa_map check --loops --json]. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Human rendering for [fpfa_map check --loops]. *)
+
+val kind_to_string : kind -> string
+val dist_to_string : dist -> string
+val min_dist : dist -> int

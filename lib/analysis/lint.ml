@@ -153,30 +153,33 @@ let run ?(width = 16) ?facts g =
      dynamic offsets keep both lints running on their band of cells. Each
      whole-region suppression is announced rather than silent. *)
   let unknown_store = Hashtbl.create 4 and unknown_fetch = Hashtbl.create 4 in
+  let tally tbl region id =
+    match Hashtbl.find_opt tbl region with
+    | Some (node, count) -> Hashtbl.replace tbl region (node, count + 1)
+    | None -> Hashtbl.replace tbl region (id, 1)
+  in
   G.iter g (fun n ->
       match (n.G.kind, off_cells n) with
-      | G.St region, Cell_unknown ->
-        if not (Hashtbl.mem unknown_store region) then
-          Hashtbl.replace unknown_store region n.G.id
-      | G.Fe region, Cell_unknown ->
-        if not (Hashtbl.mem unknown_fetch region) then
-          Hashtbl.replace unknown_fetch region n.G.id
+      | G.St region, Cell_unknown -> tally unknown_store region n.G.id
+      | G.Fe region, Cell_unknown -> tally unknown_fetch region n.G.id
       | _ -> ());
   Hashtbl.iter
-    (fun region node ->
+    (fun region (node, count) ->
       add
         (D.info ~node "lint.suppressed"
-           "fetch-uninit checking suppressed for region %s: node %d stores \
-            at a dynamic offset the address analysis cannot bound"
-           region node))
+           "fetch-uninit checking suppressed for region %s: %d store(s) at \
+            dynamic offsets the address analysis cannot bound (first: node \
+            %d)"
+           region count node))
     unknown_store;
   Hashtbl.iter
-    (fun region node ->
+    (fun region (node, count) ->
       add
         (D.info ~node "lint.suppressed"
-           "dead-store checking suppressed for region %s: node %d fetches \
-            at a dynamic offset the address analysis cannot bound"
-           region node))
+           "dead-store checking suppressed for region %s: %d fetch(es) at \
+            dynamic offsets the address analysis cannot bound (first: node \
+            %d)"
+           region count node))
     unknown_fetch;
   (* Fetch of never-written cell(s) of a declared local. *)
   let uninit_checkable region =

@@ -43,10 +43,12 @@ val run :
     - ["lint.fetch-uninit"]: a fetch from a {e declared} (non-implicit)
       region cell — or, for a bounded dynamic offset, band of cells —
       that no store has written on any path;
-    - ["lint.suppressed"] (info): a store (resp. fetch) whose dynamic
-      offset the address analysis cannot bound disabled fetch-uninit
-      (resp. dead-store) checking for its region — the suppression the
-      sharper lints would otherwise hide;
+    - ["lint.suppressed"] (info): stores (resp. fetches) whose dynamic
+      offsets the address analysis cannot bound disabled fetch-uninit
+      (resp. dead-store) checking for their region — one diagnostic per
+      suppressed region carrying the {e count} of suppressing accesses
+      (and anchored to the first), so [check --json] can total the
+      suppression it would otherwise hide;
     - ["addr.out-of-region"]: an access whose offset interval is finite,
       strictly narrower than the full datapath range, and still escapes
       the region's declared size (implicit and unsized regions exempt);

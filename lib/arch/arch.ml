@@ -32,6 +32,9 @@ let paper_tile =
     alu = paper_alu;
   }
 
+let peak_alu_ops t = t.alu_count * t.alu.max_ops
+let memory_ports t = t.alu_count * t.memories_per_pp
+
 let with_alu alu tile = { tile with alu }
 let with_alu_count alu_count tile = { tile with alu_count }
 let with_buses buses tile = { tile with buses }

@@ -37,6 +37,16 @@ val paper_tile : tile
     512 words, 10 crossbar lanes, move window of 4 (paper Fig. 5 tries
     4, 3, 2, 1 steps before). *)
 
+val peak_alu_ops : tile -> int
+(** Primitive operations the tile can issue per cycle,
+    [alu_count * alu.max_ops] — the ALU term of a modulo-scheduling
+    resource bound (ResMII). *)
+
+val memory_ports : tile -> int
+(** Memory accesses the tile can issue per cycle: each PP's local memories
+    have one port each, so [alu_count * memories_per_pp]. The memory term
+    of ResMII. *)
+
 val with_alu : alu_caps -> tile -> tile
 val with_alu_count : int -> tile -> tile
 val with_buses : int -> tile -> tile

@@ -1,0 +1,616 @@
+(* Loop-structure sidecar: characterise every statically bounded loop
+   (induction variable, bounds, step, per-statement memory access summaries)
+   BEFORE unrolling erases it. The discovery pass is the same concrete
+   partial evaluation as Unroll — peel while the condition folds — but it
+   emits records instead of peeled statements, so the characterisation is
+   exact for the loop instance it observed. A second, symbolic pass over
+   the loop body expresses every array subscript as an affine form in the
+   iteration number, which is what Fpfa_analysis.Depend consumes. *)
+
+module Env = Map.Make (String)
+
+type offset =
+  | Affine of { base : int; stride : int; ctx : Ast.expr option }
+  | Opaque
+
+type access = {
+  sid : int;
+  region : string;
+  store : bool;
+  offset : offset;
+  depth : int;
+  conditional : bool;
+  nested : bool;
+}
+
+type snode = {
+  sid : int;
+  label : string;
+  conditional : bool;
+  nested : bool;
+  writes_scalar : string option;
+  writes_mem : string option;
+  reads : (string * int) list;
+  ops : int;
+}
+
+type t = {
+  id : int;
+  nest : int;
+  iv : string;
+  init : int;
+  step : int;
+  trip : int;
+  cond : Ast.expr;
+  body : Ast.stmt list;
+  entry_env : (string * int) list;
+  stmts : snode list;
+  accesses : access list;
+  carries : string list;
+  live_out : (string * int list) list;
+}
+
+type info = { loops : t list; skipped : (int * string) list }
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic values: base + stride*k + ctx, where k is the iteration
+   number and ctx is a loop-invariant expression (invariant for THIS
+   loop; it may involve enclosing induction variables). *)
+
+type sval = Val of { base : int; stride : int; ctx : Ast.expr option } | Unknown
+
+let const n = Val { base = n; stride = 0; ctx = None }
+
+let is_invariant = function Val { stride = 0; _ } -> true | _ -> false
+
+let const_of = function
+  | Val { base; stride = 0; ctx = None } -> Some base
+  | _ -> None
+
+(* Loop-invariant value back to an expression (stride = 0 only). *)
+let reify = function
+  | Val { base; stride = 0; ctx = None } -> Some (Ast.Int_lit base)
+  | Val { base = 0; stride = 0; ctx = Some e } -> Some e
+  | Val { base; stride = 0; ctx = Some e } ->
+    Some (Ast.Binop (Ast.Add, e, Ast.Int_lit base))
+  | _ -> None
+
+let ctx_add a b =
+  match (a, b) with
+  | None, c | c, None -> c
+  | Some x, Some y -> Some (Ast.Binop (Ast.Add, x, y))
+
+let ctx_neg = function
+  | None -> None
+  | Some x -> Some (Ast.Unop (Ast.Neg, x))
+
+let ctx_scale c = function
+  | None -> None
+  | Some x -> Some (Ast.Binop (Ast.Mul, Ast.Int_lit c, x))
+
+let sval_add a b =
+  match (a, b) with
+  | Val a, Val b ->
+    Val
+      {
+        base = a.base + b.base;
+        stride = a.stride + b.stride;
+        ctx = ctx_add a.ctx b.ctx;
+      }
+  | _ -> Unknown
+
+let sval_neg = function
+  | Val a -> Val { base = -a.base; stride = -a.stride; ctx = ctx_neg a.ctx }
+  | Unknown -> Unknown
+
+let sval_sub a b = sval_add a (sval_neg b)
+
+let sval_scale c = function
+  | Val _ when c = 0 -> const 0
+  | Val a ->
+    Val { base = c * a.base; stride = c * a.stride; ctx = ctx_scale c a.ctx }
+  | Unknown -> Unknown
+
+(* ------------------------------------------------------------------ *)
+(* Per-statement walk state. *)
+
+type wstate = {
+  mutable accs : access list; (* reversed *)
+  mutable reads : (string * int) list; (* scalar -> max read depth *)
+  mutable ops : int;
+  mutable next_sid : int;
+}
+
+let note_read st x depth =
+  match List.assoc_opt x st.reads with
+  | Some d when d >= depth -> ()
+  | Some _ -> st.reads <- (x, depth) :: List.remove_assoc x st.reads
+  | None -> st.reads <- (x, depth) :: st.reads
+
+let offset_of_sval = function
+  | Val { base; stride; ctx } -> Affine { base; stride; ctx }
+  | Unknown -> Opaque
+
+(* Evaluate an expression symbolically, recording scalar reads, memory
+   accesses and operator counts as side effects. [depth] is the number of
+   ALU operations between this sub-expression and the value root of the
+   enclosing statement. *)
+let rec seval st env ~sid ~conditional ~nested ~depth expr =
+  match expr with
+  | Ast.Int_lit n -> const n
+  | Ast.Var x -> (
+    note_read st x depth;
+    match Env.find_opt x env with
+    | Some v -> v
+    | None -> Val { base = 0; stride = 0; ctx = Some (Ast.Var x) })
+  | Ast.Index (region, e) ->
+    (* subscript operations and the fetch itself sit on the value path *)
+    let off = seval st env ~sid ~conditional ~nested ~depth:(depth + 1) e in
+    st.accs <-
+      {
+        sid;
+        region;
+        store = false;
+        offset = offset_of_sval off;
+        depth;
+        conditional;
+        nested;
+      }
+      :: st.accs;
+    Unknown
+  | Ast.Binop (op, a, b) -> (
+    st.ops <- st.ops + 1;
+    let va = seval st env ~sid ~conditional ~nested ~depth:(depth + 1) a in
+    let vb = seval st env ~sid ~conditional ~nested ~depth:(depth + 1) b in
+    match op with
+    | Ast.Add -> sval_add va vb
+    | Ast.Sub -> sval_sub va vb
+    | Ast.Mul -> (
+      match (const_of va, const_of vb) with
+      | Some c, _ -> sval_scale c vb
+      | _, Some c -> sval_scale c va
+      | None, None -> combine_invariant op va vb)
+    | Ast.Shl -> (
+      match const_of vb with
+      | Some c when c >= 0 && c <= 20 -> sval_scale (1 lsl c) va
+      | _ -> combine_invariant op va vb)
+    | _ -> combine_invariant op va vb)
+  | Ast.Unop (op, a) -> (
+    st.ops <- st.ops + 1;
+    let va = seval st env ~sid ~conditional ~nested ~depth:(depth + 1) a in
+    match op with
+    | Ast.Neg -> sval_neg va
+    | Ast.Bnot | Ast.Lnot -> (
+      match const_of va with
+      | Some c -> const (Unroll.apply_unop op c)
+      | None -> (
+        match reify va with
+        | Some e -> Val { base = 0; stride = 0; ctx = Some (Ast.Unop (op, e)) }
+        | None -> Unknown)))
+  | Ast.Cond (c, a, b) -> (
+    st.ops <- st.ops + 1;
+    let vc = seval st env ~sid ~conditional ~nested ~depth:(depth + 1) c in
+    let va = seval st env ~sid ~conditional ~nested ~depth:(depth + 1) a in
+    let vb = seval st env ~sid ~conditional ~nested ~depth:(depth + 1) b in
+    match const_of vc with
+    | Some 0 -> vb
+    | Some _ -> va
+    | None -> Unknown)
+  | Ast.Call (f, args) -> (
+    st.ops <- st.ops + 1;
+    let vs =
+      List.map (seval st env ~sid ~conditional ~nested ~depth:(depth + 1)) args
+    in
+    let consts = List.map const_of vs in
+    match (f, consts) with
+    | "abs", [ Some a ] -> const (abs a)
+    | "min", [ Some a; Some b ] -> const (min a b)
+    | "max", [ Some a; Some b ] -> const (max a b)
+    | _ -> Unknown)
+
+and combine_invariant op va vb =
+  match (const_of va, const_of vb) with
+  | Some a, Some b -> (
+    match Unroll.apply_binop op a b with Some v -> const v | None -> Unknown)
+  | _ when is_invariant va && is_invariant vb -> (
+    match (reify va, reify vb) with
+    | Some ea, Some eb ->
+      Val { base = 0; stride = 0; ctx = Some (Ast.Binop (op, ea, eb)) }
+    | _ -> Unknown)
+  | _ -> Unknown
+
+(* ------------------------------------------------------------------ *)
+(* One generic iteration of the loop body, flattened to snodes. *)
+
+let fresh_stmt st =
+  let sid = st.next_sid in
+  st.next_sid <- sid + 1;
+  st.reads <- [];
+  st.ops <- 0;
+  sid
+
+let finish_stmt st ~sid ~label ~conditional ~nested ~writes_scalar ~writes_mem
+    acc =
+  {
+    sid;
+    label;
+    conditional;
+    nested;
+    writes_scalar;
+    writes_mem;
+    reads = List.rev st.reads;
+    ops = st.ops;
+  }
+  :: acc
+
+let rec walk_body st env ~conditional ~nested body nodes =
+  List.fold_left
+    (fun (env, nodes) stmt -> walk_stmt st env ~conditional ~nested stmt nodes)
+    (env, nodes) body
+
+and walk_stmt st env ~conditional ~nested stmt nodes =
+  match stmt with
+  | Ast.Decl (_, Some _, _) -> (env, nodes)
+  | Ast.Decl (x, None, init) ->
+    let sid = fresh_stmt st in
+    let v =
+      match init with
+      | None -> const 0
+      | Some e -> seval st env ~sid ~conditional ~nested ~depth:0 e
+    in
+    let nodes =
+      finish_stmt st ~sid ~label:x ~conditional ~nested ~writes_scalar:(Some x)
+        ~writes_mem:None nodes
+    in
+    (Env.add x v env, nodes)
+  | Ast.Assign (Ast.Lvar x, e) ->
+    let sid = fresh_stmt st in
+    let v = seval st env ~sid ~conditional ~nested ~depth:0 e in
+    let nodes =
+      finish_stmt st ~sid ~label:x ~conditional ~nested ~writes_scalar:(Some x)
+        ~writes_mem:None nodes
+    in
+    (Env.add x v env, nodes)
+  | Ast.Assign (Ast.Lindex (region, idx), e) ->
+    let sid = fresh_stmt st in
+    (* subscript reads feed the St's address operand *)
+    let off = seval st env ~sid ~conditional ~nested ~depth:1 idx in
+    let _ = seval st env ~sid ~conditional ~nested ~depth:0 e in
+    st.accs <-
+      {
+        sid;
+        region;
+        store = true;
+        offset = offset_of_sval off;
+        depth = 0;
+        conditional;
+        nested;
+      }
+      :: st.accs;
+    let nodes =
+      finish_stmt st ~sid ~label:(region ^ "[..]") ~conditional ~nested
+        ~writes_scalar:None ~writes_mem:(Some region) nodes
+    in
+    (env, nodes)
+  | Ast.If (c, then_body, else_body) -> (
+    let st_probe =
+      { accs = []; reads = []; ops = 0; next_sid = st.next_sid }
+    in
+    let probe =
+      seval st_probe env ~sid:st.next_sid ~conditional ~nested ~depth:0 c
+    in
+    match const_of probe with
+    | Some v ->
+      walk_body st env ~conditional ~nested
+        (if v <> 0 then then_body else else_body)
+        nodes
+    | None ->
+      let sid = fresh_stmt st in
+      let _ = seval st env ~sid ~conditional ~nested ~depth:0 c in
+      let nodes =
+        finish_stmt st ~sid ~label:"if" ~conditional ~nested
+          ~writes_scalar:None ~writes_mem:None nodes
+      in
+      let _, nodes = walk_body st env ~conditional:true ~nested then_body nodes in
+      let _, nodes = walk_body st env ~conditional:true ~nested else_body nodes in
+      let killed = Unroll.assigned_scalars (then_body @ else_body) [] in
+      let env =
+        List.fold_left (fun env x -> Env.add x Unknown env) env killed
+      in
+      (env, nodes))
+  | Ast.While (_, wbody) ->
+    (* nested loop: its accesses get their own Loop_info record; for the
+       enclosing loop they are opaque repeated accesses *)
+    let killed = Unroll.assigned_scalars wbody [] in
+    let env' =
+      List.fold_left (fun env x -> Env.add x Unknown env) env killed
+    in
+    let _, nodes = walk_body st env' ~conditional ~nested:true wbody nodes in
+    (env', nodes)
+  | Ast.Return _ | Ast.Expr _ -> (env, nodes)
+
+(* ------------------------------------------------------------------ *)
+(* Carries and live-out definitions over the flattened statement list.
+
+   A definition kills only when unconditional and not inside a nested
+   loop: under if-conversion a conditional write becomes a MUX over the
+   prior value, so the prior value genuinely flows across it. *)
+
+let compute_carries ~iv ~assigned stmts =
+  let defined = Hashtbl.create 8 in
+  let carries = ref [] in
+  List.iter
+    (fun (n : snode) ->
+      List.iter
+        (fun (x, _) ->
+          if
+            x <> iv
+            && List.mem x assigned
+            && (not (Hashtbl.mem defined x))
+            && not (List.mem x !carries)
+          then carries := x :: !carries)
+        n.reads;
+      match n.writes_scalar with
+      | Some x when (not n.conditional) && not n.nested ->
+        Hashtbl.replace defined x ()
+      | _ -> ())
+    stmts;
+  List.rev !carries
+
+let compute_live_out carries stmts =
+  List.map
+    (fun x ->
+      let defs = ref [] in
+      let stop = ref false in
+      List.iter
+        (fun (n : snode) ->
+          if not !stop then
+            match n.writes_scalar with
+            | Some y when y = x ->
+              defs := n.sid :: !defs;
+              if (not n.conditional) && not n.nested then stop := true
+            | _ -> ())
+        (List.rev stmts);
+      (x, !defs))
+    carries
+
+(* ------------------------------------------------------------------ *)
+(* Discovery: concrete partial evaluation that mirrors Unroll but emits
+   loop records at each first-encountered While. *)
+
+exception Knowledge_lost
+
+let rec expr_vars expr acc =
+  match expr with
+  | Ast.Int_lit _ -> acc
+  | Ast.Var x -> if List.mem x acc then acc else x :: acc
+  | Ast.Index (_, e) | Ast.Unop (_, e) -> expr_vars e acc
+  | Ast.Binop (_, a, b) -> expr_vars b (expr_vars a acc)
+  | Ast.Cond (c, a, b) -> expr_vars b (expr_vars a (expr_vars c acc))
+  | Ast.Call (_, args) -> List.fold_left (fun acc e -> expr_vars e acc) acc args
+
+let arithmetic_step = function
+  | [] | [ _ ] -> None
+  | v0 :: v1 :: rest ->
+    let step = v1 - v0 in
+    let rec check prev = function
+      | [] -> Some step
+      | v :: rest -> if v - prev = step then check v rest else None
+    in
+    check v1 rest
+
+type scan_state = {
+  mutable loops : t list; (* reversed *)
+  mutable skipped : (int * string) list; (* reversed *)
+  mutable seen : Ast.stmt list; (* physical identity of visited Whiles *)
+  mutable next_id : int;
+  budget : int;
+}
+
+let env_eval env expr =
+  Unroll.eval_const_expr (fun x -> Env.find_opt x env) expr
+
+let rec has_return body =
+  List.exists
+    (function
+      | Ast.Return _ -> true
+      | Ast.If (_, t, e) -> has_return t || has_return e
+      | Ast.While (_, b) -> has_return b
+      | _ -> false)
+    body
+
+let characterize scan ~nest ~cond ~body ~entry_env ~snapshots ~post_env ~trip =
+  let id = scan.next_id in
+  scan.next_id <- id + 1;
+  if has_return body then (
+    scan.skipped <- (nest, "loop body contains a return") :: scan.skipped;
+    None)
+  else
+    let assigned = Unroll.assigned_scalars body [] in
+    let cond_vars = expr_vars cond [] in
+    let candidates =
+      List.filter (fun x -> List.mem x assigned) (List.rev cond_vars)
+    in
+    let progression x =
+      let tops = List.map (Env.find_opt x) snapshots in
+      let post = Env.find_opt x post_env in
+      let seq = tops @ [ post ] in
+      if List.exists Option.is_none seq then None
+      else
+        let seq = List.map Option.get seq in
+        match arithmetic_step seq with
+        | Some step when step <> 0 -> Some (List.hd seq, step)
+        | _ -> None
+    in
+    let iv =
+      List.find_map
+        (fun x ->
+          match progression x with
+          | Some (init, step) -> Some (x, init, step)
+          | None -> None)
+        candidates
+    in
+    match iv with
+    | None ->
+      scan.skipped <-
+        (nest, "no affine induction variable in the loop condition")
+        :: scan.skipped;
+      None
+    | Some (iv, init, step) ->
+      (* symbolic pass over one generic iteration *)
+      let st = { accs = []; reads = []; ops = 0; next_sid = 0 } in
+      let env0 =
+        Env.fold
+          (fun x v acc ->
+            if List.mem x assigned then acc else Env.add x (const v) acc)
+          entry_env Env.empty
+      in
+      let env0 =
+        List.fold_left
+          (fun acc x -> if x = iv then acc else Env.add x Unknown acc)
+          env0 assigned
+      in
+      let env0 = Env.add iv (Val { base = init; stride = step; ctx = None }) env0 in
+      (* the loop condition is evaluated once per iteration *)
+      let sid = fresh_stmt st in
+      let _ = seval st env0 ~sid ~conditional:false ~nested:false ~depth:0 cond in
+      let nodes =
+        finish_stmt st ~sid ~label:"cond" ~conditional:false ~nested:false
+          ~writes_scalar:None ~writes_mem:None []
+      in
+      let _, nodes = walk_body st env0 ~conditional:false ~nested:false body nodes in
+      let stmts = List.rev nodes in
+      let carries = compute_carries ~iv ~assigned stmts in
+      let live_out = compute_live_out carries stmts in
+      Some
+        {
+          id;
+          nest;
+          iv;
+          init;
+          step;
+          trip;
+          cond;
+          body;
+          entry_env = Env.bindings entry_env;
+          stmts;
+          accesses = List.rev st.accs;
+          carries;
+          live_out;
+        }
+
+let rec exec_body scan ~nest env body =
+  List.fold_left (fun env stmt -> exec_stmt scan ~nest env stmt) env body
+
+and exec_stmt scan ~nest env stmt =
+  match stmt with
+  | Ast.Decl (name, None, init) -> (
+    match Option.map (env_eval env) init with
+    | Some (Some v) -> Env.add name v env
+    | Some None -> Env.remove name env
+    | None -> Env.add name 0 env)
+  | Ast.Decl (_, Some _, _) -> env
+  | Ast.Assign (Ast.Lvar name, e) -> (
+    match env_eval env e with
+    | Some v -> Env.add name v env
+    | None -> Env.remove name env)
+  | Ast.Assign (Ast.Lindex _, _) -> env
+  | Ast.If (cond, then_body, else_body) -> (
+    match env_eval env cond with
+    | Some c -> exec_body scan ~nest env (if c <> 0 then then_body else else_body)
+    | None ->
+      note_unreached scan ~nest (then_body @ else_body)
+        "loop under a non-static branch";
+      List.fold_left
+        (fun env x -> Env.remove x env)
+        env
+        (Unroll.assigned_scalars (then_body @ else_body) []))
+  | Ast.While (cond, body) -> exec_while scan ~nest env cond body stmt
+  | Ast.Return _ | Ast.Expr _ -> env
+
+and note_unreached scan ~nest body reason =
+  List.iter
+    (function
+      | Ast.While (_, b) as w ->
+        if not (List.memq w scan.seen) then (
+          scan.seen <- w :: scan.seen;
+          scan.skipped <- (nest, reason) :: scan.skipped);
+        note_unreached scan ~nest:(nest + 1) b reason
+      | Ast.If (_, t, e) ->
+        note_unreached scan ~nest t reason;
+        note_unreached scan ~nest e reason
+      | _ -> ())
+    body
+
+and exec_while scan ~nest env cond body stmt =
+  let first = not (List.memq stmt scan.seen) in
+  if first then scan.seen <- stmt :: scan.seen;
+  let entry_env = env in
+  let snapshots = ref [] in
+  let run () =
+    let rec peel env iterations =
+      if iterations > scan.budget then
+        raise (Unroll.Too_many_iterations iterations);
+      match env_eval env cond with
+      | Some 0 -> (env, iterations)
+      | Some _ ->
+        if first then snapshots := env :: !snapshots;
+        let env = exec_body scan ~nest:(nest + 1) env body in
+        peel env (iterations + 1)
+      | None -> raise Knowledge_lost
+    in
+    peel env 0
+  in
+  match run () with
+  | post_env, trip ->
+    if first then
+      if trip = 0 then
+        scan.skipped <- (nest, "zero iterations at first encounter") :: scan.skipped
+      else (
+        match
+          characterize scan ~nest ~cond ~body ~entry_env
+            ~snapshots:(List.rev !snapshots) ~post_env ~trip
+        with
+        | Some loop -> scan.loops <- loop :: scan.loops
+        | None -> ());
+    post_env
+  | exception Knowledge_lost ->
+    if first then
+      scan.skipped <- (nest, "trip count is not static") :: scan.skipped;
+    note_unreached scan ~nest:(nest + 1) body "inside a non-static loop";
+    List.fold_left
+      (fun env x -> Env.remove x env)
+      env
+      (Unroll.assigned_scalars body [])
+
+let scan ?(max_iterations = 4096) (f : Ast.func) =
+  let scan =
+    { loops = []; skipped = []; seen = []; next_id = 0; budget = max_iterations }
+  in
+  (try ignore (exec_body scan ~nest:0 Env.empty f.Ast.body)
+   with Unroll.Too_many_iterations _ ->
+     scan.skipped <- (0, "unrolling budget exceeded") :: scan.skipped);
+  { loops = List.rev scan.loops; skipped = List.rev scan.skipped }
+
+(* ------------------------------------------------------------------ *)
+
+let cell_at loop access k =
+  match access.offset with
+  | Opaque -> None
+  | Affine { base; stride; ctx } -> (
+    match ctx with
+    | None -> Some (base + (stride * k))
+    | Some e -> (
+      match
+        Unroll.eval_const_expr
+          (fun x -> List.assoc_opt x loop.entry_env)
+          e
+      with
+      | Some c -> Some (base + c + (stride * k))
+      | None -> None))
+
+let pp_offset fmt = function
+  | Opaque -> Format.fprintf fmt "?"
+  | Affine { base; stride; ctx } ->
+    Format.fprintf fmt "%d%+d*k" base stride;
+    Option.iter (fun e -> Format.fprintf fmt "+(%a)" Ast.pp_expr e) ctx

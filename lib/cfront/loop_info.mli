@@ -1,0 +1,86 @@
+(** Loop-structure sidecar: what {!Unroll} erases, recorded first.
+
+    The mapping flow fully unrolls every loop, so by the time the CDFG
+    exists there are no iterations left to reason about. This module runs
+    the same concrete partial evaluation as {!Unroll} — peel while the
+    condition folds — but instead of emitting peeled statements it emits
+    one record per syntactic loop at its first dynamic encounter:
+    induction variable, initial value, step (negative for
+    downward-counting loops), trip count, and a per-statement summary of
+    every memory access as an affine form in the {e iteration number}
+    [k ∈ [0, trip)]. {!Fpfa_analysis.Depend} consumes these records to
+    classify loop-carried dependences and bound the initiation interval.
+
+    Offsets are [base + stride·k + ctx] where [ctx] is a loop-invariant
+    expression (it may mention enclosing induction variables — exact for
+    the observed instance, and symbolically comparable across accesses).
+    Anything non-affine is {!Opaque}, never guessed. *)
+
+type offset =
+  | Affine of { base : int; stride : int; ctx : Ast.expr option }
+      (** cell index [base + stride·k + ctx] at iteration [k]; [ctx] is
+          invariant in this loop and [None] means zero *)
+  | Opaque  (** not an affine function of the iteration number *)
+
+type access = {
+  sid : int;  (** owning statement node *)
+  region : string;  (** array name *)
+  store : bool;  (** store or fetch *)
+  offset : offset;
+  depth : int;
+      (** ALU operations on the value path between this access and the
+          owning statement's result (excludes the Fe/St themselves) *)
+  conditional : bool;  (** under a non-static branch *)
+  nested : bool;  (** inside a nested loop of this loop's body *)
+}
+
+type snode = {
+  sid : int;
+  label : string;  (** short human label: target name, or ["cond"]/["if"] *)
+  conditional : bool;
+  nested : bool;
+  writes_scalar : string option;
+  writes_mem : string option;
+  reads : (string * int) list;  (** scalar read -> max value-path depth *)
+  ops : int;  (** ALU operator count of the whole statement *)
+}
+
+type t = {
+  id : int;  (** discovery order, 0-based *)
+  nest : int;  (** nesting depth, 0 = outermost *)
+  iv : string;  (** induction variable *)
+  init : int;  (** iv value on loop entry *)
+  step : int;  (** per-iteration increment, non-zero (negative = down) *)
+  trip : int;  (** iterations executed at first encounter, > 0 *)
+  cond : Ast.expr;  (** original loop condition *)
+  body : Ast.stmt list;  (** original loop body (shared, not copied) *)
+  entry_env : (string * int) list;
+      (** statically known scalars at first-encounter loop entry *)
+  stmts : snode list;  (** flattened body statements, execution order *)
+  accesses : access list;  (** every memory access, execution order *)
+  carries : string list;
+      (** scalars (excluding [iv]) live around the back edge *)
+  live_out : (string * int list) list;
+      (** per carried scalar, the statement ids of definitions that can
+          reach the back edge (conditional definitions do not kill: under
+          if-conversion they are MUXes over the prior value) *)
+}
+
+type info = {
+  loops : t list;  (** characterised loops, discovery order *)
+  skipped : (int * string) list;
+      (** (nesting depth, reason) for loops left uncharacterised *)
+}
+
+val scan : ?max_iterations:int -> Ast.func -> info
+(** Characterise every loop of [f] reachable under concrete partial
+    evaluation. [max_iterations] (default 4096) bounds the peeled
+    iterations per loop, as in {!Unroll.unroll_body}. Never raises:
+    budget overruns and non-static loops become [skipped] entries. *)
+
+val cell_at : t -> access -> int -> int option
+(** [cell_at loop a k] is the concrete cell index access [a] touches at
+    iteration [k] of the characterised instance — [ctx] is folded under
+    [loop.entry_env]. [None] for opaque offsets or unresolvable [ctx]. *)
+
+val pp_offset : Format.formatter -> offset -> unit

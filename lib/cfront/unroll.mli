@@ -27,3 +27,16 @@ val eval_const_expr : (string -> int option) -> Ast.expr -> int option
     environment. Array accesses and failed lookups yield [None]; division by
     zero and out-of-range shifts also yield [None] (the error is then left
     to show up at run time, preserving behaviour). *)
+
+val apply_binop : Ast.binop -> int -> int -> int option
+(** One binary operator under the toolchain's total semantics ([x/0 = 0],
+    out-of-range shift = 0). [None] only for cases the partial evaluator
+    refuses to fold. *)
+
+val apply_unop : Ast.unop -> int -> int
+
+val assigned_scalars : Ast.stmt list -> string list -> string list
+(** Scalar names assigned (or declared) anywhere in the statement list,
+    nested bodies included, prepended to the accumulator. The kill set used
+    when control flow is not statically resolved; {!Loop_info} reuses it to
+    find loop-variant scalars. *)

@@ -420,6 +420,16 @@ let audit ?pool ~config result =
         Fpfa_analysis.Mapcheck.sched ~alu_count:config.tile.Arch.alu_count
           result.schedule);
       (fun () -> Fpfa_analysis.Mapcheck.alloc result.job);
+      (fun () ->
+        (* loop-carried dependence family: needs the pre-unroll source
+           (the mapped func is already unrolled flat), so graph-only
+           results audit without it *)
+        if result.source = "" then []
+        else
+          Fpfa_analysis.Depend.diagnostics
+            (Fpfa_analysis.Depend.analyze_source ~tile:config.tile
+               ~max_iterations:config.max_unroll
+               ~func:result.func.Cfront.Ast.name result.source));
     ]
   in
   let diags =

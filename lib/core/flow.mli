@@ -159,11 +159,13 @@ val audit :
     structural verifier on the raw and minimised graphs, mappability +
     statespace legality + lints on the minimised graph (sharing one
     address analysis, returned as the second component when structure is
-    sound), and the {!Fpfa_analysis.Mapcheck} validators replaying
-    cluster/schedule/allocation legality. The diagnostic families are
-    independent, so with [?pool] they run concurrently — the result
-    graphs are frozen first (see {!map_source}); output is identical to
-    the sequential run. *)
+    sound), the {!Fpfa_analysis.Mapcheck} validators replaying
+    cluster/schedule/allocation legality, and the
+    {!Fpfa_analysis.Depend} loop-carried dependence analysis re-run from
+    the pre-unroll source (skipped for graph-only results with no
+    source). The seven diagnostic families are independent, so with
+    [?pool] they run concurrently — the result graphs are frozen first
+    (see {!map_source}); output is identical to the sequential run. *)
 
 val verify :
   ?memory_init:(string * int array) list -> result -> bool

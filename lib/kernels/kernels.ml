@@ -364,6 +364,73 @@ let fir_delay ~taps =
       ];
   }
 
+let cumulative_sum ~n =
+  (* The canonical tight recurrence: each element needs the previous one
+     back from memory, so the Fe -> add -> St cycle bounds the II from
+     below no matter how many ALUs the tile has. *)
+  {
+    name = Printf.sprintf "cumsum-%d" n;
+    description = Printf.sprintf "prefix sum of %d samples (y[i] = y[i-1] + x[i])" n;
+    source =
+      Printf.sprintf
+        {|void main() {
+  y[0] = x[0];
+  for (i = 1; i < %d; i = i + 1) {
+    y[i] = y[i - 1] + x[i];
+  }
+}|}
+        n;
+    inputs = [ ("x", test_vector ~seed:29 n) ];
+  }
+
+let iir_first_order ~n =
+  (* First-order IIR with the feedback path written out long-hand: the
+     recurrence cycle carries two multiplies-worth of arithmetic plus the
+     quantising shift, so RecMII exceeds the prefix sum's. *)
+  {
+    name = Printf.sprintf "iir1-%d" n;
+    description =
+      Printf.sprintf "first-order IIR over %d samples, y[i] = (4x[i]+3y[i-1])>>3"
+        n;
+    source =
+      Printf.sprintf
+        {|void main() {
+  y[0] = x[0];
+  for (i = 1; i < %d; i = i + 1) {
+    y[i] = (4 * x[i] + 3 * y[i - 1]) >> 3;
+  }
+}|}
+        n;
+    inputs = [ ("x", test_vector ~seed:30 n) ];
+  }
+
+let moving_average_acc ~window ~n =
+  (* Sliding-window average via a loop-carried scalar accumulator
+     (add the entering sample, subtract the leaving one) instead of
+     mavg's rescan of the window — an O(1)-per-sample recurrence. *)
+  {
+    name = Printf.sprintf "mavg-acc-%d-%d" window n;
+    description =
+      Printf.sprintf
+        "moving average, window %d over %d samples, carried accumulator"
+        window n;
+    source =
+      Printf.sprintf
+        {|void main() {
+  acc = 0;
+  for (k = 0; k < %d; k = k + 1) {
+    acc += x[k];
+  }
+  out[0] = acc >> 2;
+  for (i = 0; i < %d; i = i + 1) {
+    acc = acc + x[i + %d] - x[i];
+    out[i + 1] = acc >> 2;
+  }
+}|}
+        window n window;
+    inputs = [ ("x", test_vector ~seed:31 (n + window)) ];
+  }
+
 let all =
   [
     fir_paper;
@@ -384,6 +451,9 @@ let all =
     complex_mul ~n:4;
     manhattan ~n:8;
     clip_minmax ~n:6;
+    cumulative_sum ~n:8;
+    iir_first_order ~n:8;
+    moving_average_acc ~window:4 ~n:8;
   ]
 
 let find name = List.find (fun k -> String.equal k.name name) all

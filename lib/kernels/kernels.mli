@@ -62,6 +62,19 @@ val complex_mul : n:int -> t
 val manhattan : n:int -> t
 (** L1 distance via a helper function. *)
 
+val cumulative_sum : n:int -> t
+(** Prefix sum [y[i] = y[i-1] + x[i]] — the canonical loop-carried
+    memory recurrence (Fe → add → St cycle at distance 1; RecMII 3). *)
+
+val iir_first_order : n:int -> t
+(** First-order IIR [y[i] = (4*x[i] + 3*y[i-1]) >> 3] — a heavier
+    feedback cycle (multiply and shift on the carried path; RecMII 5). *)
+
+val moving_average_acc : window:int -> n:int -> t
+(** Sliding-window average via a loop-carried scalar accumulator
+    ([acc = acc + x[i+W] - x[i]]) — a scalar-carry recurrence
+    (RecMII 2), unlike {!moving_average}'s windowed rescan. *)
+
 val all : t list
 (** The default suite at representative sizes (deterministic order). *)
 

@@ -305,6 +305,44 @@ let test_lint_suppressed () =
        (fun d -> d.D.severity = D.Info)
        (List.filter (fun d -> String.equal d.D.rule "lint.suppressed") diags))
 
+let test_lint_suppressed_counts () =
+  (* two unbounded stores into one region: still one suppression
+     diagnostic, but it must total both accesses (check --json surfaces
+     the count) and anchor to the first *)
+  let g = G.create "l" in
+  G.declare_region g "loc" { G.size = Some 8; implicit = false };
+  G.declare_region g "inp" { G.size = Some 2; implicit = true };
+  let tl = G.add g (G.Ss_in "loc") [] in
+  let ti = G.add g (G.Ss_in "inp") [] in
+  let c0 = G.add g (G.Const 0) [] in
+  let c1 = G.add g (G.Const 1) [] in
+  let v = G.add g (G.Const 9) [] in
+  let raw0 = G.add g (G.Fe "inp") [ ti; c0 ] in
+  let raw1 = G.add g (G.Fe "inp") [ ti; c1 ] in
+  let st0 = G.add g (G.St "loc") [ tl; raw0; v ] in
+  let st1 = G.add g (G.St "loc") [ st0; raw1; v ] in
+  let f = G.add g (G.Fe "loc") [ st1; c0 ] in
+  G.set_output g "r" f;
+  let diags = Lint.run g in
+  let suppressed =
+    List.filter (fun d -> String.equal d.D.rule "lint.suppressed") diags
+  in
+  match suppressed with
+  | [ d ] ->
+    let has_sub sub =
+      let msg = d.D.message in
+      let n = String.length sub and m = String.length msg in
+      let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "totals both suppressing stores" true
+      (has_sub "2 store(s)");
+    Alcotest.(check (option int)) "anchored to the first store" (Some st0)
+      d.D.node
+  | l ->
+    Alcotest.failf "expected one suppression diagnostic, got %d"
+      (List.length l)
+
 let test_lint_suppressed_dead_store () =
   let g = G.create "l" in
   G.declare_region g "loc" { G.size = Some 8; implicit = false };
@@ -639,6 +677,8 @@ let suite =
       test_lint_suppressed;
     Alcotest.test_case "lint: unbounded fetch suppresses dead-store" `Quick
       test_lint_suppressed_dead_store;
+    Alcotest.test_case "lint: suppression totals accesses" `Quick
+      test_lint_suppressed_counts;
     Alcotest.test_case "lint: out-of-region offset" `Quick
       test_lint_out_of_region;
     Alcotest.test_case "lint: undecidable overlap reported" `Quick

@@ -87,6 +87,56 @@ let test_relation_decisions () =
     (rel f_x2 f_c5);
   Alcotest.(check bool) "must_disjoint" true (Addr.must_disjoint facts f_x2 f_c5)
 
+(* Downward-loop address shapes ([state[k]] / [state[k - 1]] with a
+   descending symbolic iv): constant-minus-symbol and negated-symbol
+   expressions must keep exact negative-stride affine forms, and the
+   decision procedure must handle the negative Δstride divisibility and
+   interval checks exactly as it does ascending ones. *)
+let test_negative_stride_forms () =
+  let g = G.create "neg" in
+  G.declare_region g "a" { G.size = Some 32; implicit = true };
+  let tok = G.add g (G.Ss_in "a") [] in
+  let zero = G.add g (G.Const 0) [] in
+  let mask = G.add g (G.Const 3) [] in
+  let base = G.add g (G.Fe "a") [ tok; zero ] in
+  let x = G.add g (G.Binop Cdfg.Op.Band) [ base; mask ] in
+  let c6 = G.add g (G.Const 6) [] in
+  let c7 = G.add g (G.Const 7) [] in
+  let m7x = G.add g (G.Binop Cdfg.Op.Sub) [ c7; x ] in
+  let m6x = G.add g (G.Binop Cdfg.Op.Sub) [ c6; x ] in
+  let negx = G.add g (G.Unop Cdfg.Op.Neg) [ x ] in
+  let negx7 = G.add g (G.Binop Cdfg.Op.Add) [ negx; c7 ] in
+  let fe off = G.add g (G.Fe "a") [ tok; off ] in
+  let f_7mx = fe m7x in
+  let f_6mx = fe m6x in
+  let f_x = fe x in
+  let f_neg7 = fe negx7 in
+  let facts = Addr.analyze g in
+  (match Addr.access facts f_7mx with
+  | Some a -> (
+    Alcotest.(check (pair int int))
+      "7-x interval" (4, 7)
+      (a.Addr.offset.Addr.itv.Fpfa_util.Interval.lo,
+       a.Addr.offset.Addr.itv.Fpfa_util.Interval.hi);
+    match a.Addr.offset.Addr.affine with
+    | Some { Addr.base; stride; sym } ->
+      Alcotest.(check (triple int int int))
+        "7-x affine form has stride -1" (7, -1, x) (base, stride, sym)
+    | None -> Alcotest.fail "7-x lost its affine form")
+  | None -> Alcotest.fail "fetch has no access fact");
+  let rel = Addr.relation facts in
+  (* state[k] vs state[k-1]: Δstride = 0, Δbase = 1 — never the same cell
+     within one iteration, whatever k *)
+  Alcotest.check relation "7-x vs 6-x" T.Disambig.Disjoint (rel f_7mx f_6mx);
+  (* 7-x = x needs x = 3.5: no integer solution at Δstride -2 *)
+  Alcotest.check relation "7-x vs x" T.Disambig.Disjoint (rel f_7mx f_x);
+  (* 6-x = x at x = 3, inside [0,3] *)
+  Alcotest.check relation "6-x vs x can collide" T.Disambig.May_alias
+    (rel f_6mx f_x);
+  (* the Neg-derived form (-x) + 7 is the same address as 7 - x *)
+  Alcotest.check relation "(-x)+7 vs 7-x" T.Disambig.Must_alias
+    (rel f_neg7 f_7mx)
+
 let test_relation_across_regions () =
   let g = G.create "r" in
   G.declare_region g "a" { G.size = Some 4; implicit = true };
@@ -330,6 +380,7 @@ let prune_preserves_eval_dynamic =
 let suite =
   [
     Alcotest.test_case "affine forms" `Quick test_affine_forms;
+    Alcotest.test_case "negative strides" `Quick test_negative_stride_forms;
     Alcotest.test_case "relation decisions" `Quick test_relation_decisions;
     Alcotest.test_case "regions never alias" `Quick
       test_relation_across_regions;

@@ -30,6 +30,7 @@ let () =
       ("loop", Test_loop.suite);
       ("obs", Test_obs.suite);
       ("analysis", Test_analysis.suite);
+      ("depend", Test_depend.suite);
       ("disambig", Test_disambig.suite);
       ("exec", Test_exec.suite);
       ("json", Test_json.suite);

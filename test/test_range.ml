@@ -128,6 +128,29 @@ let test_accumulator_grows () =
   in
   Alcotest.(check bool) "narrow inputs fit" true (report.Range.violations = [])
 
+let test_descending_intervals () =
+  (* downward-loop address arithmetic: 7 - i and 0 - i must keep exact
+     descending intervals through Sub/Neg, or negative-step loops lose
+     their cell-precise address reasoning *)
+  let narrow = Range.{ lo = 0; hi = 7 } in
+  let g = build "void main() { x = 7 - a[0]; y = 0 - a[0]; }" in
+  let report = Range.analyze ~input_ranges:[ ("a", narrow) ] g in
+  let stored_range region =
+    G.fold g ~init:None ~f:(fun acc n ->
+        match n.G.kind with
+        | G.St r when String.equal r region ->
+          Range.range_of report (List.nth (G.inputs g n.G.id) 2)
+        | _ -> acc)
+  in
+  let bounds r = (r.Range.lo, r.Range.hi) in
+  Alcotest.(check (option (pair int int)))
+    "7 - i descends over [0, 7]" (Some (0, 7))
+    (Option.map bounds (stored_range "x"));
+  Alcotest.(check (option (pair int int)))
+    "0 - i descends over [-7, 0]"
+    (Some (-7, 0))
+    (Option.map bounds (stored_range "y"))
+
 let test_width_parameter () =
   let narrow = Range.{ lo = -300; hi = 300 } in
   let g = build "void main() { x = a[0] * a[1]; }" in
@@ -193,6 +216,7 @@ let suite =
     Alcotest.test_case "mux hull" `Quick test_mux_hull;
     Alcotest.test_case "store to fetch" `Quick test_store_feeds_fetch;
     Alcotest.test_case "FIR accumulator" `Quick test_accumulator_grows;
+    Alcotest.test_case "descending intervals" `Quick test_descending_intervals;
     Alcotest.test_case "width parameter" `Quick test_width_parameter;
     QCheck_alcotest.to_alcotest analysis_is_sound;
   ]
