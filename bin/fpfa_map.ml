@@ -648,17 +648,21 @@ let simplify_cmd =
 
 (* {2 serve — the compile-as-a-service daemon} *)
 
-let serve socket cache_size cache_dir observe jobs =
-  if observe then begin
+let serve socket cache_size cache_dir cache_disk_max observe obs_stats jobs =
+  if observe || obs_stats then begin
     Obs.set_clock Unix.gettimeofday;
     Obs.enable ()
   end;
   let server =
     Fpfa_serve.Serve.create ~jobs:(resolve_jobs jobs) ~cache_size ?cache_dir
-      ~observe ()
+      ?cache_disk_max ~observe ()
   in
   Fun.protect
-    ~finally:(fun () -> Fpfa_serve.Serve.shutdown server)
+    ~finally:(fun () ->
+      Fpfa_serve.Serve.shutdown server;
+      (* --stats: the daemon-lifetime counter report (incr.*, serve.l1/l2
+         cache tallies, per-stage spans) on exit *)
+      if obs_stats then print_string (Obs.stats_report ()))
     (fun () ->
       match socket with
       | Some path ->
@@ -692,6 +696,16 @@ let cache_dir_arg =
           "Persist computed mapping payloads as JSON files under DIR \
            (created if missing), surviving restarts.")
 
+let cache_disk_max_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cache-disk-max" ] ~docv:"BYTES"
+        ~doc:
+          "Bound the on-disk store at BYTES: entry files are \
+           least-recently-used-swept (reads refresh recency) at startup \
+           and after every write. Requires $(b,--cache-dir).")
+
 let observe_arg =
   Arg.(
     value & flag
@@ -708,8 +722,8 @@ let serve_cmd =
           JSON requests (compile/check/sweep/stats/cache) on stdin or a \
           Unix socket, answered through a content-addressed mapping cache.")
     Term.(
-      const serve $ socket_arg $ cache_size_arg $ cache_dir_arg $ observe_arg
-      $ jobs_arg)
+      const serve $ socket_arg $ cache_size_arg $ cache_dir_arg
+      $ cache_disk_max_arg $ observe_arg $ stats_arg $ jobs_arg)
 
 (* {2 check — the static verifier / lint front end} *)
 

@@ -1,0 +1,212 @@
+(* Structural CDFG diff for incremental recompilation.
+
+   [diff] matches a freshly built raw graph against the raw graph of a
+   cached compile using the forward cone hashes from {!Serialize}: two
+   nodes with equal hashes compute the same value (their whole input
+   cones, data and order, are structurally equal), so any member of a
+   hash class can stand in for any other. Matching greedily in
+   topological order therefore yields an upstream-closed matched set —
+   a matched node's inputs and order predecessors are themselves matched
+   — and everything unmatched on the fresh side is the "added cone" the
+   edit produced.
+
+   [apply] grafts that added cone onto a copy of the cached compile's
+   minimised (pre-disambiguation) graph. The minimiser never changes a
+   node's kind in place — every value change allocates a fresh id — so
+   a raw id that survives minimisation still computes its raw value,
+   which is what licenses wiring an added node's matched inputs straight
+   to the surviving old ids. Matched producers whose value minimisation
+   dropped outright (a bypassed dead store's token, a DCE-collected cone
+   the edit resurrects) have no live equivalent: their matches are
+   demoted and the fresh nodes re-materialised recursively, leaving the
+   seeded re-minimisation to re-simplify the rebuilt cone exactly as a
+   cold compile would. [diff] refuses up front when the graphs are not
+   close (changed region set, removed output, too large an edit). *)
+
+type patch = {
+  added : Graph.id list;  (* unmatched fresh ids, topological order *)
+  old_of : int array;  (* fresh id -> matched old raw id, or -1 *)
+  out_retarget : (string * Graph.id) list;
+      (* output name -> fresh id, for outputs that are new or whose value
+         cone changed *)
+  fresh_nodes : int;
+}
+
+let matched_count p = p.fresh_nodes - List.length p.added
+
+let diff ?(max_added_fraction = 0.5) ~old_raw ~fresh () =
+  let sorted_regions g = List.sort compare (Graph.regions g) in
+  if sorted_regions old_raw <> sorted_regions fresh then
+    Error "region set changed"
+  else
+    let fresh_outs = Graph.outputs fresh in
+    let removed =
+      List.filter
+        (fun (name, _) -> not (List.mem_assoc name fresh_outs))
+        (Graph.outputs old_raw)
+    in
+    match removed with
+    | (name, _) :: _ -> Error (Printf.sprintf "output %S removed" name)
+    | [] ->
+      let down_old = Serialize.down_hashes old_raw in
+      let down_fresh = Serialize.down_hashes fresh in
+      (* Hash class -> old ids, kept in topological order so greedy
+         pairing elects the earliest representative, mirroring the order
+         the minimiser visits them. *)
+      let buckets : (int, Graph.id Queue.t) Hashtbl.t = Hashtbl.create 256 in
+      List.iter
+        (fun id ->
+          let h = down_old.(id) in
+          let q =
+            match Hashtbl.find_opt buckets h with
+            | Some q -> q
+            | None ->
+              let q = Queue.create () in
+              Hashtbl.replace buckets h q;
+              q
+          in
+          Queue.add id q)
+        (Graph.topo_order old_raw);
+      let old_of = Array.make (Graph.id_bound fresh) (-1) in
+      let added = ref [] in
+      List.iter
+        (fun id ->
+          match Hashtbl.find_opt buckets down_fresh.(id) with
+          | Some q when not (Queue.is_empty q) ->
+            old_of.(id) <- Queue.pop q
+          | Some _ | None -> added := id :: !added)
+        (Graph.topo_order fresh);
+      let added = List.rev !added in
+      let fresh_nodes = Graph.node_count fresh in
+      if
+        float_of_int (List.length added)
+        > max_added_fraction *. float_of_int fresh_nodes
+      then
+        Error
+          (Printf.sprintf "edit too large (%d of %d nodes changed)"
+             (List.length added) fresh_nodes)
+      else
+        let old_outs = Graph.outputs old_raw in
+        let out_retarget =
+          List.filter
+            (fun (name, fid) ->
+              match List.assoc_opt name old_outs with
+              | Some old_tgt -> down_old.(old_tgt) <> down_fresh.(fid)
+              | None -> true)
+            fresh_outs
+        in
+        Ok { added; old_of; out_retarget; fresh_nodes }
+
+let apply patch ~fresh ~translate ~onto =
+  (* Patch effects are reported through the graph's own mutation journal
+     plus the explicit boundary ring collected below; start clean so the
+     seed reflects only what the patch touched. *)
+  ignore (Graph.drain_dirty onto);
+  try
+    let new_of = Array.make (Graph.id_bound fresh) (-1) in
+    let seed = ref Graph.Id_set.empty in
+    let note id = seed := Graph.Id_set.add id !seed in
+    (* Matched old raw id -> the node computing its value in [onto]. For
+       a first-generation snapshot the translation is the identity (the
+       minimiser mutates a copy in place, so surviving ids are raw ids);
+       for a snapshot produced by an earlier patch it maps through that
+       patch's grafting. Nodes the minimiser merged away (CSE, folding,
+       forwarding) are chased through the [replace_uses] trail to their
+       live value-equal representative. *)
+    let surviving old =
+      if old < 0 || old >= Array.length translate then -1
+      else
+        let m = translate.(old) in
+        if m < 0 then -1
+        else match Graph.forwarded_to onto m with Some v -> v | None -> -1
+    in
+    (* The node in [onto] computing fresh node [fid]'s value, grafting it
+       in if necessary. A matched producer whose value was dropped
+       outright (a bypassed dead store's token, a DCE-collected cone that
+       the edit resurrects) has no live equivalent to wire to — the match
+       is demoted and the fresh node re-materialised like an added one,
+       recursively up its cone until live boundaries are reached. The
+       seeded re-minimisation then re-simplifies the rebuilt cone exactly
+       as a cold compile would. *)
+    let rec map_value fid =
+      if new_of.(fid) >= 0 then new_of.(fid)
+      else
+        let old = patch.old_of.(fid) in
+        let m = if old >= 0 then surviving old else -1 in
+        if m >= 0 then begin
+          note m;
+          List.iter (fun (c, _) -> note c) (Graph.consumers_of onto m);
+          m
+        end
+        else materialize fid
+    and materialize fid =
+      let n = Graph.node fresh fid in
+      let inputs = List.map map_value (Array.to_list n.Graph.inputs) in
+      let nid = Graph.add onto n.Graph.kind inputs in
+      new_of.(fid) <- nid;
+      note nid;
+      (* Order targets that minimisation removed impose no constraint
+         any more (an anti-dependence on a deleted node is vacuous, and
+         the cold compile drops the edge the same way when the target is
+         eliminated — forwarding calls [drop_order_references] before
+         redirecting uses, so anti-deps on an eliminated fetch do NOT
+         transfer to the fetched value; hence no [forwarded_to] chase
+         here, unlike data inputs); live targets keep theirs. Nothing is
+         materialised for an order edge alone. *)
+      List.iter
+        (fun p ->
+          let old = patch.old_of.(p) in
+          let mapped =
+            if new_of.(p) >= 0 then new_of.(p)
+            else if
+              old >= 0
+              && old < Array.length translate
+              && translate.(old) >= 0
+              && Graph.mem onto translate.(old)
+            then translate.(old)
+            else -1
+          in
+          if mapped >= 0 then begin
+            Graph.add_order onto nid ~after:mapped;
+            note mapped
+          end)
+        n.Graph.order_after;
+      nid
+    in
+    (* Regions whose statespace sink was rebuilt: excise the cached sink
+       first so the graph never carries two [Ss_out] for one region. Its
+       now-unused token chain is left for the seeded DCE to collect. *)
+    List.iter
+      (fun fid ->
+        match Graph.kind fresh fid with
+        | Graph.Ss_out region -> (
+          match Graph.ss_out_of onto region with
+          | Some old_sink ->
+            List.iter note (Graph.inputs onto old_sink);
+            List.iter note (Graph.order_after onto old_sink);
+            Graph.remove onto old_sink
+          | None -> ())
+        | _ -> ())
+      patch.added;
+    List.iter (fun fid -> ignore (map_value fid)) patch.added;
+    List.iter
+      (fun (name, fid) ->
+        (match List.assoc_opt name (Graph.outputs onto) with
+        | Some old_tgt -> note old_tgt
+        | None -> ());
+        Graph.set_output onto name (map_value fid))
+      patch.out_retarget;
+    let def_dirty, use_dirty = Graph.drain_dirty onto in
+    seed := Graph.Id_set.union !seed (Graph.Id_set.union def_dirty use_dirty);
+    (* Fresh id -> onto id, for the next compile in an edit chain to
+       graft against this one. Dead entries are rechecked at use. *)
+    let forward =
+      Array.init (Graph.id_bound fresh) (fun fid ->
+          if new_of.(fid) >= 0 then new_of.(fid)
+          else
+            let old = patch.old_of.(fid) in
+            if old >= 0 && old < Array.length translate then translate.(old)
+            else -1)
+    in
+    Ok (List.filter (Graph.mem onto) (Graph.Id_set.elements !seed), forward)
+  with Graph.Invalid msg -> Error (Printf.sprintf "patch application: %s" msg)

@@ -1,0 +1,74 @@
+(** Structural CDFG diff for incremental recompilation.
+
+    The serve daemon's near-miss path reuses a cached compile when a
+    re-submitted kernel differs by a small source edit: {!diff} matches
+    the freshly built raw graph against the cached compile's raw graph
+    via the forward cone hashes of {!Serialize.down_hashes}, {!apply}
+    grafts the unmatched ("added") cone onto a copy of the cached
+    minimised graph, and the returned seed drives
+    {!Transform.Pass.run_worklist}[ ?seed] so only the dirty region is
+    re-minimised.
+
+    Soundness rests on two invariants. Matching is {e upstream-closed}:
+    a node's cone hash covers its whole input cone, so a matched node's
+    producers are matched too, and the added set is a downstream cone.
+    And the minimiser is {e kind-stable}: it never changes a node's kind
+    in place (every value change allocates a fresh id), so a raw id that
+    survives minimisation still computes its raw value — wiring an added
+    node's matched inputs to surviving old ids (or, via
+    {!Graph.forwarded_to}, to the representatives they were merged into)
+    preserves semantics. A matched producer whose value minimisation
+    dropped outright has no live equivalent; {!apply} demotes the match
+    and re-materialises the fresh cone instead, so the seeded
+    re-minimisation re-simplifies it as a cold compile would. *)
+
+type patch = {
+  added : Graph.id list;
+      (** Fresh-graph ids with no structural counterpart in the cached
+          raw graph, in topological order. *)
+  old_of : int array;
+      (** Fresh id -> matched old raw id, or -1 when added. Indexed up
+          to [Graph.id_bound fresh]. *)
+  out_retarget : (string * Graph.id) list;
+      (** Named outputs that are new or whose value cone changed, with
+          their fresh-graph targets. *)
+  fresh_nodes : int;  (** Live node count of the fresh graph. *)
+}
+
+val matched_count : patch -> int
+
+val diff :
+  ?max_added_fraction:float ->
+  old_raw:Graph.t ->
+  fresh:Graph.t ->
+  unit ->
+  (patch, string) result
+(** Matches [fresh] against [old_raw]. [Error] (with the reason) when
+    the graphs are not close enough to patch: region set changed, an
+    output name was removed, or more than [max_added_fraction] (default
+    0.5) of the fresh nodes are unmatched — the caller should compile
+    cold. Matching is by cone hash class, greedy in topological order;
+    members of one class are interchangeable, so the specific pairing
+    never affects semantics. *)
+
+val apply :
+  patch ->
+  fresh:Graph.t ->
+  translate:int array ->
+  onto:Graph.t ->
+  (Graph.id list * int array, string) result
+(** Grafts the added cone onto [onto] — a {e mutable} copy of the cached
+    compile's minimised graph {e before} disambiguation and canonical
+    renumbering. [translate] maps the cached compile's raw ids to [onto]
+    ids: the identity ([Array.init (Graph.id_bound raw) Fun.id]) when
+    [onto] descends from a cold compile (the minimiser mutates a copy in
+    place, so surviving ids are raw ids), or the forward map returned by
+    the previous [apply] when compiles chain through successive edits.
+    Rebuilt statespace sinks replace the cached region's [Ss_out] (the
+    orphaned token chain is left for the seeded DCE); changed outputs are
+    retargeted; matched boundary producers are resolved through
+    {!Graph.forwarded_to} and demoted to re-materialised fresh nodes when
+    their value is gone. Returns the worklist seed — every node the patch
+    touched plus the matched boundary ring — and the fresh-id -> onto-id
+    forward map for the next compile in the chain. [Error] only when the
+    graft itself violates a graph invariant (fall back to cold). *)

@@ -56,11 +56,22 @@ type t = {
   mutable ouse : int array array;
   mutable ouse_len : int array;
   mutable out_uses : int array;
+  mutable moved : int array;
+      (** value-forwarding trail: [moved.(old) = by] after
+          [replace_uses old ~by]; -1 otherwise. Rewrites only redirect
+          uses to a node computing the same value, so chasing the trail
+          from a (possibly removed) node finds where its value lives
+          now — what the incremental differ needs to wire a patched
+          cone to a minimised graph. *)
   pool : int array list array;  (** bucket [b]: spare arrays of length [4 lsl b] *)
   mutable frozen : bool;
   mutable generation : int;
       (** bumped by every structural mutation; stamps the topo cache *)
   mutable topo_cache : (int * id list) option;
+  mutable cone_cache : (int * int array) option;
+      (** memoized forward cone hashes ({!Serialize.down_hashes}),
+          stamped with the generation like the topo cache; the array is
+          shared with readers and must never be mutated *)
   mutable dirty_def : Id_set.t;
       (** nodes whose own definition (inputs / order edges) changed *)
   mutable dirty_use : Id_set.t;
@@ -91,10 +102,12 @@ let create fname =
     ouse = [||];
     ouse_len = [||];
     out_uses = [||];
+    moved = [||];
     pool = Array.make pool_buckets [];
     frozen = false;
     generation = 0;
     topo_cache = None;
+    cone_cache = None;
     dirty_def = Id_set.empty;
     dirty_use = Id_set.empty;
   }
@@ -155,7 +168,10 @@ let grow g cap' =
   g.duse_len <- copy_len g.duse_len;
   g.ouse <- copy_adj g.ouse;
   g.ouse_len <- copy_len g.ouse_len;
-  g.out_uses <- copy_len g.out_uses
+  g.out_uses <- copy_len g.out_uses;
+  let moved' = Array.make cap' (-1) in
+  Array.blit g.moved 0 moved' 0 cap;
+  g.moved <- moved'
 
 let ensure_capacity g n =
   let cap = Array.length g.kinds in
@@ -316,6 +332,13 @@ let drain_dirty g =
   (d, u)
 
 let generation g = g.generation
+
+let cone_cache g =
+  match g.cone_cache with
+  | Some (gen, h) when gen = g.generation -> Some h
+  | Some _ | None -> None
+
+let set_cone_cache g h = g.cone_cache <- Some (g.generation, h)
 
 let consumers_of g id =
   if id < 0 || id >= g.next_id then []
@@ -480,8 +503,29 @@ let replace_uses g old ~by =
        g.out_uses.(by) <- g.out_uses.(by) + g.out_uses.(old);
        g.out_uses.(old) <- 0
      end);
+    if old >= 0 && old < g.next_id then g.moved.(old) <- by;
     touch g;
     mark_use g old
+  end
+
+(* Chases the [replace_uses] trail from [id] to the node now computing
+   its value: [id] itself when it is still live, otherwise the end of
+   the moved chain if that node is live, [None] when the value was
+   dropped (the node or its final forwardee was removed outright, e.g.
+   by DCE). The fuel bound is defensive — each hop was recorded at a
+   [replace_uses] whose target was live at the time, so a cycle cannot
+   form, but a bound keeps a corrupted trail from hanging the caller. *)
+let forwarded_to g id =
+  if is_alive g id then Some id
+  else begin
+    let rec chase id fuel =
+      if fuel = 0 then None
+      else if id < 0 || id >= g.next_id then None
+      else if is_alive g id then Some id
+      else
+        match g.moved.(id) with -1 -> None | next -> chase next (fuel - 1)
+    in
+    chase id g.next_id
   end
 
 let clear_order g id =
@@ -760,6 +804,12 @@ let index_errors g =
   let errs = ref [] in
   let errf fmt = Format.kasprintf (fun msg -> errs := msg :: !errs) fmt in
   let n = g.next_id in
+  (* Group the expected reverse edges by producer in one forward scan, then
+     sort each group against the maintained index and merge-compare. A
+     per-edge [adj_mem] scan is O(E * degree), which a single high-fanout
+     constant turns quadratic; this stays O(E log E) regardless of shape. *)
+  let exp_data_by = Array.make (max 1 n) [] in
+  let exp_order_by = Array.make (max 1 n) [] in
   let exp_data = ref 0 and exp_order = ref 0 in
   for cid = 0 to n - 1 do
     if is_alive g cid then begin
@@ -768,11 +818,46 @@ let index_errors g =
       for port = 0 to a - 1 do
         incr exp_data;
         let p = g.ins.(base + port) in
-        if not (adj_mem g.duse g.duse_len p ((cid lsl 2) lor port)) then
-          errf "use/def index misses data edge %d -> (%d, port %d)" p cid port
+        if p >= 0 && p < n then
+          exp_data_by.(p) <- ((cid lsl 2) lor port) :: exp_data_by.(p)
+        else errf "use/def index misses data edge %d -> (%d, port %d)" p cid port
       done
     end
   done;
+  let indexed_sorted arrs lens p =
+    let a = Array.sub arrs.(p) 0 lens.(p) in
+    Array.sort Int.compare a;
+    a
+  in
+  (* Entries of [expected] (sorted) absent from [indexed] (sorted). *)
+  let missing expected indexed =
+    let m = Array.length indexed in
+    let rec walk exp j acc =
+      match exp with
+      | [] -> List.rev acc
+      | e :: rest ->
+        if j < m && indexed.(j) < e then walk exp (j + 1) acc
+        else if j < m && indexed.(j) = e then walk rest (j + 1) acc
+        else walk rest j (e :: acc)
+    in
+    walk expected 0 []
+  in
+  let data_misses = ref [] in
+  for p = 0 to n - 1 do
+    match exp_data_by.(p) with
+    | [] -> ()
+    | expected ->
+      List.iter
+        (fun packed ->
+          data_misses := (packed lsr 2, packed land 3, p) :: !data_misses)
+        (missing
+           (List.sort Int.compare expected)
+           (indexed_sorted g.duse g.duse_len p))
+  done;
+  List.iter
+    (fun (cid, port, p) ->
+      errf "use/def index misses data edge %d -> (%d, port %d)" p cid port)
+    (List.sort compare !data_misses);
   let idx_data = ref 0 and idx_order = ref 0 in
   for i = 0 to n - 1 do
     idx_data := !idx_data + g.duse_len.(i);
@@ -787,11 +872,25 @@ let index_errors g =
       for j = 0 to g.ord_len.(cid) - 1 do
         incr exp_order;
         let p = oa.(j) in
-        if not (adj_mem g.ouse g.ouse_len p cid) then
-          errf "use/def index misses order edge %d -> %d" p cid
+        if p >= 0 && p < n then exp_order_by.(p) <- cid :: exp_order_by.(p)
+        else errf "use/def index misses order edge %d -> %d" p cid
       done
     end
   done;
+  let order_misses = ref [] in
+  for p = 0 to n - 1 do
+    match exp_order_by.(p) with
+    | [] -> ()
+    | expected ->
+      List.iter
+        (fun cid -> order_misses := (cid, p) :: !order_misses)
+        (missing
+           (List.sort Int.compare expected)
+           (indexed_sorted g.ouse g.ouse_len p))
+  done;
+  List.iter
+    (fun (cid, p) -> errf "use/def index misses order edge %d -> %d" p cid)
+    (List.sort compare !order_misses);
   if !idx_order <> !exp_order then
     errf "use/def index has stale order edges (%d indexed, %d real)"
       !idx_order !exp_order;
@@ -937,12 +1036,17 @@ let copy g =
     ouse = copy_adj g.ouse g.ouse_len;
     ouse_len = Array.sub g.ouse_len 0 n;
     out_uses = Array.sub g.out_uses 0 n;
+    moved = Array.sub g.moved 0 n;
     pool = Array.make pool_buckets [];
     frozen = false;
     generation = 0;
     topo_cache =
       (match g.topo_cache with
       | Some (gen, order) when gen = g.generation -> Some (0, order)
+      | Some _ | None -> None);
+    cone_cache =
+      (match g.cone_cache with
+      | Some (gen, h) when gen = g.generation -> Some (0, h)
       | Some _ | None -> None);
     dirty_def = Id_set.empty;
     dirty_use = Id_set.empty;

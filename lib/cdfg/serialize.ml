@@ -124,75 +124,138 @@ let kind_bytes kind =
   write_kind w kind;
   B.contents w
 
-let canonical_order g =
+(* Cheap 63-bit structural mixing (splitmix-style). The cone hashes only
+   break ties in the canonical order and anchor the structural diff
+   ({!Diff}); the content digest itself stays an MD5 of the canonical
+   bytes. Per-node MD5 contexts dominated digest time on large graphs —
+   int mixing makes both passes allocation-free. *)
+let h_seed = 0x51ed270b
+
+let mix h x =
+  let k = x * 0x9e3779b97f4a7c1 in
+  let k = k lxor (k lsr 29) in
+  let h = (h lxor k) * 0xbf58476d1ce4e5b in
+  h lxor (h lsr 31)
+
+let mix_string h s = String.fold_left (fun h c -> mix h (Char.code c)) h s
+let kind_hash kind = mix_string h_seed (kind_bytes kind)
+
+(* The whole canonical apparatus (hashes, canonical bytes, {!renumber})
+   quotients by commutative operand order, exactly as {!Transform.Cse}
+   keys commutative binops on the sorted input multiset: graphs the
+   simplifier treats as equal must digest equal, or two compiles could
+   settle into mirror orientations of one chain and spuriously miss the
+   mapping cache (and the incremental path's byte-identity gate). *)
+let commutes (kind : Graph.kind) =
+  match kind with Graph.Binop op -> Op.commutative op | _ -> false
+
+(* Forward pass: hash of each node's input cone (kind, operand cones in
+   port order — sorted for commutative binops — and order-predecessor
+   cones as a multiset). Equal hashes are the diff's evidence that two
+   nodes compute the same value. *)
+let compute_down_hashes g =
   let bound = Graph.id_bound g in
-  let topo = Graph.topo_order g in
-  (* forward pass: hash of the input cone *)
-  let down = Array.make bound "" in
+  let down = Array.make bound 0 in
   List.iter
     (fun id ->
       let n = Graph.node g id in
-      let buf = Buffer.create 64 in
-      Buffer.add_string buf (kind_bytes n.Graph.kind);
-      Array.iter (fun i -> Buffer.add_string buf down.(i)) n.Graph.inputs;
-      List.iter (Buffer.add_string buf)
-        (List.sort String.compare
-           (List.map (fun i -> down.(i)) n.Graph.order_after));
-      down.(id) <- Digest.string (Buffer.contents buf))
-    topo;
+      let h = kind_hash n.Graph.kind in
+      let h =
+        match n.Graph.inputs with
+        | [| a; b |] when commutes n.Graph.kind ->
+          let ha = down.(a) and hb = down.(b) in
+          let lo = min ha hb and hi = max ha hb in
+          mix (mix h lo) hi
+        | inputs -> Array.fold_left (fun h i -> mix h down.(i)) h inputs
+      in
+      let h = mix h 0x0 in
+      let h =
+        List.fold_left mix h
+          (List.sort Int.compare
+             (List.map (fun i -> down.(i)) n.Graph.order_after))
+      in
+      down.(id) <- h)
+    (Graph.topo_order g);
+  down
+
+(* Memoized per graph and stamped with the generation counter (like the
+   topo-order cache): the serve daemon hashes the same cached raw graph
+   on every near-miss diff and again for its anchor index, and repeat
+   computations dominate an otherwise-small incremental compile. *)
+let down_hashes g =
+  match Graph.cone_cache g with
+  | Some down -> down
+  | None ->
+    let down = compute_down_hashes g in
+    Graph.set_cone_cache g down;
+    down
+
+let canonical_order g =
+  let bound = Graph.id_bound g in
+  let topo = Graph.topo_order g in
+  let down = down_hashes g in
   (* backward pass: hash of the use cone (ports distinguish operand
      positions; named outputs anchor the sinks) *)
   let out_names = Array.make bound [] in
   List.iter
     (fun (name, id) -> out_names.(id) <- name :: out_names.(id))
     (Graph.outputs g);
-  let up = Array.make bound "" in
+  let up = Array.make bound 0 in
   List.iter
     (fun id ->
       let n = Graph.node g id in
-      let buf = Buffer.create 64 in
-      Buffer.add_string buf (kind_bytes n.Graph.kind);
-      List.iter (Buffer.add_string buf)
-        (List.sort String.compare
-           (List.map
-              (fun (cid, port) -> string_of_int port ^ ":" ^ up.(cid))
-              (Graph.consumers_of g id)));
-      Buffer.add_char buf '|';
-      List.iter (Buffer.add_string buf)
-        (List.sort String.compare
-           (List.map (fun s -> up.(s)) (Graph.order_successors g id)));
-      Buffer.add_char buf '|';
-      List.iter
-        (fun name ->
-          Buffer.add_string buf name;
-          Buffer.add_char buf ';')
-        (List.sort String.compare out_names.(id));
-      up.(id) <- Digest.string (Buffer.contents buf))
+      let h = kind_hash n.Graph.kind in
+      let h =
+        List.fold_left mix h
+          (List.sort Int.compare
+             (List.map
+                (fun (cid, port) ->
+                  (* a commutative consumer sees its operands at
+                     interchangeable ports *)
+                  let port = if commutes (Graph.kind g cid) then 0 else port in
+                  mix (mix h_seed port) up.(cid))
+                (Graph.consumers_of g id)))
+      in
+      let h = mix h 0x1 in
+      let h =
+        List.fold_left mix h
+          (List.sort Int.compare
+             (List.map (fun s -> up.(s)) (Graph.order_successors g id)))
+      in
+      let h = mix h 0x2 in
+      let h =
+        List.fold_left
+          (fun h name -> mix_string h name)
+          h
+          (List.sort String.compare out_names.(id))
+      in
+      up.(id) <- h)
     (List.rev topo);
   (* Kahn's algorithm popping the smallest (key, id); every pop is a
      ready node, so the result is a valid topological order. *)
-  let key = Array.make bound "" in
-  Graph.iter_ids g (fun id -> key.(id) <- down.(id) ^ up.(id));
   let module Ready = Set.Make (struct
-    type t = string * int
+    type t = int * int * int
 
-    let compare (ka, ia) (kb, ib) =
-      match String.compare ka kb with 0 -> Int.compare ia ib | c -> c
+    let compare (da, ua, ia) (db, ub, ib) =
+      match Int.compare da db with
+      | 0 -> ( match Int.compare ua ub with 0 -> Int.compare ia ib | c -> c)
+      | c -> c
   end) in
+  let key id = (down.(id), up.(id), id) in
   let indeg = Array.make bound 0 in
   Graph.iter_ids g (fun id ->
       indeg.(id) <-
         Graph.arity_of g id + List.length (Graph.order_after g id));
   let ready = ref Ready.empty in
   Graph.iter_ids g (fun id ->
-      if indeg.(id) = 0 then ready := Ready.add (key.(id), id) !ready);
+      if indeg.(id) = 0 then ready := Ready.add (key id) !ready);
   let order = ref [] in
   let release id =
     indeg.(id) <- indeg.(id) - 1;
-    if indeg.(id) = 0 then ready := Ready.add (key.(id), id) !ready
+    if indeg.(id) = 0 then ready := Ready.add (key id) !ready
   in
   while not (Ready.is_empty !ready) do
-    let ((_, id) as elt) = Ready.min_elt !ready in
+    let ((_, _, id) as elt) = Ready.min_elt !ready in
     ready := Ready.remove elt !ready;
     order := id :: !order;
     List.iter (fun (cid, _port) -> release cid) (Graph.consumers_of g id);
@@ -215,7 +278,12 @@ let canonical g =
   let pos id = Hashtbl.find position id in
   B.list w (List.map (Graph.node g) order) (fun w (n : Graph.node) ->
       write_kind w n.Graph.kind;
-      B.list w (Array.to_list n.Graph.inputs) (fun w id -> B.i32 w (pos id));
+      let input_pos = List.map pos (Array.to_list n.Graph.inputs) in
+      let input_pos =
+        if commutes n.Graph.kind then List.sort Int.compare input_pos
+        else input_pos
+      in
+      B.list w input_pos (fun w p -> B.i32 w p);
       (* order_after lists carry insertion order; positions sorted so the
          bytes only depend on the edge set *)
       B.list w
@@ -227,6 +295,59 @@ let canonical g =
   B.contents w
 
 let digest g = Digest.to_hex (Digest.string (canonical g))
+
+(* Stable sub-digests for the serve-side near-miss index: one anchor per
+   region statespace sink and per named output. Two compiles of related
+   sources share an anchor exactly when that region/output's whole input
+   cone is structurally unchanged. *)
+let anchors g =
+  let down = down_hashes g in
+  let acc = ref [] in
+  Graph.iter g (fun n ->
+      match n.Graph.kind with
+      | Graph.Ss_out region -> acc := ("ss:" ^ region, down.(n.Graph.id)) :: !acc
+      | Graph.Const _ | Graph.Binop _ | Graph.Unop _ | Graph.Mux
+      | Graph.Ss_in _ | Graph.Fe _ | Graph.St _ | Graph.Del _ ->
+        ());
+  List.iter (fun (name, id) -> acc := ("out:" ^ name, down.(id)) :: !acc)
+    (Graph.outputs g);
+  List.sort compare !acc
+
+(* Rebuilds [g] with ids renumbered along the canonical order, regions and
+   outputs sorted by name, and order edges inserted in ascending mapped
+   position. Isomorphic graphs renumber to graphs that are equal
+   member-for-member, which is what lets an incrementally re-minimised
+   graph feed the (deterministic) mapping phases and come out with a Job
+   byte-identical to the from-scratch compile. *)
+let renumber g =
+  let order = canonical_order g in
+  let out = Graph.create (Graph.name g) in
+  List.iter
+    (fun (region, info) -> Graph.declare_region out region info)
+    (List.sort compare (Graph.regions g));
+  let map = Array.make (Graph.id_bound g) (-1) in
+  List.iter
+    (fun id ->
+      let n = Graph.node g id in
+      let inputs = List.map (fun i -> map.(i)) (Array.to_list n.Graph.inputs) in
+      (* commutative operands in ascending renumbered position: mirror
+         orientations of one chain rebuild to the very same graph *)
+      let inputs =
+        if commutes n.Graph.kind then List.sort Int.compare inputs else inputs
+      in
+      map.(id) <- Graph.add out n.Graph.kind inputs)
+    order;
+  List.iter
+    (fun id ->
+      List.iter
+        (fun p -> Graph.add_order out map.(id) ~after:p)
+        (List.sort Int.compare
+           (List.map (fun p -> map.(p)) (Graph.order_after g id))))
+    order;
+  List.iter
+    (fun (name, id) -> Graph.set_output out name map.(id))
+    (List.sort compare (Graph.outputs g));
+  out
 
 let of_string_mapped data =
   try

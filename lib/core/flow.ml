@@ -17,6 +17,12 @@ type config = {
   delete_locals : bool;
   verify_each : bool;
   disambiguate : bool;
+  incremental : bool;
+      (** Keep the pre-disambiguation minimised snapshot for
+          {!Staged.rewind_patched} and canonically renumber the minimised
+          graph ({!Cdfg.Serialize.renumber}) so isomorphic compiles map
+          to byte-identical jobs. The serve daemon turns this on; the
+          one-shot CLI flow leaves it off. *)
 }
 
 let default_config =
@@ -30,6 +36,7 @@ let default_config =
     delete_locals = false;
     verify_each = false;
     disambiguate = true;
+    incremental = false;
   }
 
 type result = {
@@ -126,6 +133,10 @@ module Staged = struct
     s_min :
       (Cdfg.Graph.t * Transform.Simplify.report * Transform.Disambig.report)
       option;
+    s_preprune : (Cdfg.Graph.t * int array) option;
+        (** [config.incremental] only: the minimised graph {e before}
+            disambiguation and renumbering, plus the raw-id ->
+            snapshot-id translation {!Cdfg.Diff.apply} grafts through. *)
     s_clustering : Mapping.Cluster.t option;
     s_schedule : Mapping.Sched.t option;
     s_alloc : (Mapping.Job.t * Mapping.Metrics.t) option;
@@ -157,6 +168,7 @@ module Staged = struct
       s_func = func;
       s_raw = raw;
       s_min = None;
+      s_preprune = None;
       s_clustering = None;
       s_schedule = None;
       s_alloc = None;
@@ -192,6 +204,7 @@ module Staged = struct
       s_func = placeholder;
       s_raw = Cdfg.Graph.copy g;
       s_min = None;
+      s_preprune = None;
       s_clustering = None;
       s_schedule = None;
       s_alloc = None;
@@ -220,6 +233,19 @@ module Staged = struct
             Transform.Simplify.minimize ~passes ~validate:false ?verify graph)
     in
     stage "simplify-validate" (fun () -> Cdfg.Graph.validate graph);
+    (* The incremental snapshot is taken before disambiguation on
+       purpose: pruned anti-dependence edges change what the simplifier
+       rules may observe, so grafting onto a pruned graph could
+       re-minimise differently than a cold compile. Surviving ids in the
+       snapshot are raw ids (the simplifier mutates the copy in place and
+       never reuses an id), hence the identity translation. *)
+    let preprune =
+      if config.incremental then
+        Some
+          ( Cdfg.Graph.copy graph,
+            Array.init (Cdfg.Graph.id_bound graph) Fun.id )
+      else None
+    in
     let disambig_report =
       stage "disambig" (fun () ->
           if config.disambiguate then begin
@@ -243,13 +269,26 @@ module Staged = struct
           end
           else Transform.Disambig.empty_report)
     in
+    (* Canonical renumbering last: isomorphic minimised graphs become
+       member-for-member equal, so the deterministic mapping phases
+       produce byte-identical jobs for them — what makes an incremental
+       re-minimisation indistinguishable from a cold one downstream. *)
+    let graph =
+      if config.incremental then
+        stage "renumber" (fun () -> Cdfg.Serialize.renumber graph)
+      else graph
+    in
     (* With a pool, no pass mutates the graph beyond this point: freeze it
        so the overlapped validate/advance stages below (and any later
        {!audit}) can read it from several domains without copying. Without
        a pool the graph stays mutable — callers such as the disambig
        idempotence tests re-run passes on [result.graph]. *)
     (match pool with Some _ -> Cdfg.Graph.freeze graph | None -> ());
-    { s with s_min = Some (graph, simplify_report, disambig_report) }
+    {
+      s with
+      s_min = Some (graph, simplify_report, disambig_report);
+      s_preprune = preprune;
+    }
 
   (* Each validator only reads the artifact the preceding stage produced,
      so it can run concurrently with the stage that consumes the same
@@ -346,6 +385,7 @@ module Staged = struct
     a.simplify == b.simplify
     && a.verify_each = b.verify_each
     && a.disambiguate = b.disambiguate
+    && a.incremental = b.incremental
 
   let same_cluster a b = a.cluster_with == b.cluster_with && caps_of a = caps_of b
   let same_schedule a b = a.tile.Arch.alu_count = b.tile.Arch.alu_count
@@ -364,14 +404,88 @@ module Staged = struct
           s with
           s_config = config;
           s_min = (if keep_min then s.s_min else None);
+          s_preprune = (if keep_min then s.s_preprune else None);
           s_clustering = (if keep_clu then s.s_clustering else None);
           s_schedule = (if keep_sched then s.s_schedule else None);
           s_alloc = (if keep_alloc then s.s_alloc else None);
         }
     end
 
+  (* Incremental re-entry: instead of minimising [fresh.s_raw] from
+     scratch, diff it against the cached compile's raw graph, graft the
+     changed cone onto the cached pre-disambiguation snapshot, and drain
+     the worklist from only the patched region. Everything downstream of
+     Minimised (disambig, renumbering, cluster/schedule/allocate) then
+     runs exactly as in a cold compile — on a graph that is isomorphic to
+     what the cold compile would have minimised, hence (after canonical
+     renumbering) producing a byte-identical job. Returns the re-entered
+     staged value plus the dirty-seed size; [Error] means the caller
+     should compile cold (reason included). *)
+  let rewind_patched cached ~fresh =
+    let config = fresh.s_config in
+    match (cached.s_preprune, config.simplify, config.incremental) with
+    | None, _, _ -> Error "cached compile kept no incremental snapshot"
+    | _, Fixpoint _, _ -> Error "legacy fixpoint engine cannot run seeded"
+    | _, _, false -> Error "config does not enable incremental compilation"
+    | Some (pre, translate), Worklist rules, true -> (
+      match
+        Cdfg.Diff.diff ~old_raw:cached.s_raw ~fresh:fresh.s_raw ()
+      with
+      | Error e -> Error e
+      | Ok patch -> (
+        let onto = Cdfg.Graph.copy pre in
+        match Cdfg.Diff.apply patch ~fresh:fresh.s_raw ~translate ~onto with
+        | Error e -> Error e
+        | Ok (seed, forward) ->
+          let simplify_report =
+            stage "simplify-incr" (fun () ->
+                let verify =
+                  if config.verify_each then
+                    Some (Fpfa_analysis.Verify.pass_hook ())
+                  else None
+                in
+                Transform.Simplify.minimize ~rules ~seed ~validate:false
+                  ?verify onto)
+          in
+          stage "simplify-validate" (fun () -> Cdfg.Graph.validate onto);
+          let preprune = Some (Cdfg.Graph.copy onto, forward) in
+          let disambig_report =
+            stage "disambig" (fun () ->
+                if config.disambiguate then begin
+                  let verify =
+                    if config.verify_each then
+                      Some
+                        (fun rule g touched ->
+                          Fpfa_analysis.Verify.pass_hook () rule g touched;
+                          match
+                            Fpfa_diag.Diag.errors
+                              (Fpfa_analysis.Verify.statespace g)
+                          with
+                          | [] -> ()
+                          | errs -> raise (Fpfa_diag.Diag.Failed errs))
+                    else None
+                  in
+                  Fpfa_analysis.Addr.prune ?verify onto
+                end
+                else Transform.Disambig.empty_report)
+          in
+          let graph =
+            stage "renumber" (fun () -> Cdfg.Serialize.renumber onto)
+          in
+          Ok
+            ( {
+                fresh with
+                s_min = Some (graph, simplify_report, disambig_report);
+                s_preprune = preprune;
+                s_clustering = None;
+                s_schedule = None;
+                s_alloc = None;
+              },
+              List.length seed )))
+
   let freeze s =
     Cdfg.Graph.freeze s.s_raw;
+    (match s.s_preprune with Some (g, _) -> Cdfg.Graph.freeze g | None -> ());
     match s.s_min with Some (g, _, _) -> Cdfg.Graph.freeze g | None -> ()
 end
 

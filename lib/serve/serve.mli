@@ -43,7 +43,8 @@
     - [cached] is [null] (computed), ["request"] (whole-response hit),
       ["mapping"] (content-addressed mapping hit) or ["disk"];
     - [resumed_from] names the {!Fpfa_core.Flow.Staged.phase} a
-      near-miss resumed from, else [null];
+      near-miss resumed from, ["patched"] when the incremental path
+      grafted the request onto a cached ancestor compile, else [null];
     - [result] is the operation's payload — the part that is
       byte-identical cache-on vs cache-off.
 
@@ -63,9 +64,33 @@
       ({!Fpfa_core.Flow.Staged.rewind}) instead of remapping.
 
     With [cache_dir] set, computed mapping payloads also persist as JSON
-    files named by cache key, surviving restarts. Caches are mutated
-    only from the admission domain; pool workers compile but never touch
-    the cache. *)
+    files named by cache key, surviving restarts; with [cache_disk_max]
+    additionally set, an LRU sweep (reads stamp file mtime; a sweep runs
+    at startup and after every write) keeps the directory under the byte
+    budget. Caches are mutated only from the admission domain; pool
+    workers compile but never touch the cache.
+
+    {2 Incremental recompilation}
+
+    Compile requests run with {!Fpfa_core.Flow.config.incremental} on,
+    so every cached mapping keeps its pre-disambiguation minimised
+    snapshot. Alongside the digest index, cached compiles are indexed by
+    the structural anchors of their raw graphs
+    ({!Cdfg.Serialize.anchors}). When a request misses every cache level
+    but an anchor vote finds a close ancestor under the same config
+    fingerprint — the typical shape: the same kernel re-submitted after
+    a small source edit — the daemon diffs the fresh CDFG against the
+    ancestor ({!Cdfg.Diff}), grafts the changed cone onto the cached
+    minimised snapshot, and re-minimises only the dirty region
+    ({!Fpfa_core.Flow.Staged.rewind_patched}); the envelope reports
+    [resumed_from: "patched"]. Every incremental result is re-verified
+    (structural verifier, the three {!Fpfa_analysis.Mapcheck} validators,
+    and the interpreter/evaluator/simulator conformance check) before it
+    is served or cached; any failure — including a diff that refuses —
+    falls back to a cold compile. The [stats] operation reports the
+    tally as [incr.patched] / [incr.dirty_nodes] / [incr.fallback], and
+    the same counters (plus [serve.l1.*] / [serve.l2.*] cache tallies)
+    are mirrored into {!Fpfa_obs.Obs} for [--stats]. *)
 
 type t
 (** A daemon instance (caches + pool + tallies). *)
@@ -74,15 +99,17 @@ val create :
   ?jobs:int ->
   ?cache_size:int ->
   ?cache_dir:string ->
+  ?cache_disk_max:int ->
   ?observe:bool ->
   unit ->
   t
 (** [jobs] (default 1) sizes the {!Fpfa_exec.Pool} used by [batch] and
     [sweep]; [cache_size] (default 256 entries, 0 = cache off) bounds
     each LRU level; [cache_dir] enables the on-disk store (created if
-    missing); [observe] (default false) makes [stats] drain and reset
-    {!Fpfa_obs.Obs} — leave it off when the process hosts other
-    observability users. *)
+    missing); [cache_disk_max] (bytes, default unbounded) turns on the
+    disk store's LRU eviction sweep; [observe] (default false) makes
+    [stats] drain and reset {!Fpfa_obs.Obs} — leave it off when the
+    process hosts other observability users. *)
 
 val jobs : t -> int
 

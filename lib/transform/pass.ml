@@ -82,25 +82,40 @@ let checked pass =
 type rule = {
   rname : string;
   prepare : Cdfg.Graph.t -> Cdfg.Graph.id -> bool;
+  prepare_seeded : (Cdfg.Graph.t -> Cdfg.Graph.id -> bool) option;
   settled : bool;
 }
 
-let local rname rewrite = { rname; prepare = rewrite; settled = false }
-let settled rname rewrite = { rname; prepare = rewrite; settled = true }
+let local rname rewrite =
+  { rname; prepare = rewrite; prepare_seeded = None; settled = false }
+
+let settled rname rewrite =
+  { rname; prepare = rewrite; prepare_seeded = None; settled = true }
 
 type worklist_report = { steps : int; rewrites : int; peak_queue : int }
 
-let run_worklist ?(debug = false) ?max_steps ?verify rules g =
+let run_worklist ?(debug = false) ?max_steps ?seed ?verify rules g =
   Obs.span ~cat:"transform" "worklist"
     ~args:[ ("nodes", Obs.Int (G.node_count g)) ]
   @@ fun () ->
-  (* Forget mutations that predate the run (graph construction). *)
+  (* Forget mutations that predate the run (graph construction, or the
+     patch application that produced [seed]). *)
   ignore (G.drain_dirty g);
   let eager, deferred = List.partition (fun r -> not r.settled) rules in
   let fire_counter r = Obs.counter ("pass.fire." ^ r.rname) in
-  let eager_rw = List.map (fun r -> (r.rname, fire_counter r, r.prepare g)) eager in
+  (* A seeded run visits only the dirty region, so rules that accumulate
+     cross-node state lazily (CSE's value-number table) supply a
+     [prepare_seeded] that pre-populates it over the whole graph —
+     otherwise a new node could fail to merge with an unvisited old equal
+     and the seeded result would diverge from a from-scratch run. *)
+  let prep r =
+    match seed with
+    | Some _ -> (Option.value r.prepare_seeded ~default:r.prepare) g
+    | None -> r.prepare g
+  in
+  let eager_rw = List.map (fun r -> (r.rname, fire_counter r, prep r)) eager in
   let settled_rw =
-    List.map (fun r -> (r.rname, fire_counter r, r.prepare g)) deferred
+    List.map (fun r -> (r.rname, fire_counter r, prep r)) deferred
   in
   let have_settled = settled_rw <> [] in
   (* Two priority tiers. Eager rules (folding, CSE, forwarding, DCE) run
@@ -132,8 +147,16 @@ let run_worklist ?(debug = false) ?max_steps ?verify rules g =
   in
   (* Seed in topological order: producers are simplified before their
      consumers key on them, mirroring the scan order of the whole-graph
-     passes. *)
-  List.iter enqueue (G.topo_order g);
+     passes. A caller-supplied seed restricts the initial frontier to the
+     dirty region; the journal-driven enqueues below still propagate every
+     rewrite's consequences outward from there. *)
+  (match seed with
+  | None -> List.iter enqueue (G.topo_order g)
+  | Some ids ->
+    let wanted = List.fold_left (fun s id -> G.Id_set.add id s) G.Id_set.empty ids in
+    List.iter
+      (fun id -> if G.Id_set.mem id wanted then enqueue id)
+      (G.topo_order g));
   let max_steps =
     match max_steps with
     | Some m -> m

@@ -33,11 +33,52 @@ let rec build_balanced g op leaves =
     let right_id, dr = build_balanced g op right in
     (G.add g (G.Binop op) [ left_id; right_id ], 1 + max dl dr)
 
-(* Rebalances the chain rooted at [id] when that strictly reduces its
-   depth. [data_uses id] must count data consumers; [consumer_of id] must
+(* Is the tree rooted at [id] already the shape [build_balanced] produces
+   for an [n]-leaf chain, up to commutative operand orientation? Checking
+   shape rather than depth makes the rewrite canonicalising: every chain
+   has one normal form regardless of the shape it starts from. Depth-only
+   firing is history-sensitive — an already-balanced subtree extended by
+   one more operand can sit at the same depth a from-scratch rebalance
+   would reach with a different shape, which would let an incrementally
+   patched graph settle into a different (equally shallow) tree than the
+   cold compile.
+
+   Orientation must be judged modulo commutativity because that is CSE's
+   equivalence: CSE keys commutative binops on the sorted input multiset,
+   so a rebuild that only mirrors operands produces nodes CSE merges
+   straight back into their older mirror twins — restoring the exact
+   pre-rebuild graph and diverging the fixpoint (reassoc fires, CSE
+   undoes, forever). A guard at least as coarse as CSE's equivalence
+   cannot fire on anything CSE can restore. *)
+let rec canonical_shape g op ~data_uses id ~is_root n =
+  let continues =
+    match G.kind g id with
+    | G.Binop op' -> op' = op && (is_root || data_uses id = 1)
+    | _ -> false
+  in
+  if n = 1 then not continues
+  else if not continues then false
+  else begin
+    let inputs = G.inputs g id in
+    let a = List.nth inputs 0 and b = List.nth inputs 1 in
+    let mid = (n + 1) / 2 in
+    let split x y =
+      canonical_shape g op ~data_uses x ~is_root:false mid
+      && canonical_shape g op ~data_uses y ~is_root:false (n - mid)
+    in
+    split a b || (Op.commutative op && split b a)
+  end
+
+(* Rebalances the chain rooted at [id] into its canonical balanced shape.
+   [data_uses id] must count data consumers; [consumer_of id] must
    return the single data consumer when there is exactly one. *)
 let rebalance_root g ~data_uses ~consumer_of id =
   match G.kind g id with
+  (* Dead roots (no data uses, no named output) are DCE-bound: rebuilding
+     them only manufactures fresh dead trees for the next collection. The
+     depth-strict guard used to bound that churn implicitly; the
+     canonical-shape guard below does not, so exclude them outright. *)
+  | G.Binop _ when G.use_count g id = 0 -> false
   | G.Binop op when associative op ->
     (* Only rebalance chain roots: nodes whose consumer is not the same
        single-use chain. *)
@@ -53,18 +94,13 @@ let rebalance_root g ~data_uses ~consumer_of id =
     in
     if is_chain_interior then false
     else begin
-      let leaves, depth = chain_leaves g op ~data_uses id ~is_root:true in
+      let leaves, _depth = chain_leaves g op ~data_uses id ~is_root:true in
       let n = List.length leaves in
-      if n > 2 then begin
-        let balanced_depth =
-          int_of_float (ceil (log (float_of_int n) /. log 2.0))
-        in
-        if balanced_depth < depth then begin
-          let root, _ = build_balanced g op leaves in
-          G.replace_uses g id ~by:root;
-          true
-        end
-        else false
+      if n > 2 && not (canonical_shape g op ~data_uses id ~is_root:true n)
+      then begin
+        let root, _ = build_balanced g op leaves in
+        G.replace_uses g id ~by:root;
+        true
       end
       else false
     end

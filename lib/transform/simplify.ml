@@ -31,7 +31,8 @@ type report = {
   after : Cdfg.Graph.stats;
 }
 
-let minimize ?passes ?rules ?(validate = true) ?(debug = false) ?verify g =
+let minimize ?passes ?rules ?seed ?(validate = true) ?(debug = false) ?verify g
+    =
   let before = Cdfg.Graph.stats g in
   let rounds, steps =
     match passes with
@@ -44,7 +45,7 @@ let minimize ?passes ?rules ?(validate = true) ?(debug = false) ?verify g =
       (rounds, rounds * List.length passes)
     | None ->
       let rules = match rules with Some r -> r | None -> default_rules in
-      let wr = Pass.run_worklist ~debug ?verify rules g in
+      let wr = Pass.run_worklist ~debug ?seed ?verify rules g in
       if validate && not debug then Cdfg.Graph.validate g;
       (1, wr.Pass.steps)
   in

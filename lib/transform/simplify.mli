@@ -38,6 +38,7 @@ type report = {
 val minimize :
   ?passes:Pass.t list ->
   ?rules:Pass.rule list ->
+  ?seed:Cdfg.Graph.id list ->
   ?validate:bool ->
   ?debug:bool ->
   ?verify:Pass.verify_hook ->
@@ -51,9 +52,12 @@ val minimize :
     over [rules] (default {!default_rules}); [validate] checks invariants
     once at the end, and [~debug:true] re-validates after every visited
     node instead (slow; for pinpointing an invariant-breaking rule).
-    [~verify] is forwarded to the engine ({!Pass.run_worklist} /
-    {!Pass.run_fixpoint}): it runs after each rule firing (worklist) or
-    changed pass (fixpoint) and blames the responsible rule via
-    {!Pass.Verification_failed} — the `--verify-each-pass` mode. *)
+    [~seed] (worklist only) restricts the initial visit to the given
+    dirty nodes — the incremental re-minimisation entry point fed by
+    {!Cdfg.Diff.apply}. [~verify] is forwarded to the engine
+    ({!Pass.run_worklist} / {!Pass.run_fixpoint}): it runs after each
+    rule firing (worklist) or changed pass (fixpoint) and blames the
+    responsible rule via {!Pass.Verification_failed} — the
+    `--verify-each-pass` mode. *)
 
 val pp_report : Format.formatter -> report -> unit

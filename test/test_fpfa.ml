@@ -35,4 +35,5 @@ let () =
       ("exec", Test_exec.suite);
       ("json", Test_json.suite);
       ("serve", Test_serve.suite);
+      ("incr", Test_incr.suite);
     ]

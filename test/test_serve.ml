@@ -365,6 +365,144 @@ let test_disk_cache_survives_restart () =
         (result_bytes warm);
       Serve.shutdown b)
 
+(* {2 Incremental recompilation: the anchor-vote near-miss path} *)
+
+(* Two independent loops: editing the gain constant changes only the
+   second region's cone, so the first loop's [ss:]/[out:] anchors still
+   vote for the cached compile. *)
+let two_loop_src k =
+  Printf.sprintf
+    {|void main() {
+  sum = 0;
+  for (i = 0; i < 8; i = i + 1) {
+    sum = sum + a[i] * c[i];
+  }
+  gain = 0;
+  for (j = 0; j < 8; j = j + 1) {
+    gain = gain + %d * b[j];
+  }
+}|}
+    k
+
+let compile_src ?id src =
+  Json.Obj
+    (("op", Json.Str "compile") :: ("source", Json.Str src)
+    :: (match id with Some n -> [ ("id", Json.Int n) ] | None -> []))
+
+let incr_stat stats name =
+  match
+    Option.bind
+      (Json.member "incr" (field "result" stats))
+      (Json.member name)
+  with
+  | Some (Json.Int n) -> n
+  | _ -> Alcotest.fail ("stats missing incr." ^ name)
+
+let test_incremental_patch () =
+  let s = Serve.create () in
+  let uncached = Serve.create ~cache_size:0 () in
+  ignore (expect_ok (Serve.handle s (compile_src (two_loop_src 3))));
+  (* one-literal edit: misses every cache level, anchors find the
+     ancestor, the dirty cone re-minimises *)
+  let patched = expect_ok (Serve.handle s (compile_src (two_loop_src 5))) in
+  let fresh = expect_ok (Serve.handle uncached (compile_src (two_loop_src 5))) in
+  Alcotest.(check (option string)) "computed, not a cache hit" None
+    (cached_of patched);
+  Alcotest.(check (option string)) "patched resume" (Some "patched")
+    (resumed_of patched);
+  Alcotest.(check string) "patched result equals cold compile"
+    (result_bytes fresh) (result_bytes patched);
+  (* a second edit grafts against the patched entry (chained compiles) *)
+  let patched2 = expect_ok (Serve.handle s (compile_src (two_loop_src 9))) in
+  let fresh2 = expect_ok (Serve.handle uncached (compile_src (two_loop_src 9))) in
+  Alcotest.(check (option string)) "chained patched resume" (Some "patched")
+    (resumed_of patched2);
+  Alcotest.(check string) "chained result equals cold compile"
+    (result_bytes fresh2) (result_bytes patched2);
+  let stats = expect_ok (Serve.handle s (req {|{"op":"stats"}|})) in
+  Alcotest.(check int) "two patched compiles" 2 (incr_stat stats "patched");
+  Alcotest.(check bool) "dirty nodes counted" true
+    (incr_stat stats "dirty_nodes" > 0);
+  Alcotest.(check int) "no fallbacks" 0 (incr_stat stats "fallback");
+  (* dropping the whole second loop changes the region set: the diff
+     refuses, the daemon falls back to a cold compile, and the answer is
+     still right *)
+  let chopped =
+    {|void main() {
+  sum = 0;
+  for (i = 0; i < 8; i = i + 1) {
+    sum = sum + a[i] * c[i];
+  }
+}|}
+  in
+  let fallback = expect_ok (Serve.handle s (compile_src chopped)) in
+  let fallback_fresh = expect_ok (Serve.handle uncached (compile_src chopped)) in
+  Alcotest.(check (option string)) "refused diff compiles cold" None
+    (resumed_of fallback);
+  Alcotest.(check string) "fallback result equals cold compile"
+    (result_bytes fallback_fresh) (result_bytes fallback);
+  let stats2 = expect_ok (Serve.handle s (req {|{"op":"stats"}|})) in
+  Alcotest.(check bool) "fallback counted" true
+    (incr_stat stats2 "fallback" >= 1);
+  Serve.shutdown s;
+  Serve.shutdown uncached
+
+(* {2 Disk GC: the byte budget holds and evictions are counted} *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "fpfa_serve" "" in
+  Sys.remove dir;
+  let cleanup () =
+    if Sys.file_exists dir then begin
+      Array.iter (fun x -> Sys.remove (Filename.concat dir x)) (Sys.readdir dir);
+      Unix.rmdir dir
+    end
+  in
+  Fun.protect ~finally:cleanup (fun () -> f dir)
+
+let dir_bytes dir =
+  Array.fold_left
+    (fun acc f -> acc + (Unix.stat (Filename.concat dir f)).Unix.st_size)
+    0 (Sys.readdir dir)
+
+let test_disk_gc () =
+  let kernels = [ "dct4"; "dot-8"; "fir-paper"; "saxpy-8" ] in
+  let compile s k =
+    ignore (expect_ok (Serve.handle s (req {|{"op":"compile","kernel":"%s"}|} k)))
+  in
+  (* measure entry sizes unbounded, then rerun under a two-entry budget *)
+  let budget =
+    with_temp_dir (fun dir ->
+        let a = Serve.create ~cache_dir:dir () in
+        List.iter (compile a) kernels;
+        Serve.shutdown a;
+        let largest =
+          Array.fold_left
+            (fun acc f ->
+              max acc (Unix.stat (Filename.concat dir f)).Unix.st_size)
+            0 (Sys.readdir dir)
+        in
+        2 * largest)
+  in
+  with_temp_dir (fun dir ->
+      let b = Serve.create ~cache_dir:dir ~cache_disk_max:budget () in
+      List.iter (compile b) kernels;
+      Alcotest.(check bool) "disk store within budget" true
+        (dir_bytes dir <= budget);
+      let stats = expect_ok (Serve.handle b (req {|{"op":"stats"}|})) in
+      (match Json.member "disk_evictions" (field "result" stats) with
+      | Some (Json.Int n) ->
+        Alcotest.(check bool) "evictions counted" true (n >= 1)
+      | _ -> Alcotest.fail "stats missing disk_evictions");
+      Serve.shutdown b;
+      (* a restart under the same budget sweeps on startup and still
+         serves: every kernel answers, from disk or recomputed *)
+      let c = Serve.create ~cache_dir:dir ~cache_disk_max:budget () in
+      List.iter (compile c) kernels;
+      Alcotest.(check bool) "budget holds after restart" true
+        (dir_bytes dir <= budget);
+      Serve.shutdown c)
+
 (* {2 The socket loop, end to end} *)
 
 let test_socket_roundtrip () =
@@ -410,6 +548,108 @@ let test_socket_roundtrip () =
       Alcotest.(check bool) "shutdown ok" true (is_ok l3);
       Unix.close fd)
 
+(* Several client domains hammer one socket daemon with a mix of cold,
+   warm, and near-miss compiles. The select loop must keep the streams
+   apart: every response line parses, ids come back on the connection
+   that sent them in order, and payloads are byte-identical to a
+   cache-off daemon answering sequentially. *)
+let test_socket_stress () =
+  let n_clients = 4 in
+  let path = Filename.temp_file "fpfa_serve" ".sock" in
+  Sys.remove path;
+  (* expected payloads, computed sequentially up front *)
+  let reference = Serve.create ~cache_size:0 () in
+  let expect_kernel k =
+    result_bytes
+      (expect_ok (Serve.handle reference (req {|{"op":"compile","kernel":"%s"}|} k)))
+  in
+  let dct4_bytes = expect_kernel "dct4" in
+  let dot_bytes = expect_kernel "dot-8" in
+  let variant_bytes =
+    List.init n_clients (fun c ->
+        result_bytes
+          (expect_ok (Serve.handle reference (compile_src (two_loop_src (c + 1))))))
+  in
+  Serve.shutdown reference;
+  let s = Serve.create () in
+  let server =
+    Domain.spawn (fun () -> try Serve.serve_socket s ~path with _ -> ())
+  in
+  let connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let rec go tries =
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> ()
+      | exception Unix.Unix_error _ when tries > 0 ->
+        Unix.sleepf 0.05;
+        go (tries - 1)
+    in
+    go 100;
+    fd
+  in
+  let send fd j =
+    let line = Json.to_string j ^ "\n" in
+    ignore (Unix.write_substring fd line 0 (String.length line))
+  in
+  (* Client [c] pipelines four requests — cold/warm kernel compiles plus
+     its own near-miss source — then reads its four response lines. *)
+  let client c =
+    let fd = connect () in
+    let ic = Unix.in_channel_of_descr fd in
+    let reqs =
+      [
+        req {|{"op":"ping","id":%d}|} (100 * c);
+        req {|{"op":"compile","kernel":"dct4","id":%d}|} ((100 * c) + 1);
+        compile_src ~id:((100 * c) + 2) (two_loop_src c);
+        req {|{"op":"compile","kernel":"dot-8","id":%d}|} ((100 * c) + 3);
+      ]
+    in
+    List.iter (send fd) reqs;
+    let resps = List.map (fun _ -> Json.parse (input_line ic)) reqs in
+    Unix.close fd;
+    resps
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Domain.join server;
+      Serve.shutdown s;
+      if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let clients =
+        List.init n_clients (fun c -> Domain.spawn (fun () -> client (c + 1)))
+      in
+      let results = List.map Domain.join clients in
+      (* stop the serving loop before checking, so a failure can't hang *)
+      let fd = connect () in
+      send fd (req {|{"op":"shutdown"}|});
+      ignore (input_line (Unix.in_channel_of_descr fd));
+      Unix.close fd;
+      List.iteri
+        (fun i resps ->
+          let c = i + 1 in
+          List.iteri
+            (fun k resp ->
+              let resp = expect_ok resp in
+              Alcotest.(check bool)
+                (Printf.sprintf "client %d id %d correlated" c k)
+                true
+                (field "id" resp = Json.Int ((100 * c) + k)))
+            resps;
+          match List.map (fun r -> result_bytes r) resps with
+          | [ _ping; dct4; variant; dot ] ->
+            Alcotest.(check string)
+              (Printf.sprintf "client %d dct4 bytes" c)
+              dct4_bytes dct4;
+            Alcotest.(check string)
+              (Printf.sprintf "client %d near-miss bytes" c)
+              (List.nth variant_bytes (c - 1))
+              variant;
+            Alcotest.(check string)
+              (Printf.sprintf "client %d dot-8 bytes" c)
+              dot_bytes dot
+          | _ -> Alcotest.fail "wrong response count")
+        results)
+
 let suite =
   [
     Alcotest.test_case "lru basics" `Quick test_lru_basics;
@@ -427,5 +667,8 @@ let suite =
     Alcotest.test_case "check via daemon" `Quick test_check_clean_kernel;
     Alcotest.test_case "cache control" `Quick test_cache_control;
     Alcotest.test_case "disk cache" `Quick test_disk_cache_survives_restart;
+    Alcotest.test_case "incremental patch" `Quick test_incremental_patch;
+    Alcotest.test_case "disk gc" `Quick test_disk_gc;
     Alcotest.test_case "socket roundtrip" `Quick test_socket_roundtrip;
+    Alcotest.test_case "socket stress" `Quick test_socket_stress;
   ]
