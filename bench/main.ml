@@ -72,6 +72,17 @@
                                               loop-body edit (replicated by
                                               the unroller) stays identical
 
+     E22 bitopt                 (infrastructure) certified bit-level
+                                              optimisation: known-bits x
+                                              range facts demote mul/div/mod
+                                              by powers of two and drop
+                                              redundant masks on >=3 corpus
+                                              kernels, every claim re-proved
+                                              from recomputed facts, Eval
+                                              results identical pass on/off,
+                                              analysis+pass cost <15% of
+                                              compile
+
    Absolute numbers are ours (the substrate is a simulator, not the
    CHAMELEON testbed); the shapes are what EXPERIMENTS.md compares. *)
 
@@ -2094,6 +2105,149 @@ let incr_bench () =
   close_out oc;
   Printf.printf "\nwrote BENCH_incr.json\n"
 
+(* ------------------------------------------------------------------ *)
+(* E22 - bitopt: certified bit-level optimisation. Over the corpus:    *)
+(* compile with the pass off and on, count the verified rewrites       *)
+(* (folds, mask/mux redirects, multiplier demotions), compare the      *)
+(* mapped ALU-op and multiplier-op counts, require identical Eval      *)
+(* results on the kernel's own inputs and a green conformance triple,  *)
+(* and bound the stage's cost (facts + derivation + certified apply,   *)
+(* including the verifier's independent fact recomputation) under 15%  *)
+(* of the compile it rides in.                                         *)
+(* ------------------------------------------------------------------ *)
+
+let bitopt_bench () =
+  section "E22 bitopt (certified bit-level optimisation)";
+  let module Bitopt = Transform.Bitopt in
+  let reps = 5 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let off_config = { Flow.default_config with Flow.bitopt = false } in
+  let kernels = Kernels.all in
+  let rewritten = ref 0
+  and demoted = ref 0
+  and ops_removed_total = ref 0
+  and all_identical = ref true
+  and all_verified = ref true
+  and pass_total = ref 0.0
+  and compile_total = ref 0.0
+  and worst_overhead = ref 0.0 in
+  let json = Buffer.create 1024 in
+  Buffer.add_string json "{\n  \"experiment\": \"bitopt\",\n";
+  Buffer.add_string json
+    (Printf.sprintf "  \"reps\": %d,\n  \"kernels\": [\n" reps);
+  let rows =
+    List.mapi
+      (fun i (k : Kernels.t) ->
+        let off = Flow.map_source ~config:off_config k.Kernels.source in
+        let compile_s = ref infinity and pass_s = ref infinity in
+        let on_ = ref None in
+        for _ = 1 to reps do
+          let r, t = time (fun () -> Flow.map_source k.Kernels.source) in
+          compile_s := Float.min !compile_s t;
+          on_ := Some r;
+          (* the stage's own cost on the state it sees in-flow: facts,
+             derivation, certified apply — the verifier's independent
+             fact recomputation included, exactly as the flow pays it *)
+          let g = Cdfg.Graph.copy off.Flow.graph in
+          let _, t =
+            time (fun () ->
+                let facts = Transform.Absdom.analyze g in
+                let claims =
+                  Bitopt.derive (Transform.Absdom.value facts) g
+                in
+                if claims <> [] then
+                  ignore
+                    (Bitopt.apply
+                       ~verify:(fun g cs -> Fpfa_analysis.Verify.bits g cs)
+                       g claims))
+          in
+          pass_s := Float.min !pass_s t
+        done;
+        let on_ = Option.get !on_ in
+        let rep = on_.Flow.bitopt_report in
+        let rewrites = rep.Bitopt.folds + rep.Bitopt.redirects + rep.Bitopt.demotes in
+        let m_off = off.Flow.metrics and m_on = on_.Flow.metrics in
+        let ops_removed =
+          m_off.Metrics.alu_ops - m_on.Metrics.alu_ops
+          + (m_off.Metrics.mul_ops - m_on.Metrics.mul_ops)
+        in
+        let identical =
+          Cdfg.Eval.equal_result
+            (Cdfg.Eval.run ~memory_init:k.Kernels.inputs on_.Flow.graph)
+            (Cdfg.Eval.run ~memory_init:k.Kernels.inputs off.Flow.graph)
+        in
+        let verified = Flow.verify on_ in
+        let overhead_pct = !pass_s /. !compile_s *. 100.0 in
+        if rewrites > 0 then incr rewritten;
+        if rep.Bitopt.demotes > 0 then incr demoted;
+        ops_removed_total := !ops_removed_total + ops_removed;
+        if not identical then all_identical := false;
+        if not verified then all_verified := false;
+        pass_total := !pass_total +. !pass_s;
+        compile_total := !compile_total +. !compile_s;
+        worst_overhead := Float.max !worst_overhead overhead_pct;
+        Buffer.add_string json
+          (Printf.sprintf
+             "    {\"kernel\": \"%s\", \"folds\": %d, \"redirects\": %d, \
+              \"demotes\": %d, \"rounds\": %d, \"alu_ops_off\": %d, \
+              \"alu_ops_on\": %d, \"mul_ops_off\": %d, \"mul_ops_on\": %d, \
+              \"ops_removed\": %d, \"identical\": %b, \"verified\": %b, \
+              \"pass_s\": %.6f, \"compile_s\": %.6f, \"overhead_pct\": \
+              %.2f}%s\n"
+             k.Kernels.name rep.Bitopt.folds rep.Bitopt.redirects
+             rep.Bitopt.demotes rep.Bitopt.rounds m_off.Metrics.alu_ops
+             m_on.Metrics.alu_ops m_off.Metrics.mul_ops m_on.Metrics.mul_ops
+             ops_removed identical verified !pass_s !compile_s overhead_pct
+             (if i = List.length kernels - 1 then "" else ","));
+        if rewrites > 0 then
+          [
+            k.Kernels.name;
+            string_of_int rep.Bitopt.folds;
+            string_of_int rep.Bitopt.redirects;
+            string_of_int rep.Bitopt.demotes;
+            Printf.sprintf "%d->%d" m_off.Metrics.alu_ops m_on.Metrics.alu_ops;
+            Printf.sprintf "%d->%d" m_off.Metrics.mul_ops m_on.Metrics.mul_ops;
+            string_of_bool identical;
+            Printf.sprintf "%.1f %%" overhead_pct;
+          ]
+        else [])
+      kernels
+  in
+  Fpfa_util.Tablefmt.print
+    ~header:
+      [ "kernel"; "folds"; "redir"; "demote"; "alu ops"; "mul ops"; "same";
+        "cost" ]
+    (List.filter (fun r -> r <> []) rows);
+  let overall_pct = !pass_total /. !compile_total *. 100.0 in
+  let pass =
+    !rewritten >= 3 && !demoted >= 1 && !ops_removed_total > 0
+    && !all_identical && !all_verified && overall_pct < 15.0
+  in
+  Printf.printf
+    "%d kernel(s) rewritten (%d with multiplier demotions), %d op(s) \
+     removed net; identical results: %b, conformance: %b.\n\
+     stage cost: %.1f%% of compile overall, %.1f%% worst kernel (target \
+     <15%% overall).\n"
+    !rewritten !demoted !ops_removed_total !all_identical !all_verified
+    overall_pct !worst_overhead;
+  Buffer.add_string json
+    (Printf.sprintf
+       "  ],\n  \"rewritten_kernels\": %d,\n  \"demoted_kernels\": %d,\n\
+       \  \"ops_removed_total\": %d,\n  \"all_identical\": %b,\n\
+       \  \"all_verified\": %b,\n  \"overall_overhead_pct\": %.2f,\n\
+       \  \"worst_overhead_pct\": %.2f,\n  \"target_pct\": 15.0,\n\
+       \  \"rewritten_floor\": 3,\n  \"pass\": %b\n}\n"
+       !rewritten !demoted !ops_removed_total !all_identical !all_verified
+       overall_pct !worst_overhead pass);
+  let oc = open_out "BENCH_bitopt.json" in
+  output_string oc (Buffer.contents json);
+  close_out oc;
+  Printf.printf "\nwrote BENCH_bitopt.json\n"
+
 let () =
   let only =
     match Array.to_list Sys.argv with
@@ -2127,6 +2281,7 @@ let () =
   run "serve" serve_bench;
   run "depend" depend_bench;
   run "incr" incr_bench;
+  run "bitopt" bitopt_bench;
   (* E13 is opt-in: it times multi-second fixpoint runs, so the default
      no-argument sweep (and anything scripted on top of it) stays fast. *)
   (match only with

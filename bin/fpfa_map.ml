@@ -734,15 +734,33 @@ module Diag = Fpfa_diag.Diag
    legality + lints, mapping validators; one shared address analysis).
    With ?pool both the compile stages and the diagnostic families run on
    the pool's domains. *)
-let check_one ?pool ~config source ~func =
+let check_one ?pool ~config ~bits source ~func =
   match Fpfa_core.Flow.map_source ?pool ~config ~func source with
   | result ->
     let diags, facts = Fpfa_core.Flow.audit ?pool ~config result in
-    (diags, Option.map Fpfa_analysis.Addr.facts_to_json facts)
+    let bits_out =
+      if not bits then None
+      else
+        Some
+          ( Fpfa_analysis.Bits.analyze result.Fpfa_core.Flow.graph,
+            result.Fpfa_core.Flow.graph,
+            result.Fpfa_core.Flow.bitopt_report )
+    in
+    (diags, Option.map Fpfa_analysis.Addr.facts_to_json facts, bits_out)
   | exception Fpfa_core.Flow.Flow_error msg ->
-    ([ Diag.error "flow.error" "%s" msg ], None)
+    ([ Diag.error "flow.error" "%s" msg ], None, None)
 
-let check input func json verify_each no_lint loops all jobs obs_trace
+let bitopt_report_json (r : Transform.Bitopt.report) =
+  let module Json = Fpfa_util.Json in
+  Json.Obj
+    [
+      ("folds", Json.Int r.Transform.Bitopt.folds);
+      ("redirects", Json.Int r.Transform.Bitopt.redirects);
+      ("demotes", Json.Int r.Transform.Bitopt.demotes);
+      ("rounds", Json.Int r.Transform.Bitopt.rounds);
+    ]
+
+let check input func json verify_each no_lint loops bits all jobs obs_trace
     obs_stats =
   obs_setup ~trace:obs_trace ~stats:obs_stats;
   let targets =
@@ -763,7 +781,7 @@ let check input func json verify_each no_lint loops all jobs obs_trace
   in
   let jobs = resolve_jobs jobs in
   let process ?pool (name, source, func) =
-    let diags, facts = check_one ?pool ~config source ~func in
+    let diags, facts, bits_out = check_one ?pool ~config ~bits source ~func in
     let loop_out =
       (* The dependence report with its differential validation. Front-end
          failures are already surfaced as flow.error by check_one. *)
@@ -805,7 +823,7 @@ let check input func json verify_each no_lint loops all jobs obs_trace
           diags
       else diags
     in
-    (name, diags, facts, loop_out)
+    (name, diags, facts, loop_out, bits_out)
   in
   let checked =
     match targets with
@@ -822,7 +840,7 @@ let check input func json verify_each no_lint loops all jobs obs_trace
     let module Json = Fpfa_util.Json in
     let objects =
       List.map
-        (fun (name, diags, facts, loop_out) ->
+        (fun (name, diags, facts, loop_out, bits_out) ->
           let suppressed =
             List.length
               (List.filter
@@ -845,12 +863,25 @@ let check input func json verify_each no_lint loops all jobs obs_trace
                  match facts with Some j -> Json.parse j | None -> Json.Null
                );
              ]
+            @ (match loop_out with
+              | Some (report, validation) ->
+                [
+                  ( "loops",
+                    Fpfa_analysis.Depend.report_to_json ~validation report );
+                ]
+              | None -> [])
             @
-            match loop_out with
-            | Some (report, validation) ->
+            match bits_out with
+            | Some (t, graph, report) ->
               [
-                ( "loops",
-                  Fpfa_analysis.Depend.report_to_json ~validation report );
+                ( "bits",
+                  Json.Obj
+                    [
+                      ( "iterations",
+                        Json.Int (Fpfa_analysis.Bits.iterations t) );
+                      ("rewrites", bitopt_report_json report);
+                      ("facts", Fpfa_analysis.Bits.facts_to_json t graph);
+                    ] );
               ]
             | None -> []))
         checked
@@ -859,7 +890,7 @@ let check input func json verify_each no_lint loops all jobs obs_trace
   end
   else
     List.iter
-      (fun (name, diags, _, loop_out) ->
+      (fun (name, diags, _, loop_out, bits_out) ->
         let errors = Diag.count Diag.Error diags in
         let warnings = Diag.count Diag.Warning diags in
         if diags = [] then Printf.printf "%s: clean\n" name
@@ -870,7 +901,7 @@ let check input func json verify_each no_lint loops all jobs obs_trace
             (if warnings = 1 then "" else "s");
           List.iter (fun d -> Format.printf "  %a@." Diag.pp d) diags
         end;
-        match loop_out with
+        (match loop_out with
         | Some (report, validation) ->
           Format.printf "%a" Fpfa_analysis.Depend.pp_report report;
           Printf.printf
@@ -880,11 +911,25 @@ let check input func json verify_each no_lint loops all jobs obs_trace
             (List.length validation.Fpfa_analysis.Depend.unchecked)
             (List.length validation.Fpfa_analysis.Depend.refuted)
             validation.Fpfa_analysis.Depend.pairs
+        | None -> ());
+        match bits_out with
+        | Some (t, graph, report) ->
+          let total = ref 0 and known = ref 0 and consts = ref 0 in
+          Cdfg.Graph.iter graph (fun n ->
+              incr total;
+              let v = Fpfa_analysis.Bits.value t n.Cdfg.Graph.id in
+              if Transform.Absdom.bits_known v.Transform.Absdom.bits <> 0 then
+                incr known;
+              if Transform.Absdom.is_const v <> None then incr consts);
+          Printf.printf
+            "  bits: %d value(s), %d with known bits, %d constant; pass: %s\n"
+            !total !known !consts
+            (Format.asprintf "%a" Transform.Bitopt.pp_report report)
         | None -> ())
       checked;
   obs_finish ~trace:obs_trace ~stats:obs_stats;
-  if List.exists (fun (_, diags, _, _) -> Diag.has_errors diags) checked then
-    exit 1
+  if List.exists (fun (_, diags, _, _, _) -> Diag.has_errors diags) checked
+  then exit 1
 
 let check_input_arg =
   Arg.(
@@ -924,6 +969,16 @@ let loops_arg =
            fully-unrolled CDFG by the differential validator (a refutation \
            is an error).")
 
+let bits_arg =
+  Arg.(
+    value & flag
+    & info [ "bits" ]
+        ~doc:
+          "Report the known-bits x range facts of the minimised graph \
+           (per-value known/demanded masks and intervals, plus the \
+           certified bit-level pass's rewrite tally). With --json the \
+           facts land in a \"bits\" object.")
+
 let all_arg =
   Arg.(
     value & flag
@@ -938,8 +993,8 @@ let check_cmd =
           diagnostic.")
     Term.(
       const check $ check_input_arg $ func_arg $ json_arg $ verify_each_arg
-      $ no_lint_arg $ loops_arg $ all_arg $ jobs_arg $ obs_trace_arg
-      $ stats_arg)
+      $ no_lint_arg $ loops_arg $ bits_arg $ all_arg $ jobs_arg
+      $ obs_trace_arg $ stats_arg)
 
 let () =
   let info =

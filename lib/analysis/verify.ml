@@ -245,3 +245,27 @@ let pass_hook ?(full = false) () : Transform.Pass.verify_hook =
  fun _rule g touched ->
   let diags = if full then structure g else local g touched in
   match D.errors diags with [] -> () | errs -> raise (D.Failed errs)
+
+(* {2 Bit-level rewrite replay} *)
+
+let bits ?width ?input_ranges g claims =
+  let facts = Transform.Absdom.analyze ?width ?input_ranges g in
+  let lookup = Transform.Absdom.value facts in
+  List.iter
+    (fun claim ->
+      match Transform.Bitopt.check_claim lookup g claim with
+      | Ok () -> ()
+      | Error msg ->
+        raise
+          (Transform.Pass.Verification_failed
+             {
+               rule = "bitopt";
+               error =
+                 D.Failed
+                   [
+                     D.error
+                       ~node:(Transform.Bitopt.claim_node claim)
+                       "bits.unproven-rewrite" "%s" msg;
+                   ];
+             }))
+    claims

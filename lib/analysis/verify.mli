@@ -71,3 +71,20 @@ val pass_hook : ?full:bool -> unit -> Transform.Pass.verify_hook
     and raises {!Fpfa_diag.Diag.Failed} with every error-severity finding,
     which the engine re-raises as {!Transform.Pass.Verification_failed}
     blaming the rule that fired. *)
+
+val bits :
+  ?width:int ->
+  ?input_ranges:(string * Fpfa_util.Interval.t) list ->
+  Cdfg.Graph.t ->
+  Transform.Bitopt.claim list ->
+  unit
+(** Independent replay of a {!Transform.Bitopt} claim batch: recomputes
+    the {!Transform.Absdom} facts of the (pre-apply) graph from scratch
+    and re-derives every claim with {!Transform.Bitopt.check_claim}. A
+    claim that cannot be re-derived raises
+    {!Transform.Pass.Verification_failed} blaming rule ["bitopt"], with
+    a ["bits.unproven-rewrite"] diagnostic anchored at the claimed node
+    — the same refuse-the-batch protocol as the {!statespace} replay
+    behind {!Transform.Disambig} pruning. Pass the hook to
+    {!Transform.Bitopt.apply}[ ~verify], which runs it before any
+    mutation. *)

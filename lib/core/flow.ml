@@ -17,6 +17,12 @@ type config = {
   delete_locals : bool;
   verify_each : bool;
   disambiguate : bool;
+  bitopt : bool;
+      (** Certified bit-level optimisation after simplification
+          ({!Transform.Bitopt}): every claim batch is re-proved by the
+          {!Fpfa_analysis.Verify.bits} replay before it is applied,
+          unconditionally — a rewrite the recomputed facts cannot
+          justify fails the flow blaming rule "bitopt". *)
   incremental : bool;
       (** Keep the pre-disambiguation minimised snapshot for
           {!Staged.rewind_patched} and canonically renumber the minimised
@@ -36,6 +42,7 @@ let default_config =
     delete_locals = false;
     verify_each = false;
     disambiguate = true;
+    bitopt = true;
     incremental = false;
   }
 
@@ -45,6 +52,7 @@ type result = {
   raw_graph : Cdfg.Graph.t;
   graph : Cdfg.Graph.t;
   simplify_report : Transform.Simplify.report;
+  bitopt_report : Transform.Bitopt.report;
   disambig_report : Transform.Disambig.report;
   clustering : Mapping.Cluster.t;
   schedule : Mapping.Sched.t;
@@ -108,6 +116,61 @@ let par2 pool a b =
 let caps_of config =
   match config.caps with Some caps -> caps | None -> config.tile.Arch.alu
 
+(* The certified bit-level optimisation stage, run identically by the
+   cold path ({!Staged.minimise}) and the incremental re-entry
+   ({!Staged.rewind_patched}) so a patched compile stays byte-identical
+   to a cold one. Each round: analyse, derive a claim batch, have
+   {!Fpfa_analysis.Verify.bits} re-prove the whole batch from
+   independently recomputed facts (refusal raises, failing the flow
+   blaming rule "bitopt"), apply, and let the standard rules clean up
+   the dirty region. The re-proof is unconditional — [verify_each] only
+   adds the structural hook to the cleanup run. *)
+let bitopt_stage config graph =
+  if not config.bitopt then Transform.Bitopt.empty_report
+  else
+    stage "bitopt" (fun () ->
+        let max_rounds = 4 in
+        let rec loop rounds acc =
+          if rounds >= max_rounds then acc
+          else
+            let facts = Transform.Absdom.analyze graph in
+            let claims =
+              Transform.Bitopt.derive (Transform.Absdom.value facts) graph
+            in
+            if claims = [] then acc
+            else begin
+              let r =
+                Transform.Bitopt.apply
+                  ~verify:(fun g cs -> Fpfa_analysis.Verify.bits g cs)
+                  graph claims
+              in
+              let defs, uses = Cdfg.Graph.drain_dirty graph in
+              let seed =
+                Cdfg.Graph.Id_set.union defs uses
+                |> Cdfg.Graph.Id_set.elements
+                |> List.filter (Cdfg.Graph.mem graph)
+              in
+              let verify =
+                if config.verify_each then
+                  Some (Fpfa_analysis.Verify.pass_hook ())
+                else None
+              in
+              (match config.simplify with
+              | Worklist rules ->
+                ignore
+                  (Transform.Simplify.minimize ~rules ~seed ~validate:false
+                     ?verify graph)
+              | Fixpoint passes ->
+                ignore
+                  (Transform.Simplify.minimize ~passes ~validate:false ?verify
+                     graph));
+              loop (rounds + 1) (Transform.Bitopt.merge_report acc r)
+            end
+        in
+        let report = loop 0 Transform.Bitopt.empty_report in
+        Cdfg.Graph.validate graph;
+        report)
+
 (* A compilation as a value: the flow's checkpoints (minimised graph,
    clustering, schedule, allocation) held alongside the config that
    produced them, so a caller can stop between phases, hand the value to
@@ -131,7 +194,10 @@ module Staged = struct
     s_func : Cfront.Ast.func;
     s_raw : Cdfg.Graph.t;  (** validated at minimise; never mutated *)
     s_min :
-      (Cdfg.Graph.t * Transform.Simplify.report * Transform.Disambig.report)
+      (Cdfg.Graph.t
+      * Transform.Simplify.report
+      * Transform.Bitopt.report
+      * Transform.Disambig.report)
       option;
     s_preprune : (Cdfg.Graph.t * int array) option;
         (** [config.incremental] only: the minimised graph {e before}
@@ -246,6 +312,7 @@ module Staged = struct
             Array.init (Cdfg.Graph.id_bound graph) Fun.id )
       else None
     in
+    let bitopt_report = bitopt_stage config graph in
     let disambig_report =
       stage "disambig" (fun () ->
           if config.disambiguate then begin
@@ -286,7 +353,7 @@ module Staged = struct
     (match pool with Some _ -> Cdfg.Graph.freeze graph | None -> ());
     {
       s with
-      s_min = Some (graph, simplify_report, disambig_report);
+      s_min = Some (graph, simplify_report, bitopt_report, disambig_report);
       s_preprune = preprune;
     }
 
@@ -298,7 +365,7 @@ module Staged = struct
     match phase s with
     | Built -> minimise ?pool s
     | Minimised ->
-      let graph, _, _ = Option.get s.s_min in
+      let graph, _, _, _ = Option.get s.s_min in
       let caps = caps_of s.s_config in
       let clustering =
         stage "cluster" (fun () -> s.s_config.cluster_with ~caps graph)
@@ -351,7 +418,7 @@ module Staged = struct
 
   let to_result s =
     match (s.s_min, s.s_clustering, s.s_schedule, s.s_alloc) with
-    | ( Some (graph, simplify_report, disambig_report),
+    | ( Some (graph, simplify_report, bitopt_report, disambig_report),
         Some clustering,
         Some schedule,
         Some (job, metrics) ) ->
@@ -361,6 +428,7 @@ module Staged = struct
         raw_graph = s.s_raw;
         graph;
         simplify_report;
+        bitopt_report;
         disambig_report;
         clustering;
         schedule;
@@ -385,6 +453,7 @@ module Staged = struct
     a.simplify == b.simplify
     && a.verify_each = b.verify_each
     && a.disambiguate = b.disambiguate
+    && a.bitopt = b.bitopt
     && a.incremental = b.incremental
 
   let same_cluster a b = a.cluster_with == b.cluster_with && caps_of a = caps_of b
@@ -449,6 +518,11 @@ module Staged = struct
           in
           stage "simplify-validate" (fun () -> Cdfg.Graph.validate onto);
           let preprune = Some (Cdfg.Graph.copy onto, forward) in
+          (* Same certified bit-level stage as a cold minimise — the
+             snapshot above is pre-bitopt on both paths, so the patched
+             graph re-derives the same claims a cold compile would and
+             stays byte-identical downstream. *)
+          let bitopt_report = bitopt_stage config onto in
           let disambig_report =
             stage "disambig" (fun () ->
                 if config.disambiguate then begin
@@ -475,7 +549,8 @@ module Staged = struct
           Ok
             ( {
                 fresh with
-                s_min = Some (graph, simplify_report, disambig_report);
+                s_min =
+                  Some (graph, simplify_report, bitopt_report, disambig_report);
                 s_preprune = preprune;
                 s_clustering = None;
                 s_schedule = None;
@@ -486,7 +561,7 @@ module Staged = struct
   let freeze s =
     Cdfg.Graph.freeze s.s_raw;
     (match s.s_preprune with Some (g, _) -> Cdfg.Graph.freeze g | None -> ());
-    match s.s_min with Some (g, _, _) -> Cdfg.Graph.freeze g | None -> ()
+    match s.s_min with Some (g, _, _, _) -> Cdfg.Graph.freeze g | None -> ()
 end
 
 let map_func ?pool ?(config = default_config) func =
@@ -544,6 +619,10 @@ let audit ?pool ~config result =
             (Fpfa_analysis.Depend.analyze_source ~tile:config.tile
                ~max_iterations:config.max_unroll
                ~func:result.func.Cfront.Ast.name result.source));
+      (fun () ->
+        (* bit-level family: masked-away known-set bits at stores,
+           decided select conditions, bit-refined width overflows *)
+        Fpfa_analysis.Bits.diagnostics result.graph);
     ]
   in
   let diags =

@@ -36,6 +36,17 @@ type config = {
           simplification ({!Fpfa_analysis.Addr.prune}; default true).
           Under [verify_each] every edit batch is additionally audited by
           the {!Fpfa_analysis.Verify.statespace} replay. *)
+  bitopt : bool;
+      (** certified bit-level optimisation after simplification
+          ({!Transform.Bitopt}; default true): fold constant-bit values,
+          delete redundant masks and sign-extensions, demote
+          multiplier-class ops by powers of two into shifts, collapse
+          decided selects. Every claim batch is re-proved from
+          independently recomputed facts by the
+          {!Fpfa_analysis.Verify.bits} replay {e before} it is applied —
+          unconditionally, not only under [verify_each]; a claim the
+          replay cannot re-derive fails the flow blaming rule
+          ["bitopt"]. *)
   incremental : bool;
       (** keep the pre-disambiguation minimised snapshot for
           {!Staged.rewind_patched} and canonically renumber the minimised
@@ -53,6 +64,8 @@ type result = {
   raw_graph : Cdfg.Graph.t;  (** CDFG before minimisation *)
   graph : Cdfg.Graph.t;  (** minimised CDFG *)
   simplify_report : Transform.Simplify.report;
+  bitopt_report : Transform.Bitopt.report;
+      (** bit-level rewrite tallies (all zero when [bitopt] was off) *)
   disambig_report : Transform.Disambig.report;
       (** order-edge pruning tallies (all zero when [disambiguate] was
           off) *)
@@ -185,7 +198,10 @@ val audit :
     cluster/schedule/allocation legality, and the
     {!Fpfa_analysis.Depend} loop-carried dependence analysis re-run from
     the pre-unroll source (skipped for graph-only results with no
-    source). The seven diagnostic families are independent, so with
+    source), and the {!Fpfa_analysis.Bits} bit-level lints
+    (dead-masked stores, decided selects, bit-refined width overflows)
+    on the minimised graph. The eight diagnostic families are
+    independent, so with
     [?pool] they run concurrently — the result graphs are frozen first
     (see {!map_source}); output is identical to the sequential run. *)
 

@@ -431,6 +431,68 @@ let moving_average_acc ~window ~n =
     inputs = [ ("x", test_vector ~seed:31 (n + window)) ];
   }
 
+let crc8 ~bytes =
+  (* Table-free CRC-8 (polynomial 0x07), bit-serial: the working byte is
+     re-masked to 8 bits every step, so the known-bits analysis proves the
+     high masks redundant while the select conditions stay data-dependent.
+     Inputs are masked on entry — the kernel is total on any word. *)
+  {
+    name = Printf.sprintf "crc8-%d" bytes;
+    description =
+      Printf.sprintf "bit-serial CRC-8 (poly 0x07) over %d bytes" bytes;
+    source =
+      Printf.sprintf
+        {|void main() {
+  crc = 0;
+  for (i = 0; i < %d; i++) {
+    crc = crc ^ (msg[i] & 255);
+    for (b = 0; b < 8; b++) {
+      if ((crc & 128) != 0) {
+        crc = ((crc << 1) ^ 7) & 255;
+      } else {
+        crc = (crc << 1) & 255;
+      }
+    }
+  }
+  out[0] = crc & 255;
+}|}
+        bytes;
+    inputs = [ ("msg", test_vector ~seed:32 bytes) ];
+  }
+
+let pack565 ~n =
+  (* RGB565 pack/unpack with the scale factors written as multiply,
+     divide and modulo by powers of two: once the field masks prove the
+     packed word non-negative and bounded, every multiplier-class op here
+     is demotable to a shift or a mask, and the unpack-side re-masks are
+     redundant. *)
+  {
+    name = Printf.sprintf "pack565-%d" n;
+    description =
+      Printf.sprintf "RGB565 pack/unpack of %d pixels via * / %% by 2^k" n;
+    source =
+      Printf.sprintf
+        {|void main() {
+  for (i = 0; i < %d; i++) {
+    r = rr[i] & 31;
+    g = gg[i] & 63;
+    b = bb[i] & 31;
+    p = r * 2048 + g * 32 + b;
+    pix[i] = p;
+    ur[i] = (p / 2048) & 31;
+    ug[i] = (p / 32) %% 64;
+    ub[i] = p %% 32;
+  }
+}|}
+        n;
+    inputs =
+      [
+        ("rr", test_vector ~seed:33 n);
+        ("gg", test_vector ~seed:34 n);
+        ("bb", test_vector ~seed:35 n);
+      ];
+  }
+
 let all =
   [
     fir_paper;
@@ -454,6 +516,8 @@ let all =
     cumulative_sum ~n:8;
     iir_first_order ~n:8;
     moving_average_acc ~window:4 ~n:8;
+    crc8 ~bytes:4;
+    pack565 ~n:4;
   ]
 
 let find name = List.find (fun k -> String.equal k.name name) all

@@ -75,6 +75,16 @@ val moving_average_acc : window:int -> n:int -> t
     ([acc = acc + x[i+W] - x[i]]) — a scalar-carry recurrence
     (RecMII 2), unlike {!moving_average}'s windowed rescan. *)
 
+val crc8 : bytes:int -> t
+(** Table-free bit-serial CRC-8 (polynomial 0x07) — the bit-level
+    analysis proves the per-step 8-bit re-masks redundant. *)
+
+val pack565 : n:int -> t
+(** RGB565 pixel pack/unpack with field scaling written as [*], [/] and
+    [%] by powers of two — every multiplier-class op is provably
+    demotable to shifts and masks once the field masks bound the packed
+    word. *)
+
 val all : t list
 (** The default suite at representative sizes (deterministic order). *)
 

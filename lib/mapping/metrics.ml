@@ -4,6 +4,7 @@ type t = {
   inserted_cycles : int;
   levels : int;
   alu_ops : int;
+  mul_ops : int;
   alu_firings : int;
   moves : int;
   forwards : int;
@@ -59,6 +60,23 @@ let of_job (job : Job.t) =
                  List.length
                    (List.filter
                       (fun (m : Job.micro) -> m.Job.action <> Job.Pass)
+                      w.Job.micros))
+               c.Job.alu))
+      0
+  in
+  let mul_ops =
+    fold
+      (fun acc c ->
+        acc
+        + Fpfa_util.Listx.sum
+            (List.map
+               (fun (w : Job.alu_work) ->
+                 List.length
+                   (List.filter
+                      (fun (m : Job.micro) ->
+                        match m.Job.action with
+                        | Job.Bin op -> Cdfg.Op.is_multiplier_class op
+                        | _ -> false)
                       w.Job.micros))
                c.Job.alu))
       0
@@ -138,6 +156,7 @@ let of_job (job : Job.t) =
     inserted_cycles = cycles - exec_cycles;
     levels;
     alu_ops;
+    mul_ops;
     alu_firings;
     moves;
     forwards;
@@ -159,16 +178,18 @@ let of_job (job : Job.t) =
 
 let pp fmt m =
   Format.fprintf fmt
-    "cycles=%d (exec=%d stall=%d) levels=%d ops=%d firings=%d moves=%d \
-     fwd=%d reads=%d writes=%d bus=%d util=%.2f locality=%.2f energy=%.0f"
-    m.cycles m.exec_cycles m.inserted_cycles m.levels m.alu_ops m.alu_firings
+    "cycles=%d (exec=%d stall=%d) levels=%d ops=%d (mul=%d) firings=%d \
+     moves=%d fwd=%d reads=%d writes=%d bus=%d util=%.2f locality=%.2f \
+     energy=%.0f"
+    m.cycles m.exec_cycles m.inserted_cycles m.levels m.alu_ops m.mul_ops
+    m.alu_firings
     m.moves m.forwards m.mem_reads m.mem_writes m.bus_transfers
     m.alu_utilisation m.locality m.energy
 
 let header =
   [
-    "kernel"; "cycles"; "levels"; "ops"; "moves"; "reads"; "writes"; "util";
-    "locality"; "energy";
+    "kernel"; "cycles"; "levels"; "ops"; "mul"; "moves"; "reads"; "writes";
+    "util"; "locality"; "energy";
   ]
 
 let row ~name m =
@@ -177,6 +198,7 @@ let row ~name m =
     string_of_int m.cycles;
     string_of_int m.levels;
     string_of_int m.alu_ops;
+    string_of_int m.mul_ops;
     string_of_int m.moves;
     string_of_int m.mem_reads;
     string_of_int m.mem_writes;

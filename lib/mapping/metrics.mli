@@ -7,6 +7,9 @@ type t = {
   inserted_cycles : int;  (** cycles with moves/write-backs only (stalls) *)
   levels : int;
   alu_ops : int;  (** primitive operations executed *)
+  mul_ops : int;
+      (** multiplier-class operations among them (mul/div/mod) — the ops
+          the bit-level pass demotes to shifts and masks *)
   alu_firings : int;  (** cluster executions (ALU-cycles in use) *)
   moves : int;  (** memory -> register transfers *)
   forwards : int;  (** direct register forwards (extension) *)

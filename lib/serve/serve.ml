@@ -237,11 +237,17 @@ let config_of req =
   in
   (try Arch.validate tile
    with Invalid_argument msg -> raise (Bad_request ("bad tile: " ^ msg)));
-  let fingerprint =
-    Printf.sprintf "%s:a%d:b%d:w%d" v.Baseline.vname tile.Arch.alu_count
-      tile.Arch.buses tile.Arch.move_window
+  let bitopt =
+    Option.value ~default:config.Flow.bitopt (bool_field req "bitopt")
   in
-  ({ config with Flow.tile }, fingerprint)
+  (* the bitopt toggle changes the minimised graph, so it must key the
+     mapping cache alongside the variant and tile knobs *)
+  let fingerprint =
+    Printf.sprintf "%s:a%d:b%d:w%d:o%d" v.Baseline.vname tile.Arch.alu_count
+      tile.Arch.buses tile.Arch.move_window
+      (if bitopt then 1 else 0)
+  in
+  ({ config with Flow.tile; Flow.bitopt }, fingerprint)
 
 (* {2 Payload rendering} *)
 
@@ -253,6 +259,7 @@ let metrics_json (m : Mapping.Metrics.t) =
       ("inserted_cycles", Json.Int m.Mapping.Metrics.inserted_cycles);
       ("levels", Json.Int m.Mapping.Metrics.levels);
       ("alu_ops", Json.Int m.Mapping.Metrics.alu_ops);
+      ("mul_ops", Json.Int m.Mapping.Metrics.mul_ops);
       ("alu_firings", Json.Int m.Mapping.Metrics.alu_firings);
       ("moves", Json.Int m.Mapping.Metrics.moves);
       ("forwards", Json.Int m.Mapping.Metrics.forwards);

@@ -1,0 +1,508 @@
+module G = Cdfg.Graph
+module Op = Cdfg.Op
+module I = Fpfa_util.Interval
+
+(* Field-access convenience: [interval] is interchangeable with [I.t]. *)
+type interval = I.t = { lo : int; hi : int }
+
+(* ------------------------------------------------------------------ *)
+(* Known bits                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type bits = { zeros : int; ones : int }
+
+let bits_top = { zeros = 0; ones = 0 }
+let bits_const v = { zeros = lnot v; ones = v }
+let bits_known b = b.zeros lor b.ones
+
+let bits_is_const b =
+  if b.zeros lor b.ones = -1 then Some b.ones else None
+
+let bits_mem v b = v land b.zeros = 0 && lnot v land b.ones = 0
+
+let bits_join a b =
+  { zeros = a.zeros land b.zeros; ones = a.ones land b.ones }
+
+let bits_not b = { zeros = b.ones; ones = b.zeros }
+
+(* The sign bit of the 63-bit native word. *)
+let sign_mask = min_int
+
+(* Low [t] bits set; total for any [t]. *)
+let mask_low t = if t >= 63 then -1 else if t <= 0 then 0 else (1 lsl t) - 1
+
+(* All bits at or below the highest set bit of [x]. *)
+let smear_down x =
+  let x = x lor (x lsr 1) in
+  let x = x lor (x lsr 2) in
+  let x = x lor (x lsr 4) in
+  let x = x lor (x lsr 8) in
+  let x = x lor (x lsr 16) in
+  x lor (x lsr 32)
+
+let run_while mask =
+  let rec go i = if i > 62 then 63 else if mask land (1 lsl i) = 0 then i else go (i + 1) in
+  go 0
+
+let low_known_run b = run_while (bits_known b)
+let trailing_zero_run b = run_while b.zeros
+
+(* Tri-state ripple-carry addition. A bit is 0 (known-0), 1 (known-1) or
+   2 (unknown); the sum bit is known only when all three addend bits are,
+   the carry-out is known-1 when at least two inputs are known-1 and
+   known-0 when at most one input could be 1. Exactly mirrors native
+   [( + )] (overflow past bit 62 is discarded on both sides). *)
+let bits_add ?(carry = 0) a b =
+  let zeros = ref 0 and ones = ref 0 in
+  let c = ref carry in
+  for i = 0 to 62 do
+    let m = 1 lsl i in
+    let tri one zero = if one then 1 else if zero then 0 else 2 in
+    let ab = tri (a.ones land m <> 0) (a.zeros land m <> 0) in
+    let bb = tri (b.ones land m <> 0) (b.zeros land m <> 0) in
+    let k1 =
+      (if ab = 1 then 1 else 0) + (if bb = 1 then 1 else 0)
+      + if !c = 1 then 1 else 0
+    in
+    let u =
+      (if ab = 2 then 1 else 0) + (if bb = 2 then 1 else 0)
+      + if !c = 2 then 1 else 0
+    in
+    if u = 0 then
+      if k1 land 1 = 1 then ones := !ones lor m else zeros := !zeros lor m;
+    c := (if k1 >= 2 then 1 else if k1 + u <= 1 then 0 else 2)
+  done;
+  { zeros = !zeros; ones = !ones }
+
+let pp_bits fmt b =
+  (* Most significant first, 63 positions: 0, 1 or ?. *)
+  let buf = Buffer.create 63 in
+  for i = 62 downto 0 do
+    let m = 1 lsl i in
+    Buffer.add_char buf
+      (if b.ones land m <> 0 then '1'
+       else if b.zeros land m <> 0 then '0'
+       else '?')
+  done;
+  (* Compress the leading run for readability. *)
+  let s = Buffer.contents buf in
+  let lead = s.[0] in
+  let n = ref 0 in
+  while !n < 62 && s.[!n] = lead do incr n done;
+  if !n > 8 then Format.fprintf fmt "%c*%d%s" lead !n (String.sub s !n (63 - !n))
+  else Format.pp_print_string fmt s
+
+(* ------------------------------------------------------------------ *)
+(* Interval transfers (moved verbatim from Transform.Range)            *)
+(* ------------------------------------------------------------------ *)
+
+let is_inf = I.is_inf
+let sat_add = I.sat_add
+let sat_neg = I.sat_neg
+let sat_sub = I.sat_sub
+let sat_mul = I.sat_mul
+let make = I.make
+let hull = I.hull
+let bool_interval = I.bool_interval
+let magnitude = I.magnitude
+let bits_for = I.bits_for
+
+let binop_interval op a b =
+  match op with
+  | Op.Add -> make (sat_add a.lo b.lo) (sat_add a.hi b.hi)
+  | Op.Sub -> make (sat_sub a.lo b.hi) (sat_sub a.hi b.lo)
+  | Op.Mul ->
+    let products =
+      [ sat_mul a.lo b.lo; sat_mul a.lo b.hi; sat_mul a.hi b.lo; sat_mul a.hi b.hi ]
+    in
+    make
+      (List.fold_left min I.pos_inf products)
+      (List.fold_left max I.neg_inf products)
+  | Op.Div ->
+    (* |a / b| <= |a| for any b (and a/0 = 0 in our total semantics) *)
+    let m = magnitude a in
+    make (sat_neg m) m
+  | Op.Mod ->
+    (* |a mod b| < |b| and |a mod b| <= |a|; a mod 0 = 0 *)
+    let m =
+      let ma = magnitude a
+      and mb = if magnitude b = I.pos_inf then I.pos_inf else max 0 (magnitude b - 1) in
+      min ma mb
+    in
+    let lo = if a.lo < 0 then sat_neg m else 0 in
+    let hi = if a.hi > 0 then m else 0 in
+    make lo hi
+  | Op.Shl ->
+    (* the machine shift wraps the 63-bit integer, so anything uncertain is
+       the full top interval *)
+    if b.lo = b.hi && b.lo >= 0 && b.lo <= 40 && not (is_inf a.lo || is_inf a.hi)
+    then
+      let f = 1 lsl b.lo in
+      make (sat_mul a.lo f) (sat_mul a.hi f)
+    else I.top
+  | Op.Shr ->
+    if
+      b.lo = b.hi && b.lo >= 0 && b.lo <= 62
+      && not (is_inf a.lo || is_inf a.hi)
+    then make (a.lo asr b.lo) (a.hi asr b.lo)
+    else
+      (* arithmetic shift never grows magnitude; out-of-range yields 0 *)
+      make (min a.lo 0) (max a.hi 0)
+  | Op.Band when b.lo = b.hi && b.lo >= 0 && not (is_inf b.hi) ->
+    (* AND with a non-negative constant mask lands in [0, mask] whatever
+       the other operand is (two's complement) — the fact that keeps
+       masked dynamic addresses like a[i & 7] bounded. *)
+    make 0 b.lo
+  | Op.Band when a.lo = a.hi && a.lo >= 0 && not (is_inf a.hi) -> make 0 a.lo
+  | Op.Band | Op.Bor | Op.Bxor ->
+    let k = max (bits_for a) (bits_for b) in
+    if k >= 62 then I.top
+    else if a.lo >= 0 && b.lo >= 0 then
+      (* non-negative operands: results stay below the next power of two *)
+      make 0 ((1 lsl k) - 1)
+    else make (-(1 lsl k)) ((1 lsl k) - 1)
+  | Op.Lt | Op.Le | Op.Gt | Op.Ge | Op.Eq | Op.Ne | Op.Land | Op.Lor ->
+    bool_interval
+
+let unop_interval op a =
+  match op with
+  | Op.Neg -> make (sat_neg a.hi) (sat_neg a.lo)
+  | Op.Bnot -> make (sat_sub (sat_neg a.hi) 1) (sat_sub (sat_neg a.lo) 1)
+  | Op.Lnot -> bool_interval
+
+(* ------------------------------------------------------------------ *)
+(* The product                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type t = { bits : bits; range : I.t }
+
+let top = { bits = bits_top; range = I.top }
+let const v = { bits = bits_const v; range = I.const v }
+
+let bits_of_interval (r : I.t) =
+  if r.lo = I.pos_inf || r.hi = I.neg_inf then
+    (* both bounds saturated to the same side: the sentinel is not a true
+       bound of that direction (the value is merely beyond the finite
+       band), so the prefix rule would fabricate knowledge *)
+    bits_top
+  else if r.lo = r.hi then bits_const r.lo
+  else
+    (* Bits above the highest differing bit of lo and hi are shared by
+       every value in between (two's-complement order agrees with the
+       prefix order within one sign, and a sign difference makes the
+       topmost bit differ, leaving nothing known). *)
+    let known = lnot (smear_down (r.lo lxor r.hi)) in
+    { zeros = known land lnot r.lo; ones = known land r.lo }
+
+let of_interval r = { bits = bits_of_interval r; range = r }
+
+let refine { bits; range } =
+  let bits =
+    let fr = bits_of_interval range in
+    { zeros = bits.zeros lor fr.zeros; ones = bits.ones lor fr.ones }
+  in
+  (* Bounds push back into the interval only inside the finite band:
+     Interval saturates magnitudes past [finite_limit] to infinities, so
+     a larger bound would collapse to a sentinel that no longer contains
+     the concrete value. *)
+  let finite v = v > -I.finite_limit && v < I.finite_limit in
+  let range =
+    match bits_is_const bits with
+    | Some v when finite v -> I.const v
+    | Some _ -> range
+    | None ->
+      let unknown = lnot (bits_known bits) in
+      let blo = bits.ones lor (unknown land sign_mask) in
+      let bhi = bits.ones lor (unknown land max_int) in
+      let lo = if finite blo then max range.lo blo else range.lo in
+      let hi = if finite bhi then min range.hi bhi else range.hi in
+      if lo <= hi then make lo hi else range
+  in
+  { bits; range }
+
+let join a b =
+  { bits = bits_join a.bits b.bits; range = hull a.range b.range }
+
+(* An infinite bound is a saturation sentinel ("beyond the finite band"),
+   not a literal bound: it constrains nothing in its direction. *)
+let interval_mem v (r : I.t) =
+  (I.is_inf r.lo || v >= r.lo) && (I.is_inf r.hi || v <= r.hi)
+
+let mem v p = bits_mem v p.bits && interval_mem v p.range
+
+let is_const p =
+  match bits_is_const p.bits with
+  | Some _ as c -> c
+  | None -> I.is_const p.range
+
+let known_nonzero p =
+  p.bits.ones <> 0 || p.range.lo > 0 || p.range.hi < 0
+
+let known_zero p = is_const p = Some 0
+
+let pp fmt p = Format.fprintf fmt "%a %a" I.pp p.range pp_bits p.bits
+
+(* ------------------------------------------------------------------ *)
+(* Product transfers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let bool_unknown = { zeros = lnot 1; ones = 0 }
+
+let bool_of_opt = function
+  | Some true -> bits_const 1
+  | Some false -> bits_const 0
+  | None -> bool_unknown
+
+(* Shift masks by a known amount. [asr] on the masks is exact for Shr:
+   the native word is exactly the 63 tracked bits, so the mask's bit 62
+   (the knowledge about the sign bit) replicates just as the value's
+   sign bit does. *)
+let bits_shl_const a s =
+  { zeros = (a.zeros lsl s) lor mask_low s; ones = a.ones lsl s }
+
+let bits_shr_const a s = { zeros = a.zeros asr s; ones = a.ones asr s }
+
+let bits_mul a b =
+  (* Trailing zeros add; and the low run of fully known bits of both
+     operands determines the product's low bits exactly (mod 2^k). *)
+  let t = min 63 (trailing_zero_run a + trailing_zero_run b) in
+  let k = min (low_known_run a) (low_known_run b) in
+  let mk = mask_low k in
+  let p = (a.ones land mk) * (b.ones land mk) in
+  {
+    zeros = mask_low t lor (lnot p land mk);
+    ones = p land mk;
+  }
+
+(* Genuine bounds for ordered comparisons: a bound saturated to the
+   opposite sentinel ([lo] = pos_inf / [hi] = neg_inf) only certifies
+   "beyond the finite band", so the usable bound is the band edge.
+   Same-side sentinels (lo = neg_inf, hi = pos_inf) are universal bounds
+   of the native word and stay as they are. *)
+let cmp_lo (r : I.t) = if r.lo = I.pos_inf then I.finite_limit else r.lo
+let cmp_hi (r : I.t) = if r.hi = I.neg_inf then -I.finite_limit else r.hi
+
+let binop_bits op (pa : t) (pb : t) =
+  let a = pa.bits and b = pb.bits in
+  match op with
+  | Op.Add -> bits_add a b
+  | Op.Sub -> bits_add ~carry:1 a (bits_not b)
+  | Op.Mul -> bits_mul a b
+  | Op.Div -> (
+    match bits_is_const b with
+    | Some 0 -> bits_const 0
+    | Some d when d > 0 && d land (d - 1) = 0 && pa.range.lo >= 0 ->
+      (* dividend provably non-negative: a / 2^k = a asr k *)
+      let k = run_while (d - 1) in
+      bits_shr_const a k
+    | _ -> bits_top)
+  | Op.Mod -> (
+    match bits_is_const b with
+    | Some 0 -> bits_const 0
+    | Some d when d > 0 && d land (d - 1) = 0 && pa.range.lo >= 0 ->
+      (* a mod 2^k = a land (2^k - 1) for a >= 0 *)
+      let m = d - 1 in
+      { zeros = (a.zeros land m) lor lnot m; ones = a.ones land m }
+    | _ ->
+      (* sign follows the dividend *)
+      if pa.range.lo >= 0 || a.zeros land sign_mask <> 0 then
+        { bits_top with zeros = sign_mask }
+      else bits_top)
+  | Op.Shl -> (
+    match bits_is_const b with
+    | Some s when s >= 0 && s <= 62 -> bits_shl_const a s
+    | Some _ -> bits_const 0 (* out-of-range shift yields 0 *)
+    | None ->
+      (* every in-range shift preserves the trailing-zero run; the
+         out-of-range result 0 has every bit zero *)
+      { bits_top with zeros = mask_low (trailing_zero_run a) })
+  | Op.Shr -> (
+    match bits_is_const b with
+    | Some s when s >= 0 && s <= 62 -> bits_shr_const a s
+    | Some _ -> bits_const 0
+    | None ->
+      if a.zeros land sign_mask <> 0 then { bits_top with zeros = sign_mask }
+      else bits_top)
+  | Op.Band -> { zeros = a.zeros lor b.zeros; ones = a.ones land b.ones }
+  | Op.Bor -> { zeros = a.zeros land b.zeros; ones = a.ones lor b.ones }
+  | Op.Bxor ->
+    let known = bits_known a land bits_known b in
+    let x = a.ones lxor b.ones in
+    { zeros = known land lnot x; ones = known land x }
+  | Op.Lt ->
+    bool_of_opt
+      (if cmp_hi pa.range < cmp_lo pb.range then Some true
+       else if cmp_lo pa.range >= cmp_hi pb.range then Some false
+       else None)
+  | Op.Le ->
+    bool_of_opt
+      (if cmp_hi pa.range <= cmp_lo pb.range then Some true
+       else if cmp_lo pa.range > cmp_hi pb.range then Some false
+       else None)
+  | Op.Gt ->
+    bool_of_opt
+      (if cmp_lo pa.range > cmp_hi pb.range then Some true
+       else if cmp_hi pa.range <= cmp_lo pb.range then Some false
+       else None)
+  | Op.Ge ->
+    bool_of_opt
+      (if cmp_lo pa.range >= cmp_hi pb.range then Some true
+       else if cmp_hi pa.range < cmp_lo pb.range then Some false
+       else None)
+  | Op.Eq ->
+    bool_of_opt
+      (match (is_const pa, is_const pb) with
+      | Some x, Some y -> Some (x = y)
+      | _ ->
+        if I.disjoint pa.range pb.range then Some false
+        else if (a.ones land b.zeros) lor (a.zeros land b.ones) <> 0 then
+          (* some bit provably differs *)
+          Some false
+        else None)
+  | Op.Ne ->
+    bool_of_opt
+      (match (is_const pa, is_const pb) with
+      | Some x, Some y -> Some (x <> y)
+      | _ ->
+        if I.disjoint pa.range pb.range then Some true
+        else if (a.ones land b.zeros) lor (a.zeros land b.ones) <> 0 then
+          Some true
+        else None)
+  | Op.Land ->
+    bool_of_opt
+      (if known_zero pa || known_zero pb then Some false
+       else if known_nonzero pa && known_nonzero pb then Some true
+       else None)
+  | Op.Lor ->
+    bool_of_opt
+      (if known_nonzero pa || known_nonzero pb then Some true
+       else if known_zero pa && known_zero pb then Some false
+       else None)
+
+let binop op pa pb =
+  (* two singletons: the one concretisation is Eval's result, exactly —
+     this also covers the wrap cases (min / -1, min * -1) the structural
+     transfers cannot see *)
+  match (is_const pa, is_const pb) with
+  | Some x, Some y -> const (Op.eval_binop op x y)
+  | _ ->
+    refine
+      {
+        bits = binop_bits op pa pb;
+        range = binop_interval op pa.range pb.range;
+      }
+
+let unop op pa =
+  match is_const pa with
+  | Some x -> const (Op.eval_unop op x)
+  | None ->
+    let bits =
+      match op with
+      | Op.Neg -> bits_add ~carry:1 (bits_not pa.bits) (bits_const 0)
+      | Op.Bnot -> bits_not pa.bits
+      | Op.Lnot ->
+        bool_of_opt
+          (if known_zero pa then Some true
+           else if known_nonzero pa then Some false
+           else None)
+    in
+    refine { bits; range = unop_interval op pa.range }
+
+let mux cond if_true if_false =
+  if known_nonzero cond then if_true
+  else if known_zero cond then if_false
+  else join if_true if_false
+
+(* ------------------------------------------------------------------ *)
+(* Forward analysis                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type facts = {
+  values : (G.id, t) Hashtbl.t;
+  regions : (string, t) Hashtbl.t;
+  iters : int;
+}
+
+let analyze ?(width = 16) ?(input_ranges = []) g =
+  let input_fact region =
+    match List.assoc_opt region input_ranges with
+    | Some r -> of_interval r
+    | None -> of_interval (I.full_width width)
+  in
+  let values : (G.id, t) Hashtbl.t = Hashtbl.create 64 in
+  let regions : (string, t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (region, _) -> Hashtbl.replace regions region (input_fact region))
+    (G.regions g);
+  let order = G.topo_order g in
+  let changed = ref true in
+  let iterations = ref 0 in
+  let max_iterations = 8 in
+  while !changed && !iterations < max_iterations do
+    changed := false;
+    incr iterations;
+    List.iter
+      (fun id ->
+        let n = G.node g id in
+        let value i = Hashtbl.find values n.G.inputs.(i) in
+        let update v =
+          match Hashtbl.find_opt values id with
+          | Some old when old = v -> ()
+          | Some old ->
+            Hashtbl.replace values id (join old v);
+            changed := true
+          | None ->
+            Hashtbl.replace values id v;
+            changed := true
+        in
+        match n.G.kind with
+        | G.Const v -> update (const v)
+        | G.Binop op -> update (binop op (value 0) (value 1))
+        | G.Unop op -> update (unop op (value 0))
+        | G.Mux -> update (mux (value 0) (value 1) (value 2))
+        | G.Fe region -> update (Hashtbl.find regions region)
+        | G.St region ->
+          let stored = value 2 in
+          let old = Hashtbl.find regions region in
+          let joined = join old stored in
+          if joined <> old then begin
+            Hashtbl.replace regions region joined;
+            changed := true
+          end
+        | G.Ss_in _ | G.Ss_out _ | G.Del _ -> ())
+      order
+  done;
+  (* Region feedback still in motion: pin every region at top and
+     recompute in one exact feed-forward sweep (same fallback as
+     Transform.Range.analyze — constants and arithmetic over them stay
+     precise, only memory-derived values degrade). *)
+  if !changed then begin
+    List.iter (fun (region, _) -> Hashtbl.replace regions region top) (G.regions g);
+    List.iter
+      (fun id ->
+        let n = G.node g id in
+        let value i = Hashtbl.find values n.G.inputs.(i) in
+        let set v = Hashtbl.replace values id v in
+        match n.G.kind with
+        | G.Const v -> set (const v)
+        | G.Binop op -> set (binop op (value 0) (value 1))
+        | G.Unop op -> set (unop op (value 0))
+        | G.Mux -> set (mux (value 0) (value 1) (value 2))
+        | G.Fe _ -> set top
+        | G.St _ | G.Ss_in _ | G.Ss_out _ | G.Del _ -> ())
+      order
+  end;
+  { values; regions; iters = !iterations }
+
+let value facts id =
+  match Hashtbl.find_opt facts.values id with Some v -> v | None -> top
+
+let region_fact facts region = Hashtbl.find_opt facts.regions region
+let iterations facts = facts.iters
+
+let fold_values facts ~init ~f =
+  let ids =
+    Hashtbl.fold (fun id _ acc -> id :: acc) facts.values []
+    |> List.sort compare
+  in
+  List.fold_left (fun acc id -> f acc id (Hashtbl.find facts.values id)) init ids

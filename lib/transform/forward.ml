@@ -132,3 +132,96 @@ let dead_store = { Pass.name = "dead-store"; run = run_dead_store }
 
 let dead_store_rule =
   Pass.local "dead-store" (fun g id -> bypass_dead_store g (G.node g id))
+
+(* {2 Token-order canonical form}
+
+   The builder orders every writer of a region after all pending fetches
+   of the version it supersedes. Rewrites erode that shape in
+   firing-order-dependent ways: CSE inherits a merged duplicate's
+   anti-dependence edges, DCE buries a dead fetch's edges with it, and
+   store-to-fetch re-anchors a fetch without revisiting the edges that
+   protected its old position. Left alone, the surviving edge set depends
+   on which of those rules happened to fire first, and the two engines
+   diverge on graphs where a merged fetch's duplicate was dead.
+
+   The canonicaliser restores the builder's invariant for the *current*
+   token anchors: every same-region fetch reading version [t] is ordered
+   before each writer that consumes [t] directly, and an edge to a writer
+   farther down the chain is retargeted to the direct consumer (which
+   implies the original constraint transitively through the chain). The
+   result is a function of the fetch's token anchor alone. No address
+   oracle is consulted: the conservative shape is preserved and
+   {!Transform.Disambig} keeps its entire pruning workload. *)
+
+let canon_node g (n : G.node) =
+  let changed = ref false in
+  let ensure_edge w ~fe =
+    if not (List.mem fe (G.node g w).G.order_after) then begin
+      G.add_order g w ~after:fe;
+      changed := true
+    end
+  in
+  (* orders every fetch of token version [t] before writer [w] *)
+  let ensure_fetches_precede w ~region ~t =
+    List.iter
+      (fun (c, port) ->
+        if port = 0 && c <> w then
+          match G.kind g c with
+          | G.Fe r when String.equal r region -> ensure_edge w ~fe:c
+          | _ -> ())
+      (G.consumers_of g t)
+  in
+  (match n.G.kind with
+  | G.Fe region ->
+    let t = n.G.inputs.(0) in
+    List.iter
+      (fun (w, port) ->
+        if port = 0 then
+          match G.kind g w with
+          | (G.St r | G.Del r) when String.equal r region ->
+            ensure_edge w ~fe:n.G.id
+          | _ -> ())
+      (G.consumers_of g t)
+  | G.St region | G.Del region ->
+    let t = List.nth (G.inputs g n.G.id) 0 in
+    ensure_fetches_precede n.G.id ~region ~t;
+    List.iter
+      (fun fe ->
+        if G.mem g fe then
+          match G.kind g fe with
+          | G.Fe r when String.equal r region -> (
+            let anchor = List.nth (G.inputs g fe) 0 in
+            if t <> anchor then begin
+              (* climb this writer's token chain; the step out of the
+                 anchor is the canonical target *)
+              let rec climb id =
+                match G.kind g id with
+                | (G.St r' | G.Del r') when String.equal r' region ->
+                  let tok = List.nth (G.inputs g id) 0 in
+                  if tok = anchor then Some id else climb tok
+                | _ -> None
+              in
+              match climb n.G.id with
+              | Some w0 when w0 <> n.G.id ->
+                G.remove_order g n.G.id ~after:fe;
+                G.add_order g w0 ~after:fe;
+                changed := true
+              | Some _ | None -> ()
+            end)
+          | _ -> ())
+      n.G.order_after
+  | G.Const _ | G.Binop _ | G.Unop _ | G.Mux | G.Ss_in _ | G.Ss_out _ -> ());
+  !changed
+
+let run_order_canon g =
+  let changed = ref false in
+  List.iter
+    (fun id ->
+      if G.mem g id && canon_node g (G.node g id) then changed := true)
+    (G.node_ids g);
+  !changed
+
+let order_canon = { Pass.name = "order-canon"; run = run_order_canon }
+
+let order_canon_rule =
+  Pass.local "order-canon" (fun g id -> canon_node g (G.node g id))

@@ -26,8 +26,23 @@ val dead_store : Pass.t
     effect is immediately overwritten). Order edges are preserved by moving
     them onto the surviving node. *)
 
+val order_canon : Pass.t
+(** Restores the builder's anti-dependence invariant under the current
+    token anchors: every fetch of token version [t] is ordered before
+    each writer consuming [t] directly, and an edge to a writer farther
+    down the chain is retargeted to the direct consumer (which implies
+    it transitively). Without this, the surviving edge set depends on
+    whether CSE merged a dead duplicate fetch (inheriting its edges)
+    before DCE buried it (dropping them), and the two engines diverge.
+    Purely structural — no offset oracle — so {!Disambig} keeps its
+    whole pruning workload. *)
+
 val store_to_fetch_rule : Pass.rule
 (** Worklist variant of {!store_to_fetch}. *)
 
 val dead_store_rule : Pass.rule
 (** Worklist variant of {!dead_store}, reading the live use/def index. *)
+
+val order_canon_rule : Pass.rule
+(** Worklist variant of {!order_canon}; fires from either endpoint (the
+    fetch when it re-anchors, the writer when its edges change). *)

@@ -1,90 +1,27 @@
 module G = Cdfg.Graph
-module Op = Cdfg.Op
 module I = Fpfa_util.Interval
 
 (* The saturating interval arithmetic lives in Fpfa_util.Interval (shared
-   with the address analysis); this module keeps the Op-indexed transfer
-   functions and the CDFG fixpoint. The type equation keeps [interval]
-   interchangeable with [Interval.t] for clients on either side. *)
+   with the address analysis); the Op-indexed transfer functions live in
+   Absdom (shared with the bit analysis). This module keeps the CDFG
+   fixpoint. The type equation keeps [interval] interchangeable with
+   [Interval.t] for clients on either side. *)
 type interval = I.t = { lo : int; hi : int }
 
 let pp_interval = I.pp
 let is_inf = I.is_inf
-let sat_add = I.sat_add
-let sat_neg = I.sat_neg
-let sat_sub = I.sat_sub
-let sat_mul = I.sat_mul
-let make = I.make
 let const = I.const
 let hull = I.hull
 let top = I.top
 let bool_interval = I.bool_interval
 let full_width = I.full_width
-let magnitude = I.magnitude
-let bits_for = I.bits_for
 
-let binop_interval op a b =
-  match op with
-  | Op.Add -> make (sat_add a.lo b.lo) (sat_add a.hi b.hi)
-  | Op.Sub -> make (sat_sub a.lo b.hi) (sat_sub a.hi b.lo)
-  | Op.Mul ->
-    let products =
-      [ sat_mul a.lo b.lo; sat_mul a.lo b.hi; sat_mul a.hi b.lo; sat_mul a.hi b.hi ]
-    in
-    make
-      (List.fold_left min I.pos_inf products)
-      (List.fold_left max I.neg_inf products)
-  | Op.Div ->
-    (* |a / b| <= |a| for any b (and a/0 = 0 in our total semantics) *)
-    let m = magnitude a in
-    make (sat_neg m) m
-  | Op.Mod ->
-    (* |a mod b| < |b| and |a mod b| <= |a|; a mod 0 = 0 *)
-    let m =
-      let ma = magnitude a
-      and mb = if magnitude b = I.pos_inf then I.pos_inf else max 0 (magnitude b - 1) in
-      min ma mb
-    in
-    let lo = if a.lo < 0 then sat_neg m else 0 in
-    let hi = if a.hi > 0 then m else 0 in
-    make lo hi
-  | Op.Shl ->
-    (* the machine shift wraps the 63-bit integer, so anything uncertain is
-       the full top interval *)
-    if b.lo = b.hi && b.lo >= 0 && b.lo <= 40 && not (is_inf a.lo || is_inf a.hi)
-    then
-      let f = 1 lsl b.lo in
-      make (sat_mul a.lo f) (sat_mul a.hi f)
-    else top
-  | Op.Shr ->
-    if
-      b.lo = b.hi && b.lo >= 0 && b.lo <= 62
-      && not (is_inf a.lo || is_inf a.hi)
-    then make (a.lo asr b.lo) (a.hi asr b.lo)
-    else
-      (* arithmetic shift never grows magnitude; out-of-range yields 0 *)
-      make (min a.lo 0) (max a.hi 0)
-  | Op.Band when b.lo = b.hi && b.lo >= 0 && not (is_inf b.hi) ->
-    (* AND with a non-negative constant mask lands in [0, mask] whatever
-       the other operand is (two's complement) — the fact that keeps
-       masked dynamic addresses like a[i & 7] bounded. *)
-    make 0 b.lo
-  | Op.Band when a.lo = a.hi && a.lo >= 0 && not (is_inf a.hi) -> make 0 a.lo
-  | Op.Band | Op.Bor | Op.Bxor ->
-    let k = max (bits_for a) (bits_for b) in
-    if k >= 62 then top
-    else if a.lo >= 0 && b.lo >= 0 then
-      (* non-negative operands: results stay below the next power of two *)
-      make 0 ((1 lsl k) - 1)
-    else make (-(1 lsl k)) ((1 lsl k) - 1)
-  | Op.Lt | Op.Le | Op.Gt | Op.Ge | Op.Eq | Op.Ne | Op.Land | Op.Lor ->
-    bool_interval
-
-let unop_interval op a =
-  match op with
-  | Op.Neg -> make (sat_neg a.hi) (sat_neg a.lo)
-  | Op.Bnot -> make (sat_sub (sat_neg a.hi) 1) (sat_sub (sat_neg a.lo) 1)
-  | Op.Lnot -> bool_interval
+(* The Op-indexed transfer functions moved to Absdom (the shared
+   known-bits x interval product domain) so Range, the address analysis
+   and the bit analysis agree by construction; these aliases keep Range's
+   historical API. *)
+let binop_interval = Absdom.binop_interval
+let unop_interval = Absdom.unop_interval
 
 type violation = { node : G.id; kind : G.kind; range : interval }
 

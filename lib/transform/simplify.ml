@@ -5,6 +5,7 @@ let default_passes =
     Cse.pass;
     Forward.store_to_fetch;
     Forward.dead_store;
+    Forward.order_canon;
     Dce.pass;
     Reassoc.pass;
   ]
@@ -18,6 +19,7 @@ let default_rules =
     Cse.rule;
     Forward.store_to_fetch_rule;
     Forward.dead_store_rule;
+    Forward.order_canon_rule;
     Dce.rule;
     Reassoc.rule;
   ]

@@ -17,6 +17,7 @@ let () =
       ("eval", Test_eval.suite);
       ("transform", Test_transform.suite);
       ("range", Test_range.suite);
+      ("bits", Test_bits.suite);
       ("arch", Test_arch.suite);
       ("cluster", Test_cluster.suite);
       ("sched", Test_sched.suite);

@@ -154,6 +154,36 @@ let test_mapping_level_hit () =
   Alcotest.(check string) "same payload" (result_bytes r1) (result_bytes r2);
   Serve.shutdown s
 
+(* The bitopt toggle changes the minimised graph, so it is part of the
+   config fingerprint: flipping it must miss every cache level and
+   produce a different mapping on a kernel the pass rewrites. *)
+let test_bitopt_keys_cache () =
+  let s = Serve.create () in
+  let on_ =
+    expect_ok (Serve.handle s (req {|{"op":"compile","kernel":"pack565-4"}|}))
+  in
+  let off =
+    expect_ok
+      (Serve.handle s
+         (req {|{"op":"compile","kernel":"pack565-4","bitopt":false}|}))
+  in
+  Alcotest.(check (option string)) "toggle misses the mapping cache" None
+    (cached_of off);
+  Alcotest.(check bool)
+    "toggle changes the mapping" false
+    (String.equal (result_bytes on_) (result_bytes off));
+  (* spelling the default explicitly lands on the same fingerprint *)
+  let explicit =
+    expect_ok
+      (Serve.handle s
+         (req {|{"op":"compile","kernel":"pack565-4","bitopt":true}|}))
+  in
+  Alcotest.(check (option string)) "explicit default hits" (Some "mapping")
+    (cached_of explicit);
+  Alcotest.(check string) "same payload" (result_bytes on_)
+    (result_bytes explicit);
+  Serve.shutdown s
+
 let test_near_miss_resumes () =
   let s = Serve.create () in
   let uncached = Serve.create ~cache_size:0 () in
@@ -660,6 +690,7 @@ let suite =
     Alcotest.test_case "corpus hit equals miss" `Quick
       test_corpus_hit_equals_miss;
     Alcotest.test_case "mapping-level hit" `Quick test_mapping_level_hit;
+    Alcotest.test_case "bitopt keys cache" `Quick test_bitopt_keys_cache;
     Alcotest.test_case "near-miss resumes" `Quick test_near_miss_resumes;
     Alcotest.test_case "batch hammer" `Quick test_batch_hammer_matches_sequential;
     Alcotest.test_case "sweep matches reference" `Quick
