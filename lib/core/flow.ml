@@ -23,6 +23,12 @@ type config = {
           {!Fpfa_analysis.Verify.bits} replay before it is applied,
           unconditionally — a rewrite the recomputed facts cannot
           justify fails the flow blaming rule "bitopt". *)
+  bitopt_width : int;
+      (** Signed input width (bits) the bit-level analysis assumes for
+          region inputs — the same knob as [fpfa_map --check-width].
+          Semantics-changing (wider inputs justify fewer rewrites), so
+          it keys the serve fingerprint alongside the [bitopt] toggle
+          and both the stage and its verification replay use it. *)
   incremental : bool;
       (** Keep the pre-disambiguation minimised snapshot for
           {!Staged.rewind_patched} and canonically renumber the minimised
@@ -43,6 +49,7 @@ let default_config =
     verify_each = false;
     disambiguate = true;
     bitopt = true;
+    bitopt_width = 16;
     incremental = false;
   }
 
@@ -133,7 +140,9 @@ let bitopt_stage config graph =
         let rec loop rounds acc =
           if rounds >= max_rounds then acc
           else
-            let facts = Transform.Absdom.analyze graph in
+            let facts =
+              Transform.Absdom.analyze ~width:config.bitopt_width graph
+            in
             let claims =
               Transform.Bitopt.derive (Transform.Absdom.value facts) graph
             in
@@ -141,7 +150,8 @@ let bitopt_stage config graph =
             else begin
               let r =
                 Transform.Bitopt.apply
-                  ~verify:(fun g cs -> Fpfa_analysis.Verify.bits g cs)
+                  ~verify:(fun g cs ->
+                    Fpfa_analysis.Verify.bits ~width:config.bitopt_width g cs)
                   graph claims
               in
               let defs, uses = Cdfg.Graph.drain_dirty graph in
@@ -454,6 +464,7 @@ module Staged = struct
     && a.verify_each = b.verify_each
     && a.disambiguate = b.disambiguate
     && a.bitopt = b.bitopt
+    && a.bitopt_width = b.bitopt_width
     && a.incremental = b.incremental
 
   let same_cluster a b = a.cluster_with == b.cluster_with && caps_of a = caps_of b

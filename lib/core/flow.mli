@@ -47,6 +47,14 @@ type config = {
           unconditionally, not only under [verify_each]; a claim the
           replay cannot re-derive fails the flow blaming rule
           ["bitopt"]. *)
+  bitopt_width : int;
+      (** signed input width in bits the bit-level analysis assumes for
+          region inputs (default 16, matching [fpfa_map --check-width]).
+          Semantics-changing: the rewrites are only valid for inputs
+          inside [-2^(width-1), 2^(width-1) - 1], so the serve daemon
+          keys its mapping-cache fingerprint on it alongside the
+          [bitopt] toggle. Both the stage and its {!Fpfa_analysis.Verify.bits}
+          replay use the same width. *)
   incremental : bool;
       (** keep the pre-disambiguation minimised snapshot for
           {!Staged.rewind_patched} and canonically renumber the minimised

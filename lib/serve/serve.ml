@@ -240,14 +240,24 @@ let config_of req =
   let bitopt =
     Option.value ~default:config.Flow.bitopt (bool_field req "bitopt")
   in
-  (* the bitopt toggle changes the minimised graph, so it must key the
-     mapping cache alongside the variant and tile knobs *)
-  let fingerprint =
-    Printf.sprintf "%s:a%d:b%d:w%d:o%d" v.Baseline.vname tile.Arch.alu_count
-      tile.Arch.buses tile.Arch.move_window
-      (if bitopt then 1 else 0)
+  let bitopt_width =
+    match int_field req "width" with
+    | None -> config.Flow.bitopt_width
+    | Some w when w >= 1 && w <= 63 -> w
+    | Some w ->
+      raise
+        (Bad_request (Printf.sprintf "bad width %d: want 1 <= width <= 63" w))
   in
-  ({ config with Flow.tile; Flow.bitopt }, fingerprint)
+  (* the bitopt toggle and the assumed input width both change the
+     minimised graph, so they must key the mapping cache alongside the
+     variant and tile knobs *)
+  let fingerprint =
+    Printf.sprintf "%s:a%d:b%d:w%d:o%d:d%d" v.Baseline.vname
+      tile.Arch.alu_count tile.Arch.buses tile.Arch.move_window
+      (if bitopt then 1 else 0)
+      bitopt_width
+  in
+  ({ config with Flow.tile; Flow.bitopt; Flow.bitopt_width }, fingerprint)
 
 (* {2 Payload rendering} *)
 

@@ -16,7 +16,11 @@
       Input is ["kernel"] (built-in corpus name, prefix-resolved like the
       CLI) or ["source"] (C text) plus optional ["func"]. ["variant"]
       picks a {!Baseline} flow variant; ["alus"], ["buses"], ["window"]
-      override tile parameters; ["verify": true] additionally runs the
+      override tile parameters; ["bitopt"] toggles the certified
+      bit-level stage and ["width"] (1-63, default 16) sets the signed
+      input width its analysis assumes — both key the mapping-cache
+      fingerprint since they change the minimised graph;
+      ["verify": true] additionally runs the
       interpreter/evaluator/simulator conformance check on the kernel's
       inputs.
     - [{"op": "check", ...}] — same input fields; runs the full

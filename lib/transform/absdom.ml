@@ -93,82 +93,163 @@ let pp_bits fmt b =
   else Format.pp_print_string fmt s
 
 (* ------------------------------------------------------------------ *)
-(* Interval transfers (moved verbatim from Transform.Range)            *)
+(* Interval transfers (shared with Transform.Range)                    *)
 (* ------------------------------------------------------------------ *)
 
 let is_inf = I.is_inf
 let sat_add = I.sat_add
 let sat_neg = I.sat_neg
 let sat_sub = I.sat_sub
-let sat_mul = I.sat_mul
 let make = I.make
 let hull = I.hull
 let bool_interval = I.bool_interval
 let magnitude = I.magnitude
 let bits_for = I.bits_for
 
-let binop_interval op a b =
-  match op with
-  | Op.Add -> make (sat_add a.lo b.lo) (sat_add a.hi b.hi)
-  | Op.Sub -> make (sat_sub a.lo b.hi) (sat_sub a.hi b.lo)
-  | Op.Mul ->
-    let products =
-      [ sat_mul a.lo b.lo; sat_mul a.lo b.hi; sat_mul a.hi b.lo; sat_mul a.hi b.hi ]
-    in
+(* Weak-sentinel discipline. An infinite bound constrains nothing in its
+   direction; every *finite* bound must be a genuine bound of the
+   concrete native-word value. Two normalisations enforce it:
+
+   - A bound saturated to the opposite sentinel (lo = pos_inf /
+     hi = neg_inf) only certifies "somewhere past the band", which a
+     value that wrapped the native word need not satisfy — it is demoted
+     to its own side's sentinel, never used as knowledge.
+   - A finite bound outside the +-(2^59 - 1) band is rounded to the band
+     edge (toward weaker) or dropped; transfers may then assume finite
+     bounds are in-band, so bound arithmetic itself can never wrap.
+
+   Transfers must in turn drop a side's bound whenever the mathematical
+   result on the *other* side can cross the native +-2^62 wrap
+   threshold: the wrapped value lands arbitrarily far on the opposite
+   side of the word. *)
+let band_edge = I.finite_limit - 1
+
+let weaken (r : I.t) =
+  let lo =
+    if r.lo = I.pos_inf then I.neg_inf
+    else if r.lo <> I.neg_inf && r.lo > band_edge then band_edge
+    else if r.lo <> I.neg_inf && r.lo < -band_edge then I.neg_inf
+    else r.lo
+  in
+  let hi =
+    if r.hi = I.neg_inf then I.pos_inf
+    else if r.hi <> I.pos_inf && r.hi < -band_edge then -band_edge
+    else if r.hi <> I.pos_inf && r.hi > band_edge then I.pos_inf
+    else r.hi
+  in
+  if lo = r.lo && hi = r.hi then r else make lo hi
+
+(* After [weaken]: an unbounded-above value may be as large as max_int,
+   an unbounded-below one as small as min_int. *)
+let unbounded_hi (r : I.t) = is_inf r.hi
+let unbounded_lo (r : I.t) = is_inf r.lo
+
+(* [a + b] can only cross the wrap threshold through an unbounded
+   operand: genuine in-band bounds sum below 2^60, far from 2^62. A
+   possible wrap on one side invalidates the *other* side's bound. *)
+let add_interval (a : I.t) (b : I.t) =
+  let hi_wraps =
+    (unbounded_hi a && (unbounded_hi b || b.hi > 0))
+    || (unbounded_hi b && a.hi > 0)
+  in
+  let lo_wraps =
+    (unbounded_lo a && (unbounded_lo b || b.lo < 0))
+    || (unbounded_lo b && a.lo < 0)
+  in
+  make
+    (if hi_wraps then I.neg_inf else sat_add a.lo b.lo)
+    (if lo_wraps then I.pos_inf else sat_add a.hi b.hi)
+
+(* [-min_int] wraps to [min_int]: negating an unbounded-below value
+   keeps no bound at all. *)
+let neg_interval (a : I.t) =
+  if unbounded_lo a then I.top else make (sat_neg a.hi) (sat_neg a.lo)
+
+(* Conservative wrap test for products of in-band bounds: the float is
+   within an ulp at these magnitudes, and comparing against 2^61 (half
+   the wrap threshold) absorbs the rounding error. Below the test the
+   native product is exact. *)
+let product_may_wrap x y =
+  Float.abs (float_of_int x *. float_of_int y) >= float_of_int (1 lsl 61)
+
+let mul_interval (a : I.t) (b : I.t) =
+  if
+    unbounded_lo a || unbounded_hi a || unbounded_lo b || unbounded_hi b
+    || product_may_wrap a.lo b.lo || product_may_wrap a.lo b.hi
+    || product_may_wrap a.hi b.lo || product_may_wrap a.hi b.hi
+  then I.top
+  else
+    let products = [ a.lo * b.lo; a.lo * b.hi; a.hi * b.lo; a.hi * b.hi ] in
     make
-      (List.fold_left min I.pos_inf products)
-      (List.fold_left max I.neg_inf products)
-  | Op.Div ->
-    (* |a / b| <= |a| for any b (and a/0 = 0 in our total semantics) *)
-    let m = magnitude a in
-    make (sat_neg m) m
-  | Op.Mod ->
-    (* |a mod b| < |b| and |a mod b| <= |a|; a mod 0 = 0 *)
-    let m =
-      let ma = magnitude a
-      and mb = if magnitude b = I.pos_inf then I.pos_inf else max 0 (magnitude b - 1) in
-      min ma mb
-    in
-    let lo = if a.lo < 0 then sat_neg m else 0 in
-    let hi = if a.hi > 0 then m else 0 in
-    make lo hi
-  | Op.Shl ->
-    (* the machine shift wraps the 63-bit integer, so anything uncertain is
-       the full top interval *)
-    if b.lo = b.hi && b.lo >= 0 && b.lo <= 40 && not (is_inf a.lo || is_inf a.hi)
-    then
-      let f = 1 lsl b.lo in
-      make (sat_mul a.lo f) (sat_mul a.hi f)
-    else I.top
-  | Op.Shr ->
-    if
-      b.lo = b.hi && b.lo >= 0 && b.lo <= 62
-      && not (is_inf a.lo || is_inf a.hi)
-    then make (a.lo asr b.lo) (a.hi asr b.lo)
-    else
-      (* arithmetic shift never grows magnitude; out-of-range yields 0 *)
-      make (min a.lo 0) (max a.hi 0)
-  | Op.Band when b.lo = b.hi && b.lo >= 0 && not (is_inf b.hi) ->
-    (* AND with a non-negative constant mask lands in [0, mask] whatever
-       the other operand is (two's complement) — the fact that keeps
-       masked dynamic addresses like a[i & 7] bounded. *)
-    make 0 b.lo
-  | Op.Band when a.lo = a.hi && a.lo >= 0 && not (is_inf a.hi) -> make 0 a.lo
-  | Op.Band | Op.Bor | Op.Bxor ->
-    let k = max (bits_for a) (bits_for b) in
-    if k >= 62 then I.top
-    else if a.lo >= 0 && b.lo >= 0 then
-      (* non-negative operands: results stay below the next power of two *)
-      make 0 ((1 lsl k) - 1)
-    else make (-(1 lsl k)) ((1 lsl k) - 1)
-  | Op.Lt | Op.Le | Op.Gt | Op.Ge | Op.Eq | Op.Ne | Op.Land | Op.Lor ->
-    bool_interval
+      (I.sat (List.fold_left min max_int products))
+      (I.sat (List.fold_left max min_int products))
+
+let binop_interval op a b =
+  let a = weaken a and b = weaken b in
+  weaken
+    (match op with
+    | Op.Add -> add_interval a b
+    | Op.Sub -> add_interval a (neg_interval b)
+    | Op.Mul -> mul_interval a b
+    | Op.Div ->
+      (* |a / b| <= |a| for any b (a/0 = 0 in our total semantics and
+         the in-band dividend excludes the min_int / -1 wrap) *)
+      let m = magnitude a in
+      make (sat_neg m) m
+    | Op.Mod ->
+      (* |a mod b| < |b| and |a mod b| <= |a|; a mod 0 = 0 *)
+      let m =
+        let ma = magnitude a
+        and mb =
+          if magnitude b = I.pos_inf then I.pos_inf else max 0 (magnitude b - 1)
+        in
+        min ma mb
+      in
+      let lo = if a.lo < 0 then sat_neg m else 0 in
+      let hi = if a.hi > 0 then m else 0 in
+      make lo hi
+    | Op.Shl -> (
+      match I.is_const b with
+      | Some s when s < 0 || s > 62 -> I.const 0 (* out-of-range yields 0 *)
+      | Some s ->
+        if
+          s > 61 || unbounded_lo a || unbounded_hi a
+          || product_may_wrap a.lo (1 lsl s)
+          || product_may_wrap a.hi (1 lsl s)
+        then I.top
+        else make (I.sat (a.lo lsl s)) (I.sat (a.hi lsl s))
+      | None -> I.top)
+    | Op.Shr -> (
+      match I.is_const b with
+      | Some s
+        when s >= 0 && s <= 62 && not (unbounded_lo a || unbounded_hi a) ->
+        make (a.lo asr s) (a.hi asr s)
+      | _ ->
+        (* arithmetic shift never grows magnitude; out-of-range yields 0 *)
+        make (min a.lo 0) (max a.hi 0))
+    | Op.Band when b.lo = b.hi && b.lo >= 0 && not (is_inf b.hi) ->
+      (* AND with a non-negative constant mask lands in [0, mask] whatever
+         the other operand is (two's complement) — the fact that keeps
+         masked dynamic addresses like a[i & 7] bounded. *)
+      make 0 b.lo
+    | Op.Band when a.lo = a.hi && a.lo >= 0 && not (is_inf a.hi) -> make 0 a.lo
+    | Op.Band | Op.Bor | Op.Bxor ->
+      let k = max (bits_for a) (bits_for b) in
+      if k >= 62 then I.top
+      else if a.lo >= 0 && b.lo >= 0 then
+        (* non-negative operands: results stay below the next power of two *)
+        make 0 ((1 lsl k) - 1)
+      else make (-(1 lsl k)) ((1 lsl k) - 1)
+    | Op.Lt | Op.Le | Op.Gt | Op.Ge | Op.Eq | Op.Ne | Op.Land | Op.Lor ->
+      bool_interval)
 
 let unop_interval op a =
-  match op with
-  | Op.Neg -> make (sat_neg a.hi) (sat_neg a.lo)
-  | Op.Bnot -> make (sat_sub (sat_neg a.hi) 1) (sat_sub (sat_neg a.lo) 1)
-  | Op.Lnot -> bool_interval
+  let a = weaken a in
+  weaken
+    (match op with
+    | Op.Neg -> neg_interval a
+    | Op.Bnot -> make (sat_sub (sat_neg a.hi) 1) (sat_sub (sat_neg a.lo) 1)
+    | Op.Lnot -> bool_interval)
 
 (* ------------------------------------------------------------------ *)
 (* The product                                                         *)
@@ -177,7 +258,7 @@ let unop_interval op a =
 type t = { bits : bits; range : I.t }
 
 let top = { bits = bits_top; range = I.top }
-let const v = { bits = bits_const v; range = I.const v }
+let const v = { bits = bits_const v; range = weaken (I.const v) }
 
 let bits_of_interval (r : I.t) =
   if r.lo = I.pos_inf || r.hi = I.neg_inf then
@@ -194,7 +275,9 @@ let bits_of_interval (r : I.t) =
     let known = lnot (smear_down (r.lo lxor r.hi)) in
     { zeros = known land lnot r.lo; ones = known land r.lo }
 
-let of_interval r = { bits = bits_of_interval r; range = r }
+let of_interval r =
+  let r = weaken r in
+  { bits = bits_of_interval r; range = r }
 
 let refine { bits; range } =
   let bits =
@@ -235,8 +318,13 @@ let is_const p =
   | Some _ as c -> c
   | None -> I.is_const p.range
 
+(* Only a genuine (finite) bound is knowledge; see [weaken]. *)
+let fin v = not (I.is_inf v)
+
 let known_nonzero p =
-  p.bits.ones <> 0 || p.range.lo > 0 || p.range.hi < 0
+  p.bits.ones <> 0
+  || (fin p.range.lo && p.range.lo > 0)
+  || (fin p.range.hi && p.range.hi < 0)
 
 let known_zero p = is_const p = Some 0
 
@@ -274,13 +362,27 @@ let bits_mul a b =
     ones = p land mk;
   }
 
-(* Genuine bounds for ordered comparisons: a bound saturated to the
-   opposite sentinel ([lo] = pos_inf / [hi] = neg_inf) only certifies
-   "beyond the finite band", so the usable bound is the band edge.
-   Same-side sentinels (lo = neg_inf, hi = pos_inf) are universal bounds
-   of the native word and stay as they are. *)
-let cmp_lo (r : I.t) = if r.lo = I.pos_inf then I.finite_limit else r.lo
-let cmp_hi (r : I.t) = if r.hi = I.neg_inf then -I.finite_limit else r.hi
+(* Ordered-comparison and disjointness folding use only genuine (finite)
+   bounds: an infinite bound is a saturation sentinel and certifies
+   nothing — in particular, a value that wrapped the native word may sit
+   on either side of the band, so no sentinel is ever substituted by a
+   band edge. *)
+let lt_decided (a : I.t) (b : I.t) =
+  if fin a.hi && fin b.lo && a.hi < b.lo then Some true
+  else if fin a.lo && fin b.hi && a.lo >= b.hi then Some false
+  else None
+
+let le_decided (a : I.t) (b : I.t) =
+  if fin a.hi && fin b.lo && a.hi <= b.lo then Some true
+  else if fin a.lo && fin b.hi && a.lo > b.hi then Some false
+  else None
+
+let ranges_disjoint (a : I.t) (b : I.t) =
+  (fin a.hi && fin b.lo && a.hi < b.lo)
+  || (fin b.hi && fin a.lo && b.hi < a.lo)
+
+(* A provably non-negative range needs a genuine lower bound. *)
+let range_nonneg (r : I.t) = fin r.lo && r.lo >= 0
 
 let binop_bits op (pa : t) (pb : t) =
   let a = pa.bits and b = pb.bits in
@@ -291,7 +393,7 @@ let binop_bits op (pa : t) (pb : t) =
   | Op.Div -> (
     match bits_is_const b with
     | Some 0 -> bits_const 0
-    | Some d when d > 0 && d land (d - 1) = 0 && pa.range.lo >= 0 ->
+    | Some d when d > 0 && d land (d - 1) = 0 && range_nonneg pa.range ->
       (* dividend provably non-negative: a / 2^k = a asr k *)
       let k = run_while (d - 1) in
       bits_shr_const a k
@@ -299,13 +401,13 @@ let binop_bits op (pa : t) (pb : t) =
   | Op.Mod -> (
     match bits_is_const b with
     | Some 0 -> bits_const 0
-    | Some d when d > 0 && d land (d - 1) = 0 && pa.range.lo >= 0 ->
+    | Some d when d > 0 && d land (d - 1) = 0 && range_nonneg pa.range ->
       (* a mod 2^k = a land (2^k - 1) for a >= 0 *)
       let m = d - 1 in
       { zeros = (a.zeros land m) lor lnot m; ones = a.ones land m }
     | _ ->
       (* sign follows the dividend *)
-      if pa.range.lo >= 0 || a.zeros land sign_mask <> 0 then
+      if range_nonneg pa.range || a.zeros land sign_mask <> 0 then
         { bits_top with zeros = sign_mask }
       else bits_top)
   | Op.Shl -> (
@@ -329,32 +431,16 @@ let binop_bits op (pa : t) (pb : t) =
     let known = bits_known a land bits_known b in
     let x = a.ones lxor b.ones in
     { zeros = known land lnot x; ones = known land x }
-  | Op.Lt ->
-    bool_of_opt
-      (if cmp_hi pa.range < cmp_lo pb.range then Some true
-       else if cmp_lo pa.range >= cmp_hi pb.range then Some false
-       else None)
-  | Op.Le ->
-    bool_of_opt
-      (if cmp_hi pa.range <= cmp_lo pb.range then Some true
-       else if cmp_lo pa.range > cmp_hi pb.range then Some false
-       else None)
-  | Op.Gt ->
-    bool_of_opt
-      (if cmp_lo pa.range > cmp_hi pb.range then Some true
-       else if cmp_hi pa.range <= cmp_lo pb.range then Some false
-       else None)
-  | Op.Ge ->
-    bool_of_opt
-      (if cmp_lo pa.range >= cmp_hi pb.range then Some true
-       else if cmp_hi pa.range < cmp_lo pb.range then Some false
-       else None)
+  | Op.Lt -> bool_of_opt (lt_decided pa.range pb.range)
+  | Op.Le -> bool_of_opt (le_decided pa.range pb.range)
+  | Op.Gt -> bool_of_opt (lt_decided pb.range pa.range)
+  | Op.Ge -> bool_of_opt (le_decided pb.range pa.range)
   | Op.Eq ->
     bool_of_opt
       (match (is_const pa, is_const pb) with
       | Some x, Some y -> Some (x = y)
       | _ ->
-        if I.disjoint pa.range pb.range then Some false
+        if ranges_disjoint pa.range pb.range then Some false
         else if (a.ones land b.zeros) lor (a.zeros land b.ones) <> 0 then
           (* some bit provably differs *)
           Some false
@@ -364,7 +450,7 @@ let binop_bits op (pa : t) (pb : t) =
       (match (is_const pa, is_const pb) with
       | Some x, Some y -> Some (x <> y)
       | _ ->
-        if I.disjoint pa.range pb.range then Some true
+        if ranges_disjoint pa.range pb.range then Some true
         else if (a.ones land b.zeros) lor (a.zeros land b.ones) <> 0 then
           Some true
         else None)

@@ -104,6 +104,43 @@ let test_saturated_interval_claims_nothing () =
   Alcotest.(check bool) "contains 2^60" true (A.mem (big * big) p);
   check_const "bits still exact" (big * big) p
 
+(* {2 Wrap soundness: finite bounds vs the 63-bit word edge} *)
+
+(* The certified-miscompile scenario the interval half used to admit:
+   with width-16 inputs, ((x & 0x7fff) << 20) << 40 at x = 4 is
+   concretely 2^62, which wraps to min_int — yet a wrap-blind transfer
+   kept the genuine lower bound 0 and folded b >= 0 to constant 1. The
+   abstract value must contain the wrapped (negative) result and the
+   comparison must stay undecided. *)
+let test_shl_wrap_reaches_sign_bit () =
+  let masked = A.binop Op.Band A.top (A.const 0x7fff) in
+  let b = A.binop Op.Shl (A.binop Op.Shl masked (A.const 20)) (A.const 40) in
+  Alcotest.(check bool) "wrapped value contained" true (A.mem min_int b);
+  let ge = A.binop Op.Ge b (A.const 0) in
+  Alcotest.(check bool) "b >= 0 stays undecided" true
+    (A.is_const ge = None && A.mem 0 ge && A.mem 1 ge)
+
+let test_interval_mul_wrap () =
+  (* 2^31 * 2^31 = 2^62 wraps to min_int; the interval-only transfer
+     (Range's API) must widen rather than keep the fictitious [0, ...] *)
+  let big = A.I.make 0 (1 lsl 31) in
+  let r = A.binop_interval Op.Mul big big in
+  Alcotest.(check bool) "wrapped product contained" true (A.I.mem min_int r)
+
+let test_interval_add_wrap () =
+  (* an unbounded-above operand can sit at max_int, so + 1 can wrap: the
+     result must not keep any lower bound *)
+  let p =
+    A.binop Op.Add (A.of_interval (A.I.make 0 A.I.pos_inf)) (A.const 1)
+  in
+  Alcotest.(check bool) "max_int + 1 contained" true (A.mem min_int p)
+
+let test_neg_wrap () =
+  (* an unbounded-below operand can sit at min_int, whose negation is
+     min_int again *)
+  let p = A.unop Op.Neg (A.of_interval (A.I.make A.I.neg_inf 0)) in
+  Alcotest.(check bool) "-min_int contained" true (A.mem min_int p)
+
 (* {2 Forward analysis + demanded bits} *)
 
 let find_node g pred =
@@ -195,6 +232,37 @@ let test_signed_divide_not_demoted () =
   let g = build "void main() { out[0] = a[0] / 16; out[1] = a[0] % 8; }" in
   let claims = claims_of g in
   Alcotest.(check int) "no unsound demotion" 0 (List.length claims)
+
+let test_wrapping_dividend_not_demoted () =
+  (* b's lower bound 0 is only true before the wrap: at a[0] = 4 the
+     value is min_int, where asr/band disagree with Eval's
+     truncate-toward-zero division and sign-follows-dividend modulo *)
+  let g =
+    build
+      "void main() { b = ((a[0] & 32767) << 20) << 40; out[0] = b / 16; \
+       out[1] = b % 16; }"
+  in
+  let claims = claims_of g in
+  Alcotest.(check bool) "no demotion of a possibly-wrapped dividend" true
+    (List.for_all
+       (function Bitopt.Demote _ -> false | _ -> true)
+       claims)
+
+let test_rule_worklist_certified () =
+  (* the worklist-engine packaging of the pass: fires, demotes, and runs
+     the same derive/replay/apply protocol as the flow stage *)
+  let g =
+    build
+      "void main() { p = a[0] & 4095; out[0] = p / 16; out[1] = a[1] * 8; }"
+  in
+  let before = G.copy g in
+  let report = Transform.Pass.run_worklist [ Bitopt.rule () ] g in
+  Alcotest.(check bool) "rule fired" true
+    (report.Transform.Pass.rewrites >= 1);
+  ignore (Transform.Simplify.minimize g);
+  Alcotest.(check bool) "behaviour preserved" true (eval_equal before g);
+  Alcotest.(check int) "no multiplier-class op left" 0
+    (G.stats g).G.multiplies
 
 let test_verify_refuses_bogus_claim () =
   let g = build "void main() { out[0] = a[0] + a[1]; }" in
@@ -371,6 +439,11 @@ let suite =
     Alcotest.test_case "ripple add exact" `Quick test_ripple_add_exact;
     Alcotest.test_case "saturation claims nothing" `Quick
       test_saturated_interval_claims_nothing;
+    Alcotest.test_case "shl wrap reaches sign bit" `Quick
+      test_shl_wrap_reaches_sign_bit;
+    Alcotest.test_case "interval mul wrap" `Quick test_interval_mul_wrap;
+    Alcotest.test_case "interval add wrap" `Quick test_interval_add_wrap;
+    Alcotest.test_case "neg wrap" `Quick test_neg_wrap;
     Alcotest.test_case "demanded through mask" `Quick
       test_demanded_through_mask;
     Alcotest.test_case "demanded through shift" `Quick
@@ -384,6 +457,10 @@ let suite =
     Alcotest.test_case "demotions fire" `Quick test_demotions_fire;
     Alcotest.test_case "signed divide kept" `Quick
       test_signed_divide_not_demoted;
+    Alcotest.test_case "wrapping dividend kept" `Quick
+      test_wrapping_dividend_not_demoted;
+    Alcotest.test_case "rule worklist certified" `Quick
+      test_rule_worklist_certified;
     Alcotest.test_case "verify refuses bogus claim" `Quick
       test_verify_refuses_bogus_claim;
     Alcotest.test_case "verify accepts derivable claims" `Quick

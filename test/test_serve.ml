@@ -184,6 +184,36 @@ let test_bitopt_keys_cache () =
     (result_bytes explicit);
   Serve.shutdown s
 
+(* The assumed input width changes which rewrites the bit-level stage
+   can justify, so it too is part of the config fingerprint: a non-default
+   width must miss the mapping cache, and spelling the default width
+   explicitly must land on the default fingerprint. *)
+let test_width_keys_cache () =
+  let s = Serve.create () in
+  let default =
+    expect_ok (Serve.handle s (req {|{"op":"compile","kernel":"pack565-4"}|}))
+  in
+  let wide =
+    expect_ok
+      (Serve.handle s
+         (req {|{"op":"compile","kernel":"pack565-4","width":32}|}))
+  in
+  Alcotest.(check (option string)) "width change misses the mapping cache"
+    None (cached_of wide);
+  let explicit =
+    expect_ok
+      (Serve.handle s
+         (req {|{"op":"compile","kernel":"pack565-4","width":16}|}))
+  in
+  Alcotest.(check (option string)) "explicit default width hits"
+    (Some "mapping") (cached_of explicit);
+  Alcotest.(check string) "same payload as the default" (result_bytes default)
+    (result_bytes explicit);
+  (* out-of-range widths are rejected, not silently clamped *)
+  Alcotest.(check bool) "width 64 rejected" false
+    (is_ok (Serve.handle s (req {|{"op":"compile","kernel":"fir","width":64}|})));
+  Serve.shutdown s
+
 let test_near_miss_resumes () =
   let s = Serve.create () in
   let uncached = Serve.create ~cache_size:0 () in
@@ -691,6 +721,7 @@ let suite =
       test_corpus_hit_equals_miss;
     Alcotest.test_case "mapping-level hit" `Quick test_mapping_level_hit;
     Alcotest.test_case "bitopt keys cache" `Quick test_bitopt_keys_cache;
+    Alcotest.test_case "width keys cache" `Quick test_width_keys_cache;
     Alcotest.test_case "near-miss resumes" `Quick test_near_miss_resumes;
     Alcotest.test_case "batch hammer" `Quick test_batch_hammer_matches_sequential;
     Alcotest.test_case "sweep matches reference" `Quick
